@@ -1,0 +1,45 @@
+// Reproduces Figure 2: (a) ECDF of unique AS paths per trace timeline and
+// (b) ECDF of forward/reverse AS-path pairs per server pair, over the
+// long-term campaign.
+#include "bench/common.h"
+
+#include "core/routing_study.h"
+
+using namespace s2s;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::print_header("Figure 2: unique AS paths and AS-path pairs", opt);
+
+  auto deployment = bench::make_deployment(opt);
+  const auto store = bench::run_long_term(deployment, opt);
+  core::RoutingStudyConfig cfg;
+  cfg.min_observations = bench::qualifying_observations(opt);
+  const auto study = core::run_routing_study(store, cfg);
+
+  bench::print_ecdf("Fig 2a IPv4: unique AS paths per timeline",
+                    stats::Ecdf(study.v4.unique_paths));
+  bench::print_ecdf("Fig 2a IPv6: unique AS paths per timeline",
+                    stats::Ecdf(study.v6.unique_paths));
+  bench::print_ecdf("Fig 2b IPv4: AS-path pairs per server pair",
+                    stats::Ecdf(study.path_pairs_v4));
+  bench::print_ecdf("Fig 2b IPv6: AS-path pairs per server pair",
+                    stats::Ecdf(study.path_pairs_v6));
+
+  const stats::Ecdf u4(study.v4.unique_paths), u6(study.v6.unique_paths);
+  const stats::Ecdf p4(study.path_pairs_v4), p6(study.path_pairs_v6);
+  std::printf("\npaper vs measured:\n");
+  std::printf("  timelines with exactly 1 AS path: paper 18%% (v4) / 16%% (v6);"
+              " measured %.0f%% / %.0f%%\n",
+              100.0 * u4.at(1.0), 100.0 * u6.at(1.0));
+  std::printf("  80%% of timelines have <=5 (v4) / <=6 (v6) paths;"
+              " measured p80 = %.0f / %.0f\n",
+              u4.quantile(0.8), u6.quantile(0.8));
+  std::printf("  80%% of pairs have <=8 (v4) / <=9 (v6) path pairs;"
+              " measured p80 = %.0f / %.0f\n",
+              p4.quantile(0.8), p6.quantile(0.8));
+  std::printf("  timelines with >=10 paths: paper 2%% (v4) / 3%% (v6);"
+              " measured %.1f%% / %.1f%%\n",
+              100.0 * (1.0 - u4.at(9.0)), 100.0 * (1.0 - u6.at(9.0)));
+  return 0;
+}

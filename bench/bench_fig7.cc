@@ -1,0 +1,69 @@
+// Reproduces Figure 7: short-term sanity check. A 22-day 30-minute
+// campaign's best-path percentile deltas, computed from all traceroutes
+// vs from a 3-hour subsample, should be nearly identical — showing the
+// long-term data set's coarse cadence does not bias Section 4.2.
+#include "bench/common.h"
+
+#include "core/routing_study.h"
+
+using namespace s2s;
+
+int main(int argc, char** argv) {
+  auto opt = bench::Options::parse(argc, argv);
+  bench::print_header("Figure 7: 30-minute vs 3-hour sampling", opt);
+
+  auto deployment = bench::make_deployment(opt);
+  probe::TracerouteCampaignConfig cfg;
+  cfg.start_day = 434.0;  // paper: March 10-31, 2015
+  cfg.days = opt.fast ? 8.0 : 22.0;
+  cfg.interval_s = net::kThirtyMinutes;
+  cfg.paris_switch_day = 0.0;  // Paris era
+  cfg.seed = opt.seed + 21;
+  probe::TracerouteCampaign campaign(*deployment.net, cfg, deployment.pairs);
+
+  // Two stores fed from the same record stream: every traceroute, and the
+  // 3-hour subsample (1 of every 6 epochs).
+  core::TimelineStore all(deployment.topo(), deployment.net->rib(),
+                          {cfg.start_day, net::kThirtyMinutes});
+  core::TimelineStore coarse(deployment.topo(), deployment.net->rib(),
+                             {cfg.start_day, net::kThirtyMinutes});
+  campaign.run([&](const probe::TracerouteRecord& r) {
+    all.add(r);
+    const auto rel = r.time.seconds() -
+                     static_cast<std::int64_t>(cfg.start_day * 86400.0);
+    if (rel % net::kThreeHours == 0) coarse.add(r);
+  });
+
+  core::RoutingStudyConfig study_cfg;
+  study_cfg.min_observations = 40;
+  const auto study_all = core::run_routing_study(all, study_cfg);
+  core::RoutingStudyConfig coarse_cfg;
+  coarse_cfg.min_observations = 8;
+  const auto study_coarse = core::run_routing_study(coarse, coarse_cfg);
+
+  auto show = [](const char* label, const std::vector<double>& d10,
+                 const std::vector<double>& d90) {
+    if (d10.empty()) {
+      std::printf("%s: no sub-optimal buckets at this scale\n", label);
+      return;
+    }
+    const stats::Ecdf e10(d10), e90(d90);
+    std::printf("%s: d10 p50=%.1f p80=%.1f p90=%.1f | d90 p50=%.1f p80=%.1f"
+                " p90=%.1f\n",
+                label, e10.quantile(0.5), e10.quantile(0.8), e10.quantile(0.9),
+                e90.quantile(0.5), e90.quantile(0.8), e90.quantile(0.9));
+  };
+  show("IPv4 All (30 min)", study_all.v4.delta_p10_ms,
+       study_all.v4.delta_p90_ms);
+  show("IPv4 3hr subsample", study_coarse.v4.delta_p10_ms,
+       study_coarse.v4.delta_p90_ms);
+  show("IPv6 All (30 min)", study_all.v6.delta_p10_ms,
+       study_all.v6.delta_p90_ms);
+  show("IPv6 3hr subsample", study_coarse.v6.delta_p10_ms,
+       study_coarse.v6.delta_p90_ms);
+
+  std::printf("\npaper: the 'All' and '3hr' ECDFs nearly coincide, so the\n"
+              "  long-term data set's 3-hour cadence does not distort the\n"
+              "  Section 4.2 percentile-difference analysis.\n");
+  return 0;
+}

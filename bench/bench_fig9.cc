@@ -1,0 +1,77 @@
+// Reproduces Figure 9: density of the congestion overhead (ms added at
+// the busy hour) over the congested links, split internal vs
+// interconnection, with the US-US subsets.
+#include "bench/common.h"
+#include "bench/congestion_pipeline.h"
+
+#include "stats/density.h"
+#include "stats/summary.h"
+
+using namespace s2s;
+
+namespace {
+
+void print_density(const char* name, const std::vector<double>& samples) {
+  if (samples.size() < 3) {
+    std::printf("%s: only %zu links at this scale (increase --pairs)\n",
+                name, samples.size());
+    return;
+  }
+  std::printf("%s (n=%zu, median %.1f ms):\n", name, samples.size(),
+              stats::median(samples));
+  for (const auto& point : stats::kde(samples, 0.0, 120.0, 25)) {
+    std::printf("  %6.1f ms  %.4f  %s\n", point.x, point.density,
+                std::string(static_cast<std::size_t>(point.density * 300),
+                            '#')
+                    .c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::Options::parse(argc, argv);
+  // Congestion is a tail phenomenon: this bench needs a wide pair sample.
+  if (!opt.fast && opt.pairs < 2500) opt.pairs = 2500;
+  bench::print_header("Figure 9: density of congestion overhead", opt);
+
+  auto deployment = bench::make_deployment(opt);
+  const auto pipeline = bench::run_congestion_pipeline(deployment, opt);
+
+  std::printf("--- measured (localized congested links) ---\n");
+  print_density("All interconnection", pipeline.study.overhead_interconnection);
+  print_density("All internal", pipeline.study.overhead_internal);
+  print_density("US-US interconnection",
+                pipeline.study.overhead_us_interconnection);
+  print_density("US-US internal", pipeline.study.overhead_us_internal);
+
+  // Ground truth the estimator is chasing: the amplitude distribution of
+  // the diurnally congested links in the model, by link class. At paper
+  // scale (50K pairs) the measured densities converge to these.
+  std::printf("\n--- link-model ground truth (diurnal amplitudes) ---\n");
+  const auto& topo = deployment.topo();
+  std::vector<double> gt_internal, gt_interconn, gt_us_internal;
+  for (const auto& profile : deployment.net->congestion().profiles()) {
+    if (profile.kind != simnet::CongestionKind::kDiurnal) continue;
+    const auto& link = topo.links[profile.link];
+    const auto& ca = topo.cities[topo.routers[link.end_a.router].city];
+    const auto& cb = topo.cities[topo.routers[link.end_b.router].city];
+    const bool us = ca.country == "US" && cb.country == "US";
+    if (link.scope == topology::LinkScope::kInternal) {
+      gt_internal.push_back(profile.amplitude_ms);
+      if (us) gt_us_internal.push_back(profile.amplitude_ms);
+    } else {
+      gt_interconn.push_back(profile.amplitude_ms);
+    }
+  }
+  print_density("All interconnection (model)", gt_interconn);
+  print_density("All internal (model)", gt_internal);
+  print_density("US-US internal (model)", gt_us_internal);
+
+  std::printf(
+      "\npaper shape: both curves peak at 20-30 ms (>60%% of density; ~90%%\n"
+      "  for US-US pairs, a consequence of uniform 100 ms-RTT buffer\n"
+      "  sizing); transcontinental links shift toward ~60 ms with Asia-\n"
+      "  Europe extremes near 90 ms.\n");
+  return 0;
+}

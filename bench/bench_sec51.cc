@@ -1,0 +1,53 @@
+// Reproduces Section 5.1: how common is consistent congestion in the
+// core? Prints the fraction of server pairs with >10 ms RTT variation and
+// the fraction with a strong diurnal pattern, per protocol, plus the
+// PSD-threshold ablation (the paper's footnote 2 picked 0.3 empirically).
+#include "bench/common.h"
+#include "bench/congestion_pipeline.h"
+
+using namespace s2s;
+
+int main(int argc, char** argv) {
+  auto opt = bench::Options::parse(argc, argv);
+  // Congestion is a tail phenomenon: this bench needs a wide pair sample.
+  if (!opt.fast && opt.pairs < 1500) opt.pairs = 1500;
+  bench::print_header("Section 5.1: is congestion the norm in the core?",
+                      opt);
+
+  auto deployment = bench::make_deployment(opt);
+  // Re-use the Section 5 ping survey at several diurnal thresholds.
+  for (const double threshold : {0.2, 0.3, 0.4}) {
+    core::CongestionDetectConfig cfg;
+    cfg.diurnal_ratio_threshold = threshold;
+    // Only the survey stage is needed; skip the follow-up by querying the
+    // pipeline and ignoring the rest (cheap relative to the pings).
+    probe::PingCampaignConfig ping_cfg;
+    ping_cfg.start_day = 417.0;
+    ping_cfg.seed = opt.seed + 31;
+    probe::PingCampaign pings(*deployment.net, ping_cfg, deployment.pairs);
+    core::PingSeriesStore store(ping_cfg.start_day, net::kFifteenMinutes,
+                                pings.epochs());
+    pings.run([&](const probe::PingRecord& r) { store.add(r); });
+    cfg.min_samples = static_cast<std::size_t>(0.88 * pings.epochs());
+    const auto survey = core::survey_congestion(store, cfg);
+
+    auto show = [&](const char* name,
+                    const core::CongestionSurvey::PerFamily& f) {
+      if (f.pairs_assessed == 0) return;
+      std::printf("  %s: assessed=%zu  >10ms variation=%.2f%%  "
+                  "consistent congestion=%.2f%%\n",
+                  name, f.pairs_assessed,
+                  100.0 * f.high_variation / f.pairs_assessed,
+                  100.0 * f.consistent / f.pairs_assessed);
+    };
+    std::printf("diurnal PSD threshold %.1f:\n", threshold);
+    show("IPv4", survey.v4);
+    show("IPv6", survey.v6);
+  }
+
+  std::printf(
+      "\npaper (threshold 0.3): <9.5%% of IPv4 and <4%% of IPv6 pairs vary\n"
+      "  by >10 ms; the strong-diurnal subset drops to 2%% (IPv4) and 0.6%%\n"
+      "  (IPv6) — consistent congestion is not the norm in the core.\n");
+  return 0;
+}

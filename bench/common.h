@@ -1,0 +1,127 @@
+// Shared setup for the per-figure/per-table reproduction harnesses.
+//
+// Every bench binary builds a simulated deployment, runs the campaigns it
+// needs, and prints the paper's headline numbers next to the measured
+// ones. Scale defaults are chosen so each binary finishes in about a
+// minute; pass --servers/--pairs/--days/--seed to change them (shapes are
+// scale-invariant, absolute counts are not).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/timeline.h"
+#include "probe/campaign.h"
+#include "simnet/network.h"
+#include "stats/ecdf.h"
+#include "stats/rng.h"
+
+namespace s2s::bench {
+
+struct Options {
+  int servers = 80;
+  int pairs = 600;       ///< unordered long-term pairs sampled
+  double days = 485.0;   ///< long-term campaign length
+  std::uint64_t seed = 42;
+  bool fast = false;     ///< tiny run for smoke-testing the harness
+
+  static Options parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+      auto next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : "";
+      };
+      if (!std::strcmp(argv[i], "--servers")) opt.servers = std::atoi(next());
+      else if (!std::strcmp(argv[i], "--pairs")) opt.pairs = std::atoi(next());
+      else if (!std::strcmp(argv[i], "--days")) opt.days = std::atof(next());
+      else if (!std::strcmp(argv[i], "--seed")) {
+        opt.seed = std::strtoull(next(), nullptr, 10);
+      } else if (!std::strcmp(argv[i], "--fast")) {
+        opt.fast = true;
+      }
+    }
+    if (opt.fast) {
+      opt.servers = 40;
+      opt.pairs = 150;
+      opt.days = 60.0;
+    }
+    return opt;
+  }
+};
+
+struct Deployment {
+  std::unique_ptr<simnet::Network> net;
+  std::vector<topology::ServerId> dual_stack;
+  std::vector<std::pair<topology::ServerId, topology::ServerId>> pairs;
+
+  const topology::Topology& topo() const { return net->topo(); }
+};
+
+/// Builds the network and samples the measurement pairs (dual-stack mesh).
+inline Deployment make_deployment(const Options& opt) {
+  Deployment d;
+  simnet::NetworkConfig cfg;
+  cfg.topology.seed = opt.seed;
+  cfg.topology.server_count = opt.servers;
+  d.net = std::make_unique<simnet::Network>(cfg);
+  for (topology::ServerId s = 0; s < d.topo().servers.size(); ++s) {
+    if (d.topo().servers[s].dual_stack()) d.dual_stack.push_back(s);
+  }
+  std::vector<std::pair<topology::ServerId, topology::ServerId>> all;
+  for (std::size_t i = 0; i < d.dual_stack.size(); ++i) {
+    for (std::size_t j = i + 1; j < d.dual_stack.size(); ++j) {
+      all.emplace_back(d.dual_stack[i], d.dual_stack[j]);
+    }
+  }
+  stats::Rng rng(opt.seed * 7919 + 1);
+  const double keep =
+      all.empty() ? 0.0
+                  : static_cast<double>(opt.pairs) /
+                        static_cast<double>(all.size());
+  for (const auto& p : all) {
+    if (rng.uniform() < keep) d.pairs.push_back(p);
+  }
+  if (d.pairs.empty() && !all.empty()) d.pairs.push_back(all.front());
+  return d;
+}
+
+/// Runs the paper's long-term traceroute campaign into a TimelineStore.
+inline core::TimelineStore run_long_term(Deployment& d, const Options& opt) {
+  probe::TracerouteCampaignConfig cfg;
+  cfg.days = opt.days;
+  cfg.seed = opt.seed + 7;
+  probe::TracerouteCampaign campaign(*d.net, cfg, d.pairs);
+  core::TimelineStore store(d.topo(), d.net->rib(),
+                            {0.0, net::kThreeHours});
+  std::fprintf(stderr, "[long-term campaign: %zu ordered pairs, %.0f days]\n",
+               d.pairs.size() * 2, opt.days);
+  campaign.run([&](const probe::TracerouteRecord& r) { store.add(r); });
+  return store;
+}
+
+/// Minimum observations for a timeline to qualify (the paper's ">=400 of
+/// 485 days" filter, scaled to the configured campaign length).
+inline std::size_t qualifying_observations(const Options& opt) {
+  // 8 probes/day * completion ~0.75 * (400/485 of the configured days).
+  return static_cast<std::size_t>(opt.days * 8.0 * 0.75 * 400.0 / 485.0 * 0.8);
+}
+
+inline void print_header(const char* experiment, const Options& opt) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("deployment: %d servers, %d sampled pairs, %.0f days, seed %llu\n",
+              opt.servers, opt.pairs, opt.days,
+              static_cast<unsigned long long>(opt.seed));
+}
+
+/// Prints an ECDF as "x F(x)" pairs at the given quantile knots.
+inline void print_ecdf(const char* name, const stats::Ecdf& ecdf) {
+  std::printf("%s (n=%zu):\n", name, ecdf.size());
+  for (double q : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    std::printf("  p%-4.0f %10.3f\n", q * 100, ecdf.quantile(q));
+  }
+}
+
+}  // namespace s2s::bench

@@ -1,0 +1,71 @@
+// Dual-stack advisor (Section 6): for every dual-stack server pair,
+// measure both protocols simultaneously and report where switching the
+// protocol would cut the median RTT — the paper found reductions of up to
+// 50 ms on a meaningful fraction of pairs.
+//
+//   ./build/examples/dualstack_advisor
+#include <algorithm>
+#include <cstdio>
+
+#include "core/dualstack.h"
+#include "probe/campaign.h"
+#include "stats/summary.h"
+
+using namespace s2s;
+
+int main() {
+  simnet::NetworkConfig config;
+  config.topology.seed = 3;
+  config.topology.server_count = 50;
+  simnet::Network net(config);
+  const auto& topo = net.topo();
+
+  std::vector<std::pair<topology::ServerId, topology::ServerId>> pairs;
+  for (topology::ServerId a = 0; a < topo.servers.size(); ++a) {
+    for (topology::ServerId b = a + 1; b < topo.servers.size(); ++b) {
+      if (topo.servers[a].dual_stack() && topo.servers[b].dual_stack()) {
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+
+  probe::TracerouteCampaignConfig cfg;
+  cfg.days = 30.0;
+  probe::TracerouteCampaign campaign(net, cfg, pairs);
+  core::TimelineStore store(topo, net.rib(), {0.0, net::kThreeHours});
+  std::printf("measuring %zu dual-stack pairs over both protocols for"
+              " %.0f days...\n", pairs.size(), cfg.days);
+  campaign.run([&](const probe::TracerouteRecord& r) { store.add(r); });
+
+  const auto study = core::run_dualstack_study(store);
+  std::printf("\nmatched %llu simultaneous v4/v6 samples on %zu pairs\n",
+              static_cast<unsigned long long>(study.samples_matched),
+              study.pairs_matched);
+  std::printf("similar RTTs (|diff| < 10 ms): %.0f%% of samples\n",
+              100.0 * (study.diff_all.at(10.0) - study.diff_all.at(-10.0)));
+
+  // Advice: per-pair median differences, largest wins first.
+  std::vector<double> sorted_diffs = study.pair_median_diff;
+  std::sort(sorted_diffs.begin(), sorted_diffs.end(),
+            [](double a, double b) { return std::abs(a) > std::abs(b); });
+  std::printf("\ntop protocol-switch opportunities (per-pair median RTT"
+              " difference):\n");
+  std::size_t shown = 0;
+  for (double diff : sorted_diffs) {
+    if (std::abs(diff) < 10.0 || shown >= 10) break;
+    std::printf("  %+7.1f ms  ->  prefer %s\n", diff,
+                diff > 0 ? "IPv6 (v4 is slower)" : "IPv4 (v6 is slower)");
+    ++shown;
+  }
+  std::size_t v6_wins = 0, v4_wins = 0;
+  for (double diff : study.pair_median_diff) {
+    v6_wins += diff >= 50.0;
+    v4_wins += diff <= -50.0;
+  }
+  std::printf("\npairs where switching saves >=50 ms: to IPv6 %zu, to IPv4"
+              " %zu (of %zu)\n",
+              v6_wins, v4_wins, study.pair_median_diff.size());
+  std::printf("paper: 3.7%% of endpoint pairs can cut >=50 ms by using IPv6,"
+              " 8.5%% by using IPv4.\n");
+  return 0;
+}

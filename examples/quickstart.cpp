@@ -1,0 +1,87 @@
+// Quickstart: build a simulated Internet core, run a few traceroutes
+// between CDN measurement servers, infer their AS paths, and watch a
+// routing change move the traffic onto a different path.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/as_path_infer.h"
+#include "probe/traceroute.h"
+#include "simnet/network.h"
+
+using namespace s2s;
+
+int main() {
+  // 1. A small world: ~160 ASes, with 30 measurement servers.
+  simnet::NetworkConfig config;
+  config.topology.seed = 7;
+  config.topology.tier1_count = 6;
+  config.topology.transit_count = 30;
+  config.topology.stub_count = 120;
+  config.topology.server_count = 30;
+  simnet::Network net(config);
+  const auto& topo = net.topo();
+  std::printf("generated %zu ASes, %zu routers, %zu links, %zu servers\n",
+              topo.ases.size(), topo.routers.size(), topo.links.size(),
+              topo.servers.size());
+
+  // 2. Tell the network which pairs we will measure (it precomputes the
+  //    candidate routes and the 16-month outage schedule).
+  std::vector<topology::ServerId> servers;
+  for (topology::ServerId s = 0; s < topo.servers.size(); ++s) {
+    servers.push_back(s);
+  }
+  net.prepare_full_mesh(servers);
+
+  // 3. Pick a geographically interesting pair and traceroute it, once a
+  //    day for two weeks.
+  const topology::ServerId src = 0, dst = 17;
+  const auto& src_city = topo.cities[topo.servers[src].city];
+  const auto& dst_city = topo.cities[topo.servers[dst].city];
+  std::printf("\ntraceroute %s (%s) -> %s (%s), daily for 60 days:\n",
+              src_city.name.c_str(), src_city.country.c_str(),
+              dst_city.name.c_str(), dst_city.country.c_str());
+
+  probe::TracerouteEngine tracer(net, {}, stats::Rng(1));
+  const core::AsPathInferrer inferrer(net.rib());
+  const net::Asn src_asn = topo.ases[topo.servers[src].as_id].asn;
+
+  net::AsPath previous;
+  for (int day = 0; day < 60; day += 1) {
+    const auto record = tracer.run(src, dst, net::Family::kIPv4,
+                                   net::SimTime::from_days(day),
+                                   probe::TracerouteMethod::kParis);
+    if (!record || !record->complete) continue;
+    const auto inferred = inferrer.infer(*record, src_asn);
+    if (inferred.as_path != previous) {
+      std::printf("  day %2d: RTT %6.1f ms  AS path: %s%s\n", day,
+                  record->end_to_end_rtt_ms(),
+                  net::to_string(inferred.as_path).c_str(),
+                  previous.empty() ? "" : "   <-- routing change");
+      previous = inferred.as_path;
+    }
+  }
+
+  // 4. Inspect one full traceroute, hop by hop.
+  const auto record = tracer.run(src, dst, net::Family::kIPv4,
+                                 net::SimTime::from_days(10),
+                                 probe::TracerouteMethod::kParis);
+  if (record) {
+    std::printf("\none traceroute in detail (%s):\n",
+                record->complete ? "complete" : "incomplete");
+    int ttl = 1;
+    for (const auto& hop : record->hops) {
+      if (hop.addr) {
+        const auto origin = net.rib().origin(*hop.addr);
+        std::printf("  %2d  %-16s %7.2f ms  %s\n", ttl,
+                    hop.addr->to_string().c_str(), hop.rtt_ms,
+                    origin ? origin->to_string().c_str() : "(unmapped)");
+      } else {
+        std::printf("  %2d  *\n", ttl);
+      }
+      ++ttl;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Routing-change report: a condensed Section 4 analysis an operator could
+// run over their own mesh — which server pairs suffered the worst
+// baseline-RTT regressions from sub-optimal AS paths, and for how long.
+//
+//   ./build/examples/routing_change_report [days] [pairs]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/routing_study.h"
+#include "probe/campaign.h"
+#include "stats/rng.h"
+
+using namespace s2s;
+
+int main(int argc, char** argv) {
+  const double days = argc > 1 ? std::atof(argv[1]) : 120.0;
+  const int want_pairs = argc > 2 ? std::atoi(argv[2]) : 300;
+
+  simnet::NetworkConfig config;
+  config.topology.server_count = 60;
+  simnet::Network net(config);
+  const auto& topo = net.topo();
+
+  // Sample dual-stack pairs, as the paper's long-term mesh does.
+  std::vector<std::pair<topology::ServerId, topology::ServerId>> pairs;
+  stats::Rng rng(99);
+  for (topology::ServerId a = 0; a < topo.servers.size(); ++a) {
+    for (topology::ServerId b = a + 1; b < topo.servers.size(); ++b) {
+      if (topo.servers[a].dual_stack() && topo.servers[b].dual_stack()) {
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+  while (static_cast<int>(pairs.size()) > want_pairs) {
+    pairs.erase(pairs.begin() +
+                static_cast<std::ptrdiff_t>(rng.below(pairs.size())));
+  }
+
+  probe::TracerouteCampaignConfig campaign_cfg;
+  campaign_cfg.days = days;
+  probe::TracerouteCampaign campaign(net, campaign_cfg, pairs);
+  core::TimelineStore store(topo, net.rib(), {0.0, net::kThreeHours});
+  std::printf("probing %zu ordered pairs for %.0f days...\n",
+              pairs.size() * 2, days);
+  campaign.run([&](const probe::TracerouteRecord& r) { store.add(r); });
+
+  // Rank pairs by time spent on paths >= 20 ms worse than their best.
+  struct Row {
+    topology::ServerId src, dst;
+    net::Family family;
+    double bad_hours = 0.0;
+    double worst_delta = 0.0;
+    std::size_t changes = 0;
+  };
+  std::vector<Row> rows;
+  store.for_each([&](topology::ServerId s, topology::ServerId d,
+                     net::Family fam, const core::TraceTimeline& timeline) {
+    if (timeline.obs.size() < 100) return;
+    const auto analysis = core::analyze_timeline(timeline, 3.0);
+    if (analysis.buckets.size() < 2) return;
+    const auto& best =
+        analysis.buckets[analysis.best(core::BestPathCriterion::kP10)];
+    Row row{s, d, fam, 0.0, 0.0, analysis.changes};
+    for (const auto& bucket : analysis.buckets) {
+      const double delta = bucket.p10 - best.p10;
+      if (delta >= 20.0) row.bad_hours += bucket.lifetime_hours;
+      row.worst_delta = std::max(row.worst_delta, delta);
+    }
+    if (row.bad_hours > 0.0) rows.push_back(row);
+  });
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.bad_hours > b.bad_hours; });
+
+  std::printf("\nworst pairs by time on a >=20 ms sub-optimal path:\n");
+  std::printf("%-28s %-5s %10s %12s %8s\n", "pair", "proto", "bad hours",
+              "worst +ms", "changes");
+  for (std::size_t i = 0; i < rows.size() && i < 15; ++i) {
+    const Row& row = rows[i];
+    const auto& a = topo.cities[topo.servers[row.src].city];
+    const auto& b = topo.cities[topo.servers[row.dst].city];
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s->%s", a.name.c_str(),
+                  b.name.c_str());
+    std::printf("%-28s %-5s %10.0f %12.1f %8zu\n", name,
+                net::to_string(row.family).data(), row.bad_hours,
+                row.worst_delta, row.changes);
+  }
+  std::printf("\n(%zu of %zu analyzed timelines ever sat on a >=20 ms "
+              "sub-optimal path)\n",
+              rows.size(), store.timeline_count());
+  return 0;
+}

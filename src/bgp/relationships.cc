@@ -1,0 +1,64 @@
+#include "bgp/relationships.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace s2s::bgp {
+
+RelationshipTable RelationshipTable::from_topology(
+    const topology::Topology& topo) {
+  RelationshipTable table;
+  for (const auto& adj : topo.adjacencies) {
+    const net::Asn asn_a = topo.ases[adj.a].asn;
+    const net::Asn asn_b = topo.ases[adj.b].asn;
+    if (adj.rel == topology::Relationship::kCustomerToProvider) {
+      table.add(asn_a, asn_b, Rel::kCustomer);
+    } else {
+      table.add(asn_a, asn_b, Rel::kPeer);
+    }
+  }
+  return table;
+}
+
+void RelationshipTable::add(net::Asn a, net::Asn b, Rel a_to_b) {
+  table_[key(a, b)] = a_to_b;
+  Rel b_to_a = Rel::kPeer;
+  if (a_to_b == Rel::kCustomer) b_to_a = Rel::kProvider;
+  if (a_to_b == Rel::kProvider) b_to_a = Rel::kCustomer;
+  table_[key(b, a)] = b_to_a;
+}
+
+std::optional<Rel> RelationshipTable::rel(net::Asn a, net::Asn b) const {
+  const auto it = table_.find(key(a, b));
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RelationshipTable::perturb(stats::Rng& rng, double flip_prob,
+                                double drop_prob) {
+  // Collect unordered pairs once (each adjacency is stored twice).
+  std::vector<std::pair<net::Asn, net::Asn>> pairs;
+  for (const auto& [k, v] : table_) {
+    const net::Asn a(static_cast<std::uint32_t>(k >> 32));
+    const net::Asn b(static_cast<std::uint32_t>(k & 0xffffffffu));
+    if (a.value() < b.value()) pairs.emplace_back(a, b);
+  }
+  std::sort(pairs.begin(), pairs.end());  // deterministic RNG consumption
+  for (const auto& [a, b] : pairs) {
+    const double draw = rng.uniform();
+    if (draw < drop_prob) {
+      table_.erase(key(a, b));
+      table_.erase(key(b, a));
+    } else if (draw < drop_prob + flip_prob) {
+      const Rel current = table_.at(key(a, b));
+      // c2p <-> p2p confusion, the dominant error mode in practice.
+      const Rel flipped =
+          current == Rel::kPeer
+              ? (rng.chance(0.5) ? Rel::kCustomer : Rel::kProvider)
+              : Rel::kPeer;
+      add(a, b, flipped);
+    }
+  }
+}
+
+}  // namespace s2s::bgp

@@ -1,0 +1,62 @@
+// AS business-relationship table (the role CAIDA's inferences play in the
+// paper's Section 5.3 ownership heuristics).
+//
+// Built from generator ground truth; `perturb()` introduces a configurable
+// error rate so the ownership pipeline can be evaluated under realistic
+// inference noise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/asn.h"
+#include "stats/rng.h"
+#include "topology/topology.h"
+
+namespace s2s::bgp {
+
+/// Relationship of `a` toward `b`.
+enum class Rel : std::uint8_t {
+  kCustomer,  ///< a is a customer of b
+  kProvider,  ///< a is a provider of b
+  kPeer,      ///< settlement-free peers
+};
+
+class RelationshipTable {
+ public:
+  RelationshipTable() = default;
+
+  static RelationshipTable from_topology(const topology::Topology& topo);
+
+  /// Relationship of `a` toward `b`; nullopt when the pair is not adjacent
+  /// (or unknown to the inference).
+  std::optional<Rel> rel(net::Asn a, net::Asn b) const;
+
+  bool is_customer_of(net::Asn a, net::Asn b) const {
+    return rel(a, b) == Rel::kCustomer;
+  }
+  bool is_provider_of(net::Asn a, net::Asn b) const {
+    return rel(a, b) == Rel::kProvider;
+  }
+  bool are_peers(net::Asn a, net::Asn b) const {
+    return rel(a, b) == Rel::kPeer;
+  }
+
+  void add(net::Asn a, net::Asn b, Rel a_to_b);
+
+  /// Simulates inference error: with probability `flip_prob` per adjacency,
+  /// misclassify (c2p becomes p2p and vice versa); with probability
+  /// `drop_prob`, forget the adjacency entirely.
+  void perturb(stats::Rng& rng, double flip_prob, double drop_prob);
+
+  std::size_t size() const noexcept { return table_.size() / 2; }
+
+ private:
+  static std::uint64_t key(net::Asn a, net::Asn b) {
+    return (std::uint64_t{a.value()} << 32) | b.value();
+  }
+  std::unordered_map<std::uint64_t, Rel> table_;
+};
+
+}  // namespace s2s::bgp

@@ -1,0 +1,32 @@
+#include "bgp/rib.h"
+
+namespace s2s::bgp {
+
+Rib Rib::from_topology(const topology::Topology& topo) {
+  Rib rib;
+  for (const auto& entry : topo.prefixes4) {
+    if (entry.announced) rib.insert(entry.prefix, entry.origin);
+  }
+  for (const auto& entry : topo.prefixes6) {
+    if (entry.announced) rib.insert(entry.prefix, entry.origin);
+  }
+  return rib;
+}
+
+std::optional<net::Asn> Rib::origin(net::IPv4Addr addr) const {
+  const auto v = trie4_.lookup(addr);
+  if (!v) return std::nullopt;
+  return net::Asn(*v);
+}
+
+std::optional<net::Asn> Rib::origin(const net::IPv6Addr& addr) const {
+  const auto v = trie6_.lookup(addr);
+  if (!v) return std::nullopt;
+  return net::Asn(*v);
+}
+
+std::optional<net::Asn> Rib::origin(const net::IPAddr& addr) const {
+  return addr.is_v4() ? origin(addr.v4()) : origin(addr.v6());
+}
+
+}  // namespace s2s::bgp

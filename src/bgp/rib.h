@@ -1,0 +1,46 @@
+// BGP routing-information-base view: IP -> origin-AS mapping.
+//
+// Built from the topology's address plan, including only *announced*
+// prefixes — unannounced infrastructure space (IXP LANs, internal blocks)
+// correctly yields "no mapping", reproducing the paper's
+// "missing AS-level data" rows in Table 1.
+#pragma once
+
+#include <optional>
+
+#include "bgp/trie.h"
+#include "net/asn.h"
+#include "net/ip.h"
+#include "topology/topology.h"
+
+namespace s2s::bgp {
+
+class Rib {
+ public:
+  Rib() = default;
+
+  /// Loads every announced prefix from the topology.
+  static Rib from_topology(const topology::Topology& topo);
+
+  void insert(const net::Prefix4& prefix, net::Asn origin) {
+    trie4_.insert(prefix, origin.value());
+  }
+  void insert(const net::Prefix6& prefix, net::Asn origin) {
+    trie6_.insert(prefix, origin.value());
+  }
+
+  /// Origin AS of the longest matching announced prefix; nullopt when the
+  /// address is not covered (the paper's unmapped-hop case).
+  std::optional<net::Asn> origin(const net::IPAddr& addr) const;
+  std::optional<net::Asn> origin(net::IPv4Addr addr) const;
+  std::optional<net::Asn> origin(const net::IPv6Addr& addr) const;
+
+  std::size_t size4() const noexcept { return trie4_.size(); }
+  std::size_t size6() const noexcept { return trie6_.size(); }
+
+ private:
+  Trie4 trie4_;
+  Trie6 trie6_;
+};
+
+}  // namespace s2s::bgp

@@ -1,0 +1,72 @@
+// Binary (unibit) prefix trie with longest-prefix-match lookup.
+//
+// This is the IP-to-ASN mapping core: the paper maps every traceroute hop
+// to "the origin AS of the longest matching prefix observed in BGP".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace s2s::bgp {
+
+/// Trie over `Prefix` (net::Prefix4 or net::Prefix6) storing a `Value` per
+/// prefix. Inserting the same prefix twice overwrites the value.
+template <typename Prefix, typename Addr, typename Value, int MaxBits>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.emplace_back(); }
+
+  void insert(const Prefix& prefix, const Value& value) {
+    std::size_t node = 0;
+    for (int bit = 0; bit < prefix.length(); ++bit) {
+      const int b = net::address_bit(prefix.address(), bit) ? 1 : 0;
+      if (nodes_[node].child[b] < 0) {
+        nodes_[node].child[b] = static_cast<std::int32_t>(nodes_.size());
+        nodes_.emplace_back();
+      }
+      node = static_cast<std::size_t>(nodes_[node].child[b]);
+    }
+    if (nodes_[node].value < 0) {
+      nodes_[node].value = static_cast<std::int32_t>(values_.size());
+      values_.push_back(value);
+      ++prefix_count_;
+    } else {
+      values_[static_cast<std::size_t>(nodes_[node].value)] = value;
+    }
+  }
+
+  /// Longest-prefix match; nullopt when no covering prefix exists.
+  std::optional<Value> lookup(const Addr& addr) const {
+    std::optional<Value> best;
+    std::size_t node = 0;
+    for (int bit = 0; bit <= MaxBits; ++bit) {
+      if (nodes_[node].value >= 0) {
+        best = values_[static_cast<std::size_t>(nodes_[node].value)];
+      }
+      if (bit == MaxBits) break;
+      const int b = net::address_bit(addr, bit) ? 1 : 0;
+      if (nodes_[node].child[b] < 0) break;
+      node = static_cast<std::size_t>(nodes_[node].child[b]);
+    }
+    return best;
+  }
+
+  std::size_t size() const noexcept { return prefix_count_; }
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    std::int32_t value = -1;
+  };
+  std::vector<Node> nodes_;
+  std::vector<Value> values_;
+  std::size_t prefix_count_ = 0;
+};
+
+using Trie4 = PrefixTrie<net::Prefix4, net::IPv4Addr, std::uint32_t, 32>;
+using Trie6 = PrefixTrie<net::Prefix6, net::IPv6Addr, std::uint32_t, 128>;
+
+}  // namespace s2s::bgp

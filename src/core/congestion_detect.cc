@@ -1,0 +1,46 @@
+#include "core/congestion_detect.h"
+
+#include "stats/summary.h"
+
+namespace s2s::core {
+
+SeriesVerdict assess_series(std::span<const double> rtt_ms,
+                            double samples_per_day,
+                            const CongestionDetectConfig& config) {
+  SeriesVerdict verdict;
+  verdict.samples = rtt_ms.size();
+  if (rtt_ms.size() < 2) return verdict;
+  const auto sorted = stats::sorted(rtt_ms);
+  verdict.variation_ms = stats::quantile_sorted(sorted, 0.95) -
+                         stats::quantile_sorted(sorted, 0.05);
+  verdict.high_variation =
+      verdict.variation_ms > config.variation_threshold_ms;
+  verdict.diurnal_ratio =
+      stats::diurnal_power_ratio(rtt_ms, samples_per_day).ratio;
+  verdict.strong_diurnal =
+      verdict.diurnal_ratio >= config.diurnal_ratio_threshold;
+  return verdict;
+}
+
+CongestionSurvey survey_congestion(const PingSeriesStore& store,
+                                   const CongestionDetectConfig& config) {
+  CongestionSurvey survey;
+  store.for_each([&](topology::ServerId src, topology::ServerId dst,
+                     net::Family fam, const PingSeriesStore::Series& series) {
+    auto& agg = survey.of(fam);
+    ++agg.pairs_total;
+    if (series.valid < config.min_samples) return;
+    ++agg.pairs_assessed;
+    const auto rtts = PingSeriesStore::to_ms_interpolated(series);
+    const SeriesVerdict verdict =
+        assess_series(rtts, store.samples_per_day(), config);
+    if (verdict.high_variation) ++agg.high_variation;
+    if (verdict.consistent_congestion()) {
+      ++agg.consistent;
+      survey.flagged.push_back({src, dst, fam, verdict});
+    }
+  });
+  return survey;
+}
+
+}  // namespace s2s::core

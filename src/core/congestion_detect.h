@@ -1,0 +1,71 @@
+// Consistent-congestion detection (paper Section 5.1).
+//
+// A server pair is flagged when (a) its RTT variation (95th minus 5th
+// percentile) exceeds 10 ms and (b) the fraction of signal power at the
+// 1/day frequency is at least 0.3 (the paper's empirically chosen
+// threshold, footnote 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/ping_series.h"
+#include "stats/fft.h"
+
+namespace s2s::core {
+
+struct CongestionDetectConfig {
+  double variation_threshold_ms = 10.0;
+  double diurnal_ratio_threshold = stats::kDiurnalRatioThreshold;  // 0.3
+  /// Minimum valid samples per series (paper: >= 600 of 672).
+  std::size_t min_samples = 600;
+};
+
+struct SeriesVerdict {
+  std::size_t samples = 0;
+  double variation_ms = 0.0;   ///< p95 - p5
+  double diurnal_ratio = 0.0;  ///< PSD fraction at 1/day
+  bool high_variation = false;
+  bool strong_diurnal = false;
+
+  bool consistent_congestion() const {
+    return high_variation && strong_diurnal;
+  }
+};
+
+/// Assesses one (gap-free) RTT series in ms.
+SeriesVerdict assess_series(std::span<const double> rtt_ms,
+                            double samples_per_day,
+                            const CongestionDetectConfig& config = {});
+
+/// A flagged pair from the survey.
+struct FlaggedPair {
+  topology::ServerId src;
+  topology::ServerId dst;
+  net::Family family;
+  SeriesVerdict verdict;
+};
+
+/// Section 5.1 aggregates over a full ping campaign.
+struct CongestionSurvey {
+  struct PerFamily {
+    std::size_t pairs_total = 0;       ///< series in the store
+    std::size_t pairs_assessed = 0;    ///< enough samples
+    std::size_t high_variation = 0;    ///< variation > 10 ms
+    std::size_t consistent = 0;        ///< variation + strong diurnal
+  };
+  PerFamily v4, v6;
+  std::vector<FlaggedPair> flagged;  ///< the pairs with consistent congestion
+
+  PerFamily& of(net::Family f) {
+    return f == net::Family::kIPv4 ? v4 : v6;
+  }
+  const PerFamily& of(net::Family f) const {
+    return f == net::Family::kIPv4 ? v4 : v6;
+  }
+};
+
+CongestionSurvey survey_congestion(const PingSeriesStore& store,
+                                   const CongestionDetectConfig& config = {});
+
+}  // namespace s2s::core

@@ -1,0 +1,60 @@
+#include "core/dualstack.h"
+
+#include <map>
+#include <tuple>
+
+#include "stats/summary.h"
+
+namespace s2s::core {
+
+DualStackStudy run_dualstack_study(const TimelineStore& store) {
+  DualStackStudy study;
+
+  // Index v4 timelines, then match v6 ones pairwise.
+  std::map<std::pair<topology::ServerId, topology::ServerId>,
+           const TraceTimeline*>
+      v4_index;
+  store.for_each([&](topology::ServerId s, topology::ServerId d,
+                     net::Family fam, const TraceTimeline& timeline) {
+    if (fam == net::Family::kIPv4) v4_index[{s, d}] = &timeline;
+  });
+
+  store.for_each([&](topology::ServerId s, topology::ServerId d,
+                     net::Family fam, const TraceTimeline& v6) {
+    if (fam != net::Family::kIPv6) return;
+    const auto it = v4_index.find({s, d});
+    if (it == v4_index.end()) return;
+    const TraceTimeline& v4 = *it->second;
+
+    std::vector<double> diffs;
+    std::size_t i = 0, j = 0;
+    while (i < v4.obs.size() && j < v6.obs.size()) {
+      if (v4.obs[i].epoch < v6.obs[j].epoch) {
+        ++i;
+      } else if (v4.obs[i].epoch > v6.obs[j].epoch) {
+        ++j;
+      } else {
+        const double diff = v4.obs[i].rtt_ms() - v6.obs[j].rtt_ms();
+        diffs.push_back(diff);
+        study.diff_all.add(diff);
+        ++study.samples_matched;
+        const auto& path4 = store.interner().path(v4.global_path(v4.obs[i]));
+        const auto& path6 = store.interner().path(v6.global_path(v6.obs[j]));
+        if (path4 == path6) {
+          study.diff_same_path.add(diff);
+          ++study.samples_same_path;
+        }
+        ++i;
+        ++j;
+      }
+    }
+    if (!diffs.empty()) {
+      ++study.pairs_matched;
+      study.pair_median_diff.push_back(stats::median(diffs));
+    }
+  });
+
+  return study;
+}
+
+}  // namespace s2s::core

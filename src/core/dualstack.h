@@ -1,0 +1,30 @@
+// IPv4 vs IPv6 comparison (paper Section 6, Figure 10a).
+//
+// For every (src, dst) pair and every epoch measured over both protocols
+// at the same time, we take RTTv4 - RTTv6; the "Same AS-paths" variant
+// keeps only samples whose inferred AS path is identical (at AS level)
+// over both protocols. Dual-stack opportunity statistics (how often
+// switching protocol saves >= 10/50 ms) come from the same pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/timeline.h"
+#include "stats/binned_ecdf.h"
+
+namespace s2s::core {
+
+struct DualStackStudy {
+  stats::BinnedEcdf diff_all{-300.0, 300.0, 6000};        ///< per sample
+  stats::BinnedEcdf diff_same_path{-300.0, 300.0, 6000};  ///< per sample
+  std::size_t pairs_matched = 0;     ///< pairs with >= 1 matched sample
+  std::uint64_t samples_matched = 0;
+  std::uint64_t samples_same_path = 0;
+  /// Per-pair median of RTTv4 - RTTv6 (for per-pair opportunity stats).
+  std::vector<double> pair_median_diff;
+};
+
+DualStackStudy run_dualstack_study(const TimelineStore& store);
+
+}  // namespace s2s::core

@@ -1,0 +1,58 @@
+#include "core/inflation.h"
+
+#include <algorithm>
+#include <string>
+
+#include "net/geo.h"
+#include "stats/summary.h"
+
+namespace s2s::core {
+
+namespace {
+
+bool is_transcontinental(const std::string& a, const std::string& b) {
+  // The paper's list: US<->{Germany, Australia, India, Japan}.
+  static const char* kFar[] = {"DE", "AU", "IN", "JP"};
+  const auto matches = [&](const std::string& us, const std::string& far) {
+    if (us != "US") return false;
+    for (const char* code : kFar) {
+      if (far == code) return true;
+    }
+    return false;
+  };
+  return matches(a, b) || matches(b, a);
+}
+
+}  // namespace
+
+InflationStudy run_inflation_study(const TimelineStore& store,
+                                   const topology::Topology& topo,
+                                   const InflationConfig& config) {
+  InflationStudy study;
+  store.for_each([&](topology::ServerId s, topology::ServerId d,
+                     net::Family fam, const TraceTimeline& timeline) {
+    if (timeline.obs.size() < config.min_observations) return;
+    const auto& src_city = topo.cities[topo.servers[s].city];
+    const auto& dst_city = topo.cities[topo.servers[d].city];
+    const double crtt = net::c_rtt_ms(src_city.location, dst_city.location);
+    if (crtt < config.min_crtt_ms) {
+      ++study.skipped_short;
+      return;
+    }
+    std::vector<double> rtts;
+    rtts.reserve(timeline.obs.size());
+    for (const auto& o : timeline.obs) rtts.push_back(o.rtt_ms());
+    const double inflation = stats::median(rtts) / crtt;
+
+    study.all.of(fam).push_back(inflation);
+    if (src_city.country == "US" && dst_city.country == "US") {
+      study.us_us.of(fam).push_back(inflation);
+    }
+    if (is_transcontinental(src_city.country, dst_city.country)) {
+      study.transcontinental.of(fam).push_back(inflation);
+    }
+  });
+  return study;
+}
+
+}  // namespace s2s::core

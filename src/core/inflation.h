@@ -1,0 +1,43 @@
+// RTT inflation over the speed-of-light bound (paper Section 6,
+// Figure 10b).
+//
+// inflation = median observed RTT / cRTT, where cRTT is the round-trip
+// time of light in free space over the great-circle distance between the
+// (ground-truth) server locations. Reported for all pairs, US-US pairs,
+// and pairs on the paper's transcontinental country list (US<->DE, AU,
+// IN, JP).
+#pragma once
+
+#include <vector>
+
+#include "core/timeline.h"
+#include "topology/topology.h"
+
+namespace s2s::core {
+
+struct InflationStudy {
+  struct Group {
+    std::vector<double> v4;  ///< per pair
+    std::vector<double> v6;
+    std::vector<double>& of(net::Family f) {
+      return f == net::Family::kIPv4 ? v4 : v6;
+    }
+  };
+  Group all;
+  Group us_us;
+  Group transcontinental;
+  std::size_t skipped_short = 0;  ///< pairs closer than the cRTT floor
+};
+
+struct InflationConfig {
+  /// Pairs with cRTT below this are skipped (same-metro pairs divide by
+  /// almost zero).
+  double min_crtt_ms = 2.0;
+  std::size_t min_observations = 50;
+};
+
+InflationStudy run_inflation_study(const TimelineStore& store,
+                                   const topology::Topology& topo,
+                                   const InflationConfig& config = {});
+
+}  // namespace s2s::core

@@ -1,0 +1,56 @@
+#include "core/link_classify.h"
+
+namespace s2s::core {
+
+IxpDirectory IxpDirectory::from_topology(const topology::Topology& topo,
+                                         std::uint32_t min_ixp_asn) {
+  IxpDirectory dir;
+  for (const auto& entry : topo.prefixes4) {
+    if (entry.origin.value() >= min_ixp_asn) dir.add(entry.prefix);
+  }
+  for (const auto& entry : topo.prefixes6) {
+    if (entry.origin.value() >= min_ixp_asn) dir.add(entry.prefix);
+  }
+  return dir;
+}
+
+bool IxpDirectory::contains(const net::IPAddr& addr) const {
+  if (addr.is_v4()) {
+    for (const auto& p : prefixes4_) {
+      if (p.contains(addr.v4())) return true;
+    }
+    return false;
+  }
+  for (const auto& p : prefixes6_) {
+    if (p.contains(addr.v6())) return true;
+  }
+  return false;
+}
+
+LinkClassification LinkClassifier::classify(
+    const std::optional<net::IPAddr>& near,
+    const std::optional<net::IPAddr>& far) const {
+  LinkClassification out;
+  if (!near || !far) return out;  // cannot resolve the link endpoints
+  out.owner_near = ownership_.owner(*near);
+  out.owner_far = ownership_.owner(*far);
+  out.public_ixp = ixps_.contains(*near) || ixps_.contains(*far);
+  if (!out.owner_near || !out.owner_far) return out;
+
+  if (*out.owner_near == *out.owner_far) {
+    out.kind = LinkKind::kInternal;
+    return out;
+  }
+  out.kind = LinkKind::kInterconnection;
+  const auto rel = relationships_.rel(*out.owner_near, *out.owner_far);
+  if (!rel) {
+    out.rel = InterconnRel::kUnknown;
+  } else if (*rel == bgp::Rel::kPeer) {
+    out.rel = InterconnRel::kP2P;
+  } else {
+    out.rel = InterconnRel::kC2P;
+  }
+  return out;
+}
+
+}  // namespace s2s::core

@@ -1,0 +1,72 @@
+// Congested-link classification (paper Section 5.3).
+//
+// With router owners inferred, an IP-IP link is internal when both ends
+// belong to the same AS, and an interconnection otherwise; interconnection
+// links are further split into p2p / c2p by the AS-relationship table, and
+// into public-IXP / private by whether an address sits in a known IXP
+// peering-LAN prefix (IXP LANs are public knowledge, e.g. PeeringDB).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/relationships.h"
+#include "bgp/rib.h"
+#include "core/localize.h"
+#include "core/ownership.h"
+#include "net/prefix.h"
+#include "topology/topology.h"
+
+namespace s2s::core {
+
+/// Known IXP peering-LAN prefixes (the analysis-side directory).
+class IxpDirectory {
+ public:
+  /// All IXP LAN prefixes from the topology's address plan (announced or
+  /// not — operators publish their LANs regardless).
+  static IxpDirectory from_topology(const topology::Topology& topo,
+                                    std::uint32_t min_ixp_asn = 64500);
+
+  void add(const net::Prefix4& prefix) { prefixes4_.push_back(prefix); }
+  void add(const net::Prefix6& prefix) { prefixes6_.push_back(prefix); }
+
+  bool contains(const net::IPAddr& addr) const;
+  std::size_t size() const {
+    return prefixes4_.size() + prefixes6_.size();
+  }
+
+ private:
+  std::vector<net::Prefix4> prefixes4_;
+  std::vector<net::Prefix6> prefixes6_;
+};
+
+enum class LinkKind : std::uint8_t { kInternal, kInterconnection, kUnknown };
+enum class InterconnRel : std::uint8_t { kP2P, kC2P, kUnknown };
+
+struct LinkClassification {
+  LinkKind kind = LinkKind::kUnknown;
+  InterconnRel rel = InterconnRel::kUnknown;
+  bool public_ixp = false;
+  std::optional<net::Asn> owner_near;
+  std::optional<net::Asn> owner_far;
+};
+
+class LinkClassifier {
+ public:
+  LinkClassifier(const OwnershipInference& ownership,
+                 const bgp::RelationshipTable& relationships,
+                 const IxpDirectory& ixps)
+      : ownership_(ownership), relationships_(relationships), ixps_(ixps) {}
+
+  /// Classifies the link between two hop addresses. `near` may be empty
+  /// (congestion at the first segment) -> kUnknown.
+  LinkClassification classify(const std::optional<net::IPAddr>& near,
+                              const std::optional<net::IPAddr>& far) const;
+
+ private:
+  const OwnershipInference& ownership_;
+  const bgp::RelationshipTable& relationships_;
+  const IxpDirectory& ixps_;
+};
+
+}  // namespace s2s::core

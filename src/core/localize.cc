@@ -1,0 +1,122 @@
+#include "core/localize.h"
+
+#include <algorithm>
+
+#include "stats/fft.h"
+#include "stats/summary.h"
+
+namespace s2s::core {
+
+net::AsPath as_sequence_of_hops(
+    const std::vector<std::optional<net::IPAddr>>& hops,
+    const bgp::Rib& rib) {
+  // Map, impute gaps flanked by the same AS, then drop residual unknown
+  // tokens: unresponsive routers sit at different positions in the two
+  // directions, and keeping them would fail the symmetry check for paths
+  // that are symmetric at AS level.
+  std::vector<net::Asn> tokens;
+  tokens.reserve(hops.size());
+  for (const auto& addr : hops) {
+    net::Asn asn = net::kUnknownAsn;
+    if (addr) {
+      if (const auto mapped = rib.origin(*addr)) asn = *mapped;
+    }
+    tokens.push_back(asn);
+  }
+  for (std::size_t i = 0; i < tokens.size();) {
+    if (tokens[i].known()) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < tokens.size() && !tokens[j].known()) ++j;
+    if (i > 0 && j < tokens.size() && tokens[i - 1] == tokens[j]) {
+      for (std::size_t k = i; k < j; ++k) tokens[k] = tokens[j];
+    }
+    i = j;
+  }
+  net::AsPath path;
+  for (const net::Asn& asn : tokens) {
+    if (!asn.known()) continue;
+    if (path.empty() || path.back() != asn) path.push_back(asn);
+  }
+  return path;
+}
+
+LocalizeResult localize_congestion(const SegmentSeriesStore& store,
+                                   const bgp::Rib& rib,
+                                   const LocalizeConfig& config) {
+  LocalizeResult result;
+  store.for_each([&](topology::ServerId src, topology::ServerId dst,
+                     net::Family fam,
+                     const SegmentSeriesStore::PairSeries& series) {
+    ++result.pairs_considered;
+    if (!series.ip_static || series.traces < config.min_traces) return;
+    ++result.pairs_static;
+
+    if (config.require_symmetric_as_paths) {
+      const auto* rev = store.find(dst, src, fam);
+      if (rev == nullptr || !rev->ip_static) return;
+      // Anchor both sequences with the endpoint host addresses: the last
+      // router before the destination frequently answers from neighbor-
+      // assigned space, hiding the terminal AS at hop level.
+      auto with_endpoints = [&](const SegmentSeriesStore::PairSeries& ps) {
+        std::vector<std::optional<net::IPAddr>> hops;
+        hops.reserve(ps.hop_addrs.size() + 2);
+        hops.emplace_back(ps.src_addr);
+        hops.insert(hops.end(), ps.hop_addrs.begin(), ps.hop_addrs.end());
+        hops.emplace_back(ps.dst_addr);
+        return as_sequence_of_hops(hops, rib);
+      };
+      auto fwd_as = with_endpoints(series);
+      auto rev_as = with_endpoints(*rev);
+      std::reverse(rev_as.begin(), rev_as.end());
+      if (fwd_as != rev_as) return;
+    }
+    ++result.pairs_symmetric;
+
+    const auto end_series =
+        SegmentSeriesStore::row_ms_interpolated(series.end_rtt);
+    if (end_series.empty()) return;
+    const auto power =
+        stats::diurnal_power_ratio(end_series, store.samples_per_day());
+    if (power.ratio < config.diurnal_ratio_threshold) return;
+    ++result.pairs_persistent;
+
+    const auto end_sorted = stats::sorted(end_series);
+    const double overhead = stats::quantile_sorted(end_sorted, 0.90) -
+                            stats::quantile_sorted(end_sorted, 0.10);
+
+    for (std::size_t k = 0; k < series.hop_rtt.size(); ++k) {
+      std::size_t valid = 0;
+      for (auto v : series.hop_rtt[k]) {
+        valid += v != SegmentSeriesStore::kMissing;
+      }
+      if (static_cast<double>(valid) <
+          config.min_row_coverage * static_cast<double>(store.epochs())) {
+        continue;
+      }
+      const auto row =
+          SegmentSeriesStore::row_ms_interpolated(series.hop_rtt[k]);
+      const double rho = stats::pearson(row, end_series);
+      if (rho < config.rho_threshold) continue;
+
+      CongestedSegmentObs obs;
+      obs.src = src;
+      obs.dst = dst;
+      obs.family = fam;
+      obs.segment_index = k;
+      obs.far_addr = series.hop_addrs[k];
+      if (k > 0) obs.near_addr = series.hop_addrs[k - 1];
+      obs.rho = rho;
+      obs.diurnal_ratio = power.ratio;
+      obs.overhead_ms = overhead;
+      result.segments.push_back(std::move(obs));
+      ++result.pairs_localized;
+      break;  // first matching segment marks the congested link
+    }
+  });
+  return result;
+}
+
+}  // namespace s2s::core

@@ -1,0 +1,107 @@
+// Router-ownership inference (paper Section 5.3, Figure 8).
+//
+// Traceroute hop addresses are labeled with *possible* owner ASes using
+// six heuristics, then one owner per address is elected:
+//   first:    IPx -> IPy, both announced by ASi       => IPx possibly ASi
+//   noip2as:  IPx -> IPy -> IPz, x,z in ASi, y unmapped => IPy possibly ASi
+//   customer: IPx,IPy in ASi, IPz in ASj, ASj customer of ASi
+//                                                     => IPy possibly ASj
+//             (a customer interconnects using provider-assigned space)
+//   provider: IPx in ASi, IPy in ASj, ASj provider of ASi
+//                                                     => IPy possibly ASj
+//             (the provider's router interface facing its customer)
+//   back:     IPx1-IPy, IPx2-IPy labeled ASi; a third IPx3-IPy whose
+//             address ASi announces                    => IPx3 possibly ASi
+//   forward:  all links from IPx go to IPy1..IPyk, every IPy* mapped to
+//             ASj and owner-labeled                    => IPx possibly ASj
+//
+// Election: a single candidate wins outright; with multiple candidates,
+// the owner is taken from the most frequent label if that label came from
+// the `first` heuristic, otherwise the address stays unresolved.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/relationships.h"
+#include "bgp/rib.h"
+#include "net/ip.h"
+
+namespace s2s::core {
+
+enum class OwnershipHeuristic : std::uint8_t {
+  kFirst,
+  kNoIp2As,
+  kCustomer,
+  kProvider,
+  kBack,
+  kForward,
+};
+
+class OwnershipInference {
+ public:
+  OwnershipInference(const bgp::Rib& rib,
+                     const bgp::RelationshipTable& relationships)
+      : rib_(rib), relationships_(relationships) {}
+
+  /// Feeds one traceroute's hop addresses, in order. Unresponsive hops
+  /// must be skipped by the caller *within contiguous runs only*: pass the
+  /// address list with gaps removed but adjacency preserved only across
+  /// single responsive runs (use observe_path per gap-free run).
+  void observe_path(std::span<const net::IPAddr> hops);
+
+  /// Runs the triple heuristics, the back/forward propagation, and the
+  /// election. Call once after all paths are observed.
+  void finalize();
+
+  /// Elected owner of an address; nullopt when unresolved.
+  std::optional<net::Asn> owner(const net::IPAddr& addr) const;
+
+  struct Stats {
+    std::size_t addresses = 0;
+    std::size_t labels_first = 0;
+    std::size_t labels_noip2as = 0;
+    std::size_t labels_customer = 0;
+    std::size_t labels_provider = 0;
+    std::size_t labels_back = 0;
+    std::size_t labels_forward = 0;
+    std::size_t resolved_single = 0;   ///< one candidate
+    std::size_t resolved_first = 0;    ///< plurality via `first`
+    std::size_t unresolved = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct LabelSet {
+    /// candidate owner -> (count, per-heuristic counts)
+    std::map<std::uint32_t, std::array<std::uint32_t, 6>> votes;
+  };
+
+  void label(const net::IPAddr& addr, net::Asn owner,
+             OwnershipHeuristic heuristic);
+  std::optional<net::Asn> map(const net::IPAddr& addr) const {
+    return rib_.origin(addr);
+  }
+
+  const bgp::Rib& rib_;
+  const bgp::RelationshipTable& relationships_;
+
+  /// Unique directed links observed (x -> y).
+  std::vector<std::pair<net::IPAddr, net::IPAddr>> links_;
+  std::unordered_map<net::IPAddr, LabelSet> labels_;
+  std::unordered_map<net::IPAddr, net::Asn> owners_;
+  /// Dedup of observed triple windows to avoid frequency bias.
+  std::unordered_map<net::IPAddr, std::vector<net::IPAddr>> out_links_;
+  std::unordered_map<net::IPAddr, std::vector<net::IPAddr>> in_links_;
+  std::unordered_set<std::uint64_t> seen_triples_;
+  Stats stats_;
+  bool finalized_ = false;
+};
+
+}  // namespace s2s::core

@@ -1,0 +1,67 @@
+#include "core/path_stats.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/summary.h"
+
+namespace s2s::core {
+
+std::size_t TimelineAnalysis::best(BestPathCriterion criterion) const {
+  std::size_t best_idx = 0;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double v = criterion == BestPathCriterion::kP10    ? buckets[i].p10
+                     : criterion == BestPathCriterion::kP90 ? buckets[i].p90
+                                                            : buckets[i].stddev;
+    if (v < best_value) {
+      best_value = v;
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+std::size_t TimelineAnalysis::most_prevalent() const {
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    if (buckets[i].count > buckets[best_idx].count) best_idx = i;
+  }
+  return best_idx;
+}
+
+TimelineAnalysis analyze_timeline(const TraceTimeline& timeline,
+                                  double interval_hours) {
+  TimelineAnalysis out;
+  out.observations = timeline.obs.size();
+  if (timeline.obs.empty()) return out;
+
+  // Gather RTTs per local path index.
+  std::vector<std::vector<double>> rtts(timeline.local_paths.size());
+  std::uint32_t prev_path = timeline.global_path(timeline.obs.front());
+  for (std::size_t i = 0; i < timeline.obs.size(); ++i) {
+    const Observation& o = timeline.obs[i];
+    rtts[o.path].push_back(o.rtt_ms());
+    const std::uint32_t cur = timeline.global_path(o);
+    if (i > 0 && cur != prev_path) ++out.changes;
+    prev_path = cur;
+  }
+
+  out.buckets.reserve(rtts.size());
+  for (std::size_t local = 0; local < rtts.size(); ++local) {
+    PathBucket bucket;
+    bucket.path_id = timeline.local_paths[local];
+    bucket.count = rtts[local].size();
+    bucket.lifetime_hours = static_cast<double>(bucket.count) * interval_hours;
+    bucket.prevalence = static_cast<double>(bucket.count) /
+                        static_cast<double>(out.observations);
+    const auto sorted = stats::sorted(rtts[local]);
+    bucket.p10 = stats::quantile_sorted(sorted, 0.10);
+    bucket.p90 = stats::quantile_sorted(sorted, 0.90);
+    bucket.stddev = stats::stddev(rtts[local]);
+    out.buckets.push_back(bucket);
+  }
+  return out;
+}
+
+}  // namespace s2s::core

@@ -1,0 +1,47 @@
+// Per-timeline AS-path bucket statistics (paper Section 4.2).
+//
+// Every timeline's RTT samples are grouped by the AS path that produced
+// them; each bucket gets a lifetime (observation count x sampling
+// interval), a prevalence (fraction of observations), and RTT percentiles.
+// The "best" path of a timeline is the bucket minimizing the chosen
+// criterion (10th percentile baseline, 90th percentile, or standard
+// deviation — the paper's main text uses the first two and mentions the
+// third as a robustness check).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/timeline.h"
+
+namespace s2s::core {
+
+enum class BestPathCriterion : std::uint8_t { kP10, kP90, kStddev };
+
+struct PathBucket {
+  std::uint32_t path_id = 0;     ///< global (interner) id
+  std::size_t count = 0;         ///< observations on this path
+  double lifetime_hours = 0.0;   ///< count x sampling interval
+  double prevalence = 0.0;       ///< count / timeline observations
+  double p10 = 0.0;              ///< baseline RTT (ms)
+  double p90 = 0.0;              ///< spike-inclusive RTT (ms)
+  double stddev = 0.0;
+};
+
+struct TimelineAnalysis {
+  std::vector<PathBucket> buckets;   ///< one per unique AS path
+  std::size_t observations = 0;
+  std::size_t changes = 0;           ///< time-consecutive path switches
+
+  /// Index of the best bucket under the criterion (0 if empty).
+  std::size_t best(BestPathCriterion criterion) const;
+  /// Bucket with the longest lifetime (the paper's "popular" path).
+  std::size_t most_prevalent() const;
+};
+
+/// Computes the buckets of one timeline. `interval_hours` is the campaign
+/// sampling interval (3 h long-term, 0.5 h short-term).
+TimelineAnalysis analyze_timeline(const TraceTimeline& timeline,
+                                  double interval_hours);
+
+}  // namespace s2s::core

@@ -1,0 +1,73 @@
+#include "core/ping_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace s2s::core {
+
+void PingSeriesStore::add(const probe::PingRecord& record) {
+  if (!record.success) return;
+  const double rel_s = static_cast<double>(record.time.seconds()) -
+                       start_day_ * 86400.0;
+  const auto epoch = static_cast<std::int64_t>(
+      std::llround(rel_s / static_cast<double>(interval_s_)));
+  if (epoch < 0 || static_cast<std::size_t>(epoch) >= epochs_) return;
+
+  Series& series = series_[key(record.src, record.dst, record.family)];
+  if (series.rtt_tenths.empty()) series.rtt_tenths.assign(epochs_, kMissing);
+  auto& slot = series.rtt_tenths[static_cast<std::size_t>(epoch)];
+  if (slot == kMissing) ++series.valid;
+  slot = static_cast<std::uint16_t>(
+      std::min(6553.0, std::max(0.0, record.rtt_ms)) * 10.0);
+}
+
+const PingSeriesStore::Series* PingSeriesStore::find(
+    topology::ServerId src, topology::ServerId dst, net::Family family) const {
+  const auto it = series_.find(key(src, dst, family));
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void PingSeriesStore::for_each(
+    const std::function<void(topology::ServerId, topology::ServerId,
+                             net::Family, const Series&)>& fn) const {
+  for (const auto& [k, series] : series_) {
+    fn(static_cast<topology::ServerId>(k >> 24),
+       static_cast<topology::ServerId>((k >> 4) & 0xFFFFFu),
+       (k & 1u) ? net::Family::kIPv6 : net::Family::kIPv4, series);
+  }
+}
+
+std::vector<double> PingSeriesStore::to_ms_interpolated(const Series& series) {
+  std::vector<double> out;
+  if (series.valid == 0) return out;
+  const auto& raw = series.rtt_tenths;
+  out.resize(raw.size());
+  // Forward fill indexes of previous/next valid samples, then interpolate.
+  std::ptrdiff_t prev = -1;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != kMissing) {
+      out[i] = raw[i] / 10.0;
+      // Fill the gap (prev, i).
+      const double left =
+          prev >= 0 ? out[static_cast<std::size_t>(prev)] : out[i];
+      for (std::ptrdiff_t j = prev + 1; j < static_cast<std::ptrdiff_t>(i);
+           ++j) {
+        const double frac =
+            prev < 0 ? 1.0
+                     : static_cast<double>(j - prev) /
+                           static_cast<double>(static_cast<std::ptrdiff_t>(i) -
+                                               prev);
+        out[static_cast<std::size_t>(j)] = left + frac * (out[i] - left);
+      }
+      prev = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  // Trailing gap: copy the last valid sample.
+  for (std::size_t i = static_cast<std::size_t>(prev) + 1; i < raw.size();
+       ++i) {
+    out[i] = out[static_cast<std::size_t>(prev)];
+  }
+  return out;
+}
+
+}  // namespace s2s::core

@@ -1,0 +1,63 @@
+// Fixed-grid RTT series from ping campaigns (paper Section 5.1).
+//
+// One uint16 slot per epoch per (src, dst, family); missing samples are
+// kMissing and can be interpolated before spectral analysis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/timebase.h"
+#include "probe/records.h"
+
+namespace s2s::core {
+
+class PingSeriesStore {
+ public:
+  static constexpr std::uint16_t kMissing = 0xFFFF;
+
+  PingSeriesStore(double start_day, std::int64_t interval_s,
+                  std::size_t epochs)
+      : start_day_(start_day), interval_s_(interval_s), epochs_(epochs) {}
+
+  /// Streaming sink for PingCampaign.
+  void add(const probe::PingRecord& record);
+
+  struct Series {
+    std::vector<std::uint16_t> rtt_tenths;  ///< size = epochs; kMissing gaps
+    std::size_t valid = 0;                  ///< populated slots
+  };
+
+  const Series* find(topology::ServerId src, topology::ServerId dst,
+                     net::Family family) const;
+
+  void for_each(const std::function<void(topology::ServerId,
+                                         topology::ServerId, net::Family,
+                                         const Series&)>& fn) const;
+
+  std::size_t pair_count() const noexcept { return series_.size(); }
+  std::size_t epochs() const noexcept { return epochs_; }
+  double samples_per_day() const {
+    return 86400.0 / static_cast<double>(interval_s_);
+  }
+
+  /// Gap-filled copy in ms (linear interpolation; edge gaps copy the
+  /// nearest valid sample). Empty when the series has no valid samples.
+  static std::vector<double> to_ms_interpolated(const Series& series);
+
+ private:
+  static std::uint64_t key(topology::ServerId src, topology::ServerId dst,
+                           net::Family family) {
+    return (std::uint64_t{src} << 24) | (std::uint64_t{dst} << 4) |
+           (family == net::Family::kIPv6 ? 1u : 0u);
+  }
+
+  double start_day_;
+  std::int64_t interval_s_;
+  std::size_t epochs_;
+  std::unordered_map<std::uint64_t, Series> series_;
+};
+
+}  // namespace s2s::core

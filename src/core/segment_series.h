@@ -1,0 +1,80 @@
+// Per-segment RTT time series from follow-up traceroute campaigns
+// (paper Section 5.2).
+//
+// "We define the path from the vantage point of a traceroute to a given
+// hop as a segment" — for every (src, dst, family) we track the hop-IP
+// path seen in complete traceroutes and a fixed-grid RTT series per
+// segment. Pairs whose IP-level path changes are marked non-static and
+// excluded from localization, exactly as the paper requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/timebase.h"
+#include "probe/records.h"
+
+namespace s2s::core {
+
+class SegmentSeriesStore {
+ public:
+  static constexpr std::uint16_t kMissing = 0xFFFF;
+
+  SegmentSeriesStore(double start_day, std::int64_t interval_s,
+                     std::size_t epochs)
+      : start_day_(start_day), interval_s_(interval_s), epochs_(epochs) {}
+
+  /// Streaming sink; only complete traceroutes contribute.
+  void add(const probe::TracerouteRecord& record);
+
+  struct PairSeries {
+    /// Endpoint host addresses (known from the first complete traceroute);
+    /// they anchor the AS-level symmetry check, since border-router
+    /// ingress interfaces often carry the neighbor AS's address space.
+    net::IPAddr src_addr;
+    net::IPAddr dst_addr;
+    /// Canonical hop addresses (unresponsive positions stay empty until a
+    /// later traceroute reveals them).
+    std::vector<std::optional<net::IPAddr>> hop_addrs;
+    bool ip_static = true;  ///< falsified on any hop-address disagreement
+    /// RTT series per hop segment [hop][epoch], tenths of ms.
+    std::vector<std::vector<std::uint16_t>> hop_rtt;
+    /// End-to-end series [epoch], tenths of ms.
+    std::vector<std::uint16_t> end_rtt;
+    std::size_t traces = 0;
+  };
+
+  const PairSeries* find(topology::ServerId src, topology::ServerId dst,
+                         net::Family family) const;
+  void for_each(const std::function<void(topology::ServerId,
+                                         topology::ServerId, net::Family,
+                                         const PairSeries&)>& fn) const;
+
+  std::size_t pair_count() const noexcept { return series_.size(); }
+  std::size_t epochs() const noexcept { return epochs_; }
+  double samples_per_day() const {
+    return 86400.0 / static_cast<double>(interval_s_);
+  }
+
+  /// Gap-filled ms copy of a row (same interpolation as ping series).
+  static std::vector<double> row_ms_interpolated(
+      const std::vector<std::uint16_t>& row);
+
+ private:
+  static std::uint64_t key(topology::ServerId src, topology::ServerId dst,
+                           net::Family family) {
+    return (std::uint64_t{src} << 24) | (std::uint64_t{dst} << 4) |
+           (family == net::Family::kIPv6 ? 1u : 0u);
+  }
+
+  double start_day_;
+  std::int64_t interval_s_;
+  std::size_t epochs_;
+  std::unordered_map<std::uint64_t, PairSeries> series_;
+};
+
+}  // namespace s2s::core

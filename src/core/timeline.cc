@@ -1,0 +1,79 @@
+#include "core/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace s2s::core {
+
+std::uint32_t PathInterner::intern(const net::AsPath& path) {
+  const auto it = index_.find(path);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(paths_.size());
+  paths_.push_back(path);
+  index_.emplace(paths_.back(), id);
+  return id;
+}
+
+void TimelineStore::add(const probe::TracerouteRecord& record) {
+  auto& counts = table1_.of(record.family);
+  ++counts.collected;
+  if (!record.complete) return;
+  ++counts.complete;
+
+  const net::Asn src_asn = topo_.ases[topo_.servers[record.src].as_id].asn;
+  const InferredPath inferred = inferrer_.infer(record, src_asn);
+  if (inferred.has_as_loop) {
+    ++counts.as_loops;  // excluded from the analyses, as in the paper
+    return;
+  }
+  switch (inferred.quality) {
+    case TraceQuality::kCompleteAsLevel: ++counts.complete_as; break;
+    case TraceQuality::kMissingAsLevel: ++counts.missing_as; break;
+    case TraceQuality::kMissingIpLevel: ++counts.missing_ip; break;
+  }
+
+  const double rel_s =
+      static_cast<double>(record.time.seconds()) - config_.start_day * 86400.0;
+  const auto epoch = static_cast<std::uint16_t>(std::max(
+      0.0, std::round(rel_s / static_cast<double>(config_.interval_s))));
+  max_epoch_ = std::max(max_epoch_, epoch);
+
+  const std::uint32_t global = interner_.intern(inferred.as_path);
+  TraceTimeline& timeline =
+      timelines_[key(record.src, record.dst, record.family)];
+  auto local_it = std::find(timeline.local_paths.begin(),
+                            timeline.local_paths.end(), global);
+  std::uint16_t local;
+  if (local_it == timeline.local_paths.end()) {
+    local = static_cast<std::uint16_t>(timeline.local_paths.size());
+    timeline.local_paths.push_back(global);
+  } else {
+    local = static_cast<std::uint16_t>(local_it - timeline.local_paths.begin());
+  }
+
+  Observation obs;
+  obs.epoch = epoch;
+  obs.rtt_tenths = static_cast<std::uint16_t>(
+      std::min(6553.0, std::max(0.0, record.end_to_end_rtt_ms())) * 10.0);
+  obs.path = local;
+  timeline.obs.push_back(obs);
+}
+
+const TraceTimeline* TimelineStore::find(topology::ServerId src,
+                                         topology::ServerId dst,
+                                         net::Family family) const {
+  const auto it = timelines_.find(key(src, dst, family));
+  return it == timelines_.end() ? nullptr : &it->second;
+}
+
+void TimelineStore::for_each(
+    const std::function<void(topology::ServerId, topology::ServerId,
+                             net::Family, const TraceTimeline&)>& fn) const {
+  for (const auto& [k, timeline] : timelines_) {
+    fn(static_cast<topology::ServerId>(k >> 24),
+       static_cast<topology::ServerId>((k >> 4) & 0xFFFFFu),
+       (k & 1u) ? net::Family::kIPv6 : net::Family::kIPv4, timeline);
+  }
+}
+
+}  // namespace s2s::core

@@ -1,0 +1,133 @@
+// Trace timelines: the compact per-(src, dst, family) time series every
+// routing analysis consumes (paper Section 4.1: "the set of all
+// traceroutes from one server to another ... a trace timeline").
+//
+// TimelineStore is a streaming sink for traceroute campaigns: each record
+// is AS-path-inferred on arrival and reduced to 6 bytes (epoch, RTT in
+// tenths of ms, local path index), so 16-month full-mesh campaigns fit in
+// memory. Table 1 accounting (completeness / data quality / AS loops)
+// happens in the same pass.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/as_path_infer.h"
+#include "net/timebase.h"
+#include "probe/records.h"
+#include "topology/topology.h"
+
+namespace s2s::core {
+
+/// Interns AS paths globally; ids are dense and stable.
+class PathInterner {
+ public:
+  std::uint32_t intern(const net::AsPath& path);
+  const net::AsPath& path(std::uint32_t id) const { return paths_.at(id); }
+  std::size_t size() const noexcept { return paths_.size(); }
+
+ private:
+  struct Hash {
+    std::size_t operator()(const net::AsPath& p) const {
+      std::size_t h = p.size();
+      for (const auto& asn : p) {
+        h ^= asn.value() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+  std::unordered_map<net::AsPath, std::uint32_t, Hash> index_;
+  std::vector<net::AsPath> paths_;
+};
+
+/// One completed traceroute, compacted.
+struct Observation {
+  std::uint16_t epoch = 0;       ///< index on the campaign's sampling grid
+  std::uint16_t rtt_tenths = 0;  ///< end-to-end RTT in 0.1 ms units
+  std::uint16_t path = 0;        ///< index into TraceTimeline::local_paths
+
+  double rtt_ms() const { return rtt_tenths / 10.0; }
+};
+
+struct TraceTimeline {
+  std::vector<Observation> obs;             ///< time-ordered
+  std::vector<std::uint32_t> local_paths;   ///< local index -> global path id
+
+  std::uint32_t global_path(const Observation& o) const {
+    return local_paths[o.path];
+  }
+  std::size_t unique_paths() const { return local_paths.size(); }
+};
+
+/// Paper Table 1 bookkeeping, per protocol.
+struct Table1Counts {
+  struct PerFamily {
+    std::size_t collected = 0;    ///< records delivered by the campaign
+    std::size_t complete = 0;     ///< destination reached
+    std::size_t as_loops = 0;     ///< complete but AS-loop artifact (excluded)
+    // Quality classes among complete, loop-free traceroutes:
+    std::size_t complete_as = 0;
+    std::size_t missing_as = 0;
+    std::size_t missing_ip = 0;
+  };
+  PerFamily v4, v6;
+
+  PerFamily& of(net::Family f) {
+    return f == net::Family::kIPv4 ? v4 : v6;
+  }
+  const PerFamily& of(net::Family f) const {
+    return f == net::Family::kIPv4 ? v4 : v6;
+  }
+};
+
+struct TimelineStoreConfig {
+  double start_day = 0.0;                      ///< campaign origin
+  std::int64_t interval_s = net::kThreeHours;  ///< sampling grid
+};
+
+class TimelineStore {
+ public:
+  TimelineStore(const topology::Topology& topo, const bgp::Rib& rib,
+                const TimelineStoreConfig& config)
+      : topo_(topo), inferrer_(rib), config_(config) {}
+
+  /// Streaming sink: infer, account, and (for complete, loop-free
+  /// traceroutes) append to the pair's timeline.
+  void add(const probe::TracerouteRecord& record);
+
+  const TraceTimeline* find(topology::ServerId src, topology::ServerId dst,
+                            net::Family family) const;
+
+  /// Iterates timelines as fn(src, dst, family, timeline).
+  void for_each(const std::function<void(topology::ServerId,
+                                         topology::ServerId, net::Family,
+                                         const TraceTimeline&)>& fn) const;
+
+  const PathInterner& interner() const noexcept { return interner_; }
+  const Table1Counts& table1() const noexcept { return table1_; }
+  std::size_t timeline_count() const noexcept { return timelines_.size(); }
+  std::uint16_t max_epoch() const noexcept { return max_epoch_; }
+  double interval_hours() const {
+    return static_cast<double>(config_.interval_s) / 3600.0;
+  }
+
+ private:
+  static std::uint64_t key(topology::ServerId src, topology::ServerId dst,
+                           net::Family family) {
+    return (std::uint64_t{src} << 24) | (std::uint64_t{dst} << 4) |
+           (family == net::Family::kIPv6 ? 1u : 0u);
+  }
+
+  const topology::Topology& topo_;
+  AsPathInferrer inferrer_;
+  TimelineStoreConfig config_;
+  PathInterner interner_;
+  Table1Counts table1_;
+  std::unordered_map<std::uint64_t, TraceTimeline> timelines_;
+  std::uint16_t max_epoch_ = 0;
+};
+
+}  // namespace s2s::core

@@ -1,0 +1,86 @@
+// Text serialization for measurement records.
+//
+// Campaigns at paper scale are produced faster than they can be analyzed
+// interactively; this module persists them as line-oriented TSV so that
+// analyses can be re-run without re-simulating (and so real traceroute /
+// ping data can be imported into the same pipeline).
+//
+// Formats (one record per line, '\t'-separated):
+//   traceroute:  T <src> <dst> <family> <time_s> <method> <complete>
+//                <src_addr> <dst_addr> <hop>[,<hop>...]
+//     where <hop> is "addr:rtt_ms" or "*" for an unresponsive hop.
+//   ping:        P <src> <dst> <family> <time_s> <success> <rtt_ms>
+//
+// Parsing is strict: a malformed line yields nullopt and the reader's
+// error counter increments, but iteration continues (long campaign files
+// survive a truncated tail).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "probe/records.h"
+
+namespace s2s::io {
+
+std::string to_line(const probe::TracerouteRecord& record);
+std::string to_line(const probe::PingRecord& record);
+
+std::optional<probe::TracerouteRecord> parse_traceroute(std::string_view line);
+std::optional<probe::PingRecord> parse_ping(std::string_view line);
+
+/// Streaming writer usable as a campaign sink.
+class RecordWriter {
+ public:
+  explicit RecordWriter(std::ostream& out) : out_(out) {}
+
+  void write(const probe::TracerouteRecord& record);
+  void write(const probe::PingRecord& record);
+  std::size_t written() const noexcept { return written_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t written_ = 0;
+};
+
+/// Streaming reader: dispatches each parsed record to the matching sink;
+/// malformed lines are counted, not fatal.
+class RecordReader {
+ public:
+  explicit RecordReader(std::istream& in) : in_(in) {}
+
+  template <typename TraceFn, typename PingFn>
+  void read_all(TraceFn&& on_trace, PingFn&& on_ping) {
+    std::string line;
+    while (next_line(line)) {
+      if (line.empty()) continue;
+      if (line.front() == 'T') {
+        if (auto rec = parse_traceroute(line)) {
+          on_trace(*rec);
+        } else {
+          ++errors_;
+        }
+      } else if (line.front() == 'P') {
+        if (auto rec = parse_ping(line)) {
+          on_ping(*rec);
+        } else {
+          ++errors_;
+        }
+      } else {
+        ++errors_;
+      }
+    }
+  }
+
+  std::size_t errors() const noexcept { return errors_; }
+
+ private:
+  bool next_line(std::string& line);
+
+  std::istream& in_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace s2s::io

@@ -1,0 +1,24 @@
+#include "net/asn.h"
+
+#include <ostream>
+
+namespace s2s::net {
+
+std::string Asn::to_string() const {
+  return known() ? "AS" + std::to_string(value_) : std::string("AS?");
+}
+
+std::string to_string(const AsPath& path) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += path[i].to_string();
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Asn asn) {
+  return os << asn.to_string();
+}
+
+}  // namespace s2s::net

@@ -1,0 +1,52 @@
+// Autonomous-system numbers and AS paths.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace s2s::net {
+
+/// A strongly-typed autonomous-system number. Value 0 means "unknown".
+class Asn {
+ public:
+  constexpr Asn() noexcept = default;
+  constexpr explicit Asn(std::uint32_t value) noexcept : value_(value) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr bool known() const noexcept { return value_ != 0; }
+
+  /// "AS64500" (or "AS?" when unknown).
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Asn, Asn) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Sentinel for hops whose origin AS could not be determined.
+inline constexpr Asn kUnknownAsn{};
+
+/// An AS-level path: consecutive duplicate ASNs are collapsed by the
+/// inference layer, so each element is a distinct AS-level hop.
+using AsPath = std::vector<Asn>;
+
+/// "AS1 AS2 AS3" rendering of a path.
+std::string to_string(const AsPath& path);
+
+std::ostream& operator<<(std::ostream& os, Asn asn);
+
+}  // namespace s2s::net
+
+namespace std {
+template <>
+struct hash<s2s::net::Asn> {
+  size_t operator()(s2s::net::Asn a) const noexcept {
+    return hash<uint32_t>{}(a.value());
+  }
+};
+}  // namespace std

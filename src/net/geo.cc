@@ -1,0 +1,32 @@
+#include "net/geo.h"
+
+#include <cmath>
+
+namespace s2s::net {
+
+namespace {
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double c_rtt_ms(const GeoPoint& a, const GeoPoint& b) noexcept {
+  return 2.0 * great_circle_km(a, b) / kSpeedOfLightKmPerMs;
+}
+
+double fiber_delay_ms(const GeoPoint& a, const GeoPoint& b,
+                      double path_stretch) noexcept {
+  return great_circle_km(a, b) * path_stretch / kFiberSpeedKmPerMs;
+}
+
+}  // namespace s2s::net

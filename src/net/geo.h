@@ -1,0 +1,56 @@
+// Geographic coordinates, great-circle distances, and speed-of-light bounds.
+//
+// The paper's Section 6 defines cRTT as "the time it takes for a packet
+// traveling at the speed of light in free space to traverse the round-trip
+// distance between the endpoint pair"; inflation = median RTT / cRTT.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace s2s::net {
+
+/// Speed of light in vacuum, km per millisecond.
+inline constexpr double kSpeedOfLightKmPerMs = 299.792458;
+
+/// Propagation speed in optical fiber (refractive index ~1.468), km/ms.
+inline constexpr double kFiberSpeedKmPerMs = kSpeedOfLightKmPerMs / 1.468;
+
+/// Mean Earth radius in km (IUGG).
+inline constexpr double kEarthRadiusKm = 6371.0088;
+
+/// A point on the Earth's surface (degrees).
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend constexpr auto operator<=>(const GeoPoint&,
+                                    const GeoPoint&) noexcept = default;
+};
+
+/// Great-circle (haversine) distance in km between two points.
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Speed-of-light-in-vacuum round-trip time in ms between two points
+/// (the paper's cRTT).
+double c_rtt_ms(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// One-way propagation delay in ms along a fiber of great-circle length
+/// between the points, with a path-stretch factor (cable routes are not
+/// geodesics; 1.0 means geodesic fiber).
+double fiber_delay_ms(const GeoPoint& a, const GeoPoint& b,
+                      double path_stretch = 1.0) noexcept;
+
+/// A city with a name, location, country and continent code; used for PoP
+/// placement and for the paper's per-region breakdowns (US–US,
+/// transcontinental, Asia, Europe).
+struct City {
+  std::string name;
+  std::string country;    // ISO-3166 alpha-2, e.g. "US", "JP"
+  std::string continent;  // "NA", "SA", "EU", "AS", "OC", "AF"
+  GeoPoint location;
+  /// UTC offset in hours, used to phase diurnal congestion by local time.
+  double utc_offset_hours = 0.0;
+};
+
+}  // namespace s2s::net

@@ -1,0 +1,177 @@
+#include "net/ip.h"
+
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+namespace s2s::net {
+
+std::string_view to_string(Family f) noexcept {
+  return f == Family::kIPv4 ? "IPv4" : "IPv6";
+}
+
+namespace {
+
+// Parse a decimal integer in [0, max]; advances `text` past the digits.
+std::optional<unsigned> parse_decimal(std::string_view& text, unsigned max) {
+  unsigned value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > max) return std::nullopt;
+  // Reject leading zeros like "01" (ambiguous octal in some tools).
+  if (ptr - begin > 1 && *begin == '0') return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+std::optional<unsigned> parse_hex16(std::string_view group) {
+  if (group.empty() || group.size() > 4) return std::nullopt;
+  unsigned value = 0;
+  auto [ptr, ec] =
+      std::from_chars(group.data(), group.data() + group.size(), value, 16);
+  if (ec != std::errc{} || ptr != group.data() + group.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<IPv4Addr> IPv4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto part = parse_decimal(text, 255);
+    if (!part) return std::nullopt;
+    value = (value << 8) | *part;
+  }
+  if (!text.empty()) return std::nullopt;
+  return IPv4Addr(value);
+}
+
+std::string IPv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<IPv6Addr> IPv6Addr::parse(std::string_view text) {
+  // Split on "::" if present.
+  std::vector<unsigned> head;
+  std::vector<unsigned> tail;
+  auto gap = text.find("::");
+  std::string_view head_text = text;
+  std::string_view tail_text;
+  bool has_gap = gap != std::string_view::npos;
+  if (has_gap) {
+    head_text = text.substr(0, gap);
+    tail_text = text.substr(gap + 2);
+    if (tail_text.find("::") != std::string_view::npos) return std::nullopt;
+  }
+
+  auto parse_groups = [](std::string_view part,
+                         std::vector<unsigned>& out) -> bool {
+    if (part.empty()) return true;
+    std::size_t pos = 0;
+    while (true) {
+      auto colon = part.find(':', pos);
+      std::string_view group = part.substr(
+          pos, colon == std::string_view::npos ? colon : colon - pos);
+      auto value = parse_hex16(group);
+      if (!value) return false;
+      out.push_back(*value);
+      if (colon == std::string_view::npos) return true;
+      pos = colon + 1;
+    }
+  };
+
+  if (!parse_groups(head_text, head) || !parse_groups(tail_text, tail)) {
+    return std::nullopt;
+  }
+  const std::size_t total = head.size() + tail.size();
+  if (has_gap ? total > 7 : total != 8) return std::nullopt;
+
+  Bytes bytes{};
+  std::size_t i = 0;
+  for (unsigned g : head) {
+    bytes[i++] = static_cast<std::uint8_t>(g >> 8);
+    bytes[i++] = static_cast<std::uint8_t>(g & 0xff);
+  }
+  i = 16 - 2 * tail.size();
+  for (unsigned g : tail) {
+    bytes[i++] = static_cast<std::uint8_t>(g >> 8);
+    bytes[i++] = static_cast<std::uint8_t>(g & 0xff);
+  }
+  return IPv6Addr(bytes);
+}
+
+std::string IPv6Addr::to_string() const {
+  unsigned groups[8];
+  for (int i = 0; i < 8; ++i) {
+    groups[i] = (unsigned{bytes_[static_cast<std::size_t>(2 * i)]} << 8) |
+                bytes_[static_cast<std::size_t>(2 * i + 1)];
+  }
+  // Find the longest run of zero groups (length >= 2) for "::" compression.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      if (i == 8) return out;
+      continue;
+    }
+    if (i > 0 && !(best_start >= 0 && i == best_start + best_len)) out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+std::optional<IPAddr> IPAddr::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    if (auto v6 = IPv6Addr::parse(text)) return IPAddr(*v6);
+    return std::nullopt;
+  }
+  if (auto v4 = IPv4Addr::parse(text)) return IPAddr(*v4);
+  return std::nullopt;
+}
+
+std::string IPAddr::to_string() const {
+  return is_v4() ? v4().to_string() : v6().to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, IPv4Addr a) {
+  return os << a.to_string();
+}
+std::ostream& operator<<(std::ostream& os, const IPv6Addr& a) {
+  return os << a.to_string();
+}
+std::ostream& operator<<(std::ostream& os, const IPAddr& a) {
+  return os << a.to_string();
+}
+
+}  // namespace s2s::net

@@ -1,0 +1,156 @@
+// IP address value types (IPv4 and IPv6) used throughout the s2s library.
+//
+// These are small, trivially-copyable value types with total ordering so they
+// can key associative containers, plus text parsing/formatting compatible
+// with the conventional dotted-quad and RFC 5952 notations.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace s2s::net {
+
+/// Which IP protocol family a measurement or address belongs to.
+enum class Family : std::uint8_t { kIPv4 = 4, kIPv6 = 6 };
+
+/// Human-readable name ("IPv4" / "IPv6").
+std::string_view to_string(Family f) noexcept;
+
+/// An IPv4 address stored in host byte order.
+class IPv4Addr {
+ public:
+  constexpr IPv4Addr() noexcept = default;
+  constexpr explicit IPv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr IPv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// The 32-bit value in host byte order.
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Parse dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<IPv4Addr> parse(std::string_view text);
+
+  /// Dotted-quad rendering, e.g. "192.0.2.17".
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(IPv4Addr, IPv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv6 address stored as 16 bytes in network order.
+class IPv6Addr {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr IPv6Addr() noexcept : bytes_{} {}
+  constexpr explicit IPv6Addr(const Bytes& bytes) noexcept : bytes_(bytes) {}
+
+  /// Build from the high and low 64-bit halves (host byte order halves).
+  static constexpr IPv6Addr from_halves(std::uint64_t hi,
+                                        std::uint64_t lo) noexcept {
+    Bytes b{};
+    for (int i = 0; i < 8; ++i) {
+      b[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+      b[static_cast<std::size_t>(8 + i)] =
+          static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+    }
+    return IPv6Addr(b);
+  }
+
+  constexpr const Bytes& bytes() const noexcept { return bytes_; }
+
+  /// High 64 bits (host order).
+  constexpr std::uint64_t hi() const noexcept { return half(0); }
+  /// Low 64 bits (host order).
+  constexpr std::uint64_t lo() const noexcept { return half(8); }
+
+  /// Parse RFC 4291 text (with "::" compression); nullopt on malformed input.
+  static std::optional<IPv6Addr> parse(std::string_view text);
+
+  /// RFC 5952 canonical text (lower case, longest zero run compressed).
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IPv6Addr&,
+                                    const IPv6Addr&) noexcept = default;
+
+ private:
+  constexpr std::uint64_t half(std::size_t offset) const noexcept {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | bytes_[offset + i];
+    return v;
+  }
+
+  Bytes bytes_;
+};
+
+/// A protocol-agnostic address: either IPv4 or IPv6.
+class IPAddr {
+ public:
+  constexpr IPAddr() noexcept : rep_(IPv4Addr{}) {}
+  constexpr IPAddr(IPv4Addr v4) noexcept : rep_(v4) {}  // NOLINT(google-explicit-constructor)
+  constexpr IPAddr(IPv6Addr v6) noexcept : rep_(v6) {}  // NOLINT(google-explicit-constructor)
+
+  constexpr Family family() const noexcept {
+    return std::holds_alternative<IPv4Addr>(rep_) ? Family::kIPv4
+                                                  : Family::kIPv6;
+  }
+  constexpr bool is_v4() const noexcept { return family() == Family::kIPv4; }
+  constexpr bool is_v6() const noexcept { return family() == Family::kIPv6; }
+
+  constexpr const IPv4Addr& v4() const { return std::get<IPv4Addr>(rep_); }
+  constexpr const IPv6Addr& v6() const { return std::get<IPv6Addr>(rep_); }
+
+  /// Parse either family; nullopt on malformed input.
+  static std::optional<IPAddr> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IPAddr&,
+                                    const IPAddr&) noexcept = default;
+
+ private:
+  std::variant<IPv4Addr, IPv6Addr> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, IPv4Addr a);
+std::ostream& operator<<(std::ostream& os, const IPv6Addr& a);
+std::ostream& operator<<(std::ostream& os, const IPAddr& a);
+
+}  // namespace s2s::net
+
+namespace std {
+template <>
+struct hash<s2s::net::IPv4Addr> {
+  size_t operator()(s2s::net::IPv4Addr a) const noexcept {
+    return hash<uint32_t>{}(a.value());
+  }
+};
+template <>
+struct hash<s2s::net::IPv6Addr> {
+  size_t operator()(const s2s::net::IPv6Addr& a) const noexcept {
+    // Mix the halves; constants from boost::hash_combine.
+    size_t h = hash<uint64_t>{}(a.hi());
+    h ^= hash<uint64_t>{}(a.lo()) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+template <>
+struct hash<s2s::net::IPAddr> {
+  size_t operator()(const s2s::net::IPAddr& a) const noexcept {
+    return a.is_v4() ? hash<s2s::net::IPv4Addr>{}(a.v4())
+                     : hash<s2s::net::IPv6Addr>{}(a.v6());
+  }
+};
+}  // namespace std

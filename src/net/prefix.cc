@@ -1,0 +1,69 @@
+#include "net/prefix.h"
+
+#include <charconv>
+
+namespace s2s::net {
+
+namespace {
+
+std::optional<int> parse_length(std::string_view text, int max) {
+  int length = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), length);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || length < 0 ||
+      length > max) {
+    return std::nullopt;
+  }
+  return length;
+}
+
+}  // namespace
+
+std::optional<Prefix4> Prefix4::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IPv4Addr::parse(text.substr(0, slash));
+  auto length = parse_length(text.substr(slash + 1), 32);
+  if (!addr || !length) return std::nullopt;
+  Prefix4 prefix(*addr, *length);
+  if (prefix.address() != *addr) return std::nullopt;  // host bits set
+  return prefix;
+}
+
+std::string Prefix4::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+Prefix6::Prefix6(const IPv6Addr& addr, int length) noexcept
+    : length_(static_cast<std::uint8_t>(length)) {
+  IPv6Addr::Bytes bytes = addr.bytes();
+  for (int bit = length; bit < 128; ++bit) {
+    bytes[static_cast<std::size_t>(bit / 8)] &=
+        static_cast<std::uint8_t>(~(1u << (7 - bit % 8)));
+  }
+  addr_ = IPv6Addr(bytes);
+}
+
+bool Prefix6::contains(const IPv6Addr& a) const noexcept {
+  for (int bit = 0; bit < length_; ++bit) {
+    if (address_bit(a, bit) != address_bit(addr_, bit)) return false;
+  }
+  return true;
+}
+
+std::optional<Prefix6> Prefix6::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IPv6Addr::parse(text.substr(0, slash));
+  auto length = parse_length(text.substr(slash + 1), 128);
+  if (!addr || !length) return std::nullopt;
+  Prefix6 prefix(*addr, *length);
+  if (prefix.address() != *addr) return std::nullopt;  // host bits set
+  return prefix;
+}
+
+std::string Prefix6::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace s2s::net

@@ -1,0 +1,88 @@
+// CIDR prefixes for IPv4 and IPv6, used by the BGP RIB and address plan.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip.h"
+
+namespace s2s::net {
+
+/// An IPv4 CIDR prefix, e.g. 192.0.2.0/24. The host bits are kept zeroed.
+class Prefix4 {
+ public:
+  constexpr Prefix4() noexcept = default;
+  /// Builds the prefix, masking away host bits. `length` must be in [0, 32].
+  constexpr Prefix4(IPv4Addr addr, int length) noexcept
+      : addr_(IPv4Addr(addr.value() & mask(length))),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  constexpr IPv4Addr address() const noexcept { return addr_; }
+  constexpr int length() const noexcept { return length_; }
+
+  /// True iff `a` falls inside this prefix.
+  constexpr bool contains(IPv4Addr a) const noexcept {
+    return (a.value() & mask(length_)) == addr_.value();
+  }
+  /// True iff `other` is equal to or more specific than this prefix.
+  constexpr bool contains(const Prefix4& other) const noexcept {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  /// Parse "a.b.c.d/len"; nullopt on malformed input or nonzero host bits.
+  static std::optional<Prefix4> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix4&,
+                                    const Prefix4&) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask(int length) noexcept {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+  IPv4Addr addr_;
+  std::uint8_t length_ = 0;
+};
+
+/// An IPv6 CIDR prefix, e.g. 2001:db8::/32. Host bits are kept zeroed.
+class Prefix6 {
+ public:
+  constexpr Prefix6() noexcept = default;
+  /// Builds the prefix, masking away host bits. `length` must be in [0, 128].
+  Prefix6(const IPv6Addr& addr, int length) noexcept;
+
+  const IPv6Addr& address() const noexcept { return addr_; }
+  int length() const noexcept { return length_; }
+
+  bool contains(const IPv6Addr& a) const noexcept;
+  bool contains(const Prefix6& other) const noexcept {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  /// Parse "hex::/len"; nullopt on malformed input or nonzero host bits.
+  static std::optional<Prefix6> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const Prefix6&, const Prefix6&) noexcept = default;
+
+ private:
+  IPv6Addr addr_;
+  std::uint8_t length_ = 0;
+};
+
+/// Returns bit `index` (0 = most significant) of the address.
+constexpr bool address_bit(IPv4Addr a, int index) noexcept {
+  return (a.value() >> (31 - index)) & 1u;
+}
+inline bool address_bit(const IPv6Addr& a, int index) noexcept {
+  const auto byte = a.bytes()[static_cast<std::size_t>(index / 8)];
+  return (byte >> (7 - index % 8)) & 1u;
+}
+
+}  // namespace s2s::net

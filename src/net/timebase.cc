@@ -1,0 +1,18 @@
+#include "net/timebase.h"
+
+#include <cstdio>
+
+namespace s2s::net {
+
+std::string SimTime::to_string() const {
+  const std::int64_t day = seconds_ / 86400;
+  const std::int64_t rem = ((seconds_ % 86400) + 86400) % 86400;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "D%03lld %02lld:%02lld",
+                static_cast<long long>(day),
+                static_cast<long long>(rem / 3600),
+                static_cast<long long>((rem % 3600) / 60));
+  return buf;
+}
+
+}  // namespace s2s::net

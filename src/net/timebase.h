@@ -1,0 +1,66 @@
+// Simulation time: a strongly-typed wall-clock with helpers for the
+// measurement cadences used in the paper (3-hour, 30-minute, 15-minute bins)
+// and for local time-of-day (drives the diurnal congestion phase).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace s2s::net {
+
+/// A point in simulated time, counted in seconds from the campaign origin
+/// (the paper's origin is 2014-01-01 00:00 UTC; the simulator treats it as
+/// an opaque zero point).
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(std::int64_t seconds) noexcept
+      : seconds_(seconds) {}
+
+  static constexpr SimTime from_hours(double hours) noexcept {
+    return SimTime(static_cast<std::int64_t>(hours * 3600.0));
+  }
+  static constexpr SimTime from_days(double days) noexcept {
+    return from_hours(days * 24.0);
+  }
+
+  constexpr std::int64_t seconds() const noexcept { return seconds_; }
+  constexpr double hours() const noexcept { return seconds_ / 3600.0; }
+  constexpr double days() const noexcept { return seconds_ / 86400.0; }
+
+  /// UTC hour-of-day in [0, 24).
+  constexpr double utc_hour_of_day() const noexcept {
+    const std::int64_t s = ((seconds_ % 86400) + 86400) % 86400;
+    return s / 3600.0;
+  }
+  /// Local hour-of-day in [0, 24) at the given UTC offset.
+  constexpr double local_hour_of_day(double utc_offset_hours) const noexcept {
+    double h = utc_hour_of_day() + utc_offset_hours;
+    while (h >= 24.0) h -= 24.0;
+    while (h < 0.0) h += 24.0;
+    return h;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+  friend constexpr SimTime operator+(SimTime t, std::int64_t s) noexcept {
+    return SimTime(t.seconds_ + s);
+  }
+  friend constexpr std::int64_t operator-(SimTime a, SimTime b) noexcept {
+    return a.seconds_ - b.seconds_;
+  }
+
+  /// "D012 03:30" rendering (day index, HH:MM), handy in logs and examples.
+  std::string to_string() const;
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+/// Measurement cadences from the paper.
+inline constexpr std::int64_t kThreeHours = 3 * 3600;
+inline constexpr std::int64_t kThirtyMinutes = 30 * 60;
+inline constexpr std::int64_t kFifteenMinutes = 15 * 60;
+inline constexpr std::int64_t kOneDay = 86400;
+
+}  // namespace s2s::net

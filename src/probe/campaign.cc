@@ -1,0 +1,145 @@
+#include "probe/campaign.h"
+
+#include <algorithm>
+
+namespace s2s::probe {
+
+using topology::ServerId;
+
+namespace {
+
+std::vector<std::pair<ServerId, ServerId>> with_reversed(
+    std::span<const std::pair<ServerId, ServerId>> pairs) {
+  std::vector<std::pair<ServerId, ServerId>> all(pairs.begin(), pairs.end());
+  for (const auto& [a, b] : pairs) all.emplace_back(b, a);
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+}  // namespace
+
+DowntimeSchedule::DowntimeSchedule(std::size_t servers, double campaign_days,
+                                   const DowntimeConfig& config,
+                                   stats::Rng rng) {
+  windows_.resize(servers);
+  const int months = static_cast<int>(campaign_days / 30.0) + 1;
+  for (auto& list : windows_) {
+    for (int m = 0; m < months; ++m) {
+      if (!rng.chance(config.monthly_window_prob)) continue;
+      const double start_day =
+          30.0 * m + rng.uniform(0.0, 30.0);
+      const double length_days =
+          rng.uniform(config.window_days_min, config.window_days_max);
+      list.emplace_back(
+          static_cast<std::int64_t>(start_day * 86400.0),
+          static_cast<std::int64_t>((start_day + length_days) * 86400.0));
+    }
+    std::sort(list.begin(), list.end());
+  }
+}
+
+bool DowntimeSchedule::down(ServerId server, net::SimTime t) const {
+  const auto& list = windows_.at(server);
+  const auto it = std::upper_bound(
+      list.begin(), list.end(), t.seconds(),
+      [](std::int64_t v, const auto& w) { return v < w.first; });
+  if (it == list.begin()) return false;
+  return t.seconds() < std::prev(it)->second;
+}
+
+TracerouteCampaign::TracerouteCampaign(
+    simnet::Network& net, const TracerouteCampaignConfig& config,
+    std::span<const std::pair<ServerId, ServerId>> pairs)
+    : net_(net),
+      config_(config),
+      pairs_(with_reversed(pairs)),
+      downtime_(net.topo().servers.size(), config.start_day + config.days,
+                config.downtime, stats::Rng(config.seed * 31 + 1)),
+      engine_(net, config.traceroute, stats::Rng(config.seed * 31 + 2)) {
+  net_.prepare(pairs_);
+}
+
+std::size_t TracerouteCampaign::epochs() const {
+  return static_cast<std::size_t>(config_.days * 86400.0 /
+                                  static_cast<double>(config_.interval_s));
+}
+
+void TracerouteCampaign::run(const TraceSink& sink,
+                             const ProgressFn& progress) {
+  const std::size_t total = epochs();
+  const auto start_s =
+      static_cast<std::int64_t>(config_.start_day * 86400.0);
+  for (std::size_t epoch = 0; epoch < total; ++epoch) {
+    const net::SimTime t(start_s +
+                         static_cast<std::int64_t>(epoch) *
+                             config_.interval_s);
+    const bool v4_paris = config_.paris_switch_day >= 0.0 &&
+                          t.days() >= config_.paris_switch_day;
+    for (const auto& [src, dst] : pairs_) {
+      if (downtime_.down(src, t) || downtime_.down(dst, t)) continue;
+      if (config_.probe_ipv4) {
+        const auto method = v4_paris ? TracerouteMethod::kParis
+                                     : TracerouteMethod::kClassic;
+        if (auto rec = engine_.run(src, dst, net::Family::kIPv4, t, method)) {
+          sink(*rec);
+        }
+      }
+      if (config_.probe_ipv6) {
+        if (auto rec = engine_.run(src, dst, net::Family::kIPv6, t,
+                                   TracerouteMethod::kClassic)) {
+          sink(*rec);
+        }
+      }
+    }
+    if (progress) {
+      progress(static_cast<double>(epoch + 1) / static_cast<double>(total));
+    }
+  }
+}
+
+PingCampaign::PingCampaign(
+    simnet::Network& net, const PingCampaignConfig& config,
+    std::span<const std::pair<ServerId, ServerId>> pairs)
+    : net_(net),
+      config_(config),
+      pairs_(with_reversed(pairs)),
+      downtime_(net.topo().servers.size(), config.start_day + config.days,
+                config.downtime, stats::Rng(config.seed * 31 + 1)),
+      engine_(net, config.ping, stats::Rng(config.seed * 31 + 2)) {
+  net_.prepare(pairs_);
+}
+
+std::size_t PingCampaign::epochs() const {
+  return static_cast<std::size_t>(config_.days * 86400.0 /
+                                  static_cast<double>(config_.interval_s));
+}
+
+void PingCampaign::run(const PingSink& sink, const ProgressFn& progress) {
+  const std::size_t total = epochs();
+  const auto start_s =
+      static_cast<std::int64_t>(config_.start_day * 86400.0);
+  for (std::size_t epoch = 0; epoch < total; ++epoch) {
+    const net::SimTime t(start_s +
+                         static_cast<std::int64_t>(epoch) *
+                             config_.interval_s);
+    for (const auto& [src, dst] : pairs_) {
+      if (downtime_.down(src, t) || downtime_.down(dst, t)) continue;
+      if (config_.probe_ipv4) {
+        if (auto rec = engine_.run(src, dst, net::Family::kIPv4, t)) {
+          sink(*rec);
+        }
+      }
+      if (config_.probe_ipv6) {
+        if (auto rec = engine_.run(src, dst, net::Family::kIPv6, t)) {
+          sink(*rec);
+        }
+      }
+    }
+    if (progress) {
+      progress(static_cast<double>(epoch + 1) / static_cast<double>(total));
+    }
+  }
+}
+
+}  // namespace s2s::probe

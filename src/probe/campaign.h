@@ -1,0 +1,115 @@
+// Measurement campaigns: the schedulers that generated the paper's data.
+//
+//   * Long-term traceroute campaign (Section 2.1): full mesh between
+//     dual-stack servers, both directions, both protocols, every 3 hours
+//     for 16 months. Classic traceroute throughout, except IPv4 switches
+//     to Paris traceroute partway through (November 2014 = day ~304).
+//   * Short-term ping campaign (Section 2.2): pairs pinged every 15
+//     minutes for a week.
+//   * Follow-up traceroute campaign (Section 5.2): 30-minute traceroutes
+//     between diurnal-flagged pairs for ~3 weeks.
+//
+// Campaigns stream records to a sink; nothing is retained internally, so
+// multi-hundred-million-probe runs stay within a fixed memory budget.
+// Hardware/maintenance gaps are modeled by a per-server downtime schedule.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "probe/ping.h"
+#include "probe/traceroute.h"
+
+namespace s2s::probe {
+
+/// Maintenance and connectivity gaps at the measurement hosts; this is
+/// what shrinks collected volume in long campaigns (paper Section 2.1).
+struct DowntimeConfig {
+  double monthly_window_prob = 0.30;  ///< chance of a window per month
+  double window_days_min = 0.2;
+  double window_days_max = 3.0;
+};
+
+class DowntimeSchedule {
+ public:
+  DowntimeSchedule(std::size_t servers, double campaign_days,
+                   const DowntimeConfig& config, stats::Rng rng);
+
+  bool down(topology::ServerId server, net::SimTime t) const;
+
+ private:
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> windows_;
+};
+
+using TraceSink = std::function<void(const TracerouteRecord&)>;
+using PingSink = std::function<void(const PingRecord&)>;
+/// Called once per finished epoch with the completed fraction [0, 1].
+using ProgressFn = std::function<void(double)>;
+
+struct TracerouteCampaignConfig {
+  double start_day = 0.0;
+  double days = 485.0;
+  std::int64_t interval_s = net::kThreeHours;
+  /// Campaign day when IPv4 probing switches to Paris traceroute
+  /// (negative = never, i.e. classic throughout).
+  double paris_switch_day = 304.0;
+  bool probe_ipv4 = true;
+  bool probe_ipv6 = true;
+  TracerouteConfig traceroute;
+  DowntimeConfig downtime;
+  std::uint64_t seed = 7;
+};
+
+class TracerouteCampaign {
+ public:
+  /// Prepares the network for `pairs` in both directions.
+  TracerouteCampaign(simnet::Network& net,
+                     const TracerouteCampaignConfig& config,
+                     std::span<const std::pair<topology::ServerId,
+                                               topology::ServerId>> pairs);
+
+  /// Streams every traceroute of the campaign to `sink` in time order.
+  void run(const TraceSink& sink, const ProgressFn& progress = {});
+
+  std::size_t epochs() const;
+
+ private:
+  simnet::Network& net_;
+  TracerouteCampaignConfig config_;
+  std::vector<std::pair<topology::ServerId, topology::ServerId>> pairs_;
+  DowntimeSchedule downtime_;
+  TracerouteEngine engine_;
+};
+
+struct PingCampaignConfig {
+  double start_day = 417.0;  ///< paper: Feb 22, 2015 (day 417 of the study)
+  double days = 7.0;
+  std::int64_t interval_s = net::kFifteenMinutes;
+  bool probe_ipv4 = true;
+  bool probe_ipv6 = true;
+  PingConfig ping;
+  DowntimeConfig downtime;
+  std::uint64_t seed = 11;
+};
+
+class PingCampaign {
+ public:
+  PingCampaign(simnet::Network& net, const PingCampaignConfig& config,
+               std::span<const std::pair<topology::ServerId,
+                                         topology::ServerId>> pairs);
+
+  void run(const PingSink& sink, const ProgressFn& progress = {});
+
+  std::size_t epochs() const;
+
+ private:
+  simnet::Network& net_;
+  PingCampaignConfig config_;
+  std::vector<std::pair<topology::ServerId, topology::ServerId>> pairs_;
+  DowntimeSchedule downtime_;
+  PingEngine engine_;
+};
+
+}  // namespace s2s::probe

@@ -1,0 +1,37 @@
+#include "probe/ping.h"
+
+namespace s2s::probe {
+
+std::optional<PingRecord> PingEngine::run(topology::ServerId src,
+                                          topology::ServerId dst,
+                                          net::Family family, net::SimTime t) {
+  const auto& topo = net_.topo();
+  const auto& source = topo.servers.at(src);
+  const auto& target = topo.servers.at(dst);
+  if (family == net::Family::kIPv6 &&
+      (!source.dual_stack() || !target.dual_stack())) {
+    return std::nullopt;
+  }
+
+  PingRecord record;
+  record.src = src;
+  record.dst = dst;
+  record.family = family;
+  record.time = t;
+
+  if (rng_.chance(config_.loss_prob)) return record;  // lost probe
+
+  auto fwd = net_.resolve(src, dst, family, t);
+  if (!fwd) return record;
+  const double fwd_one_way = net_.one_way_ms(*fwd->path, family, t);
+  auto rev = net_.resolve(dst, src, family, t);
+  if (!rev) return record;
+  const double rev_one_way = net_.one_way_ms(*rev->path, family, t);
+
+  record.rtt_ms =
+      fwd_one_way + rev_one_way + end_to_end_noise_ms(config_.noise, rng_);
+  record.success = true;
+  return record;
+}
+
+}  // namespace s2s::probe

@@ -1,0 +1,35 @@
+// Simulated ICMP echo measurements over simnet::Network.
+#pragma once
+
+#include <optional>
+
+#include "probe/noise.h"
+#include "probe/records.h"
+#include "simnet/network.h"
+#include "stats/rng.h"
+
+namespace s2s::probe {
+
+struct PingConfig {
+  NoiseConfig noise;
+  double loss_prob = 0.01;  ///< per-ping loss beyond routing outages
+};
+
+class PingEngine {
+ public:
+  PingEngine(simnet::Network& net, const PingConfig& config, stats::Rng rng)
+      : net_(net), config_(config), rng_(rng) {}
+
+  /// Runs one ping. Returns nullopt when the family is not configured on
+  /// either endpoint; otherwise a record (success=false on loss or when
+  /// either direction is unroutable at t).
+  std::optional<PingRecord> run(topology::ServerId src, topology::ServerId dst,
+                                net::Family family, net::SimTime t);
+
+ private:
+  simnet::Network& net_;
+  PingConfig config_;
+  stats::Rng rng_;
+};
+
+}  // namespace s2s::probe

@@ -1,0 +1,51 @@
+// Measurement record types: exactly the data the paper's pipeline consumes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/timebase.h"
+#include "topology/topology.h"
+
+namespace s2s::probe {
+
+enum class TracerouteMethod : std::uint8_t {
+  kClassic,  ///< per-probe flow ids; load-balancer artifacts possible
+  kParis,    ///< fixed flow id; artifact-free paths
+};
+
+/// One traceroute hop. `addr` is empty for an unresponsive hop ("*").
+struct Hop {
+  std::optional<net::IPAddr> addr;
+  double rtt_ms = 0.0;
+};
+
+struct TracerouteRecord {
+  topology::ServerId src = topology::kInvalidId;
+  topology::ServerId dst = topology::kInvalidId;
+  net::Family family = net::Family::kIPv4;
+  net::SimTime time;
+  TracerouteMethod method = TracerouteMethod::kClassic;
+  net::IPAddr src_addr;
+  net::IPAddr dst_addr;
+  std::vector<Hop> hops;
+  /// True iff the last hop is the destination address.
+  bool complete = false;
+
+  /// End-to-end RTT (the last hop's RTT); only meaningful when complete.
+  double end_to_end_rtt_ms() const {
+    return hops.empty() ? 0.0 : hops.back().rtt_ms;
+  }
+};
+
+struct PingRecord {
+  topology::ServerId src = topology::kInvalidId;
+  topology::ServerId dst = topology::kInvalidId;
+  net::Family family = net::Family::kIPv4;
+  net::SimTime time;
+  double rtt_ms = 0.0;
+  bool success = false;
+};
+
+}  // namespace s2s::probe

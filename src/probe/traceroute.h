@@ -1,0 +1,69 @@
+// Simulated traceroute over simnet::Network.
+//
+// Reproduces the measurement-level behaviour the paper's pipeline has to
+// cope with (Section 2.1):
+//   * hop addresses are the ingress interfaces of the routers on the
+//     forward path (gateway first, destination address last);
+//   * silent routers and per-probe loss yield unresponsive hops ("*");
+//   * probes that die mid-path (filtering, rate limiting, reachability
+//     problems) yield incomplete traceroutes (~25% in the paper);
+//   * classic traceroute varies the flow identifier per probe, so per-flow
+//     load balancers can interleave parallel paths and manufacture
+//     apparent AS loops (2.16% of IPv4, 5.5% of IPv6 traceroutes in the
+//     paper); Paris traceroute holds the flow fixed and avoids this.
+//
+// The per-hop RTT model is symmetric along the forward path (2x the
+// partial one-way delay plus both-direction queueing); the end-to-end hop
+// uses the true forward + reverse one-way delays, so end-to-end series
+// reflect reverse-path routing changes too. See DESIGN.md for the
+// asymmetry discussion.
+#pragma once
+
+#include <optional>
+
+#include "probe/noise.h"
+#include "probe/records.h"
+#include "simnet/network.h"
+#include "stats/rng.h"
+
+namespace s2s::probe {
+
+struct TracerouteConfig {
+  NoiseConfig noise;
+  /// Probability the probe run dies before the destination (filtering /
+  /// rate limiting / transient reachability), beyond routing outages.
+  double stop_early_prob = 0.20;
+  /// Classic-traceroute artifact rates (per traceroute, when a per-flow
+  /// load balancer is plausible on the path).
+  double classic_loop_prob_v4 = 0.028;
+  double classic_loop_prob_v6 = 0.070;
+  /// Substitute one internal hop with a sibling interface (IP-level churn
+  /// without AS-level change).
+  double classic_false_hop_prob = 0.03;
+  int max_ttl = 64;
+};
+
+class TracerouteEngine {
+ public:
+  TracerouteEngine(simnet::Network& net, const TracerouteConfig& config,
+                   stats::Rng rng);
+
+  /// Runs one traceroute. Returns nullopt only when the requested family
+  /// is not configured on either endpoint (no probe is even sent).
+  std::optional<TracerouteRecord> run(topology::ServerId src,
+                                      topology::ServerId dst,
+                                      net::Family family, net::SimTime t,
+                                      TracerouteMethod method);
+
+ private:
+  void apply_classic_artifacts(TracerouteRecord& record,
+                               const simnet::RouterPath& fpath);
+
+  simnet::Network& net_;
+  TracerouteConfig config_;
+  stats::Rng rng_;
+  /// Internal links adjacent to each router (sibling-interface artifacts).
+  std::vector<std::vector<topology::LinkId>> internal_by_router_;
+};
+
+}  // namespace s2s::probe

@@ -1,0 +1,151 @@
+#include "simnet/congestion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace s2s::simnet {
+
+using topology::FacilityKind;
+using topology::LinkId;
+using topology::LinkScope;
+using topology::Topology;
+
+bool CongestionProfile::active_at(net::SimTime t) const {
+  if (episodes.empty()) return true;
+  for (const auto& [start, end] : episodes) {
+    if (t.seconds() >= start && t.seconds() < end) return true;
+  }
+  return false;
+}
+
+double CongestionProfile::delay_ms(net::Family family, net::SimTime t) const {
+  if (family == net::Family::kIPv4 ? !affects_v4 : !affects_v6) return 0.0;
+  if (kind == CongestionKind::kBursty) {
+    // Sorted, disjoint intervals: binary search.
+    const auto it = std::upper_bound(
+        bursts.begin(), bursts.end(), t.seconds(),
+        [](std::int64_t v, const auto& b) { return v < b.first; });
+    if (it == bursts.begin()) return 0.0;
+    return t.seconds() < std::prev(it)->second ? amplitude_ms : 0.0;
+  }
+  if (!active_at(t)) return 0.0;
+  const double hour = t.local_hour_of_day(utc_offset_hours);
+  // Circular distance to the busy-hour peak.
+  double dh = std::fabs(hour - peak_local_hour);
+  dh = std::min(dh, 24.0 - dh);
+  return amplitude_ms * std::exp(-dh * dh / (2.0 * sigma_hours * sigma_hours));
+}
+
+namespace {
+
+/// Amplitude by geography, per the Figure 9 regional breakdown.
+double draw_amplitude(const Topology& topo, const topology::Link& link,
+                      stats::Rng& rng) {
+  const auto& city_a = topo.cities[topo.routers[link.end_a.router].city];
+  const auto& city_b = topo.cities[topo.routers[link.end_b.router].city];
+  const bool us_us = city_a.country == "US" && city_b.country == "US";
+  const bool same_continent = city_a.continent == city_b.continent;
+  const bool asia_europe =
+      (city_a.continent == "AS" && city_b.continent == "EU") ||
+      (city_a.continent == "EU" && city_b.continent == "AS");
+  if (us_us) return std::clamp(rng.normal(25.0, 3.0), 15.0, 40.0);
+  if (asia_europe) return std::clamp(rng.normal(90.0, 8.0), 60.0, 120.0);
+  if (!same_continent) return std::clamp(rng.normal(60.0, 8.0), 40.0, 90.0);
+  return rng.uniform(15.0, 45.0);  // intra-EU / intra-Asia / other domestic
+}
+
+}  // namespace
+
+CongestionModel::CongestionModel(Topology& topo,
+                                 const CongestionConfig& config,
+                                 stats::Rng rng) {
+  topo_links_.assign(topo.links.size(), topology::kInvalidId);
+  for (LinkId id = 0; id < topo.links.size(); ++id) {
+    topology::Link& link = topo.links[id];
+
+    // Bursty (non-diurnal) congestion: irregular episodes, any link kind.
+    if (rng.chance(config.bursty_fraction)) {
+      CongestionProfile profile;
+      profile.link = id;
+      profile.kind = CongestionKind::kBursty;
+      profile.amplitude_ms = rng.uniform(config.burst_amplitude_min,
+                                         config.burst_amplitude_max);
+      profile.affects_v4 = true;
+      profile.affects_v6 =
+          link.ipv6 && rng.chance(config.bursty_shared_with_v6_prob);
+      const int bursts = std::poisson_distribution<int>(
+          config.bursts_per_day * config.campaign_days)(rng);
+      for (int b = 0; b < bursts; ++b) {
+        const auto start = static_cast<std::int64_t>(
+            rng.uniform() * config.campaign_days * 86400.0);
+        const auto len = static_cast<std::int64_t>(
+            rng.uniform(config.burst_hours_min, config.burst_hours_max) *
+            3600.0);
+        profile.bursts.emplace_back(start, start + len);
+      }
+      std::sort(profile.bursts.begin(), profile.bursts.end());
+      // Merge overlaps so binary search sees disjoint intervals.
+      std::vector<std::pair<std::int64_t, std::int64_t>> merged;
+      for (const auto& b : profile.bursts) {
+        if (!merged.empty() && b.first <= merged.back().second) {
+          merged.back().second = std::max(merged.back().second, b.second);
+        } else {
+          merged.push_back(b);
+        }
+      }
+      profile.bursts = std::move(merged);
+      link.congestion_profile = static_cast<std::uint32_t>(profiles_.size());
+      topo_links_[id] = link.congestion_profile;
+      profiles_.push_back(std::move(profile));
+      continue;
+    }
+
+    double prob = config.internal_fraction;
+    if (link.scope == LinkScope::kInterconnection) {
+      prob = link.facility == FacilityKind::kPublicIxp
+                 ? config.public_ixp_fraction
+                 : config.private_interconnect_fraction;
+    }
+    if (!rng.chance(prob)) continue;
+
+    CongestionProfile profile;
+    profile.link = id;
+    profile.amplitude_ms = draw_amplitude(topo, link, rng);
+    // Busy hour: evening access peak or business mid-day peak.
+    profile.peak_local_hour =
+        rng.chance(0.6) ? rng.uniform(19.0, 21.5) : rng.uniform(12.0, 14.5);
+    profile.sigma_hours =
+        rng.uniform(config.peak_sigma_min, config.peak_sigma_max);
+    const topology::CityId where =
+        link.city != topology::kInvalidId
+            ? link.city
+            : topo.routers[link.end_a.router].city;
+    profile.utc_offset_hours = topo.cities[where].utc_offset_hours;
+    profile.affects_v4 = true;
+    profile.affects_v6 = link.ipv6 && rng.chance(config.shared_with_v6_prob);
+
+    if (!rng.chance(config.permanent_prob)) {
+      const int episodes =
+          config.episodes_min +
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(
+              config.episodes_max - config.episodes_min + 1)));
+      for (int e = 0; e < episodes; ++e) {
+        const double days =
+            rng.uniform(config.episode_days_min, config.episode_days_max);
+        const double start_day =
+            rng.uniform(0.0, std::max(1.0, config.campaign_days - days));
+        profile.episodes.emplace_back(
+            static_cast<std::int64_t>(start_day * 86400.0),
+            static_cast<std::int64_t>((start_day + days) * 86400.0));
+      }
+      std::sort(profile.episodes.begin(), profile.episodes.end());
+    }
+
+    link.congestion_profile = static_cast<std::uint32_t>(profiles_.size());
+    topo_links_[id] = link.congestion_profile;
+    profiles_.push_back(std::move(profile));
+  }
+}
+
+}  // namespace s2s::simnet

@@ -1,0 +1,105 @@
+// Diurnal congestion model (the paper's "consistent congestion").
+//
+// A small subset of links carries a congestion profile: a once-a-day bump
+// in queueing delay peaking at a busy hour in the link's local time zone,
+// active during one or more multi-week episodes (some permanent). The
+// amplitude distribution follows the paper's Figure 9 findings:
+//   * US domestic links cluster tightly at 20-30 ms (uniform router-buffer
+//     rules of thumb sized for 100 ms RTT);
+//   * intra-EU / intra-Asia links spread wider (15-45 ms);
+//   * transcontinental long-haul sits near 60 ms (bigger buffers);
+//   * Asia<->Europe paths show ~90 ms extremes.
+// Interconnection congestion is concentrated on private interconnects:
+// public IXP fabrics enforce utilization SLAs on member ports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/timebase.h"
+#include "stats/rng.h"
+#include "topology/topology.h"
+
+namespace s2s::simnet {
+
+struct CongestionConfig {
+  /// Fraction of internal links that become congested.
+  double internal_fraction = 0.006;
+  /// Fraction of private interconnection links that become congested.
+  double private_interconnect_fraction = 0.012;
+  /// Fraction of public-IXP links that become congested (SLA-policed).
+  double public_ixp_fraction = 0.003;
+  /// Probability a congestion episode set covers the whole campaign.
+  double permanent_prob = 0.35;
+  int episodes_min = 1, episodes_max = 3;
+  double episode_days_min = 7.0, episode_days_max = 56.0;
+  /// Busy-hour peak width (hours), drawn uniformly per link.
+  double peak_sigma_min = 2.0, peak_sigma_max = 3.5;
+  /// Probability the congestion affects the IPv6 plane too (shared buffers).
+  double shared_with_v6_prob = 0.45;
+  double campaign_days = 520.0;  ///< horizon episodes are drawn over
+
+  // --- bursty (non-diurnal) congestion ---
+  // The paper finds far more pairs with >10 ms RTT variation than with a
+  // diurnal pattern (9.5% vs 2% on IPv4): irregular, hours-long queueing
+  // episodes at random times. These links add variation the 1/day FFT
+  // rightly ignores.
+  double bursty_fraction = 0.003;      ///< of all links
+  double bursts_per_day = 0.75;
+  /// Bursty links share queues with IPv6 less often than diurnal ones
+  /// (transient hot spots are frequently v4 traffic surges).
+  double bursty_shared_with_v6_prob = 0.20;
+  double burst_hours_min = 1.0, burst_hours_max = 6.0;
+  double burst_amplitude_min = 10.0, burst_amplitude_max = 35.0;
+};
+
+enum class CongestionKind : std::uint8_t {
+  kDiurnal,  ///< once-a-day busy-hour bump ("consistent congestion")
+  kBursty,   ///< irregular hours-long episodes at random times
+};
+
+struct CongestionProfile {
+  topology::LinkId link = topology::kInvalidId;
+  CongestionKind kind = CongestionKind::kDiurnal;
+  double amplitude_ms = 0.0;
+  double peak_local_hour = 20.0;  ///< busy-hour center, local time
+  double sigma_hours = 2.5;
+  double utc_offset_hours = 0.0;  ///< time zone of the link's location
+  bool affects_v4 = true;
+  bool affects_v6 = true;
+  /// Diurnal: active [start, end) windows in seconds; empty means always.
+  std::vector<std::pair<std::int64_t, std::int64_t>> episodes;
+  /// Bursty: sorted burst intervals in seconds.
+  std::vector<std::pair<std::int64_t, std::int64_t>> bursts;
+
+  bool active_at(net::SimTime t) const;
+  /// Deterministic queueing delay added by this profile at time t.
+  double delay_ms(net::Family family, net::SimTime t) const;
+};
+
+class CongestionModel {
+ public:
+  /// Selects congested links and writes their profile index back into
+  /// `topo.links[i].congestion_profile`.
+  CongestionModel(topology::Topology& topo, const CongestionConfig& config,
+                  stats::Rng rng);
+
+  /// Queueing delay of a link at time t (0 for uncongested links).
+  double queue_delay_ms(topology::LinkId link, net::Family family,
+                        net::SimTime t) const {
+    const auto p = topo_links_[link];
+    return p == topology::kInvalidId
+               ? 0.0
+               : profiles_[p].delay_ms(family, t);
+  }
+
+  const std::vector<CongestionProfile>& profiles() const noexcept {
+    return profiles_;
+  }
+
+ private:
+  std::vector<CongestionProfile> profiles_;
+  std::vector<std::uint32_t> topo_links_;  // link -> profile or kInvalidId
+};
+
+}  // namespace s2s::simnet

@@ -1,0 +1,193 @@
+#include "simnet/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace s2s::simnet {
+
+using routing::Candidate;
+using routing::CandidateTable;
+using topology::AsId;
+using topology::ServerId;
+
+Network::Network(const NetworkConfig& config)
+    : config_(config),
+      topo_(topology::generate(config.topology)),
+      router_(topo_),
+      congestion_(topo_, config.congestion,
+                  stats::Rng(config.topology.seed * 0x9e3779b9ULL + 17)),
+      rib_(bgp::Rib::from_topology(topo_)),
+      expander_(topo_) {}
+
+void Network::prepare(
+    std::span<const std::pair<ServerId, ServerId>> pairs) {
+  auto add_unique = [](std::vector<std::pair<AsId, AsId>>& list,
+                       std::pair<AsId, AsId> value) {
+    list.push_back(value);
+  };
+  for (const auto& [s, d] : pairs) {
+    const auto& src = topo_.servers.at(s);
+    const auto& dst = topo_.servers.at(d);
+    add_unique(as_pairs4_, {src.as_id, dst.as_id});
+    if (src.dual_stack() && dst.dual_stack()) {
+      add_unique(as_pairs6_, {src.as_id, dst.as_id});
+    }
+  }
+  auto dedup = [](std::vector<std::pair<AsId, AsId>>& list) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  };
+  dedup(as_pairs4_);
+  dedup(as_pairs6_);
+
+  candidates4_ = std::make_unique<CandidateTable>(router_, net::Family::kIPv4,
+                                                  as_pairs4_);
+  candidates6_ = std::make_unique<CandidateTable>(router_, net::Family::kIPv6,
+                                                  as_pairs6_);
+  if (!outages_) calibrate_and_schedule();
+  // Candidate tables changed: cached epoch state may reference stale sets.
+  mask_time_ = net::SimTime(-1);
+  exact_cache_.clear();
+}
+
+void Network::prepare_full_mesh(std::span<const ServerId> servers) {
+  std::vector<std::pair<ServerId, ServerId>> pairs;
+  pairs.reserve(servers.size() * (servers.size() - 1));
+  for (ServerId a : servers) {
+    for (ServerId b : servers) {
+      if (a != b) pairs.emplace_back(a, b);
+    }
+  }
+  prepare(pairs);
+}
+
+void Network::calibrate_and_schedule() {
+  severity_.assign(topo_.adjacencies.size(), 0.0);
+  std::vector<std::uint32_t> count(topo_.adjacencies.size(), 0);
+
+  // Severity = mean RTT regression (one representative server per AS).
+  std::vector<ServerId> rep(topo_.ases.size(), topology::kInvalidId);
+  for (ServerId s = 0; s < topo_.servers.size(); ++s) {
+    if (rep[topo_.servers[s].as_id] == topology::kInvalidId) {
+      rep[topo_.servers[s].as_id] = s;
+    }
+  }
+
+  candidates4_->for_each([&](AsId src_as, AsId dst_as,
+                             const routing::CandidateSet& set) {
+    if (set.candidates.empty() || !set.candidates.front().primary) return;
+    const ServerId s = rep[src_as];
+    const ServerId d = rep[dst_as];
+    if (s == topology::kInvalidId || d == topology::kInvalidId) return;
+    const Candidate& primary = set.candidates.front();
+    const RouterPath* base =
+        expander_.expand(s, d, primary.path, net::Family::kIPv4, 0);
+    if (base == nullptr) return;
+    const double d0 = base->total_delay_ms;
+    for (topology::AdjacencyId e : primary.adjs) {
+      double delta = config_.disconnect_severity_ms;
+      for (std::size_t idx = 1; idx < set.candidates.size(); ++idx) {
+        const Candidate& alt = set.candidates[idx];
+        if (std::find(alt.adjs.begin(), alt.adjs.end(), e) != alt.adjs.end()) {
+          continue;
+        }
+        const RouterPath* alt_path = expander_.expand(
+            s, d, alt.path, net::Family::kIPv4,
+            static_cast<std::uint32_t>(idx));
+        if (alt_path != nullptr) {
+          delta = std::max(0.0, alt_path->total_delay_ms - d0);
+        }
+        break;
+      }
+      // RTT regression is twice the one-way regression.
+      severity_[e] += 2.0 * delta;
+      ++count[e];
+    }
+  });
+  for (std::size_t e = 0; e < severity_.size(); ++e) {
+    if (count[e] > 0) severity_[e] /= count[e];
+  }
+
+  outages_ = std::make_unique<routing::OutageSchedule>(
+      topo_, config_.dynamics,
+      [this](topology::AdjacencyId id) { return severity_[id]; },
+      stats::Rng(config_.topology.seed * 0x9e3779b9ULL + 29));
+}
+
+double Network::severity_ms(topology::AdjacencyId id) const {
+  return severity_.empty() ? 0.0 : severity_.at(id);
+}
+
+void Network::refresh_masks(net::SimTime t) {
+  if (t == mask_time_) return;
+  outages_->failed_mask(net::Family::kIPv4, t, failed4_);
+  outages_->failed_mask(net::Family::kIPv6, t, failed6_);
+  exact_cache_.clear();
+  mask_time_ = t;
+}
+
+std::optional<Network::Resolution> Network::resolve(ServerId src,
+                                                    ServerId dst,
+                                                    net::Family family,
+                                                    net::SimTime t) {
+  if (!prepared()) {
+    throw std::logic_error("Network::resolve before prepare()");
+  }
+  refresh_masks(t);
+  const auto& mask =
+      family == net::Family::kIPv4 ? failed4_ : failed6_;
+  const AsId src_as = topo_.servers.at(src).as_id;
+  const AsId dst_as = topo_.servers.at(dst).as_id;
+  const auto* set = candidates(family).find(src_as, dst_as);
+  if (set == nullptr) {
+    throw std::logic_error("Network::resolve on unprepared pair");
+  }
+
+  if (const Candidate* cand = set->resolve(mask)) {
+    const auto slot = static_cast<std::uint32_t>(cand - set->candidates.data());
+    if (const RouterPath* path =
+            expander_.expand(src, dst, cand->path, family, slot)) {
+      return Resolution{cand->path, path, false};
+    }
+  }
+
+  // Exact fallback: every candidate (or the expansion) was blocked.
+  const std::uint64_t key = (std::uint64_t{dst_as} << 1) |
+                            (family == net::Family::kIPv6 ? 1u : 0u);
+  auto it = exact_cache_.find(key);
+  if (it == exact_cache_.end()) {
+    it = exact_cache_.emplace(key, router_.compute(dst_as, family, &mask))
+             .first;
+  }
+  auto as_path = router_.extract(it->second, src_as);
+  if (!as_path) return std::nullopt;
+  const RouterPath* path = expander_.expand(src, dst, *as_path, family,
+                                            RouterPathExpander::kNoCache);
+  if (path == nullptr) return std::nullopt;
+  return Resolution{std::move(*as_path), path, true};
+}
+
+double Network::one_way_ms(const RouterPath& path, net::Family family,
+                           net::SimTime t) const {
+  double total = path.total_delay_ms;
+  for (const RouterHop& hop : path.hops) {
+    if (hop.link != topology::kInvalidId) {
+      total += congestion_.queue_delay_ms(hop.link, family, t);
+    }
+  }
+  return total;
+}
+
+double Network::partial_one_way_ms(const RouterPath& path,
+                                   std::size_t hop_index, net::Family family,
+                                   net::SimTime t) const {
+  double total = path.hops.at(hop_index).cumulative_delay_ms;
+  for (std::size_t i = 0; i <= hop_index; ++i) {
+    if (path.hops[i].link != topology::kInvalidId) {
+      total += congestion_.queue_delay_ms(path.hops[i].link, family, t);
+    }
+  }
+  return total;
+}
+
+}  // namespace s2s::simnet

@@ -1,0 +1,121 @@
+// Simulated Internet-core network: the facade the probing layer talks to.
+//
+// Owns the generated topology plus everything that makes it move:
+//   * candidate AS paths per measurement pair (routing/candidates.h);
+//   * the outage schedule, with repair times calibrated against each
+//     adjacency's measured RTT regression (routing/dynamics.h);
+//   * the diurnal congestion model (simnet/congestion.h);
+//   * the router-level path expander (simnet/router_path.h).
+//
+// Usage: construct, call prepare() (or prepare_full_mesh()) with every
+// ordered server pair a campaign will probe, then resolve()/one_way_ms()
+// per measurement. Resolution is exact: when multiple simultaneous
+// failures block every precomputed candidate, the valley-free routes are
+// recomputed on the fly (cached per epoch).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bgp/relationships.h"
+#include "bgp/rib.h"
+#include "net/timebase.h"
+#include "routing/candidates.h"
+#include "routing/dynamics.h"
+#include "routing/valley_free.h"
+#include "simnet/congestion.h"
+#include "simnet/router_path.h"
+#include "topology/generator.h"
+
+namespace s2s::simnet {
+
+struct NetworkConfig {
+  topology::GeneratorConfig topology;
+  routing::DynamicsConfig dynamics;
+  CongestionConfig congestion;
+  /// Severity assigned to an adjacency whose failure disconnects a pair.
+  double disconnect_severity_ms = 200.0;
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkConfig& config = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const topology::Topology& topo() const noexcept { return topo_; }
+  const CongestionModel& congestion() const noexcept { return congestion_; }
+  const bgp::Rib& rib() const noexcept { return rib_; }
+  const routing::ValleyFreeRouter& router() const noexcept { return router_; }
+  /// Valid after the first prepare() call.
+  const routing::OutageSchedule& outages() const { return *outages_; }
+  bool prepared() const noexcept { return outages_ != nullptr; }
+
+  /// Registers the ordered server pairs a campaign will probe; builds
+  /// candidate paths for them. The first call also calibrates outage
+  /// severities and materializes the outage schedule; later calls extend
+  /// the candidate tables for new pairs only.
+  void prepare(
+      std::span<const std::pair<topology::ServerId, topology::ServerId>> pairs);
+  void prepare_full_mesh(std::span<const topology::ServerId> servers);
+
+  struct Resolution {
+    std::vector<topology::AsId> as_path;
+    /// Router-level expansion; invalidated by the next resolve() call when
+    /// `from_fallback` is true (consume before resolving again).
+    const RouterPath* path = nullptr;
+    bool from_fallback = false;
+  };
+
+  /// Active route at time t, or nullopt when the destination is
+  /// unreachable (every policy-compliant path crosses a failed adjacency,
+  /// or the destination is not in the requested plane).
+  std::optional<Resolution> resolve(topology::ServerId src,
+                                    topology::ServerId dst, net::Family family,
+                                    net::SimTime t);
+
+  /// Deterministic one-way latency: propagation plus diurnal queueing.
+  double one_way_ms(const RouterPath& path, net::Family family,
+                    net::SimTime t) const;
+  /// Same, truncated at hop index (inclusive); used for per-hop RTTs.
+  double partial_one_way_ms(const RouterPath& path, std::size_t hop_index,
+                            net::Family family, net::SimTime t) const;
+
+  /// Mean RTT regression (ms) caused by losing the adjacency, as estimated
+  /// during prepare(); 0 for adjacencies no prepared pair crosses.
+  double severity_ms(topology::AdjacencyId id) const;
+
+ private:
+  const routing::CandidateTable& candidates(net::Family family) const {
+    return family == net::Family::kIPv4 ? *candidates4_ : *candidates6_;
+  }
+  void refresh_masks(net::SimTime t);
+  void calibrate_and_schedule();
+
+  NetworkConfig config_;
+  topology::Topology topo_;
+  routing::ValleyFreeRouter router_;
+  CongestionModel congestion_;
+  bgp::Rib rib_;
+  RouterPathExpander expander_;
+
+  std::vector<std::pair<topology::AsId, topology::AsId>> as_pairs4_;
+  std::vector<std::pair<topology::AsId, topology::AsId>> as_pairs6_;
+  std::unique_ptr<routing::CandidateTable> candidates4_;
+  std::unique_ptr<routing::CandidateTable> candidates6_;
+  std::unique_ptr<routing::OutageSchedule> outages_;
+  std::vector<double> severity_;
+
+  // Per-epoch state.
+  net::SimTime mask_time_{-1};
+  routing::AdjacencyMask failed4_;
+  routing::AdjacencyMask failed6_;
+  std::unordered_map<std::uint64_t, routing::RouteTable> exact_cache_;
+};
+
+}  // namespace s2s::simnet

@@ -1,0 +1,93 @@
+// Router-level expansion of AS-level paths.
+//
+// Given the AS path a route resolves to, the expander picks the concrete
+// interconnection link for every AS-AS transition (the parallel link whose
+// facility city minimizes geographic detour) and stitches intra-AS
+// shortest-delay backbone segments between ingress and egress routers.
+// Expansions are deterministic per (servers, AS path, family), so they are
+// memoized aggressively — long campaigns re-traverse the same few paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+#include "topology/topology.h"
+
+namespace s2s::simnet {
+
+/// One traceroute-visible hop: the probe arrives at `router` over `link`.
+/// For the very first hop (the source's gateway) `link` is kInvalidId.
+struct RouterHop {
+  topology::LinkId link = topology::kInvalidId;
+  topology::RouterId router = topology::kInvalidId;
+  /// One-way propagation delay from the source server up to this router.
+  double cumulative_delay_ms = 0.0;
+};
+
+struct RouterPath {
+  topology::ServerId src = topology::kInvalidId;
+  topology::ServerId dst = topology::kInvalidId;
+  std::vector<RouterHop> hops;   ///< gateway first, dst attachment last
+  double total_delay_ms = 0.0;   ///< one-way, source host to dest host
+};
+
+class RouterPathExpander {
+ public:
+  explicit RouterPathExpander(const topology::Topology& topo);
+
+  /// Expands `as_path` (which must start at the source server's AS and end
+  /// at the destination server's AS) into a router path. Returns nullptr if
+  /// some AS transition has no link in the requested plane.
+  /// `cache_slot` tags memoizable resolutions (e.g. candidate index);
+  /// pass kNoCache for one-off paths.
+  static constexpr std::uint32_t kNoCache = ~std::uint32_t{0};
+  const RouterPath* expand(topology::ServerId src, topology::ServerId dst,
+                           std::span<const topology::AsId> as_path,
+                           net::Family family, std::uint32_t cache_slot);
+
+  /// Delay of the server access hop (server <-> attachment router).
+  static constexpr double kAccessDelayMs = 0.05;
+
+ private:
+  struct IntraKey {
+    topology::RouterId from;
+    topology::RouterId to;
+    bool operator==(const IntraKey&) const = default;
+  };
+  struct IntraKeyHash {
+    std::size_t operator()(const IntraKey& k) const {
+      return (std::size_t{k.from} << 32) ^ k.to;
+    }
+  };
+
+  /// Intra-AS shortest-delay path (sequence of internal links from `from`
+  /// to `to`); empty when from == to. Returns nullptr when disconnected.
+  const std::vector<topology::LinkId>* intra_path(topology::AsId as,
+                                                  topology::RouterId from,
+                                                  topology::RouterId to);
+
+  /// Picks the interconnection link for an adjacency, minimizing detour
+  /// relative to the current position and the final destination.
+  std::optional<topology::LinkId> pick_link(topology::AdjacencyId adj,
+                                            topology::RouterId from,
+                                            topology::CityId dst_city,
+                                            net::Family family) const;
+
+  bool build(topology::ServerId src, topology::ServerId dst,
+             std::span<const topology::AsId> as_path, net::Family family,
+             RouterPath& out);
+
+  const topology::Topology& topo_;
+  /// Per-router adjacency of internal links.
+  std::vector<std::vector<topology::LinkId>> internal_links_;
+  std::unordered_map<IntraKey, std::vector<topology::LinkId>, IntraKeyHash>
+      intra_cache_;
+  std::unordered_map<std::uint64_t, RouterPath> path_cache_;
+  RouterPath scratch_;  ///< storage for the most recent uncached expansion
+};
+
+}  // namespace s2s::simnet

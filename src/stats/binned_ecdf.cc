@@ -1,0 +1,73 @@
+#include "stats/binned_ecdf.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace s2s::stats {
+
+BinnedEcdf::BinnedEcdf(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("BinnedEcdf: need hi > lo and bins > 0");
+  }
+}
+
+void BinnedEcdf::add(double value) {
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double BinnedEcdf::at(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x < lo_) return 0.0;
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  bin = std::min<std::ptrdiff_t>(
+      bin, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  std::uint64_t below = 0;
+  for (std::ptrdiff_t i = 0; i <= bin; ++i) {
+    below += counts_[static_cast<std::size_t>(i)];
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double BinnedEcdf::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) return lo_ + (static_cast<double>(i) + 1.0) * width_;
+  }
+  return hi_;
+}
+
+double BinnedEcdf::tail_at_least(double x) const {
+  if (total_ == 0) return 0.0;
+  const double below = at(x - width_);
+  return 1.0 - below;
+}
+
+std::string BinnedEcdf::to_tsv(std::size_t max_lines) const {
+  std::string out;
+  if (total_ == 0 || max_lines == 0) return out;
+  char line[64];
+  const std::size_t stride = std::max<std::size_t>(1, counts_.size() / max_lines);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (i % stride != 0 && i + 1 != counts_.size()) continue;
+    std::snprintf(line, sizeof(line), "%.6g\t%.4f\n",
+                  lo_ + (static_cast<double>(i) + 1.0) * width_,
+                  static_cast<double>(cum) / static_cast<double>(total_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace s2s::stats

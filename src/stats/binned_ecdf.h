@@ -1,0 +1,42 @@
+// Fixed-resolution ECDF accumulator.
+//
+// For distributions with hundreds of millions of samples (e.g. the paper's
+// per-traceroute RTTv4-RTTv6 differences, 826M samples) an exact ECDF
+// would not fit in memory; this accumulator bins samples on a fixed grid
+// and answers F(x)/quantile queries with bin resolution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s2s::stats {
+
+class BinnedEcdf {
+ public:
+  /// Grid over [lo, hi] with `bins` equal-width bins; samples outside are
+  /// clamped into the end bins.
+  BinnedEcdf(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  std::uint64_t total() const noexcept { return total_; }
+  bool empty() const noexcept { return total_ == 0; }
+
+  /// Fraction of samples <= x (bin-resolution).
+  double at(double x) const;
+  /// Smallest grid value v with F(v) >= q.
+  double quantile(double q) const;
+  /// Fraction of samples with value >= x.
+  double tail_at_least(double x) const;
+
+  /// "x<TAB>F(x)" lines across the grid (skipping flat stretches).
+  std::string to_tsv(std::size_t max_lines = 200) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace s2s::stats

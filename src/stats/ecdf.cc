@@ -1,0 +1,58 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace s2s::stats {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : samples_(samples.begin(), samples.end()) {
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double Ecdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::below(double x) const {
+  if (samples_.empty()) return 0.0;
+  const auto it = std::lower_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size()));
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+std::vector<Ecdf::Point> Ecdf::curve(std::size_t n) const {
+  std::vector<Point> points;
+  if (samples_.empty() || n < 2) return points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(n - 1);
+    const double x = quantile(q);
+    points.push_back({x, at(x)});
+  }
+  return points;
+}
+
+std::string Ecdf::to_tsv(std::size_t n) const {
+  std::string out;
+  char line[64];
+  for (const auto& p : curve(n)) {
+    std::snprintf(line, sizeof(line), "%.6g\t%.4f\n", p.x, p.f);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace s2s::stats

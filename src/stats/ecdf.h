@@ -1,0 +1,50 @@
+// Empirical cumulative distribution functions.
+//
+// Most figures in the paper are ECDFs; this type evaluates F(x), inverts to
+// quantiles, and renders a fixed set of (x, F(x)) points for bench output.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace s2s::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  /// Builds the ECDF over a copy of the samples.
+  explicit Ecdf(std::span<const double> samples);
+
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t size() const noexcept { return samples_.size(); }
+
+  /// F(x) = fraction of samples <= x.
+  double at(double x) const;
+
+  /// Smallest sample value v with F(v) >= q (the q-quantile step inverse).
+  double quantile(double q) const;
+
+  /// Fraction of samples >= x (complementary CDF including ties).
+  double tail_at_least(double x) const { return 1.0 - below(x); }
+  /// Fraction of samples strictly below x.
+  double below(double x) const;
+
+  /// Sorted sample values (ascending); useful for custom sweeps.
+  const std::vector<double>& values() const noexcept { return samples_; }
+
+  /// Evaluation points for plotting: `n` quantile knots from q=0 to q=1.
+  struct Point {
+    double x;
+    double f;
+  };
+  std::vector<Point> curve(std::size_t n = 101) const;
+
+  /// Renders "x<TAB>F(x)" lines (gnuplot-friendly), one block per call.
+  std::string to_tsv(std::size_t n = 101) const;
+
+ private:
+  std::vector<double> samples_;  // sorted ascending
+};
+
+}  // namespace s2s::stats

@@ -1,0 +1,16 @@
+// Pearson correlation (paper Section 5.2: segment-to-end-to-end matching,
+// threshold rho = 0.5).
+#pragma once
+
+#include <span>
+
+namespace s2s::stats {
+
+/// Pearson correlation coefficient between two equally-long series.
+/// Returns 0 when either series is constant or sizes differ / are < 2.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// The paper's segment-selection threshold.
+inline constexpr double kPearsonThreshold = 0.5;
+
+}  // namespace s2s::stats

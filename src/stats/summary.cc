@@ -1,0 +1,72 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace s2s::stats {
+
+std::vector<double> sorted(std::span<const double> samples) {
+  std::vector<double> copy(samples.begin(), samples.end());
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
+double quantile_sorted(std::span<const double> s, double q) {
+  if (s.empty()) throw std::invalid_argument("quantile of empty sample");
+  if (q <= 0.0) return s.front();
+  if (q >= 1.0) return s.back();
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= s.size()) return s.back();
+  return s[lo] + frac * (s[lo + 1] - s[lo]);
+}
+
+double quantile(std::span<const double> samples, double q) {
+  return quantile_sorted(sorted(samples), q);
+}
+
+double percentile(std::span<const double> samples, double pct) {
+  return quantile(samples, pct / 100.0);
+}
+
+double median(std::span<const double> samples) {
+  return quantile(samples, 0.5);
+}
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  return sum / static_cast<double>(samples.size());
+}
+
+double stddev(std::span<const double> samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean(samples);
+  double ss = 0.0;
+  for (double v : samples) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(samples.size() - 1));
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary out;
+  if (samples.empty()) return out;
+  const auto s = sorted(samples);
+  out.count = s.size();
+  out.min = s.front();
+  out.max = s.back();
+  out.p5 = quantile_sorted(s, 0.05);
+  out.p10 = quantile_sorted(s, 0.10);
+  out.p25 = quantile_sorted(s, 0.25);
+  out.p50 = quantile_sorted(s, 0.50);
+  out.p75 = quantile_sorted(s, 0.75);
+  out.p90 = quantile_sorted(s, 0.90);
+  out.p95 = quantile_sorted(s, 0.95);
+  out.mean = mean(samples);
+  out.stddev = stddev(samples);
+  return out;
+}
+
+}  // namespace s2s::stats

@@ -1,0 +1,118 @@
+#include "topology/cities.h"
+
+#include <array>
+
+namespace s2s::topology {
+
+namespace {
+
+// name, country, continent, lat, lon, utc_offset, server_weight, has_ixp
+// Coordinates are approximate city centers; offsets are standard time.
+constexpr double kUsWeight = 1.75;  // 14 cities * 1.75 = 24.5, ~39% of the ~63 total
+const std::array<CityInfo, 88> kCities = {{
+    // --- United States (~39% of server weight) ---
+    {{"New York", "US", "NA", {40.71, -74.01}, -5.0}, kUsWeight, true},
+    {{"Ashburn", "US", "NA", {39.04, -77.49}, -5.0}, kUsWeight, true},
+    {{"Chicago", "US", "NA", {41.88, -87.63}, -6.0}, kUsWeight, true},
+    {{"Dallas", "US", "NA", {32.78, -96.80}, -6.0}, kUsWeight, true},
+    {{"Miami", "US", "NA", {25.76, -80.19}, -5.0}, kUsWeight, true},
+    {{"Atlanta", "US", "NA", {33.75, -84.39}, -5.0}, kUsWeight, false},
+    {{"Houston", "US", "NA", {29.76, -95.37}, -6.0}, kUsWeight, false},
+    {{"Denver", "US", "NA", {39.74, -104.99}, -7.0}, kUsWeight, false},
+    {{"Phoenix", "US", "NA", {33.45, -112.07}, -7.0}, kUsWeight, false},
+    {{"Los Angeles", "US", "NA", {34.05, -118.24}, -8.0}, kUsWeight, true},
+    {{"San Jose", "US", "NA", {37.34, -121.89}, -8.0}, kUsWeight, true},
+    {{"Seattle", "US", "NA", {47.61, -122.33}, -8.0}, kUsWeight, true},
+    {{"Boston", "US", "NA", {42.36, -71.06}, -5.0}, kUsWeight, false},
+    {{"Washington", "US", "NA", {38.91, -77.04}, -5.0}, kUsWeight, false},
+    // --- Australia ---
+    {{"Sydney", "AU", "OC", {-33.87, 151.21}, 10.0}, 1.6, true},
+    {{"Melbourne", "AU", "OC", {-37.81, 144.96}, 10.0}, 1.4, false},
+    {{"Brisbane", "AU", "OC", {-27.47, 153.03}, 10.0}, 1.0, false},
+    {{"Perth", "AU", "OC", {-31.95, 115.86}, 8.0}, 0.8, false},
+    // --- Germany ---
+    {{"Frankfurt", "DE", "EU", {50.11, 8.68}, 1.0}, 1.8, true},
+    {{"Berlin", "DE", "EU", {52.52, 13.41}, 1.0}, 1.0, false},
+    {{"Munich", "DE", "EU", {48.14, 11.58}, 1.0}, 0.9, false},
+    {{"Hamburg", "DE", "EU", {53.55, 9.99}, 1.0}, 0.8, false},
+    // --- India ---
+    {{"Mumbai", "IN", "AS", {19.08, 72.88}, 5.5}, 1.4, true},
+    {{"Delhi", "IN", "AS", {28.70, 77.10}, 5.5}, 1.1, false},
+    {{"Chennai", "IN", "AS", {13.08, 80.27}, 5.5}, 0.9, false},
+    {{"Bangalore", "IN", "AS", {12.97, 77.59}, 5.5}, 0.8, false},
+    // --- Japan ---
+    {{"Tokyo", "JP", "AS", {35.68, 139.65}, 9.0}, 2.0, true},
+    {{"Osaka", "JP", "AS", {34.69, 135.50}, 9.0}, 1.5, false},
+    // --- Canada ---
+    {{"Toronto", "CA", "NA", {43.65, -79.38}, -5.0}, 1.1, true},
+    {{"Montreal", "CA", "NA", {45.50, -73.57}, -5.0}, 0.8, false},
+    {{"Vancouver", "CA", "NA", {49.28, -123.12}, -8.0}, 0.7, false},
+    // --- Rest of Europe ---
+    {{"London", "GB", "EU", {51.51, -0.13}, 0.0}, 1.8, true},
+    {{"Manchester", "GB", "EU", {53.48, -2.24}, 0.0}, 0.6, false},
+    {{"Paris", "FR", "EU", {48.86, 2.35}, 1.0}, 1.4, true},
+    {{"Marseille", "FR", "EU", {43.30, 5.37}, 1.0}, 0.6, false},
+    {{"Amsterdam", "NL", "EU", {52.37, 4.90}, 1.0}, 1.5, true},
+    {{"Brussels", "BE", "EU", {50.85, 4.35}, 1.0}, 0.5, false},
+    {{"Madrid", "ES", "EU", {40.42, -3.70}, 1.0}, 0.8, true},
+    {{"Barcelona", "ES", "EU", {41.39, 2.17}, 1.0}, 0.5, false},
+    {{"Rome", "IT", "EU", {41.90, 12.50}, 1.0}, 0.6, false},
+    {{"Milan", "IT", "EU", {45.46, 9.19}, 1.0}, 0.9, true},
+    {{"Vienna", "AT", "EU", {48.21, 16.37}, 1.0}, 0.6, true},
+    {{"Zurich", "CH", "EU", {47.38, 8.54}, 1.0}, 0.7, false},
+    {{"Stockholm", "SE", "EU", {59.33, 18.07}, 1.0}, 0.8, true},
+    {{"Oslo", "NO", "EU", {59.91, 10.75}, 1.0}, 0.5, false},
+    {{"Copenhagen", "DK", "EU", {55.68, 12.57}, 1.0}, 0.5, false},
+    {{"Helsinki", "FI", "EU", {60.17, 24.94}, 2.0}, 0.5, false},
+    {{"Warsaw", "PL", "EU", {52.23, 21.01}, 1.0}, 0.7, true},
+    {{"Prague", "CZ", "EU", {50.08, 14.44}, 1.0}, 0.6, true},
+    {{"Budapest", "HU", "EU", {47.50, 19.04}, 1.0}, 0.5, false},
+    {{"Bucharest", "RO", "EU", {44.43, 26.10}, 2.0}, 0.5, false},
+    {{"Sofia", "BG", "EU", {42.70, 23.32}, 2.0}, 0.4, false},
+    {{"Athens", "GR", "EU", {37.98, 23.73}, 2.0}, 0.4, false},
+    {{"Istanbul", "TR", "EU", {41.01, 28.98}, 3.0}, 0.8, false},
+    {{"Moscow", "RU", "EU", {55.76, 37.62}, 3.0}, 1.0, true},
+    {{"Kyiv", "UA", "EU", {50.45, 30.52}, 2.0}, 0.5, false},
+    {{"Dublin", "IE", "EU", {53.35, -6.26}, 0.0}, 0.6, false},
+    {{"Lisbon", "PT", "EU", {38.72, -9.14}, 0.0}, 0.5, false},
+    // --- Rest of Asia ---
+    {{"Hong Kong", "HK", "AS", {22.32, 114.17}, 8.0}, 1.4, true},
+    {{"Singapore", "SG", "AS", {1.35, 103.82}, 8.0}, 1.4, true},
+    {{"Seoul", "KR", "AS", {37.57, 126.98}, 9.0}, 1.1, true},
+    {{"Taipei", "TW", "AS", {25.03, 121.57}, 8.0}, 0.8, false},
+    {{"Beijing", "CN", "AS", {39.90, 116.41}, 8.0}, 0.8, false},
+    {{"Shanghai", "CN", "AS", {31.23, 121.47}, 8.0}, 0.8, false},
+    {{"Bangkok", "TH", "AS", {13.76, 100.50}, 7.0}, 0.7, false},
+    {{"Kuala Lumpur", "MY", "AS", {3.14, 101.69}, 8.0}, 0.6, false},
+    {{"Jakarta", "ID", "AS", {-6.21, 106.85}, 7.0}, 0.7, false},
+    {{"Manila", "PH", "AS", {14.60, 120.98}, 8.0}, 0.6, false},
+    {{"Hanoi", "VN", "AS", {21.03, 105.85}, 7.0}, 0.5, false},
+    {{"Dubai", "AE", "AS", {25.20, 55.27}, 4.0}, 0.7, false},
+    {{"Tel Aviv", "IL", "AS", {32.09, 34.78}, 2.0}, 0.6, false},
+    {{"Riyadh", "SA", "AS", {24.71, 46.68}, 3.0}, 0.4, false},
+    {{"Doha", "QA", "AS", {25.29, 51.53}, 3.0}, 0.3, false},
+    // --- Africa ---
+    {{"Johannesburg", "ZA", "AF", {-26.20, 28.05}, 2.0}, 0.7, true},
+    {{"Cape Town", "ZA", "AF", {-33.92, 18.42}, 2.0}, 0.4, false},
+    {{"Nairobi", "KE", "AF", {-1.29, 36.82}, 3.0}, 0.4, false},
+    {{"Lagos", "NG", "AF", {6.52, 3.38}, 1.0}, 0.4, false},
+    {{"Cairo", "EG", "AF", {30.04, 31.24}, 2.0}, 0.5, false},
+    {{"Casablanca", "MA", "AF", {33.57, -7.59}, 0.0}, 0.3, false},
+    // --- South / Central America ---
+    {{"Sao Paulo", "BR", "SA", {-23.56, -46.64}, -3.0}, 1.2, true},
+    {{"Rio de Janeiro", "BR", "SA", {-22.91, -43.17}, -3.0}, 0.6, false},
+    {{"Buenos Aires", "AR", "SA", {-34.60, -58.38}, -3.0}, 0.7, true},
+    {{"Santiago", "CL", "SA", {-33.45, -70.67}, -4.0}, 0.5, false},
+    {{"Lima", "PE", "SA", {-12.05, -77.04}, -5.0}, 0.4, false},
+    {{"Bogota", "CO", "SA", {4.71, -74.07}, -5.0}, 0.4, false},
+    {{"Mexico City", "MX", "NA", {19.43, -99.13}, -6.0}, 0.8, false},
+    {{"Panama City", "PA", "NA", {8.98, -79.52}, -5.0}, 0.3, false},
+    // --- New Zealand ---
+    {{"Auckland", "NZ", "OC", {-36.85, 174.76}, 12.0}, 0.5, false},
+}};
+
+}  // namespace
+
+std::span<const CityInfo> world_cities() { return kCities; }
+
+}  // namespace s2s::topology

@@ -1,0 +1,25 @@
+// Built-in world city table used for PoP and server placement.
+//
+// The mix follows the paper's deployment (Section 2.1): servers in over 70
+// countries, ~39% in the USA, with Australia, Germany, India, Japan and
+// Canada the next five. `server_weight` encodes that distribution.
+#pragma once
+
+#include <span>
+
+#include "net/geo.h"
+
+namespace s2s::topology {
+
+struct CityInfo {
+  net::City city;
+  /// Relative likelihood that a measurement server is placed here.
+  double server_weight = 1.0;
+  /// True for cities hosting a major public IXP fabric in the model.
+  bool has_ixp = false;
+};
+
+/// The full built-in table (static storage, never empty).
+std::span<const CityInfo> world_cities();
+
+}  // namespace s2s::topology

@@ -1,0 +1,664 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "topology/cities.h"
+
+namespace s2s::topology {
+
+namespace {
+
+using stats::Rng;
+
+/// Weighted sampling without replacement over city indexes.
+class CitySampler {
+ public:
+  CitySampler(std::span<const CityInfo> cities, Rng& rng)
+      : cities_(cities), rng_(rng) {}
+
+  /// Draws one city index by server weight, optionally restricted by a
+  /// predicate; returns kInvalidId when nothing matches.
+  template <typename Pred>
+  CityId draw(Pred&& pred) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < cities_.size(); ++i) {
+      if (pred(static_cast<CityId>(i))) total += cities_[i].server_weight;
+    }
+    if (total <= 0.0) return kInvalidId;
+    double target = rng_.uniform() * total;
+    for (std::size_t i = 0; i < cities_.size(); ++i) {
+      if (!pred(static_cast<CityId>(i))) continue;
+      target -= cities_[i].server_weight;
+      if (target <= 0.0) return static_cast<CityId>(i);
+    }
+    return kInvalidId;
+  }
+
+  CityId draw_any() {
+    return draw([](CityId) { return true; });
+  }
+
+ private:
+  std::span<const CityInfo> cities_;
+  Rng& rng_;
+};
+
+/// Sequential address allocation per AS / per IXP, following the
+/// conventions described in generator.h.
+class AddressPlan {
+ public:
+  explicit AddressPlan(Topology& topo) : topo_(topo) {}
+
+  /// Registers AS `id` and appends its announced prefixes.
+  void register_as(AsId id, bool ipv6) {
+    const std::uint32_t block = id + 1;
+    const net::IPv4Addr base4(0x01000000u + block * 0x10000u);
+    topo_.prefixes4.push_back(
+        {net::Prefix4(base4, 16), topo_.ases[id].asn, true});
+    if (ipv6) {
+      const auto base6 = net::IPv6Addr::from_halves(
+          0x2001000000000000ULL | (std::uint64_t{block} << 16), 0);
+      topo_.prefixes6.push_back(
+          {net::Prefix6(base6, 48), topo_.ases[id].asn, true});
+    }
+    state_.emplace(id, State{base4.value(), 0x2001000000000000ULL |
+                                                (std::uint64_t{block} << 16)});
+  }
+
+  /// Registers an IXP LAN; `announced` controls whether the paper's
+  /// "missing AS-level data" error mode triggers for its addresses.
+  void register_ixp(std::uint32_t ixp_index, net::Asn ixp_asn,
+                    bool announced) {
+    const net::IPv4Addr base4(0xB0000000u + ixp_index * 0x10000u);
+    topo_.prefixes4.push_back({net::Prefix4(base4, 16), ixp_asn, announced});
+    const std::uint64_t hi =
+        0x200107f800000000ULL | (std::uint64_t{ixp_index} << 16);
+    topo_.prefixes6.push_back(
+        {net::Prefix6(net::IPv6Addr::from_halves(hi, 0), 48), ixp_asn,
+         announced});
+    ixp_state_.emplace(ixp_index, State{base4.value(), hi});
+  }
+
+  /// Lazily creates the AS's unannounced infrastructure block.
+  void ensure_unannounced_block(AsId id, bool ipv6) {
+    if (unannounced_.contains(id)) return;
+    const std::uint32_t block = id + 1;
+    const net::IPv4Addr base4(0x40000000u + block * 0x10000u);
+    topo_.prefixes4.push_back(
+        {net::Prefix4(base4, 16), topo_.ases[id].asn, false});
+    const std::uint64_t hi =
+        0x2001100000000000ULL | (std::uint64_t{block} << 16);
+    if (ipv6) {
+      topo_.prefixes6.push_back(
+          {net::Prefix6(net::IPv6Addr::from_halves(hi, 0), 48),
+           topo_.ases[id].asn, false});
+    }
+    unannounced_.emplace(id, State{base4.value(), hi});
+  }
+
+  struct Pair {
+    net::IPv4Addr a4, b4;
+    net::IPv6Addr a6, b6;
+  };
+
+  /// Two consecutive addresses from the AS's announced space.
+  Pair link_pair_from_as(AsId id) { return next_pair(state_.at(id)); }
+  /// Two consecutive addresses from the AS's unannounced infra space.
+  Pair link_pair_unannounced(AsId id, bool ipv6) {
+    ensure_unannounced_block(id, ipv6);
+    return next_pair(unannounced_.at(id));
+  }
+  /// Two consecutive addresses from an IXP LAN.
+  Pair link_pair_from_ixp(std::uint32_t ixp_index) {
+    return next_pair(ixp_state_.at(ixp_index));
+  }
+
+  /// One host address from the AS's announced space (servers).
+  std::pair<net::IPv4Addr, net::IPv6Addr> host_from_as(AsId id) {
+    State& s = state_.at(id);
+    ++s.counter;
+    return {net::IPv4Addr(s.base4 + s.counter),
+            net::IPv6Addr::from_halves(s.base6_hi, s.counter)};
+  }
+
+ private:
+  struct State {
+    std::uint32_t base4;
+    std::uint64_t base6_hi;
+    std::uint32_t counter = 0;
+  };
+
+  Pair next_pair(State& s) {
+    const std::uint32_t a = ++s.counter;
+    const std::uint32_t b = ++s.counter;
+    return {net::IPv4Addr(s.base4 + a), net::IPv4Addr(s.base4 + b),
+            net::IPv6Addr::from_halves(s.base6_hi, a),
+            net::IPv6Addr::from_halves(s.base6_hi, b)};
+  }
+
+  Topology& topo_;
+  std::unordered_map<AsId, State> state_;
+  std::unordered_map<AsId, State> unannounced_;
+  std::unordered_map<std::uint32_t, State> ixp_state_;
+};
+
+class Generator {
+ public:
+  explicit Generator(const GeneratorConfig& config)
+      : config_(config), rng_(config.seed), plan_(topo_) {}
+
+  Topology run() {
+    load_cities();
+    create_ases();
+    create_relationships();
+    assign_ipv6();
+    create_routers();
+    register_address_space();
+    create_backbones();
+    create_interconnections();
+    place_servers();
+    topo_.reindex();
+    topo_.validate();
+    return std::move(topo_);
+  }
+
+ private:
+  // ---- phase 1: cities ------------------------------------------------
+  void load_cities() {
+    const auto all = world_cities();
+    topo_.cities.reserve(all.size());
+    for (const auto& info : all) {
+      topo_.cities.push_back(info.city);
+      if (info.has_ixp) {
+        ixp_city_index_.emplace(static_cast<CityId>(topo_.cities.size() - 1),
+                                static_cast<std::uint32_t>(ixp_city_index_.size()));
+      }
+    }
+    infos_ = all;
+  }
+
+  double city_distance_km(CityId a, CityId b) const {
+    return net::great_circle_km(topo_.cities[a].location,
+                                topo_.cities[b].location);
+  }
+
+  // ---- phase 2: AS population -----------------------------------------
+  void create_ases() {
+    CitySampler sampler(infos_, rng_);
+
+    // Global hub cities every tier-1 must reach so the clique always has
+    // shared interconnection sites: Ashburn, Frankfurt, and one Asian hub.
+    const CityId ashburn = city_by_name("Ashburn");
+    const CityId frankfurt = city_by_name("Frankfurt");
+    const CityId asia_hubs[] = {city_by_name("Tokyo"), city_by_name("Singapore"),
+                                city_by_name("Hong Kong")};
+
+    for (int i = 0; i < config_.tier1_count; ++i) {
+      AsNode as;
+      as.asn = net::Asn(10 + static_cast<std::uint32_t>(i));
+      as.tier = Tier::kTier1;
+      std::set<CityId> pops = {ashburn, frankfurt,
+                               asia_hubs[rng_.below(3)]};
+      const int target = config_.tier1_min_pops +
+                         static_cast<int>(rng_.below(static_cast<std::uint64_t>(
+                             config_.tier1_max_pops - config_.tier1_min_pops + 1)));
+      while (static_cast<int>(pops.size()) < target) {
+        const CityId c = sampler.draw_any();
+        if (c != kInvalidId) pops.insert(c);
+      }
+      as.pop_cities.assign(pops.begin(), pops.end());
+      topo_.ases.push_back(std::move(as));
+    }
+
+    for (int i = 0; i < config_.transit_count; ++i) {
+      AsNode as;
+      as.asn = net::Asn(200 + static_cast<std::uint32_t>(i));
+      as.tier = Tier::kTransit;
+      // Regional operator: home continent drawn from the city weights.
+      const CityId home = sampler.draw_any();
+      const std::string continent = topo_.cities[home].continent;
+      std::set<CityId> pops = {home};
+      const int target = config_.transit_min_pops +
+                         static_cast<int>(rng_.below(static_cast<std::uint64_t>(
+                             config_.transit_max_pops - config_.transit_min_pops + 1)));
+      int guard = 0;
+      while (static_cast<int>(pops.size()) < target && guard++ < 200) {
+        const CityId c = sampler.draw([&](CityId id) {
+          return topo_.cities[id].continent == continent;
+        });
+        if (c != kInvalidId) pops.insert(c);
+      }
+      // ~15% of transits also reach one global hub out of region.
+      if (rng_.chance(0.35)) pops.insert(rng_.chance(0.5) ? ashburn : frankfurt);
+      as.pop_cities.assign(pops.begin(), pops.end());
+      topo_.ases.push_back(std::move(as));
+    }
+
+    for (int i = 0; i < config_.stub_count; ++i) {
+      AsNode as;
+      as.asn = net::Asn(5000 + static_cast<std::uint32_t>(i));
+      as.tier = Tier::kStub;
+      const CityId home = sampler.draw_any();
+      std::set<CityId> pops = {home};
+      const int extra = static_cast<int>(rng_.below(static_cast<std::uint64_t>(
+          config_.stub_max_pops - config_.stub_min_pops + 1)));
+      const std::string continent = topo_.cities[home].continent;
+      int guard = 0;
+      while (static_cast<int>(pops.size()) < 1 + extra && guard++ < 100) {
+        const CityId c = sampler.draw([&](CityId id) {
+          return topo_.cities[id].continent == continent;
+        });
+        if (c != kInvalidId) pops.insert(c);
+      }
+      as.pop_cities.assign(pops.begin(), pops.end());
+      topo_.ases.push_back(std::move(as));
+    }
+  }
+
+  CityId city_by_name(std::string_view name) const {
+    for (std::size_t i = 0; i < topo_.cities.size(); ++i) {
+      if (topo_.cities[i].name == name) return static_cast<CityId>(i);
+    }
+    throw std::logic_error("unknown city in generator");
+  }
+
+  // ---- phase 3: relationships ------------------------------------------
+  bool share_city(AsId x, AsId y) const {
+    const auto& a = topo_.ases[x].pop_cities;
+    const auto& b = topo_.ases[y].pop_cities;
+    std::vector<CityId> shared;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(shared));
+    return !shared.empty();
+  }
+
+  AdjacencyId add_adjacency(AsId a, AsId b, Relationship rel) {
+    Adjacency adj;
+    adj.a = a;
+    adj.b = b;
+    adj.rel = rel;
+    topo_.adjacencies.push_back(adj);
+    const auto id = static_cast<AdjacencyId>(topo_.adjacencies.size() - 1);
+    topo_.ases[a].adjacencies.push_back(id);
+    topo_.ases[b].adjacencies.push_back(id);
+    adjacency_set_.insert(pair_key(a, b));
+    return id;
+  }
+
+  bool adjacent(AsId a, AsId b) const {
+    return adjacency_set_.contains(pair_key(a, b));
+  }
+
+  static std::uint64_t pair_key(AsId x, AsId y) {
+    if (x > y) std::swap(x, y);
+    return (std::uint64_t{x} << 32) | y;
+  }
+
+  void create_relationships() {
+    const auto t1_end = static_cast<AsId>(config_.tier1_count);
+    const auto tr_end =
+        static_cast<AsId>(config_.tier1_count + config_.transit_count);
+    const auto all_end = static_cast<AsId>(topo_.ases.size());
+
+    // Tier-1 clique (p2p).
+    for (AsId i = 0; i < t1_end; ++i) {
+      for (AsId j = i + 1; j < t1_end; ++j) {
+        add_adjacency(i, j, Relationship::kPeerToPeer);
+      }
+    }
+
+    // Transit providers: 1-3 tier-1 uplinks sharing a city; regional
+    // operators with no tier-1 in footprint backhaul to the nearest hub.
+    for (AsId t = t1_end; t < tr_end; ++t) {
+      const int got = pick_providers(t, 0, t1_end,
+                                     config_.transit_min_providers,
+                                     config_.transit_max_providers);
+      if (got == 0) attach_to_nearest(t, 0, t1_end);
+    }
+
+    // Transit-transit peering where footprints overlap.
+    for (AsId i = t1_end; i < tr_end; ++i) {
+      for (AsId j = i + 1; j < tr_end; ++j) {
+        if (!adjacent(i, j) && share_city(i, j) &&
+            rng_.chance(config_.transit_peer_prob)) {
+          add_adjacency(i, j, Relationship::kPeerToPeer);
+        }
+      }
+    }
+
+    // Stubs: multihomed to transits (preferred) or tier-1s.
+    for (AsId s = tr_end; s < all_end; ++s) {
+      const int picked = pick_providers(s, t1_end, tr_end,
+                                        config_.stub_min_providers,
+                                        config_.stub_max_providers);
+      if (picked == 0) {
+        // No transit shares a city: backhaul to the nearest transit PoP by
+        // adding that city to the stub's footprint, as customers do.
+        attach_to_nearest(s, t1_end, tr_end);
+      } else if (rng_.chance(0.15)) {
+        // Some stubs also buy one tier-1 uplink directly.
+        pick_providers(s, 0, t1_end, 1, 1);
+      }
+    }
+
+    // Stub-stub public peering at IXP cities (std::map: iteration order
+    // must be deterministic because it feeds the RNG).
+    std::map<CityId, std::vector<AsId>> stubs_at_ixp;
+    for (AsId s = tr_end; s < all_end; ++s) {
+      for (CityId c : topo_.ases[s].pop_cities) {
+        if (ixp_city_index_.contains(c)) stubs_at_ixp[c].push_back(s);
+      }
+    }
+    for (const auto& [city, members] : stubs_at_ixp) {
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+          if (!adjacent(members[i], members[j]) &&
+              rng_.chance(config_.stub_ixp_peer_prob)) {
+            add_adjacency(members[i], members[j], Relationship::kPeerToPeer);
+          }
+        }
+      }
+    }
+  }
+
+  /// Picks up to [min_n, max_n] providers for `customer` from the AS id
+  /// range [lo, hi) that share a city; returns how many were attached.
+  int pick_providers(AsId customer, AsId lo, AsId hi, int min_n, int max_n) {
+    std::vector<AsId> candidates;
+    for (AsId p = lo; p < hi; ++p) {
+      if (p != customer && !adjacent(customer, p) && share_city(customer, p)) {
+        candidates.push_back(p);
+      }
+    }
+    const int want =
+        min_n + static_cast<int>(rng_.below(
+                    static_cast<std::uint64_t>(max_n - min_n + 1)));
+    int attached = 0;
+    while (attached < want && !candidates.empty()) {
+      const auto idx = rng_.below(candidates.size());
+      add_adjacency(customer, candidates[idx],
+                    Relationship::kCustomerToProvider);
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(idx));
+      ++attached;
+    }
+    return attached;
+  }
+
+  /// Backhauls `customer` to the nearest PoP of any AS in [lo, hi): adds
+  /// that city to the customer's footprint and buys transit there.
+  void attach_to_nearest(AsId customer, AsId lo, AsId hi) {
+    const CityId home = topo_.ases[customer].pop_cities.front();
+    double best = 1e18;
+    AsId best_as = kInvalidId;
+    CityId best_city = kInvalidId;
+    for (AsId p = lo; p < hi; ++p) {
+      for (CityId c : topo_.ases[p].pop_cities) {
+        const double d = city_distance_km(home, c);
+        if (d < best) {
+          best = d;
+          best_as = p;
+          best_city = c;
+        }
+      }
+    }
+    if (best_as == kInvalidId) throw std::logic_error("no provider ASes");
+    auto& pops = topo_.ases[customer].pop_cities;
+    pops.insert(std::lower_bound(pops.begin(), pops.end(), best_city),
+                best_city);
+    pops.erase(std::unique(pops.begin(), pops.end()), pops.end());
+    add_adjacency(customer, best_as, Relationship::kCustomerToProvider);
+  }
+
+  // ---- phase 4: IPv6 overlay -------------------------------------------
+  void assign_ipv6() {
+    for (AsNode& as : topo_.ases) {
+      as.ipv6_enabled =
+          as.tier == Tier::kTier1 || rng_.chance(config_.ipv6_as_fraction);
+    }
+    for (Adjacency& adj : topo_.adjacencies) {
+      adj.ipv6 = topo_.ases[adj.a].ipv6_enabled &&
+                 topo_.ases[adj.b].ipv6_enabled &&
+                 rng_.chance(config_.ipv6_adjacency_fraction);
+    }
+  }
+
+  // ---- phase 5: routers --------------------------------------------------
+  void create_routers() {
+    for (AsId i = 0; i < topo_.ases.size(); ++i) {
+      AsNode& as = topo_.ases[i];
+      as.routers.reserve(as.pop_cities.size());
+      for (CityId c : as.pop_cities) {
+        Router r;
+        r.owner = i;
+        r.city = c;
+        r.icmp_response_rate =
+            rng_.chance(config_.silent_router_fraction) ? 0.0 : 1.0;
+        topo_.routers.push_back(r);
+        as.routers.push_back(static_cast<RouterId>(topo_.routers.size() - 1));
+      }
+    }
+  }
+
+  // ---- phase 6: address space ---------------------------------------------
+  void register_address_space() {
+    for (AsId i = 0; i < topo_.ases.size(); ++i) {
+      plan_.register_as(i, topo_.ases[i].ipv6_enabled);
+    }
+    for (const auto& [city, index] : ixp_city_index_) {
+      const net::Asn ixp_asn(64500 + index);
+      const bool announced = !rng_.chance(config_.unannounced_ixp_fraction);
+      plan_.register_ixp(index, ixp_asn, announced);
+    }
+  }
+
+  // ---- phase 7: intra-AS backbones ----------------------------------------
+  double draw_stretch() {
+    return rng_.uniform(config_.path_stretch_min, config_.path_stretch_max);
+  }
+
+  LinkId add_internal_link(AsId as_id, RouterId ra, RouterId rb) {
+    Link link;
+    link.scope = LinkScope::kInternal;
+    link.ipv6 = topo_.ases[as_id].ipv6_enabled;
+    const auto& ca = topo_.cities[topo_.routers[ra].city];
+    const auto& cb = topo_.cities[topo_.routers[rb].city];
+    link.delay_ms = net::fiber_delay_ms(ca.location, cb.location,
+                                        draw_stretch()) +
+                    config_.switch_delay_ms;
+    const bool unannounced =
+        rng_.chance(config_.unannounced_internal_fraction);
+    const auto pair = unannounced
+                          ? plan_.link_pair_unannounced(as_id, link.ipv6)
+                          : plan_.link_pair_from_as(as_id);
+    link.end_a = {ra, pair.a4,
+                  link.ipv6 ? std::optional(pair.a6) : std::nullopt};
+    link.end_b = {rb, pair.b4,
+                  link.ipv6 ? std::optional(pair.b6) : std::nullopt};
+    topo_.links.push_back(link);
+    return static_cast<LinkId>(topo_.links.size() - 1);
+  }
+
+  void create_backbones() {
+    for (AsId i = 0; i < topo_.ases.size(); ++i) {
+      const AsNode& as = topo_.ases[i];
+      const std::size_t n = as.routers.size();
+      if (n < 2) continue;
+      std::set<std::pair<RouterId, RouterId>> added;
+      auto connect = [&](RouterId a, RouterId b) {
+        if (a == b) return;
+        const std::pair<RouterId, RouterId> key = std::minmax(a, b);
+        if (!added.insert(key).second) return;
+        add_internal_link(i, a, b);
+      };
+      // Hub: the PoP minimizing total distance to the others.
+      std::size_t hub = 0;
+      double best = 1e18;
+      for (std::size_t a = 0; a < n; ++a) {
+        double total = 0.0;
+        for (std::size_t b = 0; b < n; ++b) {
+          total += city_distance_km(as.pop_cities[a], as.pop_cities[b]);
+        }
+        if (total < best) {
+          best = total;
+          hub = a;
+        }
+      }
+      for (std::size_t a = 0; a < n; ++a) connect(as.routers[hub], as.routers[a]);
+      // Ring by longitude for geographic diversity.
+      if (n >= 4) {
+        std::vector<std::size_t> order(n);
+        for (std::size_t a = 0; a < n; ++a) order[a] = a;
+        std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+          return topo_.cities[as.pop_cities[x]].location.lon_deg <
+                 topo_.cities[as.pop_cities[y]].location.lon_deg;
+        });
+        for (std::size_t a = 0; a < n; ++a) {
+          connect(as.routers[order[a]], as.routers[order[(a + 1) % n]]);
+        }
+      }
+      // A few random shortcuts on large backbones.
+      for (std::size_t k = 0; k < n / 4; ++k) {
+        connect(as.routers[rng_.below(n)], as.routers[rng_.below(n)]);
+      }
+    }
+  }
+
+  // ---- phase 8: interconnection links ---------------------------------------
+  void create_interconnections() {
+    for (AdjacencyId id = 0; id < topo_.adjacencies.size(); ++id) {
+      Adjacency& adj = topo_.adjacencies[id];
+      std::vector<CityId> shared;
+      std::set_intersection(topo_.ases[adj.a].pop_cities.begin(),
+                            topo_.ases[adj.a].pop_cities.end(),
+                            topo_.ases[adj.b].pop_cities.begin(),
+                            topo_.ases[adj.b].pop_cities.end(),
+                            std::back_inserter(shared));
+      if (shared.empty()) {
+        throw std::logic_error("adjacency without shared city");
+      }
+      const bool tier1_pair = topo_.ases[adj.a].tier == Tier::kTier1 &&
+                              topo_.ases[adj.b].tier == Tier::kTier1;
+      std::size_t link_count = 1;
+      if (tier1_pair) {
+        const auto lo =
+            static_cast<std::size_t>(config_.tier1_parallel_links_min);
+        const auto hi =
+            static_cast<std::size_t>(config_.tier1_parallel_links_max);
+        link_count = std::min(shared.size(), lo + rng_.below(hi - lo + 1));
+      }
+      // Choose `link_count` distinct shared cities.
+      for (std::size_t k = shared.size(); k > link_count; --k) {
+        shared.erase(shared.begin() +
+                     static_cast<std::ptrdiff_t>(rng_.below(shared.size())));
+      }
+      for (CityId city : shared) {
+        adj.links.push_back(add_interconnection_link(id, city));
+      }
+    }
+  }
+
+  LinkId add_interconnection_link(AdjacencyId adj_id, CityId city) {
+    const Adjacency& adj = topo_.adjacencies[adj_id];
+    Link link;
+    link.scope = LinkScope::kInterconnection;
+    link.adjacency = adj_id;
+    link.city = city;
+    link.ipv6 = adj.ipv6;
+    link.delay_ms = config_.switch_delay_ms + rng_.uniform(0.02, 0.4);
+
+    const bool at_ixp = ixp_city_index_.contains(city);
+    const bool public_fabric = adj.rel == Relationship::kPeerToPeer &&
+                               at_ixp &&
+                               rng_.chance(config_.public_ixp_link_prob);
+    link.facility = public_fabric ? FacilityKind::kPublicIxp
+                                  : FacilityKind::kPrivateInterconnect;
+
+    AddressPlan::Pair pair;
+    if (public_fabric) {
+      pair = plan_.link_pair_from_ixp(ixp_city_index_.at(city));
+    } else if (adj.rel == Relationship::kCustomerToProvider) {
+      // Convention: the provider assigns the point-to-point addresses
+      // (paper Figure 8c relies on this).
+      pair = plan_.link_pair_from_as(adj.b);
+    } else {
+      pair = plan_.link_pair_from_as(rng_.chance(0.5) ? adj.a : adj.b);
+    }
+
+    const RouterId ra = *topo_.router_at(adj.a, city);
+    const RouterId rb = *topo_.router_at(adj.b, city);
+    link.end_a = {ra, pair.a4, link.ipv6 ? std::optional(pair.a6) : std::nullopt};
+    link.end_b = {rb, pair.b4, link.ipv6 ? std::optional(pair.b6) : std::nullopt};
+    topo_.links.push_back(link);
+    return static_cast<LinkId>(topo_.links.size() - 1);
+  }
+
+  // ---- phase 9: measurement servers ------------------------------------------
+  void place_servers() {
+    // One server per AS, stubs preferred; mirrors "one server per cluster".
+    std::vector<AsId> hosts;
+    const auto t1_end = static_cast<AsId>(config_.tier1_count);
+    for (AsId i = t1_end; i < topo_.ases.size(); ++i) hosts.push_back(i);
+    // Weight hosting ASes by their home-city server weight.
+    std::vector<double> weight(hosts.size());
+    for (std::size_t k = 0; k < hosts.size(); ++k) {
+      const CityId home = topo_.ases[hosts[k]].pop_cities.front();
+      weight[k] = infos_[home].server_weight;
+    }
+    const int want = std::min<int>(config_.server_count,
+                                   static_cast<int>(hosts.size()));
+    for (int placed = 0; placed < want; ++placed) {
+      double total = 0.0;
+      for (double w : weight) total += w;
+      if (total <= 0.0) break;
+      double target = rng_.uniform() * total;
+      std::size_t pick = 0;
+      for (std::size_t k = 0; k < hosts.size(); ++k) {
+        target -= weight[k];
+        if (target <= 0.0) {
+          pick = k;
+          break;
+        }
+      }
+      const AsId as_id = hosts[pick];
+      weight[pick] = 0.0;  // without replacement
+
+      const AsNode& as = topo_.ases[as_id];
+      const auto pop_idx = rng_.below(as.pop_cities.size());
+      Server server;
+      server.as_id = as_id;
+      server.city = as.pop_cities[pop_idx];
+      server.attachment = as.routers[pop_idx];
+      const auto [a4, a6] = plan_.host_from_as(as_id);
+      server.addr4 = a4;
+      const auto [g4, g6] = plan_.host_from_as(as_id);
+      server.gateway_addr4 = g4;
+      if (as.ipv6_enabled && rng_.chance(config_.server_dual_stack_fraction)) {
+        server.addr6 = a6;
+        server.gateway_addr6 = g6;
+      }
+      topo_.servers.push_back(server);
+    }
+  }
+
+  GeneratorConfig config_;
+  Rng rng_;
+  Topology topo_;
+  AddressPlan plan_;
+  std::span<const CityInfo> infos_;
+  std::map<CityId, std::uint32_t> ixp_city_index_;
+  std::unordered_set<std::uint64_t> adjacency_set_;
+};
+
+}  // namespace
+
+Topology generate(const GeneratorConfig& config) {
+  return Generator(config).run();
+}
+
+}  // namespace s2s::topology

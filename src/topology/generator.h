@@ -1,0 +1,69 @@
+// Synthetic Internet-core generator.
+//
+// Produces a Topology with a tier-1 clique, regional transit providers and
+// multihomed stub networks, Gao-Rexford relationships, geographically
+// embedded PoPs/backbones, interconnection links at shared cities (private
+// cross-connects and public IXP fabrics), a dual-stack overlay, an address
+// plan with announced and deliberately unannounced infrastructure space,
+// and a measurement-server deployment that follows the paper's country mix.
+//
+// Generation is deterministic for a given config (including seed).
+#pragma once
+
+#include <cstdint>
+
+#include "stats/rng.h"
+#include "topology/topology.h"
+
+namespace s2s::topology {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+
+  // --- AS population ---
+  int tier1_count = 12;
+  int transit_count = 80;
+  int stub_count = 400;
+
+  // --- PoP footprints ---
+  int tier1_min_pops = 18, tier1_max_pops = 32;
+  int transit_min_pops = 3, transit_max_pops = 10;
+  int stub_min_pops = 1, stub_max_pops = 3;
+
+  // --- connectivity ---
+  int transit_min_providers = 2, transit_max_providers = 3;
+  int stub_min_providers = 2, stub_max_providers = 4;
+  /// Probability that two transit ASes sharing a city peer (p2p).
+  double transit_peer_prob = 0.45;
+  /// Probability that two stubs co-present at an IXP city peer there.
+  double stub_ixp_peer_prob = 0.05;
+  /// Number of parallel interconnection links for tier1-tier1 adjacencies.
+  int tier1_parallel_links_min = 3, tier1_parallel_links_max = 5;
+  /// Probability a p2p link in an IXP city rides the public fabric.
+  double public_ixp_link_prob = 0.6;
+
+  // --- IPv6 overlay ---
+  double ipv6_as_fraction = 0.90;        ///< non-tier1 ASes that deploy v6
+  double ipv6_adjacency_fraction = 0.93; ///< v6-capable adjacencies enabled
+
+  // --- traceroute realism ---
+  /// Fraction of routers that never answer traceroute probes.
+  double silent_router_fraction = 0.045;
+  /// Fraction of IXP LAN prefixes that are not announced in BGP.
+  double unannounced_ixp_fraction = 0.25;
+  /// Fraction of internal infrastructure /24s left unannounced.
+  double unannounced_internal_fraction = 0.002;
+
+  // --- fiber model ---
+  double path_stretch_min = 1.15, path_stretch_max = 1.55;
+  double switch_delay_ms = 0.15;  ///< per-link forwarding/serialization cost
+
+  // --- measurement deployment ---
+  int server_count = 220;
+  double server_dual_stack_fraction = 0.97;
+};
+
+/// Generates the full topology; the result passes Topology::validate().
+Topology generate(const GeneratorConfig& config);
+
+}  // namespace s2s::topology

@@ -1,0 +1,129 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace s2s::topology {
+
+namespace {
+std::uint64_t pair_key(AsId x, AsId y) {
+  if (x > y) std::swap(x, y);
+  return (std::uint64_t{x} << 32) | y;
+}
+}  // namespace
+
+std::optional<AsId> Topology::find_as(net::Asn asn) const {
+  const auto it = asn_index_.find(asn.value());
+  if (it == asn_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RouterId> Topology::router_at(AsId as_id, CityId city) const {
+  const AsNode& node = ases.at(as_id);
+  const auto it =
+      std::lower_bound(node.pop_cities.begin(), node.pop_cities.end(), city);
+  if (it == node.pop_cities.end() || *it != city) return std::nullopt;
+  return node.routers[static_cast<std::size_t>(it - node.pop_cities.begin())];
+}
+
+std::optional<AdjacencyId> Topology::find_adjacency(AsId x, AsId y) const {
+  const auto it = adjacency_index_.find(pair_key(x, y));
+  if (it == adjacency_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const LinkEnd& Topology::far_end(const Link& link, RouterId router) const {
+  return link.end_a.router == router ? link.end_b : link.end_a;
+}
+
+const LinkEnd& Topology::near_end(const Link& link, RouterId router) const {
+  return link.end_a.router == router ? link.end_a : link.end_b;
+}
+
+int Topology::role_of(AdjacencyId id, AsId x) const {
+  const Adjacency& adj = adjacencies.at(id);
+  if (adj.rel == Relationship::kPeerToPeer) return 0;
+  return adj.a == x ? -1 : +1;
+}
+
+void Topology::reindex() {
+  asn_index_.clear();
+  asn_index_.reserve(ases.size());
+  for (AsId i = 0; i < ases.size(); ++i) {
+    asn_index_.emplace(ases[i].asn.value(), i);
+  }
+  adjacency_index_.clear();
+  adjacency_index_.reserve(adjacencies.size());
+  for (AdjacencyId i = 0; i < adjacencies.size(); ++i) {
+    adjacency_index_.emplace(pair_key(adjacencies[i].a, adjacencies[i].b), i);
+  }
+}
+
+void Topology::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::logic_error("Topology::validate: " + what);
+  };
+  for (const AsNode& as : ases) {
+    if (!as.asn.known()) fail("AS with unknown ASN");
+    if (as.pop_cities.size() != as.routers.size()) {
+      fail("pop_cities/routers size mismatch for " + as.asn.to_string());
+    }
+    if (!std::is_sorted(as.pop_cities.begin(), as.pop_cities.end())) {
+      fail("unsorted pop_cities for " + as.asn.to_string());
+    }
+    for (CityId c : as.pop_cities) {
+      if (c >= cities.size()) fail("city index out of range");
+    }
+    for (RouterId r : as.routers) {
+      if (r >= routers.size()) fail("router index out of range");
+    }
+    for (AdjacencyId a : as.adjacencies) {
+      if (a >= adjacencies.size()) fail("adjacency index out of range");
+    }
+  }
+  for (const Adjacency& adj : adjacencies) {
+    if (adj.a >= ases.size() || adj.b >= ases.size()) {
+      fail("adjacency endpoint out of range");
+    }
+    if (adj.a == adj.b) fail("self adjacency");
+    if (adj.links.empty()) fail("adjacency without links");
+    for (LinkId l : adj.links) {
+      if (l >= links.size()) fail("adjacency link out of range");
+      if (links[l].scope != LinkScope::kInterconnection) {
+        fail("adjacency references internal link");
+      }
+    }
+  }
+  std::unordered_set<std::uint32_t> seen4;
+  for (const Link& link : links) {
+    if (link.end_a.router >= routers.size() ||
+        link.end_b.router >= routers.size()) {
+      fail("link endpoint out of range");
+    }
+    if (link.delay_ms < 0.0) fail("negative link delay");
+    for (const LinkEnd* end : {&link.end_a, &link.end_b}) {
+      if (!seen4.insert(end->addr4.value()).second) {
+        fail("duplicate interface IPv4 address " + end->addr4.to_string());
+      }
+      if (link.ipv6 && !end->addr6.has_value()) {
+        fail("dual-stack link missing IPv6 address");
+      }
+    }
+    if (link.scope == LinkScope::kInterconnection &&
+        link.adjacency == kInvalidId) {
+      fail("interconnection link without adjacency");
+    }
+  }
+  for (const Server& server : servers) {
+    if (server.as_id >= ases.size()) fail("server AS out of range");
+    if (server.attachment >= routers.size()) {
+      fail("server attachment out of range");
+    }
+    if (!seen4.insert(server.addr4.value()).second) {
+      fail("duplicate server IPv4 address " + server.addr4.to_string());
+    }
+  }
+}
+
+}  // namespace s2s::topology

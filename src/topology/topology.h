@@ -1,0 +1,181 @@
+// Data model for the simulated Internet core.
+//
+// The topology is three-layered, mirroring what the paper's traceroutes
+// traverse:
+//   * AS layer:      autonomous systems with Gao-Rexford business
+//                    relationships (customer-to-provider, peer-to-peer)
+//                    and an adjacency per related AS pair;
+//   * router layer:  one backbone router per (AS, PoP city), intra-AS
+//                    backbone links, and per-adjacency interconnection
+//                    links pinned to a shared city and facility kind
+//                    (private interconnect or public IXP fabric);
+//   * address layer: every link end carries an IPv4 (/31-style) and,
+//                    when the link is dual-stack, an IPv6 address drawn
+//                    from an AS's announced space or from unannounced
+//                    infrastructure space (IXP LANs), which is what makes
+//                    the paper's IP-to-AS error modes reproducible.
+//
+// Topology objects are plain data; generation lives in generator.h and
+// policy routing in routing/.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/asn.h"
+#include "net/geo.h"
+#include "net/ip.h"
+#include "net/prefix.h"
+
+namespace s2s::topology {
+
+/// Index types (positions into the Topology vectors).
+using AsId = std::uint32_t;
+using CityId = std::uint32_t;
+using RouterId = std::uint32_t;
+using LinkId = std::uint32_t;
+using AdjacencyId = std::uint32_t;
+using ServerId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = ~std::uint32_t{0};
+
+/// Commercial role of an AS in the hierarchy.
+enum class Tier : std::uint8_t {
+  kTier1,    ///< transit-free clique member
+  kTransit,  ///< regional/national transit provider
+  kStub,     ///< edge network (eyeball, enterprise, hosting)
+};
+
+/// Business relationship of an adjacency, read as "how `a` sees `b`".
+enum class Relationship : std::uint8_t {
+  kCustomerToProvider,  ///< a is the customer, b the provider
+  kPeerToPeer,          ///< settlement-free peers
+};
+
+/// Where an interconnection is established.
+enum class FacilityKind : std::uint8_t {
+  kPrivateInterconnect,  ///< private cross-connect in a colocation facility
+  kPublicIxp,            ///< shared IXP switching fabric
+};
+
+/// Whether a link is inside one AS or between two ASes.
+enum class LinkScope : std::uint8_t { kInternal, kInterconnection };
+
+struct AsNode {
+  net::Asn asn;
+  Tier tier = Tier::kStub;
+  bool ipv6_enabled = true;
+  std::vector<CityId> pop_cities;      ///< cities with a PoP (sorted, unique)
+  std::vector<RouterId> routers;       ///< one per PoP city, same order
+  std::vector<AdjacencyId> adjacencies;
+};
+
+/// AS-level adjacency between two related ASes; owns one or more
+/// router-level interconnection links (parallel links in different cities).
+struct Adjacency {
+  AsId a = kInvalidId;  ///< for c2p: the customer side
+  AsId b = kInvalidId;  ///< for c2p: the provider side
+  Relationship rel = Relationship::kPeerToPeer;
+  bool ipv6 = false;  ///< adjacency exists in the IPv6 routing plane too
+  std::vector<LinkId> links;
+};
+
+struct Router {
+  AsId owner = kInvalidId;
+  CityId city = kInvalidId;
+  /// Probability this router answers traceroute probes (models the paper's
+  /// 28-33% of traceroutes containing unresponsive hops).
+  double icmp_response_rate = 1.0;
+};
+
+/// One end of a link: the interface addresses a traceroute reports when a
+/// probe *arrives* at `router` over this link.
+struct LinkEnd {
+  RouterId router = kInvalidId;
+  net::IPv4Addr addr4;
+  std::optional<net::IPv6Addr> addr6;  ///< absent on IPv4-only links
+};
+
+struct Link {
+  LinkScope scope = LinkScope::kInternal;
+  /// Set for interconnection links; kInvalidId for internal ones.
+  AdjacencyId adjacency = kInvalidId;
+  FacilityKind facility = FacilityKind::kPrivateInterconnect;
+  CityId city = kInvalidId;  ///< city of the facility (interconnection) or
+                             ///< kInvalidId for long-haul internal links
+  LinkEnd end_a;
+  LinkEnd end_b;
+  double delay_ms = 0.0;  ///< one-way propagation + switching delay
+  bool ipv6 = false;      ///< carries IPv6 (dual-stack link)
+  /// Index into the congestion-profile table, or kInvalidId.
+  std::uint32_t congestion_profile = kInvalidId;
+};
+
+/// A measurement server (one per cluster, as in the paper).
+struct Server {
+  AsId as_id = kInvalidId;
+  CityId city = kInvalidId;
+  RouterId attachment = kInvalidId;  ///< first-hop router
+  net::IPv4Addr addr4;
+  std::optional<net::IPv6Addr> addr6;
+  /// Ingress interface of the attachment router facing the server; this is
+  /// the address a traceroute reports for its first hop.
+  net::IPv4Addr gateway_addr4;
+  std::optional<net::IPv6Addr> gateway_addr6;
+  bool dual_stack() const { return addr6.has_value(); }
+};
+
+/// An announced (or deliberately unannounced) prefix with its origin AS.
+struct PrefixOrigin4 {
+  net::Prefix4 prefix;
+  net::Asn origin;
+  bool announced = true;
+};
+struct PrefixOrigin6 {
+  net::Prefix6 prefix;
+  net::Asn origin;
+  bool announced = true;
+};
+
+class Topology {
+ public:
+  std::vector<net::City> cities;
+  std::vector<AsNode> ases;
+  std::vector<Adjacency> adjacencies;
+  std::vector<Router> routers;
+  std::vector<Link> links;
+  std::vector<Server> servers;
+  std::vector<PrefixOrigin4> prefixes4;
+  std::vector<PrefixOrigin6> prefixes6;
+
+  /// ASN -> AsId lookup.
+  std::optional<AsId> find_as(net::Asn asn) const;
+  /// Router of `as_id` in `city`, if that AS has a PoP there.
+  std::optional<RouterId> router_at(AsId as_id, CityId city) const;
+  /// The adjacency between two ASes, if any.
+  std::optional<AdjacencyId> find_adjacency(AsId x, AsId y) const;
+  /// The other end of a link relative to `router`.
+  const LinkEnd& far_end(const Link& link, RouterId router) const;
+  const LinkEnd& near_end(const Link& link, RouterId router) const;
+
+  /// Relationship of `x` toward `y` over adjacency `id` ("x is customer",
+  /// "x is provider", or peer), as a signed code: -1 customer, 0 peer,
+  /// +1 provider.
+  int role_of(AdjacencyId id, AsId x) const;
+
+  /// Rebuilds the internal lookup indexes after direct mutation.
+  void reindex();
+
+  /// Consistency checks (index ranges, sorted PoPs, address uniqueness);
+  /// throws std::logic_error with a message on the first violation.
+  void validate() const;
+
+ private:
+  std::unordered_map<std::uint32_t, AsId> asn_index_;
+  std::unordered_map<std::uint64_t, AdjacencyId> adjacency_index_;
+};
+
+}  // namespace s2s::topology

@@ -1,0 +1,132 @@
+#include "core/as_path_infer.h"
+
+#include <gtest/gtest.h>
+
+namespace s2s::core {
+namespace {
+
+using net::Asn;
+using net::IPAddr;
+using net::IPv4Addr;
+
+class InferFixture : public ::testing::Test {
+ protected:
+  InferFixture() {
+    // AS 100 owns 10.100/16, AS 200 owns 10.200/16, AS 300 owns 10.44/16.
+    rib_.insert(net::Prefix4(IPv4Addr(10, 100, 0, 0), 16), Asn(100));
+    rib_.insert(net::Prefix4(IPv4Addr(10, 200, 0, 0), 16), Asn(200));
+    rib_.insert(net::Prefix4(IPv4Addr(10, 44, 0, 0), 16), Asn(300));
+  }
+
+  static probe::Hop hop(std::optional<IPAddr> addr) {
+    return {addr, 1.0};
+  }
+  static IPAddr a(int second, int host) {
+    return IPAddr(IPv4Addr(10, static_cast<std::uint8_t>(second), 0,
+                           static_cast<std::uint8_t>(host)));
+  }
+
+  probe::TracerouteRecord record(std::vector<probe::Hop> hops) {
+    probe::TracerouteRecord rec;
+    rec.complete = true;
+    rec.hops = std::move(hops);
+    return rec;
+  }
+
+  bgp::Rib rib_;
+};
+
+TEST_F(InferFixture, CollapsesConsecutiveDuplicates) {
+  AsPathInferrer infer(rib_);
+  const auto rec = record({hop(a(100, 1)), hop(a(100, 2)), hop(a(200, 1)),
+                           hop(a(200, 2))});
+  const auto out = infer.infer(rec, Asn(100));
+  EXPECT_EQ(out.as_path, (net::AsPath{Asn(100), Asn(200)}));
+  EXPECT_EQ(out.quality, TraceQuality::kCompleteAsLevel);
+  EXPECT_FALSE(out.has_as_loop);
+  EXPECT_FALSE(out.imputed);
+}
+
+TEST_F(InferFixture, ImputesGapInsideOneAs) {
+  AsPathInferrer infer(rib_);
+  const auto rec = record(
+      {hop(a(100, 1)), hop(std::nullopt), hop(a(100, 2)), hop(a(200, 1))});
+  const auto out = infer.infer(rec, Asn(100));
+  EXPECT_EQ(out.as_path, (net::AsPath{Asn(100), Asn(200)}));
+  EXPECT_TRUE(out.imputed);
+  // Still classified missing-IP for Table 1 accounting.
+  EXPECT_EQ(out.quality, TraceQuality::kMissingIpLevel);
+}
+
+TEST_F(InferFixture, BoundaryGapStaysUnknown) {
+  AsPathInferrer infer(rib_);
+  const auto rec =
+      record({hop(a(100, 1)), hop(std::nullopt), hop(a(200, 1))});
+  const auto out = infer.infer(rec, Asn(100));
+  EXPECT_EQ(out.as_path,
+            (net::AsPath{Asn(100), net::kUnknownAsn, Asn(200)}));
+  EXPECT_FALSE(out.imputed);
+}
+
+TEST_F(InferFixture, UnmappedAddressIsMissingAsLevel) {
+  AsPathInferrer infer(rib_);
+  const IPAddr unmapped(IPv4Addr(172, 16, 0, 1));
+  const auto rec = record({hop(a(100, 1)), hop(unmapped), hop(a(200, 1))});
+  const auto out = infer.infer(rec, Asn(100));
+  EXPECT_EQ(out.quality, TraceQuality::kMissingAsLevel);
+  EXPECT_EQ(out.as_path,
+            (net::AsPath{Asn(100), net::kUnknownAsn, Asn(200)}));
+}
+
+TEST_F(InferFixture, UnresponsiveOutranksUnmapped) {
+  AsPathInferrer infer(rib_);
+  const IPAddr unmapped(IPv4Addr(172, 16, 0, 1));
+  const auto rec = record({hop(a(100, 1)), hop(unmapped), hop(std::nullopt),
+                           hop(a(200, 1))});
+  EXPECT_EQ(infer.infer(rec, Asn(100)).quality,
+            TraceQuality::kMissingIpLevel);
+}
+
+TEST_F(InferFixture, UnmappedGapImputedWhenFlanked) {
+  AsPathInferrer infer(rib_);
+  const IPAddr unmapped(IPv4Addr(172, 16, 0, 1));
+  const auto rec = record(
+      {hop(a(100, 1)), hop(unmapped), hop(a(100, 2)), hop(a(200, 1))});
+  const auto out = infer.infer(rec, Asn(100));
+  EXPECT_EQ(out.as_path, (net::AsPath{Asn(100), Asn(200)}));
+  EXPECT_TRUE(out.imputed);
+}
+
+TEST_F(InferFixture, DetectsAsLoop) {
+  AsPathInferrer infer(rib_);
+  const auto rec = record({hop(a(100, 1)), hop(a(200, 1)), hop(a(100, 2)),
+                           hop(a(200, 2))});
+  EXPECT_TRUE(infer.infer(rec, Asn(100)).has_as_loop);
+}
+
+TEST_F(InferFixture, NoLoopForConsecutiveSameAs) {
+  AsPathInferrer infer(rib_);
+  const auto rec = record({hop(a(100, 1)), hop(a(100, 2)), hop(a(300, 1))});
+  EXPECT_FALSE(infer.infer(rec, Asn(100)).has_as_loop);
+}
+
+TEST_F(InferFixture, SourceAsnAnchorsPath) {
+  AsPathInferrer infer(rib_);
+  // First hop already in a different AS (e.g. provider-assigned gateway):
+  // the source AS still leads the path.
+  const auto rec = record({hop(a(200, 1)), hop(a(300, 1))});
+  const auto out = infer.infer(rec, Asn(100));
+  EXPECT_EQ(out.as_path, (net::AsPath{Asn(100), Asn(200), Asn(300)}));
+}
+
+TEST_F(InferFixture, MultipleGapRunsCollapse) {
+  AsPathInferrer infer(rib_);
+  const auto rec =
+      record({hop(std::nullopt), hop(std::nullopt), hop(a(200, 1))});
+  const auto out = infer.infer(rec, Asn(100));
+  EXPECT_EQ(out.as_path,
+            (net::AsPath{Asn(100), net::kUnknownAsn, Asn(200)}));
+}
+
+}  // namespace
+}  // namespace s2s::core

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "routing/candidates.h"
+#include "routing/dynamics.h"
+#include "topology/generator.h"
+
+namespace s2s::routing {
+namespace {
+
+using topology::AsId;
+using topology::Topology;
+
+Topology make_topo(std::uint64_t seed) {
+  topology::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.tier1_count = 5;
+  cfg.transit_count = 25;
+  cfg.stub_count = 80;
+  cfg.server_count = 30;
+  return topology::generate(cfg);
+}
+
+std::vector<std::pair<AsId, AsId>> server_as_pairs(const Topology& topo) {
+  std::vector<std::pair<AsId, AsId>> pairs;
+  for (const auto& a : topo.servers) {
+    for (const auto& b : topo.servers) {
+      if (a.as_id != b.as_id) pairs.emplace_back(a.as_id, b.as_id);
+    }
+  }
+  return pairs;
+}
+
+TEST(CandidateTable, PrimaryFirstAndConsistent) {
+  const Topology topo = make_topo(21);
+  const ValleyFreeRouter router(topo);
+  const auto pairs = server_as_pairs(topo);
+  const CandidateTable table(router, net::Family::kIPv4, pairs);
+
+  std::size_t with_primary = 0;
+  table.for_each([&](AsId src, AsId dst, const CandidateSet& set) {
+    if (set.candidates.empty()) return;
+    const Candidate& primary = set.candidates.front();
+    EXPECT_TRUE(primary.primary);
+    EXPECT_EQ(primary.path.front(), src);
+    EXPECT_EQ(primary.path.back(), dst);
+    EXPECT_EQ(primary.adjs.size() + 1, primary.path.size());
+    // The primary equals the live no-failure route.
+    const auto base = router.compute(dst, net::Family::kIPv4);
+    EXPECT_EQ(*router.extract(base, src), primary.path);
+    // Alternates are distinct paths with the same endpoints.
+    for (std::size_t i = 1; i < set.candidates.size(); ++i) {
+      EXPECT_FALSE(set.candidates[i].primary);
+      EXPECT_NE(set.candidates[i].path, primary.path);
+      EXPECT_EQ(set.candidates[i].path.front(), src);
+      EXPECT_EQ(set.candidates[i].path.back(), dst);
+    }
+    ++with_primary;
+  });
+  EXPECT_GT(with_primary, pairs.size() / 2);
+}
+
+TEST(CandidateTable, ResolveSkipsFailedCandidates) {
+  const Topology topo = make_topo(22);
+  const ValleyFreeRouter router(topo);
+  const auto pairs = server_as_pairs(topo);
+  const CandidateTable table(router, net::Family::kIPv4, pairs);
+
+  AdjacencyMask failed(topo.adjacencies.size(), false);
+  std::size_t rerouted = 0;
+  table.for_each([&](AsId, AsId, const CandidateSet& set) {
+    if (set.candidates.size() < 2) return;
+    const Candidate* no_fail = set.resolve(failed);
+    ASSERT_NE(no_fail, nullptr);
+    EXPECT_TRUE(no_fail->primary);
+    // Fail the first adjacency of the primary; the resolved path must
+    // avoid it.
+    const auto broken = no_fail->adjs.front();
+    failed[broken] = true;
+    const Candidate* alt = set.resolve(failed);
+    failed[broken] = false;
+    if (alt != nullptr) {
+      EXPECT_EQ(std::find(alt->adjs.begin(), alt->adjs.end(), broken),
+                alt->adjs.end());
+      ++rerouted;
+    }
+  });
+  EXPECT_GT(rerouted, 0u);
+}
+
+TEST(CandidateTable, AlternateMatchesExactRecomputation) {
+  const Topology topo = make_topo(23);
+  const ValleyFreeRouter router(topo);
+  const auto pairs = server_as_pairs(topo);
+  const CandidateTable table(router, net::Family::kIPv4, pairs);
+
+  AdjacencyMask failed(topo.adjacencies.size(), false);
+  std::size_t verified = 0;
+  table.for_each([&](AsId src, AsId dst, const CandidateSet& set) {
+    if (set.candidates.size() < 2 || verified >= 50) return;
+    const auto broken = set.candidates.front().adjs.front();
+    failed[broken] = true;
+    const Candidate* alt = set.resolve(failed);
+    const auto exact = router.compute(dst, net::Family::kIPv4, &failed);
+    const auto exact_path = router.extract(exact, src);
+    failed[broken] = false;
+    if (alt != nullptr && exact_path.has_value()) {
+      EXPECT_EQ(alt->path, *exact_path);
+      ++verified;
+    }
+  });
+  EXPECT_GT(verified, 10u);
+}
+
+TEST(OutageSchedule, RespectsSeverityCalibration) {
+  const Topology topo = make_topo(24);
+  DynamicsConfig cfg;
+  cfg.mean_outages_per_adjacency = 20.0;  // dense, for statistics
+  cfg.rate_sigma = 0.1;
+  cfg.oscillate_fraction = 0.0;
+  // Low severity -> long repairs; high severity -> short repairs.
+  auto severity = [&](topology::AdjacencyId id) {
+    return id % 2 == 0 ? 0.0 : 150.0;
+  };
+  const OutageSchedule schedule(topo, cfg, severity, stats::Rng(5));
+
+  double low_sum = 0, high_sum = 0;
+  std::size_t low_n = 0, high_n = 0;
+  for (topology::AdjacencyId id = 0; id < topo.adjacencies.size(); ++id) {
+    for (const auto& outage : schedule.outages(id)) {
+      const double hours = (outage.end - outage.start) / 3600.0;
+      if (id % 2 == 0) {
+        low_sum += hours;
+        ++low_n;
+      } else {
+        high_sum += hours;
+        ++high_n;
+      }
+    }
+  }
+  ASSERT_GT(low_n, 100u);
+  ASSERT_GT(high_n, 100u);
+  EXPECT_GT(low_sum / low_n, 10.0 * (high_sum / high_n));
+}
+
+TEST(OutageSchedule, IsDownMatchesIntervals) {
+  const Topology topo = make_topo(25);
+  DynamicsConfig cfg;
+  cfg.mean_outages_per_adjacency = 5.0;
+  cfg.oscillate_fraction = 0.0;
+  const OutageSchedule schedule(topo, cfg, [](auto) { return 50.0; },
+                                stats::Rng(6));
+  std::size_t checked = 0;
+  for (topology::AdjacencyId id = 0; id < topo.adjacencies.size() && checked < 2000;
+       ++id) {
+    for (const auto& outage : schedule.outages(id)) {
+      const net::SimTime mid((outage.start.seconds() + outage.end.seconds()) / 2);
+      if (outage.v4) {
+        EXPECT_TRUE(schedule.is_down(id, net::Family::kIPv4, mid));
+      }
+      if (outage.v6) {
+        EXPECT_TRUE(schedule.is_down(id, net::Family::kIPv6, mid));
+      }
+      // Beyond the schedule horizon everything is up again.
+      EXPECT_FALSE(schedule.is_down(id, net::Family::kIPv4,
+                                    net::SimTime::from_days(cfg.campaign_days) +
+                                        86400));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(OutageSchedule, PlaneCouplingFractions) {
+  const Topology topo = make_topo(26);
+  DynamicsConfig cfg;
+  cfg.mean_outages_per_adjacency = 10.0;
+  cfg.rate_sigma = 0.1;
+  cfg.oscillate_fraction = 0.0;
+  const OutageSchedule schedule(topo, cfg, [](auto) { return 0.0; },
+                                stats::Rng(7));
+  std::size_t both = 0, v4_only = 0, v6_only = 0;
+  for (topology::AdjacencyId id = 0; id < topo.adjacencies.size(); ++id) {
+    for (const auto& o : schedule.outages(id)) {
+      if (o.v4 && o.v6) ++both;
+      else if (o.v4) ++v4_only;
+      else ++v6_only;
+    }
+  }
+  const double total = static_cast<double>(both + v4_only + v6_only);
+  ASSERT_GT(total, 1000.0);
+  EXPECT_NEAR(both / total, 0.70, 0.04);
+  EXPECT_NEAR(v4_only / total, 0.20, 0.04);
+  EXPECT_NEAR(v6_only / total, 0.10, 0.04);
+}
+
+TEST(OutageSchedule, OscillatorsOnlyOnEligibleAdjacencies) {
+  const Topology topo = make_topo(27);
+  DynamicsConfig cfg;
+  cfg.mean_outages_per_adjacency = 0.0;  // isolate oscillators
+  cfg.oscillate_fraction = 1.0;
+  cfg.oscillate_max_severity_ms = 18.0;
+  auto severity = [&](topology::AdjacencyId id) {
+    return id % 3 == 0 ? 10.0 : 100.0;  // only id%3==0 eligible
+  };
+  const OutageSchedule schedule(topo, cfg, severity, stats::Rng(8));
+  for (topology::AdjacencyId id = 0; id < topo.adjacencies.size(); ++id) {
+    if (id % 3 == 0) {
+      EXPECT_FALSE(schedule.outages(id).empty()) << id;
+    } else {
+      EXPECT_TRUE(schedule.outages(id).empty()) << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s2s::routing

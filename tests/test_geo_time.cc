@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "net/geo.h"
+#include "net/timebase.h"
+
+namespace s2s::net {
+namespace {
+
+// Reference distances (great-circle, km) with ~1% tolerance.
+TEST(Geo, KnownCityDistances) {
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint london{51.51, -0.13};
+  const GeoPoint tokyo{35.68, 139.65};
+  const GeoPoint sydney{-33.87, 151.21};
+  EXPECT_NEAR(great_circle_km(nyc, london), 5570.0, 60.0);
+  EXPECT_NEAR(great_circle_km(nyc, tokyo), 10850.0, 120.0);
+  EXPECT_NEAR(great_circle_km(london, sydney), 16990.0, 200.0);
+}
+
+TEST(Geo, DistanceProperties) {
+  const GeoPoint a{12.3, 45.6};
+  const GeoPoint b{-33.0, 151.0};
+  EXPECT_DOUBLE_EQ(great_circle_km(a, a), 0.0);
+  EXPECT_NEAR(great_circle_km(a, b), great_circle_km(b, a), 1e-9);
+  EXPECT_GT(great_circle_km(a, b), 0.0);
+  // Never exceeds half the Earth's circumference.
+  EXPECT_LE(great_circle_km(a, b), 3.14159265358979 * kEarthRadiusKm + 1.0);
+}
+
+TEST(Geo, AntipodalIsHalfCircumference) {
+  const GeoPoint north{90.0, 0.0};
+  const GeoPoint south{-90.0, 0.0};
+  EXPECT_NEAR(great_circle_km(north, south),
+              3.14159265358979 * kEarthRadiusKm, 1.0);
+}
+
+TEST(Geo, CRttMatchesLightSpeed) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 90.0};  // quarter circumference on the equator
+  const double dist = great_circle_km(a, b);
+  EXPECT_NEAR(c_rtt_ms(a, b), 2.0 * dist / kSpeedOfLightKmPerMs, 1e-9);
+  // Fiber is slower than free space, so fiber one-way > half of cRTT.
+  EXPECT_GT(fiber_delay_ms(a, b), c_rtt_ms(a, b) / 2.0);
+}
+
+TEST(Geo, FiberStretchScalesDelay) {
+  const GeoPoint a{40.0, -74.0};
+  const GeoPoint b{51.0, 0.0};
+  EXPECT_NEAR(fiber_delay_ms(a, b, 1.5), 1.5 * fiber_delay_ms(a, b, 1.0),
+              1e-9);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = SimTime::from_days(2.0);
+  EXPECT_EQ(t.seconds(), 2 * 86400);
+  EXPECT_DOUBLE_EQ(t.days(), 2.0);
+  EXPECT_DOUBLE_EQ((t + 3600).hours(), 49.0);
+  EXPECT_EQ(SimTime::from_hours(5.0) - SimTime::from_hours(2.0), 3 * 3600);
+}
+
+TEST(SimTime, HourOfDayWrapsCorrectly) {
+  EXPECT_DOUBLE_EQ(SimTime::from_hours(0.0).utc_hour_of_day(), 0.0);
+  EXPECT_DOUBLE_EQ(SimTime::from_hours(25.5).utc_hour_of_day(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::from_hours(47.0).local_hour_of_day(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(SimTime::from_hours(1.0).local_hour_of_day(-5.0), 20.0);
+  // Offsets beyond a day still land in [0, 24).
+  const double h = SimTime::from_hours(3.0).local_hour_of_day(26.0);
+  EXPECT_GE(h, 0.0);
+  EXPECT_LT(h, 24.0);
+  EXPECT_DOUBLE_EQ(h, 5.0);
+}
+
+TEST(SimTime, Rendering) {
+  EXPECT_EQ(SimTime::from_hours(27.5).to_string(), "D001 03:30");
+}
+
+}  // namespace
+}  // namespace s2s::net

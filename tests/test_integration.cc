@@ -1,0 +1,124 @@
+// End-to-end integration: a scaled-down version of the paper's pipelines
+// running against the simulator, asserting the qualitative findings.
+#include <gtest/gtest.h>
+
+#include "core/congestion_detect.h"
+#include "core/dualstack.h"
+#include "core/routing_study.h"
+#include "probe/campaign.h"
+#include "stats/ecdf.h"
+
+namespace s2s {
+namespace {
+
+using topology::ServerId;
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static simnet::NetworkConfig config() {
+    simnet::NetworkConfig cfg;
+    cfg.topology.seed = 2024;
+    cfg.topology.tier1_count = 6;
+    cfg.topology.transit_count = 30;
+    cfg.topology.stub_count = 100;
+    cfg.topology.server_count = 30;
+    return cfg;
+  }
+};
+
+TEST_F(IntegrationFixture, LongTermPipelineProducesPaperShapedData) {
+  simnet::Network net(config());
+  const auto& topo = net.topo();
+  std::vector<std::pair<ServerId, ServerId>> pairs;
+  for (ServerId a = 0; a < topo.servers.size(); ++a) {
+    for (ServerId b = a + 1; b < topo.servers.size(); ++b) {
+      if (topo.servers[a].dual_stack() && topo.servers[b].dual_stack()) {
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+  ASSERT_GT(pairs.size(), 100u);
+
+  probe::TracerouteCampaignConfig campaign_cfg;
+  campaign_cfg.days = 40.0;
+  probe::TracerouteCampaign campaign(net, campaign_cfg, pairs);
+  core::TimelineStore store(topo, net.rib(), {0.0, net::kThreeHours});
+  campaign.run([&](const probe::TracerouteRecord& r) { store.add(r); });
+
+  const auto& t1 = store.table1();
+  // Completion and data-quality bands around the paper's Table 1.
+  const double complete_frac =
+      static_cast<double>(t1.v4.complete) / t1.v4.collected;
+  EXPECT_GT(complete_frac, 0.6);
+  EXPECT_LT(complete_frac, 0.95);
+  const double analyzed =
+      static_cast<double>(t1.v4.complete_as + t1.v4.missing_as +
+                          t1.v4.missing_ip);
+  EXPECT_GT(t1.v4.complete_as / analyzed, 0.45);
+  EXPECT_GT(t1.v4.missing_ip / analyzed, 0.10);
+  // Classic IPv6 shows more AS-path loops than (eventually Paris) IPv4.
+  const double loop4 = static_cast<double>(t1.v4.as_loops) / t1.v4.complete;
+  const double loop6 = static_cast<double>(t1.v6.as_loops) / t1.v6.complete;
+  EXPECT_LT(loop4, 0.06);
+  EXPECT_GT(loop6, loop4);
+
+  core::RoutingStudyConfig study_cfg;
+  study_cfg.min_observations = 100;
+  const auto study = core::run_routing_study(store, study_cfg);
+  ASSERT_GT(study.v4.timelines, 100u);
+  // Most timelines fluctuate among a handful of AS paths.
+  const stats::Ecdf unique_paths(study.v4.unique_paths);
+  EXPECT_LE(unique_paths.quantile(0.8), 8.0);
+  // Most popular path dominates for the majority of timelines.
+  const stats::Ecdf prevalence(study.v4.popular_prevalence);
+  EXPECT_GT(prevalence.quantile(0.5), 0.5);
+
+  // Dual-stack: RTTs over the two protocols are broadly similar.
+  const auto dual = core::run_dualstack_study(store);
+  ASSERT_GT(dual.samples_matched, 1000u);
+  const double similar =
+      dual.diff_all.at(10.0) - dual.diff_all.at(-10.0);
+  EXPECT_GT(similar, 0.25);
+}
+
+TEST_F(IntegrationFixture, DeterministicAcrossRuns) {
+  auto run_once = [&]() {
+    simnet::Network net(config());
+    std::vector<std::pair<ServerId, ServerId>> pairs{{0, 5}, {3, 9}, {2, 7}};
+    probe::TracerouteCampaignConfig cfg;
+    cfg.days = 5.0;
+    probe::TracerouteCampaign campaign(net, cfg, pairs);
+    core::TimelineStore store(net.topo(), net.rib(), {0.0, net::kThreeHours});
+    campaign.run([&](const probe::TracerouteRecord& r) { store.add(r); });
+    return store.table1().v4.complete_as * 1000000 +
+           store.table1().v4.missing_ip * 1000 + store.table1().v6.complete;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(IntegrationFixture, CongestionSurveyFlagsMinority) {
+  simnet::Network net(config());
+  const auto& topo = net.topo();
+  std::vector<std::pair<ServerId, ServerId>> pairs;
+  for (ServerId a = 0; a < topo.servers.size(); ++a) {
+    for (ServerId b = a + 1; b < topo.servers.size(); ++b) {
+      pairs.emplace_back(a, b);
+    }
+  }
+  probe::PingCampaignConfig cfg;
+  cfg.start_day = 0.0;
+  cfg.days = 7.0;
+  probe::PingCampaign campaign(net, cfg, pairs);
+  core::PingSeriesStore store(0.0, net::kFifteenMinutes, campaign.epochs());
+  campaign.run([&](const probe::PingRecord& r) { store.add(r); });
+
+  const auto survey = core::survey_congestion(store);
+  ASSERT_GT(survey.v4.pairs_assessed, 200u);
+  // Consistent congestion is not the norm in the core (paper 5.1).
+  EXPECT_LT(static_cast<double>(survey.v4.consistent) /
+                survey.v4.pairs_assessed,
+            0.15);
+}
+
+}  // namespace
+}  // namespace s2s

@@ -1,0 +1,89 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+namespace s2s::net {
+namespace {
+
+TEST(Prefix4, MasksHostBits) {
+  const Prefix4 p(IPv4Addr(192, 0, 2, 200), 24);
+  EXPECT_EQ(p.address(), IPv4Addr(192, 0, 2, 0));
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(Prefix4, Contains) {
+  const Prefix4 p(IPv4Addr(10, 0, 0, 0), 8);
+  EXPECT_TRUE(p.contains(IPv4Addr(10, 255, 1, 2)));
+  EXPECT_FALSE(p.contains(IPv4Addr(11, 0, 0, 0)));
+  EXPECT_TRUE(p.contains(Prefix4(IPv4Addr(10, 1, 0, 0), 16)));
+  EXPECT_FALSE(p.contains(Prefix4(IPv4Addr(0, 0, 0, 0), 0)));  // less specific
+}
+
+TEST(Prefix4, ZeroLengthContainsEverything) {
+  const Prefix4 p(IPv4Addr(0), 0);
+  EXPECT_TRUE(p.contains(IPv4Addr(255, 255, 255, 255)));
+  EXPECT_TRUE(p.contains(IPv4Addr(0)));
+}
+
+TEST(Prefix4, ParseRejectsHostBitsAndJunk) {
+  EXPECT_TRUE(Prefix4::parse("192.0.2.0/24"));
+  EXPECT_FALSE(Prefix4::parse("192.0.2.1/24"));  // host bits set
+  EXPECT_FALSE(Prefix4::parse("192.0.2.0/33"));
+  EXPECT_FALSE(Prefix4::parse("192.0.2.0"));
+  EXPECT_FALSE(Prefix4::parse("192.0.2.0/-1"));
+  EXPECT_EQ(Prefix4::parse("10.0.0.0/8")->to_string(), "10.0.0.0/8");
+}
+
+TEST(Prefix6, MasksHostBits) {
+  const auto addr = IPv6Addr::parse("2001:db8::ffff");
+  const Prefix6 p(*addr, 32);
+  EXPECT_EQ(p.address().to_string(), "2001:db8::");
+  EXPECT_EQ(p.length(), 32);
+}
+
+TEST(Prefix6, Contains) {
+  const Prefix6 p(*IPv6Addr::parse("2001:db8::"), 32);
+  EXPECT_TRUE(p.contains(*IPv6Addr::parse("2001:db8:ffff::1")));
+  EXPECT_FALSE(p.contains(*IPv6Addr::parse("2001:db9::1")));
+  EXPECT_TRUE(p.contains(Prefix6(*IPv6Addr::parse("2001:db8:1::"), 48)));
+}
+
+TEST(Prefix6, ParseRoundTrip) {
+  const auto p = Prefix6::parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "2001:db8::/32");
+  EXPECT_FALSE(Prefix6::parse("2001:db8::1/32"));  // host bits
+  EXPECT_FALSE(Prefix6::parse("2001:db8::/129"));
+}
+
+TEST(AddressBit, MostSignificantFirst) {
+  EXPECT_TRUE(address_bit(IPv4Addr(0x80000000u), 0));
+  EXPECT_FALSE(address_bit(IPv4Addr(0x80000000u), 1));
+  EXPECT_TRUE(address_bit(IPv4Addr(1), 31));
+  const auto v6 = IPv6Addr::from_halves(0x8000000000000000ULL, 1);
+  EXPECT_TRUE(address_bit(v6, 0));
+  EXPECT_FALSE(address_bit(v6, 1));
+  EXPECT_TRUE(address_bit(v6, 127));
+}
+
+// Property: for every length, a prefix contains its own address and the
+// address with all host bits set, but not the next prefix's base.
+class Prefix4Lengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prefix4Lengths, BoundaryProperty) {
+  const int len = GetParam();
+  const Prefix4 p(IPv4Addr(0xAB000000u), len);
+  const std::uint32_t base = p.address().value();
+  const std::uint32_t span = len >= 32 ? 0u : (len == 0 ? ~0u : (~0u >> len));
+  EXPECT_TRUE(p.contains(IPv4Addr(base)));
+  EXPECT_TRUE(p.contains(IPv4Addr(base + span)));
+  if (len > 0 && base + span != ~0u) {
+    EXPECT_FALSE(p.contains(IPv4Addr(base + span + 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, Prefix4Lengths,
+                         ::testing::Values(0, 1, 7, 8, 15, 16, 23, 24, 31, 32));
+
+}  // namespace
+}  // namespace s2s::net

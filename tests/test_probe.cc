@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "probe/campaign.h"
+#include "probe/ping.h"
+#include "probe/traceroute.h"
+
+namespace s2s::probe {
+namespace {
+
+using topology::ServerId;
+
+simnet::NetworkConfig small_cfg(std::uint64_t seed) {
+  simnet::NetworkConfig cfg;
+  cfg.topology.seed = seed;
+  cfg.topology.tier1_count = 5;
+  cfg.topology.transit_count = 25;
+  cfg.topology.stub_count = 80;
+  cfg.topology.server_count = 30;
+  return cfg;
+}
+
+class ProbeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<simnet::Network>(small_cfg(41));
+    std::vector<ServerId> servers;
+    for (ServerId s = 0; s < net_->topo().servers.size(); ++s) {
+      servers.push_back(s);
+    }
+    net_->prepare_full_mesh(servers);
+  }
+  std::unique_ptr<simnet::Network> net_;
+};
+
+TEST_F(ProbeFixture, CompleteTracerouteEndsAtDestination) {
+  TracerouteConfig cfg;
+  cfg.stop_early_prob = 0.0;
+  cfg.classic_loop_prob_v4 = 0.0;
+  cfg.classic_false_hop_prob = 0.0;
+  TracerouteEngine engine(*net_, cfg, stats::Rng(1));
+  const auto& topo = net_->topo();
+  std::size_t complete = 0;
+  for (ServerId a = 0; a < 8; ++a) {
+    for (ServerId b = 8; b < 16; ++b) {
+      const auto rec = engine.run(a, b, net::Family::kIPv4, net::SimTime(0),
+                                  TracerouteMethod::kParis);
+      ASSERT_TRUE(rec.has_value());
+      EXPECT_EQ(rec->src_addr, net::IPAddr(topo.servers[a].addr4));
+      if (!rec->complete) continue;
+      ++complete;
+      ASSERT_FALSE(rec->hops.empty());
+      EXPECT_EQ(*rec->hops.back().addr, net::IPAddr(topo.servers[b].addr4));
+      // First hop is the source gateway (when responsive).
+      if (rec->hops.front().addr) {
+        EXPECT_EQ(*rec->hops.front().addr,
+                  net::IPAddr(topo.servers[a].gateway_addr4));
+      }
+      // End-to-end RTT exceeds every intermediate hop's propagation share.
+      EXPECT_GT(rec->end_to_end_rtt_ms(), 0.0);
+    }
+  }
+  EXPECT_GT(complete, 30u);
+}
+
+TEST_F(ProbeFixture, HopRttsRoughlyIncrease) {
+  TracerouteConfig cfg;
+  cfg.stop_early_prob = 0.0;
+  cfg.noise.slow_path_prob = 0.0;  // suppress control-plane outliers
+  cfg.noise.spike_prob = 0.0;
+  TracerouteEngine engine(*net_, cfg, stats::Rng(2));
+  const auto rec = engine.run(0, 20, net::Family::kIPv4, net::SimTime(0),
+                              TracerouteMethod::kParis);
+  ASSERT_TRUE(rec.has_value());
+  if (!rec->complete) GTEST_SKIP() << "pair unroutable";
+  // Compare first and last responsive intermediate hops.
+  double first = -1, last = -1;
+  for (const auto& hop : rec->hops) {
+    if (!hop.addr) continue;
+    if (first < 0) first = hop.rtt_ms;
+    last = hop.rtt_ms;
+  }
+  EXPECT_GE(last, first);
+}
+
+TEST_F(ProbeFixture, IncompleteTracerouteEndsWithStars) {
+  TracerouteConfig cfg;
+  cfg.stop_early_prob = 1.0;  // force truncation
+  TracerouteEngine engine(*net_, cfg, stats::Rng(3));
+  const auto rec = engine.run(0, 20, net::Family::kIPv4, net::SimTime(0),
+                              TracerouteMethod::kParis);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(rec->complete);
+  EXPECT_FALSE(rec->hops.back().addr.has_value());
+}
+
+TEST_F(ProbeFixture, V6RequiresDualStackEndpoints) {
+  TracerouteConfig cfg;
+  TracerouteEngine engine(*net_, cfg, stats::Rng(4));
+  const auto& servers = net_->topo().servers;
+  std::optional<ServerId> v4_only;
+  std::optional<ServerId> dual;
+  for (ServerId s = 0; s < servers.size(); ++s) {
+    if (!servers[s].dual_stack() && !v4_only) v4_only = s;
+    if (servers[s].dual_stack() && !dual) dual = s;
+  }
+  if (!v4_only || !dual) GTEST_SKIP() << "need both kinds in this seed";
+  EXPECT_FALSE(engine.run(*v4_only, *dual, net::Family::kIPv6, net::SimTime(0),
+                          TracerouteMethod::kClassic)
+                   .has_value());
+}
+
+TEST_F(ProbeFixture, ClassicLoopArtifactsAppearAtRoughlyConfiguredRate) {
+  TracerouteConfig cfg;
+  cfg.stop_early_prob = 0.0;
+  cfg.classic_loop_prob_v4 = 0.5;  // exaggerated for the statistic
+  cfg.classic_false_hop_prob = 0.0;
+  TracerouteEngine engine(*net_, cfg, stats::Rng(5));
+  const auto& topo = net_->topo();
+  const bgp::Rib& rib = net_->rib();
+  std::size_t complete = 0, loops = 0;
+  for (ServerId a = 0; a < 12; ++a) {
+    for (ServerId b = 12; b < 24; ++b) {
+      const auto rec = engine.run(a, b, net::Family::kIPv4, net::SimTime(0),
+                                  TracerouteMethod::kClassic);
+      if (!rec || !rec->complete) continue;
+      ++complete;
+      // Detect an AS loop exactly as the analysis does: collapse and look
+      // for repeats.
+      std::vector<std::uint32_t> seq;
+      for (const auto& hop : rec->hops) {
+        if (!hop.addr) continue;
+        const auto asn = rib.origin(*hop.addr);
+        if (!asn) continue;
+        if (seq.empty() || seq.back() != asn->value()) {
+          seq.push_back(asn->value());
+        }
+      }
+      std::set<std::uint32_t> seen;
+      for (auto v : seq) {
+        if (!seen.insert(v).second) {
+          ++loops;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(complete, 50u);
+  // Not every traceroute has an eligible AS boundary, so the realized rate
+  // is below the configured 50%, but must be clearly nonzero.
+  EXPECT_GT(static_cast<double>(loops) / static_cast<double>(complete), 0.15);
+  (void)topo;
+}
+
+TEST_F(ProbeFixture, ParisNeverManufacturesLoops) {
+  TracerouteConfig cfg;
+  cfg.stop_early_prob = 0.0;
+  cfg.classic_loop_prob_v4 = 1.0;  // would fire on classic
+  TracerouteEngine engine(*net_, cfg, stats::Rng(6));
+  const bgp::Rib& rib = net_->rib();
+  for (ServerId a = 0; a < 6; ++a) {
+    for (ServerId b = 6; b < 12; ++b) {
+      const auto rec = engine.run(a, b, net::Family::kIPv4, net::SimTime(0),
+                                  TracerouteMethod::kParis);
+      if (!rec || !rec->complete) continue;
+      std::vector<std::uint32_t> seq;
+      for (const auto& hop : rec->hops) {
+        if (!hop.addr) continue;
+        if (const auto asn = rib.origin(*hop.addr)) {
+          if (seq.empty() || seq.back() != asn->value()) {
+            seq.push_back(asn->value());
+          }
+        }
+      }
+      std::set<std::uint32_t> seen;
+      for (auto v : seq) EXPECT_TRUE(seen.insert(v).second);
+    }
+  }
+}
+
+TEST_F(ProbeFixture, PingMatchesTracerouteScale) {
+  PingConfig pcfg;
+  pcfg.loss_prob = 0.0;
+  PingEngine ping(*net_, pcfg, stats::Rng(7));
+  TracerouteConfig tcfg;
+  tcfg.stop_early_prob = 0.0;
+  TracerouteEngine tracer(*net_, tcfg, stats::Rng(8));
+  std::size_t compared = 0;
+  for (ServerId a = 0; a < 6 && compared < 10; ++a) {
+    for (ServerId b = 6; b < 12; ++b) {
+      const auto p = ping.run(a, b, net::Family::kIPv4, net::SimTime(0));
+      const auto t = tracer.run(a, b, net::Family::kIPv4, net::SimTime(0),
+                                TracerouteMethod::kParis);
+      if (!p || !p->success || !t || !t->complete) continue;
+      EXPECT_NEAR(p->rtt_ms, t->end_to_end_rtt_ms(),
+                  0.25 * std::max(p->rtt_ms, t->end_to_end_rtt_ms()) + 25.0);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 3u);
+}
+
+TEST(DowntimeSchedule, WindowsCoverSomeTimeAndNotAll) {
+  DowntimeConfig cfg;
+  cfg.monthly_window_prob = 1.0;
+  cfg.window_days_min = 1.0;
+  cfg.window_days_max = 2.0;
+  const DowntimeSchedule schedule(4, 90.0, cfg, stats::Rng(9));
+  std::size_t down = 0, total = 0;
+  for (int h = 0; h < 90 * 24; h += 3) {
+    for (ServerId s = 0; s < 4; ++s) {
+      down += schedule.down(s, net::SimTime::from_hours(h));
+      ++total;
+    }
+  }
+  EXPECT_GT(down, 0u);
+  EXPECT_LT(down, total / 2);
+}
+
+TEST_F(ProbeFixture, CampaignDeliversBothFamiliesAndDirections) {
+  std::vector<std::pair<ServerId, ServerId>> pairs{{0, 20}};
+  TracerouteCampaignConfig cfg;
+  cfg.days = 2.0;
+  cfg.downtime.monthly_window_prob = 0.0;
+  TracerouteCampaign campaign(*net_, cfg, pairs);
+  std::set<std::tuple<ServerId, ServerId, net::Family>> seen;
+  std::size_t count = 0;
+  campaign.run([&](const TracerouteRecord& rec) {
+    seen.insert({rec.src, rec.dst, rec.family});
+    ++count;
+  });
+  EXPECT_EQ(campaign.epochs(), 16u);
+  // Both directions over IPv4 at least (IPv6 depends on dual-stack).
+  EXPECT_TRUE(seen.contains({0, 20, net::Family::kIPv4}));
+  EXPECT_TRUE(seen.contains({20, 0, net::Family::kIPv4}));
+  EXPECT_GE(count, 2 * campaign.epochs());
+}
+
+}  // namespace
+}  // namespace s2s::probe

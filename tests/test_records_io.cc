@@ -1,0 +1,148 @@
+#include "io/records_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/timeline.h"
+#include "probe/campaign.h"
+
+namespace s2s::io {
+namespace {
+
+probe::TracerouteRecord sample_trace() {
+  probe::TracerouteRecord rec;
+  rec.src = 3;
+  rec.dst = 9;
+  rec.family = net::Family::kIPv4;
+  rec.time = net::SimTime(123456);
+  rec.method = probe::TracerouteMethod::kParis;
+  rec.complete = true;
+  rec.src_addr = *net::IPAddr::parse("1.2.0.5");
+  rec.dst_addr = *net::IPAddr::parse("1.9.0.7");
+  rec.hops.push_back({*net::IPAddr::parse("1.2.0.99"), 0.512});
+  rec.hops.push_back({std::nullopt, 0.0});
+  rec.hops.push_back({*net::IPAddr::parse("1.9.0.7"), 42.125});
+  return rec;
+}
+
+TEST(RecordsIo, TracerouteRoundTrip) {
+  const auto rec = sample_trace();
+  const auto parsed = parse_traceroute(to_line(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, rec.src);
+  EXPECT_EQ(parsed->dst, rec.dst);
+  EXPECT_EQ(parsed->family, rec.family);
+  EXPECT_EQ(parsed->time, rec.time);
+  EXPECT_EQ(parsed->method, rec.method);
+  EXPECT_EQ(parsed->complete, rec.complete);
+  EXPECT_EQ(parsed->src_addr, rec.src_addr);
+  EXPECT_EQ(parsed->dst_addr, rec.dst_addr);
+  ASSERT_EQ(parsed->hops.size(), 3u);
+  EXPECT_EQ(*parsed->hops[0].addr, *rec.hops[0].addr);
+  EXPECT_NEAR(parsed->hops[0].rtt_ms, 0.512, 1e-9);
+  EXPECT_FALSE(parsed->hops[1].addr.has_value());
+  EXPECT_NEAR(parsed->hops[2].rtt_ms, 42.125, 1e-9);
+}
+
+TEST(RecordsIo, TracerouteV6RoundTrip) {
+  auto rec = sample_trace();
+  rec.family = net::Family::kIPv6;
+  rec.src_addr = *net::IPAddr::parse("2001:db8::1");
+  rec.dst_addr = *net::IPAddr::parse("2001:db8::2");
+  rec.hops = {{*net::IPAddr::parse("2001:7f8::9"), 7.5}};
+  const auto parsed = parse_traceroute(to_line(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_addr.to_string(), "2001:db8::1");
+  EXPECT_EQ(*parsed->hops[0].addr, *net::IPAddr::parse("2001:7f8::9"));
+}
+
+TEST(RecordsIo, PingRoundTrip) {
+  probe::PingRecord rec;
+  rec.src = 1;
+  rec.dst = 2;
+  rec.family = net::Family::kIPv6;
+  rec.time = net::SimTime(999);
+  rec.success = true;
+  rec.rtt_ms = 83.25;
+  const auto parsed = parse_ping(to_line(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, 1u);
+  EXPECT_EQ(parsed->family, net::Family::kIPv6);
+  EXPECT_TRUE(parsed->success);
+  EXPECT_NEAR(parsed->rtt_ms, 83.25, 1e-9);
+}
+
+TEST(RecordsIo, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_traceroute(""));
+  EXPECT_FALSE(parse_traceroute("T\t1\t2"));
+  EXPECT_FALSE(parse_traceroute("P\t1\t2\t4\t0\t1\t5.0"));
+  EXPECT_FALSE(parse_ping("P\t1\t2\t4\t0\t1"));
+  EXPECT_FALSE(parse_ping("P\t1\t2\t5\t0\t1\t5.0"));  // bad family
+  EXPECT_FALSE(parse_ping("P\t1\t2\t4\t0\t2\t5.0"));  // bad success flag
+  // Truncated hop field (the "@rtt" suffix of the last hop lost).
+  auto line = to_line(sample_trace());
+  line.resize(line.size() - 7);
+  EXPECT_FALSE(parse_traceroute(line));
+}
+
+TEST(RecordsIo, WriterReaderStream) {
+  std::stringstream buffer;
+  RecordWriter writer(buffer);
+  writer.write(sample_trace());
+  probe::PingRecord ping;
+  ping.src = 4;
+  ping.dst = 5;
+  ping.success = true;
+  ping.rtt_ms = 10.0;
+  writer.write(ping);
+  buffer << "garbage line\n";
+  EXPECT_EQ(writer.written(), 2u);
+
+  RecordReader reader(buffer);
+  std::size_t traces = 0, pings = 0;
+  reader.read_all([&](const probe::TracerouteRecord&) { ++traces; },
+                  [&](const probe::PingRecord&) { ++pings; });
+  EXPECT_EQ(traces, 1u);
+  EXPECT_EQ(pings, 1u);
+  EXPECT_EQ(reader.errors(), 1u);
+}
+
+TEST(RecordsIo, CampaignRoundTripPreservesAnalysis) {
+  // Write a small campaign to text, read it back, and verify the replayed
+  // records reproduce the same Table 1 accounting.
+  simnet::NetworkConfig cfg;
+  cfg.topology.seed = 77;
+  cfg.topology.tier1_count = 5;
+  cfg.topology.transit_count = 20;
+  cfg.topology.stub_count = 60;
+  cfg.topology.server_count = 20;
+  simnet::Network net(cfg);
+  std::vector<std::pair<topology::ServerId, topology::ServerId>> pairs{
+      {0, 5}, {2, 9}, {4, 12}};
+  probe::TracerouteCampaignConfig campaign_cfg;
+  campaign_cfg.days = 3.0;
+  probe::TracerouteCampaign campaign(net, campaign_cfg, pairs);
+
+  std::stringstream buffer;
+  RecordWriter writer(buffer);
+  core::TimelineStore direct(net.topo(), net.rib(), {0.0, net::kThreeHours});
+  campaign.run([&](const probe::TracerouteRecord& r) {
+    writer.write(r);
+    direct.add(r);
+  });
+
+  core::TimelineStore replayed(net.topo(), net.rib(),
+                               {0.0, net::kThreeHours});
+  RecordReader reader(buffer);
+  reader.read_all([&](const probe::TracerouteRecord& r) { replayed.add(r); },
+                  [](const probe::PingRecord&) {});
+  EXPECT_EQ(reader.errors(), 0u);
+  EXPECT_EQ(replayed.table1().v4.collected, direct.table1().v4.collected);
+  EXPECT_EQ(replayed.table1().v4.complete_as, direct.table1().v4.complete_as);
+  EXPECT_EQ(replayed.table1().v6.missing_ip, direct.table1().v6.missing_ip);
+  EXPECT_EQ(replayed.timeline_count(), direct.timeline_count());
+}
+
+}  // namespace
+}  // namespace s2s::io

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "simnet/congestion.h"
+#include "simnet/network.h"
+#include "simnet/router_path.h"
+#include "topology/generator.h"
+
+namespace s2s::simnet {
+namespace {
+
+using topology::ServerId;
+using topology::Topology;
+
+NetworkConfig small_network_config(std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.topology.seed = seed;
+  cfg.topology.tier1_count = 5;
+  cfg.topology.transit_count = 25;
+  cfg.topology.stub_count = 80;
+  cfg.topology.server_count = 30;
+  return cfg;
+}
+
+TEST(CongestionProfile, DiurnalPeaksAtBusyHour) {
+  CongestionProfile p;
+  p.amplitude_ms = 30.0;
+  p.peak_local_hour = 20.0;
+  p.sigma_hours = 2.0;
+  p.utc_offset_hours = 0.0;
+  const double at_peak =
+      p.delay_ms(net::Family::kIPv4, net::SimTime::from_hours(20.0));
+  const double off_peak =
+      p.delay_ms(net::Family::kIPv4, net::SimTime::from_hours(8.0));
+  EXPECT_NEAR(at_peak, 30.0, 1e-9);
+  EXPECT_LT(off_peak, 0.01);
+  // Circular hour distance: 23:00 is 3 hours from the 20:00 peak, same as
+  // 17:00.
+  EXPECT_NEAR(p.delay_ms(net::Family::kIPv4, net::SimTime::from_hours(23.0)),
+              p.delay_ms(net::Family::kIPv4, net::SimTime::from_hours(17.0)),
+              1e-9);
+}
+
+TEST(CongestionProfile, TimeZoneShiftsPeak) {
+  CongestionProfile p;
+  p.amplitude_ms = 30.0;
+  p.peak_local_hour = 20.0;
+  p.utc_offset_hours = 9.0;  // JST: local 20:00 = 11:00 UTC
+  EXPECT_NEAR(p.delay_ms(net::Family::kIPv4, net::SimTime::from_hours(11.0)),
+              30.0, 1e-9);
+}
+
+TEST(CongestionProfile, EpisodeGating) {
+  CongestionProfile p;
+  p.amplitude_ms = 30.0;
+  p.peak_local_hour = 12.0;
+  p.episodes = {{0, 86400}};
+  EXPECT_GT(p.delay_ms(net::Family::kIPv4, net::SimTime::from_hours(12.0)), 29.0);
+  EXPECT_DOUBLE_EQ(
+      p.delay_ms(net::Family::kIPv4,
+                 net::SimTime::from_hours(12.0 + 48.0)),  // outside episode
+      0.0);
+}
+
+TEST(CongestionProfile, FamilyGating) {
+  CongestionProfile p;
+  p.amplitude_ms = 30.0;
+  p.peak_local_hour = 12.0;
+  p.affects_v6 = false;
+  EXPECT_GT(p.delay_ms(net::Family::kIPv4, net::SimTime::from_hours(12.0)), 0.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(net::Family::kIPv6, net::SimTime::from_hours(12.0)),
+                   0.0);
+}
+
+TEST(CongestionProfile, BurstyIsFlatTopped) {
+  CongestionProfile p;
+  p.kind = CongestionKind::kBursty;
+  p.amplitude_ms = 25.0;
+  p.bursts = {{1000, 2000}, {5000, 6000}};
+  EXPECT_DOUBLE_EQ(p.delay_ms(net::Family::kIPv4, net::SimTime(1500)), 25.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(net::Family::kIPv4, net::SimTime(2500)), 0.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(net::Family::kIPv4, net::SimTime(5999)), 25.0);
+  EXPECT_DOUBLE_EQ(p.delay_ms(net::Family::kIPv4, net::SimTime(999)), 0.0);
+}
+
+TEST(CongestionModel, AmplitudesWithinRegionalBands) {
+  Topology topo = topology::generate(small_network_config(31).topology);
+  CongestionConfig cfg;
+  cfg.internal_fraction = 0.3;  // dense for statistics
+  cfg.private_interconnect_fraction = 0.3;
+  cfg.bursty_fraction = 0.0;
+  const CongestionModel model(topo, cfg, stats::Rng(1));
+  ASSERT_GT(model.profiles().size(), 50u);
+  for (const auto& p : model.profiles()) {
+    EXPECT_GE(p.amplitude_ms, 10.0);
+    EXPECT_LE(p.amplitude_ms, 120.0);
+  }
+}
+
+TEST(CongestionModel, WritesProfileIndexIntoLinks) {
+  Topology topo = topology::generate(small_network_config(32).topology);
+  CongestionConfig cfg;
+  cfg.internal_fraction = 0.2;
+  const CongestionModel model(topo, cfg, stats::Rng(2));
+  std::size_t flagged = 0;
+  for (topology::LinkId id = 0; id < topo.links.size(); ++id) {
+    if (topo.links[id].congestion_profile != topology::kInvalidId) {
+      ++flagged;
+      EXPECT_EQ(model.profiles()[topo.links[id].congestion_profile].link, id);
+    } else {
+      EXPECT_DOUBLE_EQ(
+          model.queue_delay_ms(id, net::Family::kIPv4,
+                               net::SimTime::from_hours(20.0)),
+          0.0);
+    }
+  }
+  EXPECT_GT(flagged, 0u);
+}
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>(small_network_config(33));
+    std::vector<ServerId> servers;
+    for (ServerId s = 0; s < net_->topo().servers.size(); ++s) {
+      servers.push_back(s);
+    }
+    net_->prepare_full_mesh(servers);
+  }
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(NetworkFixture, ResolveReturnsContinuousRouterPath) {
+  const auto& topo = net_->topo();
+  std::size_t resolved = 0;
+  for (ServerId a = 0; a < 10; ++a) {
+    for (ServerId b = 10; b < 20; ++b) {
+      const auto r = net_->resolve(a, b, net::Family::kIPv4, net::SimTime(0));
+      if (!r) continue;
+      ++resolved;
+      ASSERT_FALSE(r->path->hops.empty());
+      // First hop is the source's attachment router.
+      EXPECT_EQ(r->path->hops.front().router, topo.servers[a].attachment);
+      EXPECT_EQ(r->path->hops.back().router, topo.servers[b].attachment);
+      // Consecutive hops are joined by the stated link.
+      for (std::size_t i = 1; i < r->path->hops.size(); ++i) {
+        const auto& hop = r->path->hops[i];
+        ASSERT_NE(hop.link, topology::kInvalidId);
+        const auto& link = topo.links[hop.link];
+        const auto prev = r->path->hops[i - 1].router;
+        EXPECT_TRUE((link.end_a.router == prev && link.end_b.router == hop.router) ||
+                    (link.end_b.router == prev && link.end_a.router == hop.router));
+        // Cumulative delay is strictly increasing.
+        EXPECT_GT(hop.cumulative_delay_ms,
+                  r->path->hops[i - 1].cumulative_delay_ms);
+      }
+      // AS path endpoints match server ASes.
+      EXPECT_EQ(r->as_path.front(), topo.servers[a].as_id);
+      EXPECT_EQ(r->as_path.back(), topo.servers[b].as_id);
+    }
+  }
+  EXPECT_GT(resolved, 50u);
+}
+
+TEST_F(NetworkFixture, OneWayIncludesCongestionQueues) {
+  // Find a resolvable pair, then compare one_way at a quiet hour vs the
+  // same path evaluated with all congested links at their peak. Since
+  // profiles vary, we only assert one_way >= propagation delay.
+  for (ServerId a = 0; a < 5; ++a) {
+    for (ServerId b = 5; b < 10; ++b) {
+      const auto r = net_->resolve(a, b, net::Family::kIPv4, net::SimTime(0));
+      if (!r) continue;
+      const double ow = net_->one_way_ms(*r->path, net::Family::kIPv4,
+                                         net::SimTime::from_hours(20.0));
+      EXPECT_GE(ow, r->path->total_delay_ms - 1e-9);
+    }
+  }
+}
+
+TEST_F(NetworkFixture, PartialOneWayIsMonotone) {
+  const auto r = net_->resolve(0, 15, net::Family::kIPv4, net::SimTime(0));
+  if (!r) GTEST_SKIP() << "pair unroutable in this seed";
+  double prev = 0.0;
+  for (std::size_t i = 0; i < r->path->hops.size(); ++i) {
+    const double v = net_->partial_one_way_ms(*r->path, i, net::Family::kIPv4,
+                                              net::SimTime(0));
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(prev, net_->one_way_ms(*r->path, net::Family::kIPv4,
+                                   net::SimTime(0)) + 1e-9);
+}
+
+TEST_F(NetworkFixture, SeverityPopulatedForUsedAdjacencies) {
+  double max_severity = 0.0;
+  for (topology::AdjacencyId id = 0; id < net_->topo().adjacencies.size();
+       ++id) {
+    max_severity = std::max(max_severity, net_->severity_ms(id));
+  }
+  EXPECT_GT(max_severity, 0.0);
+}
+
+TEST_F(NetworkFixture, ResolveThrowsOnUnpreparedUse) {
+  Network fresh(small_network_config(34));
+  EXPECT_THROW(fresh.resolve(0, 1, net::Family::kIPv4, net::SimTime(0)),
+               std::logic_error);
+}
+
+TEST(RouterPathExpander, CachesByCandidateSlot) {
+  const NetworkConfig cfg = small_network_config(35);
+  Topology topo = topology::generate(cfg.topology);
+  RouterPathExpander expander(topo);
+  const auto& s0 = topo.servers[0];
+  const auto& s1 = topo.servers[1];
+  // A trivial one-AS "path" when both servers share an AS is rare; instead
+  // expand the same AS pair twice and require pointer equality (cache hit).
+  std::vector<topology::AsId> as_path{s0.as_id};
+  if (s0.as_id != s1.as_id) as_path = {};  // only valid same-AS
+  if (as_path.empty()) GTEST_SKIP() << "servers in different ASes";
+  const auto* p1 = expander.expand(0, 1, as_path, net::Family::kIPv4, 0);
+  const auto* p2 = expander.expand(0, 1, as_path, net::Family::kIPv4, 0);
+  EXPECT_EQ(p1, p2);
+}
+
+}  // namespace
+}  // namespace s2s::simnet

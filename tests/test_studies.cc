@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/dualstack.h"
+#include "core/inflation.h"
+#include "core/routing_study.h"
+#include "stats/binned_ecdf.h"
+
+namespace s2s::core {
+namespace {
+
+using net::Asn;
+using net::AsPath;
+
+TEST(BinnedEcdf, BasicQueries) {
+  stats::BinnedEcdf e(-100.0, 100.0, 200);
+  for (int i = -50; i <= 50; ++i) e.add(i);
+  EXPECT_EQ(e.total(), 101u);
+  EXPECT_NEAR(e.at(0.0), 0.5, 0.02);
+  EXPECT_NEAR(e.at(50.0), 1.0, 0.01);
+  EXPECT_NEAR(e.tail_at_least(40.0), 11.0 / 101.0, 0.02);
+  EXPECT_NEAR(e.quantile(0.5), 0.0, 2.0);
+  // Outliers clamp, not crash.
+  e.add(1e9);
+  e.add(-1e9);
+  EXPECT_EQ(e.total(), 103u);
+}
+
+TEST(BinnedEcdf, RejectsBadConstruction) {
+  EXPECT_THROW(stats::BinnedEcdf(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(stats::BinnedEcdf(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// Hand-rolled store exercising the study aggregators end to end.
+class StudyFixture : public ::testing::Test {
+ protected:
+  StudyFixture() : store_(topo_, rib_, {0.0, net::kThreeHours}) {
+    // Minimal two-server topology metadata (cities for inflation).
+    topo_.cities.push_back({"New York", "US", "NA", {40.71, -74.01}, -5});
+    topo_.cities.push_back({"Tokyo", "JP", "AS", {35.68, 139.65}, 9});
+    topology::AsNode as1, as2;
+    as1.asn = Asn(100);
+    as2.asn = Asn(200);
+    topo_.ases = {as1, as2};
+    topology::Server s0, s1;
+    s0.as_id = 0;
+    s0.city = 0;
+    s1.as_id = 1;
+    s1.city = 1;
+    topo_.servers = {s0, s1};
+    rib_.insert(net::Prefix4(net::IPv4Addr(10, 100, 0, 0), 16), Asn(100));
+    rib_.insert(net::Prefix4(net::IPv4Addr(10, 200, 0, 0), 16), Asn(200));
+  }
+
+  // Feed a complete traceroute 0 -> 1 with the given RTT at `epoch`.
+  void feed(net::Family fam, int epoch, double rtt, int mid_as = 0) {
+    probe::TracerouteRecord rec;
+    rec.src = 0;
+    rec.dst = 1;
+    rec.family = fam;
+    rec.complete = true;
+    rec.time = net::SimTime(static_cast<std::int64_t>(epoch) *
+                            net::kThreeHours);
+    auto hop_addr = [&](int second, int host) {
+      return net::IPAddr(net::IPv4Addr(10, static_cast<std::uint8_t>(second),
+                                       0, static_cast<std::uint8_t>(host)));
+    };
+    rec.hops.push_back({hop_addr(100, 1), rtt / 3});
+    if (mid_as != 0) {
+      rec.hops.push_back({hop_addr(mid_as, 1), rtt / 2});
+    }
+    rec.hops.push_back({hop_addr(200, 1), rtt});
+    store_.add(rec);
+  }
+
+  topology::Topology topo_;
+  bgp::Rib rib_;
+  TimelineStore store_;
+};
+
+TEST_F(StudyFixture, DualStackMatchesEpochsAndPaths) {
+  rib_.insert(net::Prefix4(net::IPv4Addr(10, 50, 0, 0), 16), Asn(50));
+  for (int e = 0; e < 20; ++e) {
+    feed(net::Family::kIPv4, e, 100.0);
+    // IPv6 10 ms faster, same AS path for the first 10 epochs, then a
+    // detour via AS50.
+    feed(net::Family::kIPv6, e, 90.0, e < 10 ? 0 : 50);
+  }
+  const auto study = run_dualstack_study(store_);
+  EXPECT_EQ(study.pairs_matched, 1u);
+  EXPECT_EQ(study.samples_matched, 20u);
+  EXPECT_EQ(study.samples_same_path, 10u);
+  // All diffs are +10 ms (v4 slower).
+  EXPECT_NEAR(study.diff_all.quantile(0.5), 10.0, 0.5);
+  ASSERT_EQ(study.pair_median_diff.size(), 1u);
+  EXPECT_NEAR(study.pair_median_diff[0], 10.0, 0.5);
+}
+
+TEST_F(StudyFixture, InflationUsesGroundTruthGeography) {
+  for (int e = 0; e < 60; ++e) feed(net::Family::kIPv4, e, 300.0);
+  InflationConfig cfg;
+  cfg.min_observations = 10;
+  const auto study = run_inflation_study(store_, topo_, cfg);
+  ASSERT_EQ(study.all.v4.size(), 1u);
+  // NYC-Tokyo cRTT ~ 72ms; inflation = 300 / cRTT.
+  const double crtt = net::c_rtt_ms(topo_.cities[0].location,
+                                    topo_.cities[1].location);
+  EXPECT_NEAR(study.all.v4[0], 300.0 / crtt, 0.05);
+  // Not US-US; on the paper's transcontinental list (US-JP).
+  EXPECT_TRUE(study.us_us.v4.empty());
+  ASSERT_EQ(study.transcontinental.v4.size(), 1u);
+}
+
+TEST_F(StudyFixture, RoutingStudyCountsPathsAndChanges) {
+  rib_.insert(net::Prefix4(net::IPv4Addr(10, 50, 0, 0), 16), Asn(50));
+  for (int e = 0; e < 50; ++e) {
+    feed(net::Family::kIPv4, e, e >= 20 && e < 30 ? 160.0 : 100.0,
+         e >= 20 && e < 30 ? 50 : 0);
+  }
+  RoutingStudyConfig cfg;
+  cfg.min_observations = 10;
+  const auto study = run_routing_study(store_, cfg);
+  ASSERT_EQ(study.v4.timelines, 1u);
+  EXPECT_EQ(study.v4.unique_paths[0], 2.0);
+  EXPECT_EQ(study.v4.changes[0], 2.0);
+  EXPECT_NEAR(study.v4.popular_prevalence[0], 0.8, 1e-9);
+  // One sub-optimal bucket with ~60 ms penalty, prevalence 0.2.
+  ASSERT_EQ(study.v4.delta_p10_ms.size(), 1u);
+  EXPECT_NEAR(study.v4.delta_p10_ms[0], 60.0, 2.0);
+  EXPECT_NEAR(study.v4.lifetime_hours_p10[0], 30.0, 1e-9);  // 10 obs x 3 h
+  // Fig 6 sums: >=20 and >=50 thresholds capture it, >=100 does not.
+  ASSERT_EQ(study.v4.suboptimal_prevalence.size(), 1u);
+  EXPECT_NEAR(study.v4.suboptimal_prevalence[0][0], 0.2, 1e-9);
+  EXPECT_NEAR(study.v4.suboptimal_prevalence[0][1], 0.2, 1e-9);
+  EXPECT_NEAR(study.v4.suboptimal_prevalence[0][2], 0.0, 1e-9);
+}
+
+TEST_F(StudyFixture, Table1Accounting) {
+  feed(net::Family::kIPv4, 0, 100.0);
+  probe::TracerouteRecord incomplete;
+  incomplete.src = 0;
+  incomplete.dst = 1;
+  incomplete.family = net::Family::kIPv4;
+  incomplete.complete = false;
+  incomplete.time = net::SimTime(0);
+  incomplete.hops = {{std::nullopt, 0.0}};
+  store_.add(incomplete);
+  const auto& t = store_.table1();
+  EXPECT_EQ(t.v4.collected, 2u);
+  EXPECT_EQ(t.v4.complete, 1u);
+  EXPECT_EQ(t.v4.complete_as, 1u);
+  EXPECT_EQ(t.v4.missing_ip, 0u);
+}
+
+}  // namespace
+}  // namespace s2s::core

@@ -1,0 +1,191 @@
+#include "topology/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "bgp/rib.h"
+
+namespace s2s::topology {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.tier1_count = 6;
+  cfg.transit_count = 30;
+  cfg.stub_count = 120;
+  cfg.server_count = 60;
+  return cfg;
+}
+
+class GeneratedTopology : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override { topo_ = generate(small_config(GetParam())); }
+  Topology topo_;
+};
+
+TEST_P(GeneratedTopology, PassesValidation) {
+  EXPECT_NO_THROW(topo_.validate());
+  EXPECT_EQ(topo_.ases.size(), 6u + 30u + 120u);
+  EXPECT_EQ(topo_.servers.size(), 60u);
+}
+
+TEST_P(GeneratedTopology, Tier1CliqueIsComplete) {
+  for (AsId i = 0; i < 6; ++i) {
+    for (AsId j = i + 1; j < 6; ++j) {
+      const auto adj = topo_.find_adjacency(i, j);
+      ASSERT_TRUE(adj.has_value()) << i << "," << j;
+      EXPECT_EQ(topo_.adjacencies[*adj].rel, Relationship::kPeerToPeer);
+    }
+  }
+}
+
+TEST_P(GeneratedTopology, EveryNonTier1HasAProvider) {
+  for (AsId x = 6; x < topo_.ases.size(); ++x) {
+    bool has_provider = false;
+    for (AdjacencyId a : topo_.ases[x].adjacencies) {
+      const auto& adj = topo_.adjacencies[a];
+      if (adj.rel == Relationship::kCustomerToProvider && adj.a == x) {
+        has_provider = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_provider) << topo_.ases[x].asn.to_string();
+  }
+}
+
+TEST_P(GeneratedTopology, InterconnectionLinksSitInSharedCities) {
+  for (const auto& adj : topo_.adjacencies) {
+    for (LinkId lid : adj.links) {
+      const auto& link = topo_.links[lid];
+      ASSERT_NE(link.city, kInvalidId);
+      EXPECT_TRUE(topo_.router_at(adj.a, link.city).has_value());
+      EXPECT_TRUE(topo_.router_at(adj.b, link.city).has_value());
+      // Link endpoints are the two ASes' routers in that city.
+      const auto owners = std::set<AsId>{
+          topo_.routers[link.end_a.router].owner,
+          topo_.routers[link.end_b.router].owner};
+      EXPECT_EQ(owners, (std::set<AsId>{adj.a, adj.b}));
+    }
+  }
+}
+
+TEST_P(GeneratedTopology, ProviderAssignsC2pAddresses) {
+  const auto rib = bgp::Rib::from_topology(topo_);
+  std::size_t checked = 0;
+  for (const auto& adj : topo_.adjacencies) {
+    if (adj.rel != Relationship::kCustomerToProvider) continue;
+    const net::Asn provider_asn = topo_.ases[adj.b].asn;
+    for (LinkId lid : adj.links) {
+      const auto& link = topo_.links[lid];
+      for (const auto* end : {&link.end_a, &link.end_b}) {
+        const auto origin = rib.origin(end->addr4);
+        ASSERT_TRUE(origin.has_value());
+        EXPECT_EQ(*origin, provider_asn);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(GeneratedTopology, V6OnlyOnV6Adjacencies) {
+  for (const auto& adj : topo_.adjacencies) {
+    for (LinkId lid : adj.links) {
+      EXPECT_EQ(topo_.links[lid].ipv6, adj.ipv6);
+    }
+    if (adj.ipv6) {
+      EXPECT_TRUE(topo_.ases[adj.a].ipv6_enabled);
+      EXPECT_TRUE(topo_.ases[adj.b].ipv6_enabled);
+    }
+  }
+}
+
+TEST_P(GeneratedTopology, ServersResolveInRib) {
+  const auto rib = bgp::Rib::from_topology(topo_);
+  for (const auto& server : topo_.servers) {
+    const auto origin = rib.origin(server.addr4);
+    ASSERT_TRUE(origin.has_value());
+    EXPECT_EQ(*origin, topo_.ases[server.as_id].asn);
+    if (server.dual_stack()) {
+      const auto origin6 = rib.origin(*server.addr6);
+      ASSERT_TRUE(origin6.has_value());
+      EXPECT_EQ(*origin6, topo_.ases[server.as_id].asn);
+      EXPECT_TRUE(server.gateway_addr6.has_value());
+    }
+  }
+}
+
+TEST_P(GeneratedTopology, ServerAttachmentMatchesCity) {
+  for (const auto& server : topo_.servers) {
+    const auto& router = topo_.routers[server.attachment];
+    EXPECT_EQ(router.owner, server.as_id);
+    EXPECT_EQ(router.city, server.city);
+  }
+}
+
+TEST_P(GeneratedTopology, UnannouncedPrefixesExist) {
+  std::size_t unannounced = 0;
+  for (const auto& p : topo_.prefixes4) unannounced += !p.announced;
+  EXPECT_GT(unannounced, 0u);  // IXP LANs and infra blocks
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedTopology,
+                         ::testing::Values(1, 2, 42, 777, 123456));
+
+TEST(Generator, DeterministicForSameSeed) {
+  const Topology a = generate(small_config(99));
+  const Topology b = generate(small_config(99));
+  ASSERT_EQ(a.links.size(), b.links.size());
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i].end_a.addr4, b.links[i].end_a.addr4);
+    EXPECT_EQ(a.links[i].delay_ms, b.links[i].delay_ms);
+  }
+  for (std::size_t i = 0; i < a.servers.size(); ++i) {
+    EXPECT_EQ(a.servers[i].addr4, b.servers[i].addr4);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Topology a = generate(small_config(1));
+  const Topology b = generate(small_config(2));
+  bool differs = a.links.size() != b.links.size();
+  for (std::size_t i = 0; !differs && i < a.servers.size(); ++i) {
+    differs = a.servers[i].addr4 != b.servers[i].addr4;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, ServerCountryMixFollowsWeights) {
+  GeneratorConfig cfg = small_config(7);
+  cfg.server_count = 200;
+  cfg.stub_count = 400;
+  const Topology topo = generate(cfg);
+  std::size_t us = 0;
+  for (const auto& server : topo.servers) {
+    us += topo.cities[server.city].country == "US";
+  }
+  // Paper: ~39% of servers in the US; allow generous sampling slack.
+  EXPECT_GT(us, topo.servers.size() / 5);
+  EXPECT_LT(us, topo.servers.size() * 11 / 20);
+}
+
+TEST(Topology, LookupHelpers) {
+  const Topology topo = generate(small_config(3));
+  EXPECT_TRUE(topo.find_as(net::Asn(10)).has_value());
+  EXPECT_FALSE(topo.find_as(net::Asn(999999)).has_value());
+  const auto& adj = topo.adjacencies.front();
+  EXPECT_EQ(topo.find_adjacency(adj.a, adj.b),
+            topo.find_adjacency(adj.b, adj.a));
+  EXPECT_EQ(topo.role_of(0, adj.a),
+            adj.rel == Relationship::kPeerToPeer ? 0 : -1);
+  const auto& link = topo.links.front();
+  EXPECT_EQ(&topo.far_end(link, link.end_a.router), &link.end_b);
+  EXPECT_EQ(&topo.near_end(link, link.end_a.router), &link.end_a);
+}
+
+}  // namespace
+}  // namespace s2s::topology
