@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ownership.dir/bench_ownership.cc.o"
+  "CMakeFiles/bench_ownership.dir/bench_ownership.cc.o.d"
+  "bench_ownership"
+  "bench_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51.dir/bench_sec51.cc.o"
+  "CMakeFiles/bench_sec51.dir/bench_sec51.cc.o.d"
+  "bench_sec51"
+  "bench_sec51.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

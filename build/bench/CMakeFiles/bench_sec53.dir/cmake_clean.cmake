@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53.dir/bench_sec53.cc.o"
+  "CMakeFiles/bench_sec53.dir/bench_sec53.cc.o.d"
+  "bench_sec53"
+  "bench_sec53.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_localizer.dir/congestion_localizer.cpp.o"
+  "CMakeFiles/congestion_localizer.dir/congestion_localizer.cpp.o.d"
+  "congestion_localizer"
+  "congestion_localizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_localizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dualstack_advisor.cpp" "examples/CMakeFiles/dualstack_advisor.dir/dualstack_advisor.cpp.o" "gcc" "examples/CMakeFiles/dualstack_advisor.dir/dualstack_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/s2s_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/s2s_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/s2s_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/s2s_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/s2s_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/s2s_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/s2s_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/s2s_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

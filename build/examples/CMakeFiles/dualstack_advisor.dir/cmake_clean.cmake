@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dualstack_advisor.dir/dualstack_advisor.cpp.o"
+  "CMakeFiles/dualstack_advisor.dir/dualstack_advisor.cpp.o.d"
+  "dualstack_advisor"
+  "dualstack_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dualstack_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_change_report.dir/routing_change_report.cpp.o"
+  "CMakeFiles/routing_change_report.dir/routing_change_report.cpp.o.d"
+  "routing_change_report"
+  "routing_change_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_change_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/relationships.cc" "src/bgp/CMakeFiles/s2s_bgp.dir/relationships.cc.o" "gcc" "src/bgp/CMakeFiles/s2s_bgp.dir/relationships.cc.o.d"
+  "/root/repo/src/bgp/rib.cc" "src/bgp/CMakeFiles/s2s_bgp.dir/rib.cc.o" "gcc" "src/bgp/CMakeFiles/s2s_bgp.dir/rib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/s2s_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/s2s_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/s2s_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

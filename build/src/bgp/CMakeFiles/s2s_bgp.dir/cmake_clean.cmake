@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_bgp.dir/relationships.cc.o"
+  "CMakeFiles/s2s_bgp.dir/relationships.cc.o.d"
+  "CMakeFiles/s2s_bgp.dir/rib.cc.o"
+  "CMakeFiles/s2s_bgp.dir/rib.cc.o.d"
+  "libs2s_bgp.a"
+  "libs2s_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/as_path_infer.cc" "src/core/CMakeFiles/s2s_core.dir/as_path_infer.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/as_path_infer.cc.o.d"
+  "/root/repo/src/core/change_detect.cc" "src/core/CMakeFiles/s2s_core.dir/change_detect.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/change_detect.cc.o.d"
+  "/root/repo/src/core/congestion_detect.cc" "src/core/CMakeFiles/s2s_core.dir/congestion_detect.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/congestion_detect.cc.o.d"
+  "/root/repo/src/core/congestion_study.cc" "src/core/CMakeFiles/s2s_core.dir/congestion_study.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/congestion_study.cc.o.d"
+  "/root/repo/src/core/dualstack.cc" "src/core/CMakeFiles/s2s_core.dir/dualstack.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/dualstack.cc.o.d"
+  "/root/repo/src/core/inflation.cc" "src/core/CMakeFiles/s2s_core.dir/inflation.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/inflation.cc.o.d"
+  "/root/repo/src/core/link_classify.cc" "src/core/CMakeFiles/s2s_core.dir/link_classify.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/link_classify.cc.o.d"
+  "/root/repo/src/core/localize.cc" "src/core/CMakeFiles/s2s_core.dir/localize.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/localize.cc.o.d"
+  "/root/repo/src/core/ownership.cc" "src/core/CMakeFiles/s2s_core.dir/ownership.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/ownership.cc.o.d"
+  "/root/repo/src/core/path_stats.cc" "src/core/CMakeFiles/s2s_core.dir/path_stats.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/path_stats.cc.o.d"
+  "/root/repo/src/core/ping_series.cc" "src/core/CMakeFiles/s2s_core.dir/ping_series.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/ping_series.cc.o.d"
+  "/root/repo/src/core/routing_study.cc" "src/core/CMakeFiles/s2s_core.dir/routing_study.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/routing_study.cc.o.d"
+  "/root/repo/src/core/segment_series.cc" "src/core/CMakeFiles/s2s_core.dir/segment_series.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/segment_series.cc.o.d"
+  "/root/repo/src/core/timeline.cc" "src/core/CMakeFiles/s2s_core.dir/timeline.cc.o" "gcc" "src/core/CMakeFiles/s2s_core.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/probe/CMakeFiles/s2s_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/s2s_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/s2s_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/s2s_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/s2s_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/s2s_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/s2s_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_core.dir/as_path_infer.cc.o"
+  "CMakeFiles/s2s_core.dir/as_path_infer.cc.o.d"
+  "CMakeFiles/s2s_core.dir/change_detect.cc.o"
+  "CMakeFiles/s2s_core.dir/change_detect.cc.o.d"
+  "CMakeFiles/s2s_core.dir/congestion_detect.cc.o"
+  "CMakeFiles/s2s_core.dir/congestion_detect.cc.o.d"
+  "CMakeFiles/s2s_core.dir/congestion_study.cc.o"
+  "CMakeFiles/s2s_core.dir/congestion_study.cc.o.d"
+  "CMakeFiles/s2s_core.dir/dualstack.cc.o"
+  "CMakeFiles/s2s_core.dir/dualstack.cc.o.d"
+  "CMakeFiles/s2s_core.dir/inflation.cc.o"
+  "CMakeFiles/s2s_core.dir/inflation.cc.o.d"
+  "CMakeFiles/s2s_core.dir/link_classify.cc.o"
+  "CMakeFiles/s2s_core.dir/link_classify.cc.o.d"
+  "CMakeFiles/s2s_core.dir/localize.cc.o"
+  "CMakeFiles/s2s_core.dir/localize.cc.o.d"
+  "CMakeFiles/s2s_core.dir/ownership.cc.o"
+  "CMakeFiles/s2s_core.dir/ownership.cc.o.d"
+  "CMakeFiles/s2s_core.dir/path_stats.cc.o"
+  "CMakeFiles/s2s_core.dir/path_stats.cc.o.d"
+  "CMakeFiles/s2s_core.dir/ping_series.cc.o"
+  "CMakeFiles/s2s_core.dir/ping_series.cc.o.d"
+  "CMakeFiles/s2s_core.dir/routing_study.cc.o"
+  "CMakeFiles/s2s_core.dir/routing_study.cc.o.d"
+  "CMakeFiles/s2s_core.dir/segment_series.cc.o"
+  "CMakeFiles/s2s_core.dir/segment_series.cc.o.d"
+  "CMakeFiles/s2s_core.dir/timeline.cc.o"
+  "CMakeFiles/s2s_core.dir/timeline.cc.o.d"
+  "libs2s_core.a"
+  "libs2s_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_io.dir/records_io.cc.o"
+  "CMakeFiles/s2s_io.dir/records_io.cc.o.d"
+  "libs2s_io.a"
+  "libs2s_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

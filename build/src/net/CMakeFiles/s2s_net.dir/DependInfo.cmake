@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/asn.cc" "src/net/CMakeFiles/s2s_net.dir/asn.cc.o" "gcc" "src/net/CMakeFiles/s2s_net.dir/asn.cc.o.d"
+  "/root/repo/src/net/geo.cc" "src/net/CMakeFiles/s2s_net.dir/geo.cc.o" "gcc" "src/net/CMakeFiles/s2s_net.dir/geo.cc.o.d"
+  "/root/repo/src/net/ip.cc" "src/net/CMakeFiles/s2s_net.dir/ip.cc.o" "gcc" "src/net/CMakeFiles/s2s_net.dir/ip.cc.o.d"
+  "/root/repo/src/net/prefix.cc" "src/net/CMakeFiles/s2s_net.dir/prefix.cc.o" "gcc" "src/net/CMakeFiles/s2s_net.dir/prefix.cc.o.d"
+  "/root/repo/src/net/timebase.cc" "src/net/CMakeFiles/s2s_net.dir/timebase.cc.o" "gcc" "src/net/CMakeFiles/s2s_net.dir/timebase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_net.dir/asn.cc.o"
+  "CMakeFiles/s2s_net.dir/asn.cc.o.d"
+  "CMakeFiles/s2s_net.dir/geo.cc.o"
+  "CMakeFiles/s2s_net.dir/geo.cc.o.d"
+  "CMakeFiles/s2s_net.dir/ip.cc.o"
+  "CMakeFiles/s2s_net.dir/ip.cc.o.d"
+  "CMakeFiles/s2s_net.dir/prefix.cc.o"
+  "CMakeFiles/s2s_net.dir/prefix.cc.o.d"
+  "CMakeFiles/s2s_net.dir/timebase.cc.o"
+  "CMakeFiles/s2s_net.dir/timebase.cc.o.d"
+  "libs2s_net.a"
+  "libs2s_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

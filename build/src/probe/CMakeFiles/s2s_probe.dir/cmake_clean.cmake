@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_probe.dir/campaign.cc.o"
+  "CMakeFiles/s2s_probe.dir/campaign.cc.o.d"
+  "CMakeFiles/s2s_probe.dir/ping.cc.o"
+  "CMakeFiles/s2s_probe.dir/ping.cc.o.d"
+  "CMakeFiles/s2s_probe.dir/traceroute.cc.o"
+  "CMakeFiles/s2s_probe.dir/traceroute.cc.o.d"
+  "libs2s_probe.a"
+  "libs2s_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libs2s_probe.a"
+)

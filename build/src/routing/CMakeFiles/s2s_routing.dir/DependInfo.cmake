@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/candidates.cc" "src/routing/CMakeFiles/s2s_routing.dir/candidates.cc.o" "gcc" "src/routing/CMakeFiles/s2s_routing.dir/candidates.cc.o.d"
+  "/root/repo/src/routing/dynamics.cc" "src/routing/CMakeFiles/s2s_routing.dir/dynamics.cc.o" "gcc" "src/routing/CMakeFiles/s2s_routing.dir/dynamics.cc.o.d"
+  "/root/repo/src/routing/valley_free.cc" "src/routing/CMakeFiles/s2s_routing.dir/valley_free.cc.o" "gcc" "src/routing/CMakeFiles/s2s_routing.dir/valley_free.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/s2s_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/s2s_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/s2s_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_routing.dir/candidates.cc.o"
+  "CMakeFiles/s2s_routing.dir/candidates.cc.o.d"
+  "CMakeFiles/s2s_routing.dir/dynamics.cc.o"
+  "CMakeFiles/s2s_routing.dir/dynamics.cc.o.d"
+  "CMakeFiles/s2s_routing.dir/valley_free.cc.o"
+  "CMakeFiles/s2s_routing.dir/valley_free.cc.o.d"
+  "libs2s_routing.a"
+  "libs2s_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

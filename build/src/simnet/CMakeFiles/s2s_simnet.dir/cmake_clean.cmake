@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_simnet.dir/congestion.cc.o"
+  "CMakeFiles/s2s_simnet.dir/congestion.cc.o.d"
+  "CMakeFiles/s2s_simnet.dir/network.cc.o"
+  "CMakeFiles/s2s_simnet.dir/network.cc.o.d"
+  "CMakeFiles/s2s_simnet.dir/router_path.cc.o"
+  "CMakeFiles/s2s_simnet.dir/router_path.cc.o.d"
+  "libs2s_simnet.a"
+  "libs2s_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

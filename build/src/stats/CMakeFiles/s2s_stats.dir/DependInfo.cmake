@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/binned_ecdf.cc" "src/stats/CMakeFiles/s2s_stats.dir/binned_ecdf.cc.o" "gcc" "src/stats/CMakeFiles/s2s_stats.dir/binned_ecdf.cc.o.d"
+  "/root/repo/src/stats/density.cc" "src/stats/CMakeFiles/s2s_stats.dir/density.cc.o" "gcc" "src/stats/CMakeFiles/s2s_stats.dir/density.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/s2s_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/s2s_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/fft.cc" "src/stats/CMakeFiles/s2s_stats.dir/fft.cc.o" "gcc" "src/stats/CMakeFiles/s2s_stats.dir/fft.cc.o.d"
+  "/root/repo/src/stats/heatmap.cc" "src/stats/CMakeFiles/s2s_stats.dir/heatmap.cc.o" "gcc" "src/stats/CMakeFiles/s2s_stats.dir/heatmap.cc.o.d"
+  "/root/repo/src/stats/pearson.cc" "src/stats/CMakeFiles/s2s_stats.dir/pearson.cc.o" "gcc" "src/stats/CMakeFiles/s2s_stats.dir/pearson.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/s2s_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/s2s_stats.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_stats.dir/binned_ecdf.cc.o"
+  "CMakeFiles/s2s_stats.dir/binned_ecdf.cc.o.d"
+  "CMakeFiles/s2s_stats.dir/density.cc.o"
+  "CMakeFiles/s2s_stats.dir/density.cc.o.d"
+  "CMakeFiles/s2s_stats.dir/ecdf.cc.o"
+  "CMakeFiles/s2s_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/s2s_stats.dir/fft.cc.o"
+  "CMakeFiles/s2s_stats.dir/fft.cc.o.d"
+  "CMakeFiles/s2s_stats.dir/heatmap.cc.o"
+  "CMakeFiles/s2s_stats.dir/heatmap.cc.o.d"
+  "CMakeFiles/s2s_stats.dir/pearson.cc.o"
+  "CMakeFiles/s2s_stats.dir/pearson.cc.o.d"
+  "CMakeFiles/s2s_stats.dir/summary.cc.o"
+  "CMakeFiles/s2s_stats.dir/summary.cc.o.d"
+  "libs2s_stats.a"
+  "libs2s_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

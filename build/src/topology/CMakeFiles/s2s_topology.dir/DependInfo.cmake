@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/cities.cc" "src/topology/CMakeFiles/s2s_topology.dir/cities.cc.o" "gcc" "src/topology/CMakeFiles/s2s_topology.dir/cities.cc.o.d"
+  "/root/repo/src/topology/generator.cc" "src/topology/CMakeFiles/s2s_topology.dir/generator.cc.o" "gcc" "src/topology/CMakeFiles/s2s_topology.dir/generator.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/topology/CMakeFiles/s2s_topology.dir/topology.cc.o" "gcc" "src/topology/CMakeFiles/s2s_topology.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/s2s_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/s2s_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2s_topology.dir/cities.cc.o"
+  "CMakeFiles/s2s_topology.dir/cities.cc.o.d"
+  "CMakeFiles/s2s_topology.dir/generator.cc.o"
+  "CMakeFiles/s2s_topology.dir/generator.cc.o.d"
+  "CMakeFiles/s2s_topology.dir/topology.cc.o"
+  "CMakeFiles/s2s_topology.dir/topology.cc.o.d"
+  "libs2s_topology.a"
+  "libs2s_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2s_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

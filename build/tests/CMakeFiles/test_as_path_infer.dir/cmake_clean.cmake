@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_as_path_infer.dir/test_as_path_infer.cc.o"
+  "CMakeFiles/test_as_path_infer.dir/test_as_path_infer.cc.o.d"
+  "test_as_path_infer"
+  "test_as_path_infer.pdb"
+  "test_as_path_infer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_as_path_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_candidates_dynamics.dir/test_candidates_dynamics.cc.o"
+  "CMakeFiles/test_candidates_dynamics.dir/test_candidates_dynamics.cc.o.d"
+  "test_candidates_dynamics"
+  "test_candidates_dynamics.pdb"
+  "test_candidates_dynamics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_candidates_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

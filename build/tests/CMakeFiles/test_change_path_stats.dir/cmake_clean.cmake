@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_change_path_stats.dir/test_change_path_stats.cc.o"
+  "CMakeFiles/test_change_path_stats.dir/test_change_path_stats.cc.o.d"
+  "test_change_path_stats"
+  "test_change_path_stats.pdb"
+  "test_change_path_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_change_path_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

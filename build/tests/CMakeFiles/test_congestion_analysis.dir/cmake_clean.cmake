@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_congestion_analysis.dir/test_congestion_analysis.cc.o"
+  "CMakeFiles/test_congestion_analysis.dir/test_congestion_analysis.cc.o.d"
+  "test_congestion_analysis"
+  "test_congestion_analysis.pdb"
+  "test_congestion_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_congestion_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

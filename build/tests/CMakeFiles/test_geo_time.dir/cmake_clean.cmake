@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo_time.dir/test_geo_time.cc.o"
+  "CMakeFiles/test_geo_time.dir/test_geo_time.cc.o.d"
+  "test_geo_time"
+  "test_geo_time.pdb"
+  "test_geo_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

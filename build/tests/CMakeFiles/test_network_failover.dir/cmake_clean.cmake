@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_failover.dir/test_network_failover.cc.o"
+  "CMakeFiles/test_network_failover.dir/test_network_failover.cc.o.d"
+  "test_network_failover"
+  "test_network_failover.pdb"
+  "test_network_failover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ownership.dir/test_ownership.cc.o"
+  "CMakeFiles/test_ownership.dir/test_ownership.cc.o.d"
+  "test_ownership"
+  "test_ownership.pdb"
+  "test_ownership[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

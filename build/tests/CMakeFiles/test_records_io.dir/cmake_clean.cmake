@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_records_io.dir/test_records_io.cc.o"
+  "CMakeFiles/test_records_io.dir/test_records_io.cc.o.d"
+  "test_records_io"
+  "test_records_io.pdb"
+  "test_records_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_records_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_valley_free.dir/test_valley_free.cc.o"
+  "CMakeFiles/test_valley_free.dir/test_valley_free.cc.o.d"
+  "test_valley_free"
+  "test_valley_free.pdb"
+  "test_valley_free[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_valley_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

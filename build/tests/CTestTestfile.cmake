@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_ip[1]_include.cmake")
+include("/root/repo/build/tests/test_prefix[1]_include.cmake")
+include("/root/repo/build/tests/test_geo_time[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_valley_free[1]_include.cmake")
+include("/root/repo/build/tests/test_candidates_dynamics[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp[1]_include.cmake")
+include("/root/repo/build/tests/test_probe[1]_include.cmake")
+include("/root/repo/build/tests/test_as_path_infer[1]_include.cmake")
+include("/root/repo/build/tests/test_change_path_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_congestion_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_ownership[1]_include.cmake")
+include("/root/repo/build/tests/test_studies[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_records_io[1]_include.cmake")
+include("/root/repo/build/tests/test_network_failover[1]_include.cmake")
