@@ -5,8 +5,11 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <sstream>
 
 #include "core/as_path_infer.h"
+#include "faultsim/line_mangler.h"
+#include "io/records_io.h"
 #include "probe/traceroute.h"
 #include "simnet/network.h"
 
@@ -82,6 +85,34 @@ int main() {
       }
       ++ttl;
     }
+  }
+
+  // 5. Persist a few records, corrupt the file the way real disks do, and
+  //    read it back: the reader reports what it skipped instead of dying.
+  std::stringstream file;
+  io::RecordWriter writer(file);
+  for (int day = 0; day < 14; ++day) {
+    const auto rec = tracer.run(src, dst, net::Family::kIPv4,
+                                net::SimTime::from_days(day),
+                                probe::TracerouteMethod::kParis);
+    if (rec) writer.write(*rec);
+  }
+  std::stringstream dirty;
+  faultsim::LineMangler mangler({/*seed=*/3, /*corrupt_prob=*/0.4});
+  for (std::string line; std::getline(file, line);) {
+    dirty << mangler.mangle(std::move(line)) << '\n';
+  }
+
+  io::RecordReader reader(dirty);
+  std::size_t replayed = 0;
+  reader.read_all([&](const probe::TracerouteRecord&) { ++replayed; },
+                  [](const probe::PingRecord&) {});
+  std::printf("\nreplayed a corrupted campaign file: %zu lines, "
+              "%zu records recovered, %zu malformed\n",
+              reader.lines(), replayed, reader.errors());
+  for (const auto& bad : reader.malformed()) {
+    std::printf("  line %zu: %.60s%s\n", bad.line_number, bad.text.c_str(),
+                bad.text.size() > 60 ? "..." : "");
   }
   return 0;
 }

@@ -27,9 +27,15 @@ int edit_distance(const net::AsPath& a, const net::AsPath& b) {
 std::vector<ChangeEvent> detect_changes(const TraceTimeline& timeline,
                                         const PathInterner& interner) {
   std::vector<ChangeEvent> events;
+  // Observations sharing an epoch are re-deliveries of the same probe
+  // slot; only the first one counts, so a conflicting duplicate cannot
+  // manufacture a zero-duration routing flap.
+  std::size_t last = 0;
   for (std::size_t i = 1; i < timeline.obs.size(); ++i) {
-    const auto from = timeline.global_path(timeline.obs[i - 1]);
+    if (timeline.obs[i].epoch == timeline.obs[last].epoch) continue;
+    const auto from = timeline.global_path(timeline.obs[last]);
     const auto to = timeline.global_path(timeline.obs[i]);
+    last = i;
     if (from == to) continue;
     ChangeEvent ev;
     ev.epoch = timeline.obs[i].epoch;
@@ -43,9 +49,12 @@ std::vector<ChangeEvent> detect_changes(const TraceTimeline& timeline,
 
 std::size_t count_changes(const TraceTimeline& timeline) {
   std::size_t count = 0;
+  std::size_t last = 0;
   for (std::size_t i = 1; i < timeline.obs.size(); ++i) {
-    count += timeline.global_path(timeline.obs[i - 1]) !=
+    if (timeline.obs[i].epoch == timeline.obs[last].epoch) continue;
+    count += timeline.global_path(timeline.obs[last]) !=
              timeline.global_path(timeline.obs[i]);
+    last = i;
   }
   return count;
 }

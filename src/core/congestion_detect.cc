@@ -1,5 +1,7 @@
 #include "core/congestion_detect.h"
 
+#include <cmath>
+
 #include "stats/summary.h"
 
 namespace s2s::core {
@@ -9,14 +11,26 @@ SeriesVerdict assess_series(std::span<const double> rtt_ms,
                             const CongestionDetectConfig& config) {
   SeriesVerdict verdict;
   verdict.samples = rtt_ms.size();
-  if (rtt_ms.size() < 2) return verdict;
-  const auto sorted = stats::sorted(rtt_ms);
+  std::vector<double> usable;
+  usable.reserve(rtt_ms.size());
+  for (const double v : rtt_ms) {
+    if (std::isfinite(v)) {
+      usable.push_back(v);
+    } else {
+      ++verdict.invalid_samples;
+    }
+  }
+  if (usable.size() < 2) {
+    verdict.insufficient = true;
+    return verdict;
+  }
+  const auto sorted = stats::sorted(usable);
   verdict.variation_ms = stats::quantile_sorted(sorted, 0.95) -
                          stats::quantile_sorted(sorted, 0.05);
   verdict.high_variation =
       verdict.variation_ms > config.variation_threshold_ms;
   verdict.diurnal_ratio =
-      stats::diurnal_power_ratio(rtt_ms, samples_per_day).ratio;
+      stats::diurnal_power_ratio(usable, samples_per_day).ratio;
   verdict.strong_diurnal =
       verdict.diurnal_ratio >= config.diurnal_ratio_threshold;
   return verdict;
@@ -25,15 +39,24 @@ SeriesVerdict assess_series(std::span<const double> rtt_ms,
 CongestionSurvey survey_congestion(const PingSeriesStore& store,
                                    const CongestionDetectConfig& config) {
   CongestionSurvey survey;
+  survey.quality = store.quality();
   store.for_each([&](topology::ServerId src, topology::ServerId dst,
                      net::Family fam, const PingSeriesStore::Series& series) {
     auto& agg = survey.of(fam);
     ++agg.pairs_total;
-    if (series.valid < config.min_samples) return;
+    if (series.valid < config.min_samples) {
+      ++survey.quality.insufficient_epochs;
+      return;
+    }
     ++agg.pairs_assessed;
     const auto rtts = PingSeriesStore::to_ms_interpolated(series);
     const SeriesVerdict verdict =
         assess_series(rtts, store.samples_per_day(), config);
+    if (verdict.insufficient) {
+      ++survey.quality.insufficient_epochs;
+      return;
+    }
+    survey.quality.invalid_rtt += verdict.invalid_samples;
     if (verdict.high_variation) ++agg.high_variation;
     if (verdict.consistent_congestion()) {
       ++agg.consistent;

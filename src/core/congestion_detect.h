@@ -22,7 +22,11 @@ struct CongestionDetectConfig {
 };
 
 struct SeriesVerdict {
-  std::size_t samples = 0;
+  std::size_t samples = 0;          ///< samples offered
+  std::size_t invalid_samples = 0;  ///< non-finite inputs, ignored
+  /// Too few usable samples to judge; all flags stay false. An explicit
+  /// "insufficient data" verdict, never a NaN statistic.
+  bool insufficient = false;
   double variation_ms = 0.0;   ///< p95 - p5
   double diurnal_ratio = 0.0;  ///< PSD fraction at 1/day
   bool high_variation = false;
@@ -33,7 +37,9 @@ struct SeriesVerdict {
   }
 };
 
-/// Assesses one (gap-free) RTT series in ms.
+/// Assesses one (gap-free) RTT series in ms. Non-finite samples are
+/// filtered out (and counted) instead of poisoning the percentiles and
+/// the spectral estimate.
 SeriesVerdict assess_series(std::span<const double> rtt_ms,
                             double samples_per_day,
                             const CongestionDetectConfig& config = {});
@@ -56,6 +62,10 @@ struct CongestionSurvey {
   };
   PerFamily v4, v6;
   std::vector<FlaggedPair> flagged;  ///< the pairs with consistent congestion
+  /// Store-level counters plus the pairs skipped for lack of samples
+  /// (insufficient_epochs), so a survey result always says how much data
+  /// it was NOT based on.
+  DataQualityReport quality;
 
   PerFamily& of(net::Family f) {
     return f == net::Family::kIPv4 ? v4 : v6;

@@ -1,0 +1,88 @@
+#include "core/data_quality.h"
+
+#include <bit>
+#include <cmath>
+
+namespace s2s::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_double(std::uint64_t& h, double v) {
+  mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+bool valid_rtt(double ms) {
+  return std::isfinite(ms) && ms >= 0.0 && ms <= probe::kMaxPlausibleRttMs;
+}
+
+bool valid_time(net::SimTime t) {
+  return t.seconds() >= 0 && t.seconds() <= probe::kMaxTimestampS;
+}
+
+}  // namespace
+
+std::string DataQualityReport::to_string() const {
+  std::string out = "invalid_rtt=" + std::to_string(invalid_rtt);
+  out += " duplicates_dropped=" + std::to_string(duplicates_dropped);
+  out += " reordered=" + std::to_string(reordered);
+  out += " out_of_grid=" + std::to_string(out_of_grid);
+  out += " insufficient_epochs=" + std::to_string(insufficient_epochs);
+  return out;
+}
+
+bool valid_record(const probe::TracerouteRecord& r) {
+  if (!valid_time(r.time)) return false;
+  for (const auto& hop : r.hops) {
+    if (!valid_rtt(hop.rtt_ms)) return false;
+  }
+  return true;
+}
+
+bool valid_record(const probe::PingRecord& r) {
+  return valid_time(r.time) && valid_rtt(r.rtt_ms);
+}
+
+std::uint64_t fingerprint(const probe::TracerouteRecord& r) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, 'T');
+  mix(h, r.src);
+  mix(h, r.dst);
+  mix(h, static_cast<std::uint64_t>(r.family));
+  mix(h, static_cast<std::uint64_t>(r.time.seconds()));
+  mix(h, static_cast<std::uint64_t>(r.method));
+  mix(h, r.complete ? 1 : 0);
+  mix(h, r.hops.size());
+  for (const auto& hop : r.hops) {
+    if (hop.addr) {
+      mix(h, std::hash<net::IPAddr>{}(*hop.addr));
+    } else {
+      mix(h, 0x2a);
+    }
+    mix_double(h, hop.rtt_ms);
+  }
+  return h;
+}
+
+std::uint64_t fingerprint(const probe::PingRecord& r) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, 'P');
+  mix(h, r.src);
+  mix(h, r.dst);
+  mix(h, static_cast<std::uint64_t>(r.family));
+  mix(h, static_cast<std::uint64_t>(r.time.seconds()));
+  mix(h, r.success ? 1 : 0);
+  mix_double(h, r.rtt_ms);
+  return h;
+}
+
+}  // namespace s2s::core

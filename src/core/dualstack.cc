@@ -1,5 +1,6 @@
 #include "core/dualstack.h"
 
+#include <cmath>
 #include <map>
 #include <tuple>
 
@@ -9,6 +10,7 @@ namespace s2s::core {
 
 DualStackStudy run_dualstack_study(const TimelineStore& store) {
   DualStackStudy study;
+  study.quality = store.quality();
 
   // Index v4 timelines, then match v6 ones pairwise.
   std::map<std::pair<topology::ServerId, topology::ServerId>,
@@ -35,6 +37,12 @@ DualStackStudy run_dualstack_study(const TimelineStore& store) {
         ++j;
       } else {
         const double diff = v4.obs[i].rtt_ms() - v6.obs[j].rtt_ms();
+        if (!std::isfinite(diff)) {
+          ++study.quality.invalid_rtt;
+          ++i;
+          ++j;
+          continue;
+        }
         diffs.push_back(diff);
         study.diff_all.add(diff);
         ++study.samples_matched;

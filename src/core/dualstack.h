@@ -23,6 +23,9 @@ struct DualStackStudy {
   std::uint64_t samples_same_path = 0;
   /// Per-pair median of RTTv4 - RTTv6 (for per-pair opportunity stats).
   std::vector<double> pair_median_diff;
+  /// Upstream store counters plus any non-finite diff samples skipped
+  /// here (invalid_rtt), so Figure 10 statistics are never NaN-poisoned.
+  DataQualityReport quality;
 };
 
 DualStackStudy run_dualstack_study(const TimelineStore& store);

@@ -6,17 +6,34 @@
 namespace s2s::core {
 
 void PingSeriesStore::add(const probe::PingRecord& record) {
+  if (dedup_.seen_or_insert(fingerprint(record))) {
+    ++quality_.duplicates_dropped;
+    return;
+  }
+  const std::int64_t epoch =
+      net::grid_epoch(record.time, start_day_, interval_s_);
+  if (epoch < 0 || static_cast<std::size_t>(epoch) >= epochs_) {
+    ++quality_.out_of_grid;
+    return;
+  }
+  if (epoch < last_epoch_seen_) ++quality_.reordered;
+  last_epoch_seen_ = std::max(last_epoch_seen_, epoch);
+  if (!valid_record(record)) {
+    ++quality_.invalid_rtt;
+    return;
+  }
   if (!record.success) return;
-  const double rel_s = static_cast<double>(record.time.seconds()) -
-                       start_day_ * 86400.0;
-  const auto epoch = static_cast<std::int64_t>(
-      std::llround(rel_s / static_cast<double>(interval_s_)));
-  if (epoch < 0 || static_cast<std::size_t>(epoch) >= epochs_) return;
 
   Series& series = series_[key(record.src, record.dst, record.family)];
   if (series.rtt_tenths.empty()) series.rtt_tenths.assign(epochs_, kMissing);
   auto& slot = series.rtt_tenths[static_cast<std::size_t>(epoch)];
-  if (slot == kMissing) ++series.valid;
+  // First write wins: a conflicting re-delivery cannot overwrite the
+  // sample the analyses already count on.
+  if (slot != kMissing) {
+    ++quality_.duplicates_dropped;
+    return;
+  }
+  ++series.valid;
   slot = static_cast<std::uint16_t>(
       std::min(6553.0, std::max(0.0, record.rtt_ms)) * 10.0);
 }

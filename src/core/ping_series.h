@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/data_quality.h"
 #include "net/timebase.h"
 #include "probe/records.h"
 
@@ -22,7 +23,9 @@ class PingSeriesStore {
                   std::size_t epochs)
       : start_day_(start_day), interval_s_(interval_s), epochs_(epochs) {}
 
-  /// Streaming sink for PingCampaign.
+  /// Streaming sink for PingCampaign. Slots are first-write-wins:
+  /// duplicates and invalid samples are dropped and tallied in quality();
+  /// late arrivals land in their correct slot regardless of order.
   void add(const probe::PingRecord& record);
 
   struct Series {
@@ -39,6 +42,7 @@ class PingSeriesStore {
 
   std::size_t pair_count() const noexcept { return series_.size(); }
   std::size_t epochs() const noexcept { return epochs_; }
+  const DataQualityReport& quality() const noexcept { return quality_; }
   double samples_per_day() const {
     return 86400.0 / static_cast<double>(interval_s_);
   }
@@ -57,6 +61,9 @@ class PingSeriesStore {
   double start_day_;
   std::int64_t interval_s_;
   std::size_t epochs_;
+  DataQualityReport quality_;
+  DedupWindow dedup_;
+  std::int64_t last_epoch_seen_ = -1;
   std::unordered_map<std::uint64_t, Series> series_;
 };
 

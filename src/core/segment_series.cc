@@ -15,12 +15,23 @@ std::uint16_t to_tenths(double ms) {
 }  // namespace
 
 void SegmentSeriesStore::add(const probe::TracerouteRecord& record) {
+  if (dedup_.seen_or_insert(fingerprint(record))) {
+    ++quality_.duplicates_dropped;
+    return;
+  }
+  const std::int64_t epoch =
+      net::grid_epoch(record.time, start_day_, interval_s_);
+  if (epoch < 0 || static_cast<std::size_t>(epoch) >= epochs_) {
+    ++quality_.out_of_grid;
+    return;
+  }
+  if (epoch < last_epoch_seen_) ++quality_.reordered;
+  last_epoch_seen_ = std::max(last_epoch_seen_, epoch);
+  if (!valid_record(record)) {
+    ++quality_.invalid_rtt;
+    return;
+  }
   if (!record.complete || record.hops.empty()) return;
-  const double rel_s = static_cast<double>(record.time.seconds()) -
-                       start_day_ * 86400.0;
-  const auto epoch = static_cast<std::int64_t>(
-      std::llround(rel_s / static_cast<double>(interval_s_)));
-  if (epoch < 0 || static_cast<std::size_t>(epoch) >= epochs_) return;
   const auto e = static_cast<std::size_t>(epoch);
 
   PairSeries& series = series_[key(record.src, record.dst, record.family)];

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/data_quality.h"
 #include "net/ip.h"
 #include "net/timebase.h"
 #include "probe/records.h"
@@ -28,7 +29,9 @@ class SegmentSeriesStore {
                      std::size_t epochs)
       : start_day_(start_day), interval_s_(interval_s), epochs_(epochs) {}
 
-  /// Streaming sink; only complete traceroutes contribute.
+  /// Streaming sink; only complete traceroutes contribute. Duplicates,
+  /// invalid RTTs and off-grid timestamps are dropped and tallied in
+  /// quality(); arrival order does not matter (slot-addressed grid).
   void add(const probe::TracerouteRecord& record);
 
   struct PairSeries {
@@ -56,6 +59,7 @@ class SegmentSeriesStore {
 
   std::size_t pair_count() const noexcept { return series_.size(); }
   std::size_t epochs() const noexcept { return epochs_; }
+  const DataQualityReport& quality() const noexcept { return quality_; }
   double samples_per_day() const {
     return 86400.0 / static_cast<double>(interval_s_);
   }
@@ -74,6 +78,9 @@ class SegmentSeriesStore {
   double start_day_;
   std::int64_t interval_s_;
   std::size_t epochs_;
+  DataQualityReport quality_;
+  DedupWindow dedup_;
+  std::int64_t last_epoch_seen_ = -1;
   std::unordered_map<std::uint64_t, PairSeries> series_;
 };
 

@@ -15,6 +15,26 @@ std::uint32_t PathInterner::intern(const net::AsPath& path) {
 }
 
 void TimelineStore::add(const probe::TracerouteRecord& record) {
+  // Quality gate: every record (complete or not) is checked before it can
+  // touch the Table 1 accounting, so a garbled or re-delivered stream
+  // cannot inflate the paper's completeness statistics.
+  if (dedup_.seen_or_insert(fingerprint(record))) {
+    ++quality_.duplicates_dropped;
+    return;
+  }
+  const std::int64_t grid = net::grid_epoch(record.time, config_.start_day,
+                                            config_.interval_s);
+  if (grid < 0 || grid > 0xFFFF) {
+    ++quality_.out_of_grid;
+    return;
+  }
+  if (grid < last_epoch_seen_) ++quality_.reordered;
+  last_epoch_seen_ = std::max(last_epoch_seen_, grid);
+  if (!valid_record(record)) {
+    ++quality_.invalid_rtt;
+    return;
+  }
+
   auto& counts = table1_.of(record.family);
   ++counts.collected;
   if (!record.complete) return;
@@ -32,10 +52,7 @@ void TimelineStore::add(const probe::TracerouteRecord& record) {
     case TraceQuality::kMissingIpLevel: ++counts.missing_ip; break;
   }
 
-  const double rel_s =
-      static_cast<double>(record.time.seconds()) - config_.start_day * 86400.0;
-  const auto epoch = static_cast<std::uint16_t>(std::max(
-      0.0, std::round(rel_s / static_cast<double>(config_.interval_s))));
+  const auto epoch = static_cast<std::uint16_t>(grid);
   max_epoch_ = std::max(max_epoch_, epoch);
 
   const std::uint32_t global = interner_.intern(inferred.as_path);
@@ -56,7 +73,16 @@ void TimelineStore::add(const probe::TracerouteRecord& record) {
   obs.rtt_tenths = static_cast<std::uint16_t>(
       std::min(6553.0, std::max(0.0, record.end_to_end_rtt_ms())) * 10.0);
   obs.path = local;
-  timeline.obs.push_back(obs);
+  if (timeline.obs.empty() || timeline.obs.back().epoch <= epoch) {
+    timeline.obs.push_back(obs);
+  } else {
+    // Late arrival: insert in epoch order so the change detector never
+    // interprets delivery order as a routing flap.
+    const auto pos = std::upper_bound(
+        timeline.obs.begin(), timeline.obs.end(), epoch,
+        [](std::uint16_t e, const Observation& o) { return e < o.epoch; });
+    timeline.obs.insert(pos, obs);
+  }
 }
 
 const TraceTimeline* TimelineStore::find(topology::ServerId src,

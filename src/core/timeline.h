@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/as_path_infer.h"
+#include "core/data_quality.h"
 #include "net/timebase.h"
 #include "probe/records.h"
 #include "topology/topology.h"
@@ -94,8 +95,11 @@ class TimelineStore {
                 const TimelineStoreConfig& config)
       : topo_(topo), inferrer_(rib), config_(config) {}
 
-  /// Streaming sink: infer, account, and (for complete, loop-free
-  /// traceroutes) append to the pair's timeline.
+  /// Streaming sink: validate, infer, account, and (for complete,
+  /// loop-free traceroutes) insert into the pair's timeline in epoch
+  /// order. Duplicates, invalid RTTs and off-grid timestamps are dropped
+  /// and tallied in quality(); late arrivals are accepted, re-sorted and
+  /// tallied, so change detection never sees artificial path flaps.
   void add(const probe::TracerouteRecord& record);
 
   const TraceTimeline* find(topology::ServerId src, topology::ServerId dst,
@@ -108,6 +112,7 @@ class TimelineStore {
 
   const PathInterner& interner() const noexcept { return interner_; }
   const Table1Counts& table1() const noexcept { return table1_; }
+  const DataQualityReport& quality() const noexcept { return quality_; }
   std::size_t timeline_count() const noexcept { return timelines_.size(); }
   std::uint16_t max_epoch() const noexcept { return max_epoch_; }
   double interval_hours() const {
@@ -126,6 +131,9 @@ class TimelineStore {
   TimelineStoreConfig config_;
   PathInterner interner_;
   Table1Counts table1_;
+  DataQualityReport quality_;
+  DedupWindow dedup_;
+  std::int64_t last_epoch_seen_ = -1;  ///< stream arrival order watermark
   std::unordered_map<std::uint64_t, TraceTimeline> timelines_;
   std::uint16_t max_epoch_ = 0;
 };

@@ -1,0 +1,32 @@
+#include "faultsim/fault_injector.h"
+
+#include <limits>
+
+namespace s2s::faultsim::detail {
+
+namespace {
+
+/// One of the pathological values a broken parser, overflowing counter or
+/// garbled digit produces in real collector logs.
+double poison_value(stats::Rng& rng) {
+  switch (rng.below(3)) {
+    case 0: return std::numeric_limits<double>::quiet_NaN();
+    case 1: return -rng.uniform(0.1, 500.0);
+    default: return probe::kMaxPlausibleRttMs * rng.uniform(10.0, 1e6);
+  }
+}
+
+}  // namespace
+
+bool poison_rtt(probe::TracerouteRecord& r, stats::Rng& rng) {
+  if (r.hops.empty()) return false;
+  r.hops[rng.below(r.hops.size())].rtt_ms = poison_value(rng);
+  return true;
+}
+
+bool poison_rtt(probe::PingRecord& r, stats::Rng& rng) {
+  r.rtt_ms = poison_value(rng);
+  return true;
+}
+
+}  // namespace s2s::faultsim::detail

@@ -1,0 +1,259 @@
+// s2s::faultsim — deterministic fault injection for measurement streams.
+//
+// The paper's pipeline had to survive 16 months of real-world dirt:
+// maintenance gaps, ~25% incomplete traceroutes, false loops, truncated
+// logs (Sections 2 and 4.1). The probe layer already simulates *benign*
+// faults (downtime windows, probe loss); this layer injects the
+// *adversarial* ones a production collector meets — re-deliveries,
+// out-of-order arrival, per-server clock skew and drift, garbage RTTs,
+// server churn mid-campaign and burst losses — so the analysis stages can
+// be proven to degrade gracefully instead of silently corrupting their
+// statistics.
+//
+// FaultInjector<Record> wraps any TraceSink/PingSink (or a RecordReader
+// callback): the campaign pushes records in, the injector mutates /
+// duplicates / delays / drops them and forwards the result downstream.
+// Every fault is drawn from a seeded Rng, so a chaos run is exactly
+// reproducible, and FaultStats counts each class at the same granularity
+// the analysis stores account for it — which is what lets the chaos test
+// assert *exact* equality between injected and detected fault counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/timebase.h"
+#include "probe/records.h"
+#include "stats/rng.h"
+
+namespace s2s::faultsim {
+
+struct FaultConfig {
+  std::uint64_t seed = 99;
+
+  /// Exact re-delivery, emitted immediately after the original.
+  double duplicate_prob = 0.0;
+  /// Hold a record back and deliver it `reorder_delay_*` records later
+  /// (bounded reorder buffer; flush() drains stragglers).
+  double reorder_prob = 0.0;
+  std::size_t reorder_delay_min = 1;
+  std::size_t reorder_delay_max = 64;
+  /// Poison one RTT with NaN, a negative value or an absurd magnitude.
+  double invalid_rtt_prob = 0.0;
+  /// Drop this record and the next `burst_length - 1` (collector outage).
+  double burst_loss_prob = 0.0;
+  std::size_t burst_length = 16;
+  /// Per-server chance of dying at a uniform point of the campaign; all
+  /// later records touching that server vanish.
+  double churn_prob = 0.0;
+  /// Per-server clock error: constant offset in [-max, max) plus a drift
+  /// in [-d, d) seconds/day, applied to every record's timestamp.
+  double clock_skew_max_s = 0.0;
+  double clock_drift_max_s_per_day = 0.0;
+
+  /// The campaign grid; lets the injector account reordering at epoch
+  /// granularity (matching the stores) and place churn times.
+  double start_day = 0.0;
+  double days = 485.0;
+  std::int64_t interval_s = net::kThreeHours;
+};
+
+struct FaultStats {
+  std::size_t input = 0;          ///< records pushed by the campaign
+  std::size_t emitted = 0;        ///< records delivered downstream
+  std::size_t duplicated = 0;     ///< extra copies emitted
+  std::size_t held_back = 0;      ///< routed through the reorder buffer
+  std::size_t reordered = 0;      ///< emitted behind a later grid epoch
+  std::size_t invalid_rtt = 0;    ///< RTTs poisoned
+  std::size_t skewed = 0;         ///< timestamps shifted
+  std::size_t churn_dropped = 0;  ///< dropped: endpoint churned away
+  std::size_t burst_dropped = 0;  ///< dropped: burst loss window
+};
+
+namespace detail {
+
+/// Per-server clock error and churn-death times, derived from the seed
+/// and the server id only — independent of stream order.
+class ServerModel {
+ public:
+  ServerModel(const FaultConfig& config) : config_(config) {}
+
+  struct Entry {
+    double skew_s = 0.0;
+    double drift_s_per_day = 0.0;
+    /// Seconds since campaign origin; records at/after this involving
+    /// the server are dropped. Negative = never churns.
+    double death_s = -1.0;
+  };
+
+  const Entry& of(topology::ServerId server) {
+    auto it = cache_.find(server);
+    if (it != cache_.end()) return it->second;
+    stats::Rng rng(config_.seed ^
+                   (0x9e3779b97f4a7c15ULL * (server + 1)));
+    Entry e;
+    if (config_.clock_skew_max_s > 0.0) {
+      e.skew_s = rng.uniform(-config_.clock_skew_max_s,
+                             config_.clock_skew_max_s);
+    }
+    if (config_.clock_drift_max_s_per_day > 0.0) {
+      e.drift_s_per_day = rng.uniform(-config_.clock_drift_max_s_per_day,
+                                      config_.clock_drift_max_s_per_day);
+    }
+    if (config_.churn_prob > 0.0 && rng.chance(config_.churn_prob)) {
+      e.death_s =
+          (config_.start_day + rng.uniform(0.0, config_.days)) * 86400.0;
+    }
+    return cache_.emplace(server, e).first->second;
+  }
+
+ private:
+  FaultConfig config_;
+  std::unordered_map<topology::ServerId, Entry> cache_;
+};
+
+/// Record-type hooks the injector template needs.
+bool poison_rtt(probe::TracerouteRecord& r, stats::Rng& rng);
+bool poison_rtt(probe::PingRecord& r, stats::Rng& rng);
+
+}  // namespace detail
+
+template <typename Record>
+class FaultInjector {
+ public:
+  using Sink = std::function<void(const Record&)>;
+
+  FaultInjector(const FaultConfig& config, Sink sink)
+      : config_(config),
+        sink_(std::move(sink)),
+        rng_(config.seed),
+        servers_(config) {}
+
+  /// Campaign-facing sink; adapter for TraceSink/PingSink parameters.
+  Sink as_sink() {
+    return [this](const Record& r) { push(r); };
+  }
+
+  void push(const Record& record) {
+    ++stats_.input;
+    Record rec = record;
+
+    // Clock error first: downstream faults see the skewed timestamp,
+    // exactly as a collector reading a drifting server's log would.
+    const auto& src_model = servers_.of(rec.src);
+    const double skew_s =
+        src_model.skew_s +
+        src_model.drift_s_per_day * (rec.time.days() - config_.start_day);
+    if (skew_s != 0.0) {
+      rec.time = net::SimTime(rec.time.seconds() +
+                              static_cast<std::int64_t>(skew_s));
+      ++stats_.skewed;
+    }
+
+    // Churn: a dead endpoint produces nothing at all.
+    if (dead_at(rec.src, rec.time) || dead_at(rec.dst, rec.time)) {
+      ++stats_.churn_dropped;
+      age_holds();
+      return;
+    }
+    if (burst_remaining_ > 0) {
+      --burst_remaining_;
+      ++stats_.burst_dropped;
+      age_holds();
+      return;
+    }
+    if (config_.burst_loss_prob > 0.0 &&
+        rng_.chance(config_.burst_loss_prob)) {
+      burst_remaining_ = config_.burst_length - 1;
+      ++stats_.burst_dropped;
+      age_holds();
+      return;
+    }
+
+    // The remaining classes are mutually exclusive per record so each
+    // injected fault maps to exactly one downstream quality counter.
+    if (config_.invalid_rtt_prob > 0.0 &&
+        rng_.chance(config_.invalid_rtt_prob) &&
+        detail::poison_rtt(rec, rng_)) {
+      ++stats_.invalid_rtt;
+      emit(rec);
+    } else if (config_.reorder_prob > 0.0 &&
+               rng_.chance(config_.reorder_prob)) {
+      ++stats_.held_back;
+      const std::size_t delay =
+          config_.reorder_delay_min +
+          (config_.reorder_delay_max > config_.reorder_delay_min
+               ? rng_.below(config_.reorder_delay_max -
+                            config_.reorder_delay_min + 1)
+               : 0);
+      holds_.push_back({rec, delay});
+    } else if (config_.duplicate_prob > 0.0 &&
+               rng_.chance(config_.duplicate_prob)) {
+      ++stats_.duplicated;
+      emit(rec);
+      emit(rec);
+    } else {
+      emit(rec);
+    }
+    age_holds();
+  }
+
+  /// Drains the reorder buffer; call when the campaign finishes.
+  void flush() {
+    for (auto& h : holds_) emit(h.record);
+    holds_.clear();
+  }
+
+  const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Held {
+    Record record;
+    std::size_t remaining;
+  };
+
+  bool dead_at(topology::ServerId server, net::SimTime t) {
+    const auto& m = servers_.of(server);
+    return m.death_s >= 0.0 &&
+           static_cast<double>(t.seconds()) >= m.death_s;
+  }
+
+  void emit(const Record& rec) {
+    const std::int64_t epoch =
+        net::grid_epoch(rec.time, config_.start_day, config_.interval_s);
+    if (epoch < last_epoch_emitted_) ++stats_.reordered;
+    if (epoch > last_epoch_emitted_) last_epoch_emitted_ = epoch;
+    ++stats_.emitted;
+    sink_(rec);
+  }
+
+  void age_holds() {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < holds_.size(); ++i) {
+      if (holds_[i].remaining <= 1) {
+        emit(holds_[i].record);
+      } else {
+        holds_[out] = holds_[i];
+        --holds_[out].remaining;
+        ++out;
+      }
+    }
+    holds_.resize(out);
+  }
+
+  FaultConfig config_;
+  Sink sink_;
+  stats::Rng rng_;
+  detail::ServerModel servers_;
+  FaultStats stats_;
+  std::vector<Held> holds_;
+  std::size_t burst_remaining_ = 0;
+  std::int64_t last_epoch_emitted_ = -1;
+};
+
+using TraceFaultInjector = FaultInjector<probe::TracerouteRecord>;
+using PingFaultInjector = FaultInjector<probe::PingRecord>;
+
+}  // namespace s2s::faultsim

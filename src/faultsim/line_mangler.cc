@@ -1,0 +1,54 @@
+#include "faultsim/line_mangler.h"
+
+#include <vector>
+
+namespace s2s::faultsim {
+
+std::string LineMangler::mangle(std::string line) {
+  ++stats_.lines;
+  if (line.empty() || !rng_.chance(config_.corrupt_prob)) return line;
+  ++stats_.corrupted;
+  switch (rng_.below(4)) {
+    case 0: {  // flip 1-4 random bytes
+      ++stats_.byte_flips;
+      const std::size_t flips = 1 + rng_.below(4);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t pos = rng_.below(line.size());
+        char c = static_cast<char>(
+            line[pos] ^ static_cast<char>(1 + rng_.below(127)));
+        // Keep the stream line-oriented: corruption never splits a line.
+        if (c == '\n' || c == '\r') c = '?';
+        line[pos] = c;
+      }
+      break;
+    }
+    case 1:  // truncate at a random column (torn write)
+      ++stats_.truncations;
+      line.resize(rng_.below(line.size()));
+      break;
+    case 2: {  // delete one TSV field
+      ++stats_.field_deletions;
+      std::vector<std::size_t> tabs;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '\t') tabs.push_back(i);
+      }
+      if (tabs.empty()) {
+        line.clear();
+        break;
+      }
+      const std::size_t field = rng_.below(tabs.size() + 1);
+      const std::size_t begin = field == 0 ? 0 : tabs[field - 1];
+      const std::size_t end =
+          field < tabs.size() ? tabs[field] : line.size();
+      line.erase(begin, end - begin);
+      break;
+    }
+    default:  // blank the line entirely
+      ++stats_.blanked;
+      line.clear();
+      break;
+  }
+  return line;
+}
+
+}  // namespace s2s::faultsim

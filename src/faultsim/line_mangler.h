@@ -1,0 +1,49 @@
+// Text-level corruption for serialized record streams.
+//
+// Campaign files live on disks that fill up, processes that die mid-write
+// and pipes that truncate; LineMangler reproduces that dirt
+// deterministically: random byte flips, truncation at a random column,
+// deletion of a whole TSV field, or blanking the line entirely. Used by
+// the io round-trip property tests and the chaos harness to prove
+// RecordReader survives (counts, never crashes on) arbitrary corruption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/rng.h"
+
+namespace s2s::faultsim {
+
+struct LineManglerConfig {
+  std::uint64_t seed = 5;
+  /// Per-line probability of corruption; the class is drawn uniformly.
+  double corrupt_prob = 1.0;
+};
+
+struct LineManglerStats {
+  std::size_t lines = 0;
+  std::size_t corrupted = 0;
+  std::size_t byte_flips = 0;
+  std::size_t truncations = 0;
+  std::size_t field_deletions = 0;
+  std::size_t blanked = 0;
+};
+
+class LineMangler {
+ public:
+  explicit LineMangler(const LineManglerConfig& config = {})
+      : config_(config), rng_(config.seed) {}
+
+  /// Returns `line`, possibly corrupted (never containing '\n').
+  std::string mangle(std::string line);
+
+  const LineManglerStats& stats() const noexcept { return stats_; }
+
+ private:
+  LineManglerConfig config_;
+  stats::Rng rng_;
+  LineManglerStats stats_;
+};
+
+}  // namespace s2s::faultsim

@@ -1,6 +1,7 @@
 #include "io/records_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <istream>
 #include <ostream>
@@ -43,6 +44,26 @@ std::optional<T> parse_number(std::string_view token) {
   const auto* end = begin + token.size();
   const auto [ptr, ec] = std::from_chars(begin, end, value);
   if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+/// RTT fields must be finite, non-negative and physically plausible;
+/// from_chars happily accepts "nan", "inf" and "-3.0".
+std::optional<double> parse_rtt_ms(std::string_view token) {
+  const auto value = parse_number<double>(token);
+  if (!value || !std::isfinite(*value) || *value < 0.0 ||
+      *value > probe::kMaxPlausibleRttMs) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Timestamps must sit inside the representable campaign range.
+std::optional<std::int64_t> parse_time_s(std::string_view token) {
+  const auto value = parse_number<std::int64_t>(token);
+  if (!value || *value < 0 || *value > probe::kMaxTimestampS) {
+    return std::nullopt;
+  }
   return value;
 }
 
@@ -109,7 +130,7 @@ std::optional<probe::TracerouteRecord> parse_traceroute(
   const auto src = parse_number<std::uint32_t>(fields[1]);
   const auto dst = parse_number<std::uint32_t>(fields[2]);
   const auto family = parse_family(fields[3]);
-  const auto time_s = parse_number<std::int64_t>(fields[4]);
+  const auto time_s = parse_time_s(fields[4]);
   if (!src || !dst || !family || !time_s) return std::nullopt;
   rec.src = *src;
   rec.dst = *dst;
@@ -137,7 +158,7 @@ std::optional<probe::TracerouteRecord> parse_traceroute(
         const auto at = hop_text.rfind('@');
         if (at == std::string_view::npos) return std::nullopt;
         const auto addr = net::IPAddr::parse(hop_text.substr(0, at));
-        const auto rtt = parse_number<double>(hop_text.substr(at + 1));
+        const auto rtt = parse_rtt_ms(hop_text.substr(at + 1));
         if (!addr || !rtt) return std::nullopt;
         hop.addr = *addr;
         hop.rtt_ms = *rtt;
@@ -155,8 +176,8 @@ std::optional<probe::PingRecord> parse_ping(std::string_view line) {
   const auto src = parse_number<std::uint32_t>(fields[1]);
   const auto dst = parse_number<std::uint32_t>(fields[2]);
   const auto family = parse_family(fields[3]);
-  const auto time_s = parse_number<std::int64_t>(fields[4]);
-  const auto rtt = parse_number<double>(fields[6]);
+  const auto time_s = parse_time_s(fields[4]);
+  const auto rtt = parse_rtt_ms(fields[6]);
   if (!src || !dst || !family || !time_s || !rtt) return std::nullopt;
   if (fields[5] != "0" && fields[5] != "1") return std::nullopt;
   rec.src = *src;
@@ -180,6 +201,13 @@ void RecordWriter::write(const probe::PingRecord& record) {
 
 bool RecordReader::next_line(std::string& line) {
   return static_cast<bool>(std::getline(in_, line));
+}
+
+void RecordReader::note_malformed(const std::string& line) {
+  ++errors_;
+  if (malformed_.size() >= max_samples_) return;
+  malformed_.push_back(
+      {lines_, line.substr(0, kMaxSampleLength)});
 }
 
 }  // namespace s2s::io

@@ -13,13 +13,20 @@
 //
 // Parsing is strict: a malformed line yields nullopt and the reader's
 // error counter increments, but iteration continues (long campaign files
-// survive a truncated tail).
+// survive a truncated tail). Strictness includes the numerics — NaN /
+// infinite / negative / implausibly large RTTs and out-of-range
+// timestamps are rejected rather than trusted to whatever the decimal
+// parser produced, because a single flipped digit in a 10^8-line campaign
+// file would otherwise wreck every percentile downstream. The reader
+// additionally retains the first few malformed lines verbatim (with line
+// numbers) so a corrupt campaign file is debuggable from its own report.
 #pragma once
 
 #include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "probe/records.h"
 
@@ -45,42 +52,64 @@ class RecordWriter {
   std::size_t written_ = 0;
 };
 
+/// A malformed input line retained for diagnostics.
+struct MalformedLine {
+  std::size_t line_number = 0;  ///< 1-based position in the stream
+  std::string text;             ///< truncated to kMaxSampleLength bytes
+};
+
 /// Streaming reader: dispatches each parsed record to the matching sink;
-/// malformed lines are counted, not fatal.
+/// malformed lines are counted — and the first few retained verbatim —
+/// but never fatal.
 class RecordReader {
  public:
-  explicit RecordReader(std::istream& in) : in_(in) {}
+  /// Longest retained prefix of a malformed line.
+  static constexpr std::size_t kMaxSampleLength = 160;
+
+  explicit RecordReader(std::istream& in, std::size_t max_samples = 10)
+      : in_(in), max_samples_(max_samples) {}
 
   template <typename TraceFn, typename PingFn>
   void read_all(TraceFn&& on_trace, PingFn&& on_ping) {
     std::string line;
     while (next_line(line)) {
+      ++lines_;
       if (line.empty()) continue;
       if (line.front() == 'T') {
         if (auto rec = parse_traceroute(line)) {
           on_trace(*rec);
         } else {
-          ++errors_;
+          note_malformed(line);
         }
       } else if (line.front() == 'P') {
         if (auto rec = parse_ping(line)) {
           on_ping(*rec);
         } else {
-          ++errors_;
+          note_malformed(line);
         }
       } else {
-        ++errors_;
+        note_malformed(line);
       }
     }
   }
 
+  /// Total lines consumed (including empty and malformed ones).
+  std::size_t lines() const noexcept { return lines_; }
   std::size_t errors() const noexcept { return errors_; }
+  /// The first `max_samples` malformed lines, for error reports.
+  const std::vector<MalformedLine>& malformed() const noexcept {
+    return malformed_;
+  }
 
  private:
   bool next_line(std::string& line);
+  void note_malformed(const std::string& line);
 
   std::istream& in_;
+  std::size_t max_samples_;
+  std::size_t lines_ = 0;
   std::size_t errors_ = 0;
+  std::vector<MalformedLine> malformed_;
 };
 
 }  // namespace s2s::io

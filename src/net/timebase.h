@@ -3,6 +3,7 @@
 // and for local time-of-day (drives the diurnal congestion phase).
 #pragma once
 
+#include <cmath>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -62,5 +63,15 @@ inline constexpr std::int64_t kThreeHours = 3 * 3600;
 inline constexpr std::int64_t kThirtyMinutes = 30 * 60;
 inline constexpr std::int64_t kFifteenMinutes = 15 * 60;
 inline constexpr std::int64_t kOneDay = 86400;
+
+/// Index of `t` on a sampling grid anchored at `start_day` (nearest bin).
+/// Every consumer of a campaign grid (stores, fault accounting) must use
+/// the same rounding so their epoch bookkeeping agrees.
+inline std::int64_t grid_epoch(SimTime t, double start_day,
+                               std::int64_t interval_s) {
+  const double rel_s =
+      static_cast<double>(t.seconds()) - start_day * 86400.0;
+  return std::llround(rel_s / static_cast<double>(interval_s));
+}
 
 }  // namespace s2s::net

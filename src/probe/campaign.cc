@@ -1,6 +1,8 @@
 #include "probe/campaign.h"
 
 #include <algorithm>
+#include <charconv>
+#include <exception>
 
 namespace s2s::probe {
 
@@ -15,6 +17,23 @@ std::vector<std::pair<ServerId, ServerId>> with_reversed(
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
   return all;
+}
+
+/// Sort windows, drop empty ones, merge overlaps/adjacency, so down()
+/// can binary-search on the start instant alone (an earlier long window
+/// swallowing a later short one would otherwise be missed).
+void normalize(std::vector<std::pair<std::int64_t, std::int64_t>>& list) {
+  std::sort(list.begin(), list.end());
+  std::size_t out = 0;
+  for (const auto& w : list) {
+    if (w.second <= w.first) continue;  // empty or inverted
+    if (out > 0 && w.first <= list[out - 1].second) {
+      list[out - 1].second = std::max(list[out - 1].second, w.second);
+    } else {
+      list[out++] = w;
+    }
+  }
+  list.resize(out);
 }
 
 }  // namespace
@@ -35,8 +54,48 @@ DowntimeSchedule::DowntimeSchedule(std::size_t servers, double campaign_days,
           static_cast<std::int64_t>(start_day * 86400.0),
           static_cast<std::int64_t>((start_day + length_days) * 86400.0));
     }
-    std::sort(list.begin(), list.end());
+    normalize(list);
   }
+}
+
+DowntimeSchedule::DowntimeSchedule(Windows windows)
+    : windows_(std::move(windows)) {
+  for (auto& list : windows_) normalize(list);
+}
+
+std::string CampaignCheckpoint::serialize() const {
+  std::string out = "S2SCKPT 1 " + std::to_string(next_epoch);
+  for (const auto word : rng_state) {
+    out += ' ';
+    out += std::to_string(word);
+  }
+  return out;
+}
+
+std::optional<CampaignCheckpoint> CampaignCheckpoint::parse(
+    std::string_view line) {
+  constexpr std::string_view kMagic = "S2SCKPT 1 ";
+  if (!line.starts_with(kMagic)) return std::nullopt;
+  line.remove_prefix(kMagic.size());
+  CampaignCheckpoint ckpt;
+  std::uint64_t values[5];
+  const char* ptr = line.data();
+  const char* end = line.data() + line.size();
+  for (auto& value : values) {
+    if (ptr != line.data()) {
+      if (ptr == end || *ptr != ' ') return std::nullopt;
+      ++ptr;
+    }
+    const auto [next, ec] = std::from_chars(ptr, end, value);
+    if (ec != std::errc{}) return std::nullopt;
+    ptr = next;
+  }
+  if (ptr != end) return std::nullopt;
+  ckpt.next_epoch = static_cast<std::size_t>(values[0]);
+  for (int i = 0; i < 4; ++i) {
+    ckpt.rng_state[static_cast<std::size_t>(i)] = values[i + 1];
+  }
+  return ckpt;
 }
 
 bool DowntimeSchedule::down(ServerId server, net::SimTime t) const {
@@ -65,37 +124,61 @@ std::size_t TracerouteCampaign::epochs() const {
                                   static_cast<double>(config_.interval_s));
 }
 
-void TracerouteCampaign::run(const TraceSink& sink,
-                             const ProgressFn& progress) {
+CampaignRunResult TracerouteCampaign::run(const TraceSink& sink,
+                                          const ProgressFn& progress,
+                                          const CampaignCheckpoint* resume) {
+  CampaignRunResult result;
   const std::size_t total = epochs();
+  std::size_t first = 0;
+  if (resume) {
+    first = resume->next_epoch;
+    engine_.set_rng_state(resume->rng_state);
+  }
   const auto start_s =
       static_cast<std::int64_t>(config_.start_day * 86400.0);
-  for (std::size_t epoch = 0; epoch < total; ++epoch) {
+  for (std::size_t epoch = first; epoch < total; ++epoch) {
+    // Checkpoint at the epoch boundary: if the sink fails below, the
+    // whole epoch is replayed on resume (at-least-once delivery).
+    result.checkpoint.next_epoch = epoch;
+    result.checkpoint.rng_state = engine_.rng_state();
     const net::SimTime t(start_s +
                          static_cast<std::int64_t>(epoch) *
                              config_.interval_s);
     const bool v4_paris = config_.paris_switch_day >= 0.0 &&
                           t.days() >= config_.paris_switch_day;
-    for (const auto& [src, dst] : pairs_) {
-      if (downtime_.down(src, t) || downtime_.down(dst, t)) continue;
-      if (config_.probe_ipv4) {
-        const auto method = v4_paris ? TracerouteMethod::kParis
-                                     : TracerouteMethod::kClassic;
-        if (auto rec = engine_.run(src, dst, net::Family::kIPv4, t, method)) {
-          sink(*rec);
+    try {
+      for (const auto& [src, dst] : pairs_) {
+        if (downtime_.down(src, t) || downtime_.down(dst, t)) continue;
+        if (config_.probe_ipv4) {
+          const auto method = v4_paris ? TracerouteMethod::kParis
+                                       : TracerouteMethod::kClassic;
+          if (auto rec =
+                  engine_.run(src, dst, net::Family::kIPv4, t, method)) {
+            sink(*rec);
+            ++result.records_delivered;
+          }
+        }
+        if (config_.probe_ipv6) {
+          if (auto rec = engine_.run(src, dst, net::Family::kIPv6, t,
+                                     TracerouteMethod::kClassic)) {
+            sink(*rec);
+            ++result.records_delivered;
+          }
         }
       }
-      if (config_.probe_ipv6) {
-        if (auto rec = engine_.run(src, dst, net::Family::kIPv6, t,
-                                   TracerouteMethod::kClassic)) {
-          sink(*rec);
-        }
-      }
+    } catch (const std::exception& e) {
+      result.aborted = true;
+      result.error = e.what();
+      return result;
     }
+    ++result.epochs_completed;
     if (progress) {
       progress(static_cast<double>(epoch + 1) / static_cast<double>(total));
     }
   }
+  result.checkpoint.next_epoch = total;
+  result.checkpoint.rng_state = engine_.rng_state();
+  return result;
 }
 
 PingCampaign::PingCampaign(
@@ -115,31 +198,53 @@ std::size_t PingCampaign::epochs() const {
                                   static_cast<double>(config_.interval_s));
 }
 
-void PingCampaign::run(const PingSink& sink, const ProgressFn& progress) {
+CampaignRunResult PingCampaign::run(const PingSink& sink,
+                                    const ProgressFn& progress,
+                                    const CampaignCheckpoint* resume) {
+  CampaignRunResult result;
   const std::size_t total = epochs();
+  std::size_t first = 0;
+  if (resume) {
+    first = resume->next_epoch;
+    engine_.set_rng_state(resume->rng_state);
+  }
   const auto start_s =
       static_cast<std::int64_t>(config_.start_day * 86400.0);
-  for (std::size_t epoch = 0; epoch < total; ++epoch) {
+  for (std::size_t epoch = first; epoch < total; ++epoch) {
+    result.checkpoint.next_epoch = epoch;
+    result.checkpoint.rng_state = engine_.rng_state();
     const net::SimTime t(start_s +
                          static_cast<std::int64_t>(epoch) *
                              config_.interval_s);
-    for (const auto& [src, dst] : pairs_) {
-      if (downtime_.down(src, t) || downtime_.down(dst, t)) continue;
-      if (config_.probe_ipv4) {
-        if (auto rec = engine_.run(src, dst, net::Family::kIPv4, t)) {
-          sink(*rec);
+    try {
+      for (const auto& [src, dst] : pairs_) {
+        if (downtime_.down(src, t) || downtime_.down(dst, t)) continue;
+        if (config_.probe_ipv4) {
+          if (auto rec = engine_.run(src, dst, net::Family::kIPv4, t)) {
+            sink(*rec);
+            ++result.records_delivered;
+          }
+        }
+        if (config_.probe_ipv6) {
+          if (auto rec = engine_.run(src, dst, net::Family::kIPv6, t)) {
+            sink(*rec);
+            ++result.records_delivered;
+          }
         }
       }
-      if (config_.probe_ipv6) {
-        if (auto rec = engine_.run(src, dst, net::Family::kIPv6, t)) {
-          sink(*rec);
-        }
-      }
+    } catch (const std::exception& e) {
+      result.aborted = true;
+      result.error = e.what();
+      return result;
     }
+    ++result.epochs_completed;
     if (progress) {
       progress(static_cast<double>(epoch + 1) / static_cast<double>(total));
     }
   }
+  result.checkpoint.next_epoch = total;
+  result.checkpoint.rng_state = engine_.rng_state();
+  return result;
 }
 
 }  // namespace s2s::probe

@@ -12,10 +12,21 @@
 // Campaigns stream records to a sink; nothing is retained internally, so
 // multi-hundred-million-probe runs stay within a fixed memory budget.
 // Hardware/maintenance gaps are modeled by a per-server downtime schedule.
+//
+// Long runs are interruptible: run() returns a CampaignRunResult whose
+// checkpoint (epoch index + engine RNG state) resumes the record stream
+// at the exact point it stopped, and a throwing sink aborts the current
+// epoch cleanly — the result reports how much was flushed and where to
+// resume (the start of the aborted epoch, so delivery is at-least-once
+// with epoch-boundary checkpoints).
 #pragma once
 
+#include <array>
 #include <functional>
+#include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -34,19 +45,51 @@ struct DowntimeConfig {
 
 class DowntimeSchedule {
  public:
+  using Windows =
+      std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>>;
+
   DowntimeSchedule(std::size_t servers, double campaign_days,
                    const DowntimeConfig& config, stats::Rng rng);
+  /// Explicit per-server [start_s, end_s) windows; they are normalized
+  /// (sorted, overlaps merged, empty windows dropped) on construction.
+  explicit DowntimeSchedule(Windows windows);
 
+  /// True iff `server` is inside a maintenance window at t. Windows are
+  /// half-open: down at the start instant, back up at the end instant.
   bool down(topology::ServerId server, net::SimTime t) const;
 
  private:
-  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> windows_;
+  Windows windows_;
 };
 
 using TraceSink = std::function<void(const TracerouteRecord&)>;
 using PingSink = std::function<void(const PingRecord&)>;
 /// Called once per finished epoch with the completed fraction [0, 1].
 using ProgressFn = std::function<void(double)>;
+
+/// Resume point for an interrupted campaign: the first epoch not yet
+/// fully delivered plus the probe engine's RNG state at that epoch
+/// boundary. Resuming replays nothing before and everything from
+/// `next_epoch`, byte-identical to an uninterrupted run.
+struct CampaignCheckpoint {
+  std::size_t next_epoch = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+
+  /// One-line text form ("S2SCKPT 1 <epoch> <s0> <s1> <s2> <s3>").
+  std::string serialize() const;
+  static std::optional<CampaignCheckpoint> parse(std::string_view line);
+};
+
+/// Outcome of a (possibly aborted) campaign run.
+struct CampaignRunResult {
+  std::size_t epochs_completed = 0;   ///< epochs fully delivered this run
+  std::size_t records_delivered = 0;  ///< records the sink accepted
+  bool aborted = false;               ///< the sink threw
+  std::string error;                  ///< sink exception message
+  /// Resume point: one past the last completed epoch (the aborted epoch
+  /// itself when aborted, so its partial records are re-sent on resume).
+  CampaignCheckpoint checkpoint;
+};
 
 struct TracerouteCampaignConfig {
   double start_day = 0.0;
@@ -71,7 +114,11 @@ class TracerouteCampaign {
                                                topology::ServerId>> pairs);
 
   /// Streams every traceroute of the campaign to `sink` in time order.
-  void run(const TraceSink& sink, const ProgressFn& progress = {});
+  /// Pass `resume` to continue an interrupted run from its checkpoint.
+  /// A sink that throws std::exception aborts the current epoch: the
+  /// result reports how much was flushed and carries the resume point.
+  CampaignRunResult run(const TraceSink& sink, const ProgressFn& progress = {},
+                        const CampaignCheckpoint* resume = nullptr);
 
   std::size_t epochs() const;
 
@@ -100,7 +147,9 @@ class PingCampaign {
                std::span<const std::pair<topology::ServerId,
                                          topology::ServerId>> pairs);
 
-  void run(const PingSink& sink, const ProgressFn& progress = {});
+  /// Same contract as TracerouteCampaign::run.
+  CampaignRunResult run(const PingSink& sink, const ProgressFn& progress = {},
+                        const CampaignCheckpoint* resume = nullptr);
 
   std::size_t epochs() const;
 

@@ -26,6 +26,14 @@ class PingEngine {
   std::optional<PingRecord> run(topology::ServerId src, topology::ServerId dst,
                                 net::Family family, net::SimTime t);
 
+  /// Engine RNG state, for campaign checkpointing.
+  std::array<std::uint64_t, 4> rng_state() const noexcept {
+    return rng_.state();
+  }
+  void set_rng_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    rng_.set_state(s);
+  }
+
  private:
   simnet::Network& net_;
   PingConfig config_;

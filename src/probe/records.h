@@ -10,6 +10,15 @@
 
 namespace s2s::probe {
 
+/// Upper bound on a physically plausible RTT. Parsers and streaming
+/// stores reject samples beyond it (a garbled digit can turn 42 ms into
+/// 42e7 ms; accepting it would wreck every percentile downstream).
+inline constexpr double kMaxPlausibleRttMs = 60'000.0;
+
+/// Upper bound on a plausible record timestamp (~100 years of campaign
+/// time). Together with the >= 0 floor this rejects corrupted epochs.
+inline constexpr std::int64_t kMaxTimestampS = 100LL * 365 * 86400;
+
 enum class TracerouteMethod : std::uint8_t {
   kClassic,  ///< per-probe flow ids; load-balancer artifacts possible
   kParis,    ///< fixed flow id; artifact-free paths

@@ -55,6 +55,15 @@ class TracerouteEngine {
                                       net::Family family, net::SimTime t,
                                       TracerouteMethod method);
 
+  /// Engine RNG state, for campaign checkpointing: restoring it replays
+  /// the probe stream from exactly the captured point.
+  std::array<std::uint64_t, 4> rng_state() const noexcept {
+    return rng_.state();
+  }
+  void set_rng_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    rng_.set_state(s);
+  }
+
  private:
   void apply_classic_artifacts(TracerouteRecord& record,
                                const simnet::RouterPath& fpath);

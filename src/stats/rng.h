@@ -6,6 +6,7 @@
 // std::uniform_random_bit_generator so the <random> distributions work.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <random>
 
@@ -27,6 +28,15 @@ class Rng {
       z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
       word = z ^ (z >> 31);
     }
+  }
+
+  /// The full engine state, for checkpointing; restoring it with
+  /// set_state() resumes the stream at exactly the same point.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
   }
 
   static constexpr result_type min() { return 0; }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/timeline.h"
+#include "faultsim/line_mangler.h"
 #include "probe/campaign.h"
 
 namespace s2s::io {
@@ -142,6 +143,112 @@ TEST(RecordsIo, CampaignRoundTripPreservesAnalysis) {
   EXPECT_EQ(replayed.table1().v4.complete_as, direct.table1().v4.complete_as);
   EXPECT_EQ(replayed.table1().v6.missing_ip, direct.table1().v6.missing_ip);
   EXPECT_EQ(replayed.timeline_count(), direct.timeline_count());
+}
+
+TEST(RecordsIo, RejectsPathologicalPingNumerics) {
+  // Baseline: the well-formed variant parses.
+  EXPECT_TRUE(parse_ping("P\t1\t2\t4\t100\t1\t5.0"));
+  // RTT: NaN, infinities, negative, implausibly large.
+  EXPECT_FALSE(parse_ping("P\t1\t2\t4\t100\t1\tnan"));
+  EXPECT_FALSE(parse_ping("P\t1\t2\t4\t100\t1\tinf"));
+  EXPECT_FALSE(parse_ping("P\t1\t2\t4\t100\t1\t-inf"));
+  EXPECT_FALSE(parse_ping("P\t1\t2\t4\t100\t1\t-3.0"));
+  EXPECT_FALSE(parse_ping("P\t1\t2\t4\t100\t1\t1e9"));
+  // Timestamp: negative or beyond the representable campaign range.
+  EXPECT_FALSE(parse_ping("P\t1\t2\t4\t-5\t1\t5.0"));
+  EXPECT_FALSE(parse_ping("P\t1\t2\t4\t9999999999999\t1\t5.0"));
+}
+
+TEST(RecordsIo, RejectsPathologicalTracerouteNumerics) {
+  const std::string prefix = "T\t1\t2\t4\t100\tparis\t1\t1.2.0.5\t1.9.0.7\t";
+  EXPECT_TRUE(parse_traceroute(prefix + "1.2.0.99@5.0"));
+  EXPECT_FALSE(parse_traceroute(prefix + "1.2.0.99@nan"));
+  EXPECT_FALSE(parse_traceroute(prefix + "1.2.0.99@inf"));
+  EXPECT_FALSE(parse_traceroute(prefix + "1.2.0.99@-1.0"));
+  EXPECT_FALSE(parse_traceroute(prefix + "1.2.0.99@1e9"));
+  // One bad hop poisons the record even when other hops are fine.
+  EXPECT_FALSE(parse_traceroute(prefix + "1.2.0.99@5.0,1.9.0.7@nan"));
+  // Timestamp range.
+  EXPECT_FALSE(parse_traceroute(
+      "T\t1\t2\t4\t-100\tparis\t1\t1.2.0.5\t1.9.0.7\t*"));
+  EXPECT_FALSE(parse_traceroute(
+      "T\t1\t2\t4\t9999999999999\tparis\t1\t1.2.0.5\t1.9.0.7\t*"));
+}
+
+TEST(RecordsIo, ReaderRetainsFirstMalformedLinesWithNumbers) {
+  std::stringstream buffer;
+  buffer << std::string(500, 'x') << "\n";         // line 1: malformed, long
+  buffer << to_line(sample_trace()) << "\n";       // line 2: fine
+  buffer << "T\tbroken\n";                         // line 3: malformed
+  buffer << "\n";                                  // line 4: empty, no error
+  buffer << "P\tnot\ta\tping\n";                   // line 5: malformed
+  buffer << to_line(sample_trace()) << "\n";       // line 6: fine
+
+  RecordReader reader(buffer, 2);  // retain at most two samples
+  std::size_t traces = 0;
+  reader.read_all([&](const probe::TracerouteRecord&) { ++traces; },
+                  [](const probe::PingRecord&) {});
+  EXPECT_EQ(traces, 2u);
+  EXPECT_EQ(reader.lines(), 6u);
+  EXPECT_EQ(reader.errors(), 3u);
+  ASSERT_EQ(reader.malformed().size(), 2u);  // cap respected
+  EXPECT_EQ(reader.malformed()[0].line_number, 1u);
+  EXPECT_EQ(reader.malformed()[0].text.size(),
+            RecordReader::kMaxSampleLength);  // long line truncated
+  EXPECT_EQ(reader.malformed()[1].line_number, 3u);
+  EXPECT_EQ(reader.malformed()[1].text, "T\tbroken");
+}
+
+TEST(RecordsIo, CorruptedLinesNeverCrashAndStayRoundTrippable) {
+  // Property test: serialize real records, corrupt them every way the
+  // mangler knows, and require that parsing (a) never crashes, (b) when
+  // it does accept a corrupted line, re-serializing is a fixed point.
+  std::vector<std::string> lines;
+  lines.push_back(to_line(sample_trace()));
+  {
+    auto rec = sample_trace();
+    rec.family = net::Family::kIPv6;
+    rec.src_addr = *net::IPAddr::parse("2001:db8::1");
+    rec.dst_addr = *net::IPAddr::parse("2001:db8::2");
+    rec.hops = {{*net::IPAddr::parse("2001:7f8::9"), 7.5},
+                {std::nullopt, 0.0}};
+    lines.push_back(to_line(rec));
+  }
+  {
+    probe::PingRecord ping;
+    ping.src = 4;
+    ping.dst = 5;
+    ping.time = net::SimTime(7777);
+    ping.success = true;
+    ping.rtt_ms = 10.125;
+    lines.push_back(to_line(ping));
+  }
+
+  std::size_t parsed_corrupted = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    faultsim::LineMangler mangler({seed, 1.0});
+    for (const auto& line : lines) {
+      const auto mangled = mangler.mangle(line);
+      if (const auto t = parse_traceroute(mangled)) {
+        const auto s1 = to_line(*t);
+        const auto again = parse_traceroute(s1);
+        ASSERT_TRUE(again.has_value()) << s1;
+        EXPECT_EQ(to_line(*again), s1);
+        ++parsed_corrupted;
+      }
+      if (const auto p = parse_ping(mangled)) {
+        const auto s1 = to_line(*p);
+        const auto again = parse_ping(s1);
+        ASSERT_TRUE(again.has_value()) << s1;
+        EXPECT_EQ(to_line(*again), s1);
+        ++parsed_corrupted;
+      }
+    }
+  }
+  // Corruption overwhelmingly yields rejects; survivors are the point of
+  // the round-trip check, so make sure some existed (byte flips in an RTT
+  // digit, for example, still parse).
+  EXPECT_GT(parsed_corrupted, 0u);
 }
 
 }  // namespace
