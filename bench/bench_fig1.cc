@@ -11,6 +11,7 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_fig1", opt);
   if (opt.days > 180.0) opt.days = 180.0;  // the figure shows six months
   bench::print_header(
       "Figure 1: illustrative server-to-server RTT timeline", opt);

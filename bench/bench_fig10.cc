@@ -11,6 +11,7 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_fig10", opt);
   bench::print_header("Figure 10: IPv4 vs IPv6", opt);
 
   auto deployment = bench::make_deployment(opt);

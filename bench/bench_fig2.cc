@@ -9,6 +9,7 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_fig2", opt);
   bench::print_header("Figure 2: unique AS paths and AS-path pairs", opt);
 
   auto deployment = bench::make_deployment(opt);

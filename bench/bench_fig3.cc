@@ -8,6 +8,7 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_fig3", opt);
   bench::print_header("Figure 3: path prevalence and change frequency", opt);
 
   auto deployment = bench::make_deployment(opt);

@@ -11,6 +11,7 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_fig4", opt);
   bench::print_header(
       "Figure 4: baseline-RTT penalty vs AS-path lifetime (heat map)", opt);
 

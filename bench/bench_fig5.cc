@@ -9,6 +9,7 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_fig5", opt);
   bench::print_header(
       "Figure 5: 90th-percentile RTT penalty vs AS-path lifetime", opt);
 

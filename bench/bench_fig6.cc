@@ -9,6 +9,7 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_fig6", opt);
   bench::print_header("Figure 6: prevalence of sub-optimal AS paths", opt);
 
   auto deployment = bench::make_deployment(opt);

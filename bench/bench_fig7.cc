@@ -10,6 +10,7 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_fig7", opt);
   bench::print_header("Figure 7: 30-minute vs 3-hour sampling", opt);
 
   auto deployment = bench::make_deployment(opt);

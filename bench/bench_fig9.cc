@@ -31,6 +31,7 @@ void print_density(const char* name, const std::vector<double>& samples) {
 
 int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_fig9", opt);
   // Congestion is a tail phenomenon: this bench needs a wide pair sample.
   if (!opt.fast && opt.pairs < 2500) opt.pairs = 2500;
   bench::print_header("Figure 9: density of congestion overhead", opt);

@@ -1,11 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the core primitives: topology
 // generation, valley-free route computation, longest-prefix match, AS-path
-// edit distance, the diurnal FFT detector, and traceroute simulation —
-// plus the edit-distance vs exact-equality change-detection ablation.
+// edit distance, the diurnal FFT detector, traceroute simulation, and the
+// record-ingest hot path with observability on vs off — plus the
+// edit-distance vs exact-equality change-detection ablation.
+//
+// After the benchmark table, main() prints a one-line JSON summary with
+// ingest throughput, the obs overhead percentage, and p50/p99 of the
+// ingested RTTs taken from the s2s.timeline.rtt_ms histogram.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
 
 #include "bgp/rib.h"
 #include "core/change_detect.h"
+#include "core/timeline.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "probe/traceroute.h"
 #include "routing/valley_free.h"
 #include "simnet/network.h"
@@ -105,7 +116,7 @@ void BM_DiurnalRatio(benchmark::State& state) {
 }
 BENCHMARK(BM_DiurnalRatio);
 
-void BM_Traceroute(benchmark::State& state) {
+simnet::Network& shared_network() {
   static simnet::Network* net = [] {
     simnet::NetworkConfig cfg;
     cfg.topology.server_count = 40;
@@ -117,6 +128,11 @@ void BM_Traceroute(benchmark::State& state) {
     n->prepare_full_mesh(servers);
     return n;
   }();
+  return *net;
+}
+
+void BM_Traceroute(benchmark::State& state) {
+  simnet::Network* net = &shared_network();
   probe::TracerouteEngine engine(*net, {}, stats::Rng(1));
   topology::ServerId dst = 1;
   std::int64_t t = 0;
@@ -130,6 +146,102 @@ void BM_Traceroute(benchmark::State& state) {
 }
 BENCHMARK(BM_Traceroute);
 
+/// Distinct pre-generated records so the ingest loop never trips the
+/// dedup window (capacity 4096) or re-parses: the benchmark measures
+/// TimelineStore::add alone.
+const std::vector<probe::TracerouteRecord>& ingest_records() {
+  static const std::vector<probe::TracerouteRecord> records = [] {
+    std::vector<probe::TracerouteRecord> out;
+    probe::TracerouteEngine engine(shared_network(), {}, stats::Rng(7));
+    std::int64_t t = 0;
+    topology::ServerId dst = 1;
+    while (out.size() < 8192) {
+      if (auto rec = engine.run(0, dst, net::Family::kIPv4, net::SimTime(t),
+                                probe::TracerouteMethod::kParis)) {
+        out.push_back(std::move(*rec));
+      }
+      dst = 1 + (dst % 39);
+      t += net::kThreeHours;
+    }
+    return out;
+  }();
+  return records;
+}
+
+// Record-ingest hot path: Arg(1) = obs enabled (instrumented production
+// configuration), Arg(0) = disabled global registry (the no-op arm). The
+// acceptance bar for leaving instrumentation on is <5% throughput delta.
+void BM_TimelineIngest(benchmark::State& state) {
+  simnet::Network& net = shared_network();
+  const auto& records = ingest_records();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.set_enabled(state.range(0) != 0);
+  core::TimelineStore store(net.topo(), net.rib(), {0.0, net::kThreeHours});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    store.add(records[i]);
+    if (++i == records.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  reg.set_enabled(true);
+}
+BENCHMARK(BM_TimelineIngest)->Arg(0)->Arg(1);
+
+/// ConsoleReporter that also captures per-iteration wall time, keyed by
+/// benchmark name, for the JSON summary line.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.iterations > 0) {
+        seconds_per_iter_[run.benchmark_name()] =
+            run.real_accumulated_time / static_cast<double>(run.iterations);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  double seconds_per_iter(const std::string& name) const {
+    const auto it = seconds_per_iter_.find(name);
+    return it == seconds_per_iter_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<std::string, double> seconds_per_iter_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const double off_s = reporter.seconds_per_iter("BM_TimelineIngest/0");
+  const double on_s = reporter.seconds_per_iter("BM_TimelineIngest/1");
+  if (off_s <= 0.0 || on_s <= 0.0) return 0;  // filtered out
+
+  const auto snapshot = obs::MetricsRegistry::global().snapshot();
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("bench");
+  w.value("bench_micro");
+  w.key("ingest_ops_per_sec");
+  w.value(1.0 / on_s);
+  w.key("ingest_ops_per_sec_noobs");
+  w.value(1.0 / off_s);
+  w.key("obs_overhead_pct");
+  w.value((on_s - off_s) / off_s * 100.0);
+  const auto hist = snapshot.histograms.find("s2s.timeline.rtt_ms");
+  if (hist != snapshot.histograms.end()) {
+    w.key("rtt_ms_p50");
+    w.value(hist->second.quantile(0.50));
+    w.key("rtt_ms_p99");
+    w.value(hist->second.quantile(0.99));
+  }
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}

@@ -32,6 +32,7 @@ std::map<net::IPAddr, net::Asn> ground_truth(const topology::Topology& topo) {
 
 int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_ownership", opt);
   bench::print_header(
       "Ownership-inference validation against ground truth", opt);
 

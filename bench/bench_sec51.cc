@@ -9,6 +9,7 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_sec51", opt);
   // Congestion is a tail phenomenon: this bench needs a wide pair sample.
   if (!opt.fast && opt.pairs < 1500) opt.pairs = 1500;
   bench::print_header("Section 5.1: is congestion the norm in the core?",

@@ -9,6 +9,7 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_sec53", opt);
   // Congestion is a tail phenomenon: this bench needs a wide pair sample.
   if (!opt.fast && opt.pairs < 2000) opt.pairs = 2000;
   bench::print_header("Sections 5.2-5.3: locating and classifying congested"

@@ -32,6 +32,7 @@ void print_family(const char* name, const core::Table1Counts::PerFamily& f,
 
 int main(int argc, char** argv) {
   auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_table1", opt);
   bench::print_header("Table 1: traceroute data-quality summary", opt);
 
   auto deployment = bench::make_deployment(opt);

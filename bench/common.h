@@ -10,10 +10,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/timeline.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "probe/campaign.h"
 #include "simnet/network.h"
 #include "stats/ecdf.h"
@@ -27,6 +32,9 @@ struct Options {
   double days = 485.0;   ///< long-term campaign length
   std::uint64_t seed = 42;
   bool fast = false;     ///< tiny run for smoke-testing the harness
+  bool report = true;          ///< emit a RunReport JSON on exit
+  std::string report_path;     ///< default: BENCH_<tool>.json
+  std::string trace_path;      ///< chrome://tracing JSON; empty = none
 
   static Options parse(int argc, char** argv) {
     Options opt;
@@ -41,6 +49,12 @@ struct Options {
         opt.seed = std::strtoull(next(), nullptr, 10);
       } else if (!std::strcmp(argv[i], "--fast")) {
         opt.fast = true;
+      } else if (!std::strcmp(argv[i], "--report")) {
+        opt.report_path = next();
+      } else if (!std::strcmp(argv[i], "--no-report")) {
+        opt.report = false;
+      } else if (!std::strcmp(argv[i], "--trace")) {
+        opt.trace_path = next();
       }
     }
     if (opt.fast) {
@@ -50,6 +64,64 @@ struct Options {
     }
     return opt;
   }
+};
+
+/// RAII observability session for a bench binary. On construction it
+/// resets the global registry/collector and opens a root span named after
+/// the tool; on destruction it closes the span and writes the RunReport
+/// JSON (default `BENCH_<tool>.json`, or --report PATH; disable with
+/// --no-report) plus an optional chrome://tracing file (--trace PATH).
+/// Store DataQualityReports fed to note_quality() are merged into the
+/// report's data_quality section.
+class ObsSession {
+ public:
+  ObsSession(std::string tool, const Options& opt)
+      : tool_(std::move(tool)), opt_(opt) {
+    obs::MetricsRegistry::global().reset();
+    obs::TraceCollector::global().clear();
+    root_.emplace(tool_);
+    active_ = this;
+  }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    root_.reset();  // commit the root span before snapshotting
+    active_ = nullptr;
+    if (!opt_.report) return;
+    obs::RunReport report = obs::build_run_report(tool_);
+    for (const auto& [name, count] : quality_.as_map()) {
+      report.data_quality[name] = count;
+    }
+    const std::string path = opt_.report_path.empty()
+                                 ? "BENCH_" + tool_ + ".json"
+                                 : opt_.report_path;
+    if (obs::write_text_file(path, report.to_json())) {
+      obs::logf(obs::LogLevel::kInfo, "run report: %s", path.c_str());
+    }
+    if (!opt_.trace_path.empty() &&
+        obs::write_text_file(opt_.trace_path,
+                             obs::TraceCollector::global().to_chrome_json())) {
+      obs::logf(obs::LogLevel::kInfo, "trace: %s", opt_.trace_path.c_str());
+    }
+  }
+
+  /// Merge a store's quality counters into the final report.
+  void note_quality(const core::DataQualityReport& quality) {
+    quality_.merge(quality);
+  }
+
+  /// The session currently in scope, if any (so shared helpers like
+  /// run_long_term can feed quality without plumbing a handle through).
+  static ObsSession* active() { return active_; }
+
+ private:
+  inline static ObsSession* active_ = nullptr;
+
+  std::string tool_;
+  Options opt_;
+  std::optional<obs::TraceSpan> root_;
+  core::DataQualityReport quality_;
 };
 
 struct Deployment {
@@ -96,9 +168,13 @@ inline core::TimelineStore run_long_term(Deployment& d, const Options& opt) {
   probe::TracerouteCampaign campaign(*d.net, cfg, d.pairs);
   core::TimelineStore store(d.topo(), d.net->rib(),
                             {0.0, net::kThreeHours});
-  std::fprintf(stderr, "[long-term campaign: %zu ordered pairs, %.0f days]\n",
-               d.pairs.size() * 2, opt.days);
+  obs::logf(obs::LogLevel::kInfo,
+            "long-term campaign: %zu ordered pairs, %.0f days",
+            d.pairs.size() * 2, opt.days);
   campaign.run([&](const probe::TracerouteRecord& r) { store.add(r); });
+  if (ObsSession* session = ObsSession::active()) {
+    session->note_quality(store.quality());
+  }
   return store;
 }
 

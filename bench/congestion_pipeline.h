@@ -34,9 +34,12 @@ inline CongestionPipeline run_congestion_pipeline(
   probe::PingCampaign pings(*d.net, ping_cfg, d.pairs);
   core::PingSeriesStore ping_store(ping_cfg.start_day, net::kFifteenMinutes,
                                    pings.epochs());
-  std::fprintf(stderr, "[ping campaign: %zu pairs, %zu epochs]\n",
-               d.pairs.size() * 2, pings.epochs());
+  obs::logf(obs::LogLevel::kInfo, "ping campaign: %zu pairs, %zu epochs",
+            d.pairs.size() * 2, pings.epochs());
   pings.run([&](const probe::PingRecord& r) { ping_store.add(r); });
+  if (ObsSession* session = ObsSession::active()) {
+    session->note_quality(ping_store.quality());
+  }
   auto cfg = detect_cfg;
   cfg.min_samples = static_cast<std::size_t>(0.88 * pings.epochs());
   out.survey = core::survey_congestion(ping_store, cfg);
@@ -65,8 +68,8 @@ inline CongestionPipeline run_congestion_pipeline(
   const auto rels = bgp::RelationshipTable::from_topology(d.topo());
   core::OwnershipInference ownership(d.net->rib(), rels);
   std::vector<net::IPAddr> run;
-  std::fprintf(stderr, "[follow-up campaign: %zu flagged pairs]\n",
-               flagged.size());
+  obs::logf(obs::LogLevel::kInfo, "follow-up campaign: %zu flagged pairs",
+            flagged.size());
   auto feed_ownership = [&](const probe::TracerouteRecord& r) {
     if (!r.complete) return;
     // Feed maximal responsive runs to the ownership heuristics.
@@ -85,6 +88,9 @@ inline CongestionPipeline run_congestion_pipeline(
     segments.add(r);
     feed_ownership(r);
   });
+  if (ObsSession* session = ObsSession::active()) {
+    session->note_quality(segments.quality());
+  }
   // The paper labels interfaces from *all* traceroute paths, not only the
   // flagged pairs: add one day of the routine full-mesh sweep so the
   // election has the surrounding-path constraints it needs.

@@ -1,21 +1,47 @@
 // Quickstart: build a simulated Internet core, run a few traceroutes
-// between CDN measurement servers, infer their AS paths, and watch a
-// routing change move the traffic onto a different path.
+// between CDN measurement servers, infer their AS paths, watch a routing
+// change move the traffic onto a different path, then run a small
+// campaign end to end (campaign -> persisted records -> ingest ->
+// routing + dual-stack analyses) with the observability layer recording
+// every stage.
 //
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart --report run_report.json --trace trace.json
+//
+// --report PATH (or S2S_RUN_REPORT=PATH) writes the versioned RunReport
+// JSON; --trace PATH writes a chrome://tracing / Perfetto trace file.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <sstream>
 
 #include "core/as_path_infer.h"
+#include "core/dualstack.h"
+#include "core/routing_study.h"
+#include "core/timeline.h"
 #include "faultsim/line_mangler.h"
 #include "io/records_io.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "probe/campaign.h"
 #include "probe/traceroute.h"
 #include "simnet/network.h"
 
 using namespace s2s;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string report_path, trace_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (!std::strcmp(argv[i], "--report")) report_path = next();
+    else if (!std::strcmp(argv[i], "--trace")) trace_path = next();
+  }
+  if (report_path.empty()) {
+    if (const char* env = std::getenv("S2S_RUN_REPORT")) report_path = env;
+  }
+  std::optional<obs::TraceSpan> root_span;
+  root_span.emplace("quickstart");
   // 1. A small world: ~160 ASes, with 30 measurement servers.
   simnet::NetworkConfig config;
   config.topology.seed = 7;
@@ -113,6 +139,60 @@ int main() {
   for (const auto& bad : reader.malformed()) {
     std::printf("  line %zu: %.60s%s\n", bad.line_number, bad.text.c_str(),
                 bad.text.size() > 60 ? "..." : "");
+  }
+
+  // 6. The pipeline end to end, instrumented: a month-long campaign over
+  //    a few pairs, persisted and re-ingested through the record reader
+  //    into a TimelineStore, then the routing and dual-stack analyses.
+  //    Every stage shows up in the trace and the run report.
+  core::TimelineStore store(topo, net.rib(), {0.0, net::kThreeHours});
+  {
+    probe::TracerouteCampaignConfig campaign_cfg;
+    campaign_cfg.days = 30.0;
+    campaign_cfg.paris_switch_day = 15.0;
+    campaign_cfg.seed = 11;
+    const std::vector<std::pair<topology::ServerId, topology::ServerId>>
+        pairs = {{0, 17}, {0, 5}, {3, 17}, {5, 9}, {9, 21}, {12, 25}};
+    probe::TracerouteCampaign campaign(net, campaign_cfg, pairs);
+
+    std::stringstream campaign_file;
+    io::RecordWriter campaign_writer(campaign_file);
+    campaign.run(
+        [&](const probe::TracerouteRecord& r) { campaign_writer.write(r); });
+
+    const obs::TraceSpan ingest_span("ingest");
+    io::RecordReader campaign_reader(campaign_file);
+    campaign_reader.read_all(
+        [&](const probe::TracerouteRecord& r) { store.add(r); },
+        [](const probe::PingRecord&) {});
+    std::printf("\ncampaign ingested: %zu records -> %zu timelines\n",
+                campaign_reader.lines(), store.timeline_count());
+  }
+
+  const auto routing = core::run_routing_study(store, {});
+  const auto dual = core::run_dualstack_study(store);
+  std::printf("routing study: %zu v4 + %zu v6 qualifying timelines; "
+              "dual-stack: %zu pairs matched\n",
+              routing.v4.timelines, routing.v6.timelines, dual.pairs_matched);
+
+  // 7. Close the root span and emit the machine-readable artifacts.
+  root_span.reset();
+  if (!report_path.empty()) {
+    obs::RunReport run_report = obs::build_run_report("quickstart");
+    for (const auto& [name, count] : store.quality().as_map()) {
+      run_report.data_quality[name] = count;
+    }
+    if (obs::write_text_file(report_path, run_report.to_json())) {
+      std::printf("\nrun report (%zu metrics, %zu nested spans): %s\n",
+                  run_report.metric_count(), run_report.nested_span_count(),
+                  report_path.c_str());
+    }
+  }
+  if (!trace_path.empty() &&
+      obs::write_text_file(trace_path,
+                           obs::TraceCollector::global().to_chrome_json())) {
+    std::printf("trace (load in chrome://tracing or ui.perfetto.dev): %s\n",
+                trace_path.c_str());
   }
   return 0;
 }

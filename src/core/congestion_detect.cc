@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/summary.h"
 
 namespace s2s::core {
@@ -38,6 +40,11 @@ SeriesVerdict assess_series(std::span<const double> rtt_ms,
 
 CongestionSurvey survey_congestion(const PingSeriesStore& store,
                                    const CongestionDetectConfig& config) {
+  const obs::TraceSpan stage_span("analysis.congestion.fft_detect");
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Counter assessed = reg.counter("s2s.congestion.pairs_assessed");
+  const obs::Counter flagged = reg.counter("s2s.congestion.pairs_flagged");
+
   CongestionSurvey survey;
   survey.quality = store.quality();
   store.for_each([&](topology::ServerId src, topology::ServerId dst,
@@ -49,6 +56,7 @@ CongestionSurvey survey_congestion(const PingSeriesStore& store,
       return;
     }
     ++agg.pairs_assessed;
+    assessed.inc();
     const auto rtts = PingSeriesStore::to_ms_interpolated(series);
     const SeriesVerdict verdict =
         assess_series(rtts, store.samples_per_day(), config);
@@ -60,6 +68,7 @@ CongestionSurvey survey_congestion(const PingSeriesStore& store,
     if (verdict.high_variation) ++agg.high_variation;
     if (verdict.consistent_congestion()) {
       ++agg.consistent;
+      flagged.inc();
       survey.flagged.push_back({src, dst, fam, verdict});
     }
   });

@@ -2,6 +2,9 @@
 
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace s2s::core {
 
 namespace {
@@ -19,6 +22,10 @@ std::string link_key(const CongestedSegmentObs& obs) {
 CongestionStudy build_congestion_study(
     const std::vector<CongestedSegmentObs>& segments,
     const LinkClassifier& classifier, const topology::Topology& topo) {
+  const obs::TraceSpan stage_span("analysis.congestion.classify");
+  const obs::Counter classified =
+      obs::MetricsRegistry::global().counter("s2s.congestion.links_classified");
+
   CongestionStudy study;
 
   struct Accum {
@@ -73,6 +80,7 @@ CongestionStudy build_congestion_study(
         break;
     }
     study.links.push_back(std::move(info));
+    classified.inc();
   }
   return study;
 }

@@ -31,6 +31,28 @@ bool valid_time(net::SimTime t) {
 
 }  // namespace
 
+IngestObs IngestObs::make(std::string_view subsystem) {
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string prefix = "s2s." + std::string(subsystem) + ".";
+  IngestObs o;
+  o.records = reg.counter(prefix + "records");
+  o.drop_invalid_rtt = reg.counter(prefix + "drop_invalid_rtt");
+  o.drop_duplicates = reg.counter(prefix + "drop_duplicates");
+  o.drop_out_of_grid = reg.counter(prefix + "drop_out_of_grid");
+  o.reordered = reg.counter(prefix + "reordered");
+  o.rtt_ms = reg.histogram(prefix + "rtt_ms",
+                           obs::MetricsRegistry::rtt_ms_bounds());
+  return o;
+}
+
+std::map<std::string, std::size_t> DataQualityReport::as_map() const {
+  return {{"invalid_rtt", invalid_rtt},
+          {"duplicates_dropped", duplicates_dropped},
+          {"reordered", reordered},
+          {"out_of_grid", out_of_grid},
+          {"insufficient_epochs", insufficient_epochs}};
+}
+
 std::string DataQualityReport::to_string() const {
   std::string out = "invalid_rtt=" + std::to_string(invalid_rtt);
   out += " duplicates_dropped=" + std::to_string(duplicates_dropped);

@@ -12,10 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "probe/records.h"
 
 namespace s2s::core {
@@ -44,6 +47,26 @@ struct DataQualityReport {
   }
 
   std::string to_string() const;
+
+  /// Name -> count form for RunReport::data_quality merging.
+  std::map<std::string, std::size_t> as_map() const;
+};
+
+/// Live obs mirrors of a streaming store's ingest path: the same events
+/// the DataQualityReport tallies, delegated to MetricsRegistry counters
+/// as they happen (plus an accepted-record counter and RTT histogram),
+/// so a mid-run snapshot sees store health without touching the store.
+/// Metric names follow "s2s.<subsystem>.<event>".
+struct IngestObs {
+  obs::Counter records;            ///< accepted into the store
+  obs::Counter drop_invalid_rtt;
+  obs::Counter drop_duplicates;
+  obs::Counter drop_out_of_grid;
+  obs::Counter reordered;          ///< accepted, but behind the watermark
+  obs::Histogram rtt_ms;           ///< accepted end-to-end RTTs
+
+  /// Resolves handles "s2s.<subsystem>.*" in the global registry.
+  static IngestObs make(std::string_view subsystem);
 };
 
 /// True iff every RTT in the record is finite, non-negative and below

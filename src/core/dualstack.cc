@@ -4,11 +4,18 @@
 #include <map>
 #include <tuple>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/summary.h"
 
 namespace s2s::core {
 
 DualStackStudy run_dualstack_study(const TimelineStore& store) {
+  const obs::TraceSpan stage_span("analysis.dualstack");
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Counter samples = reg.counter("s2s.dualstack.samples_matched");
+  const obs::Counter pairs = reg.counter("s2s.dualstack.pairs_matched");
+
   DualStackStudy study;
   study.quality = store.quality();
 
@@ -58,6 +65,8 @@ DualStackStudy run_dualstack_study(const TimelineStore& store) {
     }
     if (!diffs.empty()) {
       ++study.pairs_matched;
+      pairs.inc();
+      samples.inc(diffs.size());
       study.pair_median_diff.push_back(stats::median(diffs));
     }
   });

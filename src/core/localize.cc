@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/fft.h"
 #include "stats/summary.h"
 
@@ -46,6 +48,10 @@ net::AsPath as_sequence_of_hops(
 LocalizeResult localize_congestion(const SegmentSeriesStore& store,
                                    const bgp::Rib& rib,
                                    const LocalizeConfig& config) {
+  const obs::TraceSpan stage_span("analysis.congestion.localize");
+  const obs::Counter localized =
+      obs::MetricsRegistry::global().counter("s2s.congestion.pairs_localized");
+
   LocalizeResult result;
   store.for_each([&](topology::ServerId src, topology::ServerId dst,
                      net::Family fam,
@@ -113,6 +119,7 @@ LocalizeResult localize_congestion(const SegmentSeriesStore& store,
       obs.overhead_ms = overhead;
       result.segments.push_back(std::move(obs));
       ++result.pairs_localized;
+      localized.inc();
       break;  // first matching segment marks the congested link
     }
   });

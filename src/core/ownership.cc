@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace s2s::core {
 
 namespace {
@@ -82,6 +85,10 @@ void OwnershipInference::observe_path(std::span<const net::IPAddr> hops) {
 void OwnershipInference::finalize() {
   if (finalized_) return;
   finalized_ = true;
+  const obs::TraceSpan stage_span("analysis.congestion.ownership");
+  obs::MetricsRegistry::global()
+      .counter("s2s.ownership.links_observed")
+      .inc(links_.size());
 
   // back: if >=2 in-neighbors of y carry the same candidate owner ASi,
   // extend that label to unlabeled in-neighbors whose address ASi announces.

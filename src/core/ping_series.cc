@@ -8,18 +8,24 @@ namespace s2s::core {
 void PingSeriesStore::add(const probe::PingRecord& record) {
   if (dedup_.seen_or_insert(fingerprint(record))) {
     ++quality_.duplicates_dropped;
+    obs_.drop_duplicates.inc();
     return;
   }
   const std::int64_t epoch =
       net::grid_epoch(record.time, start_day_, interval_s_);
   if (epoch < 0 || static_cast<std::size_t>(epoch) >= epochs_) {
     ++quality_.out_of_grid;
+    obs_.drop_out_of_grid.inc();
     return;
   }
-  if (epoch < last_epoch_seen_) ++quality_.reordered;
+  if (epoch < last_epoch_seen_) {
+    ++quality_.reordered;
+    obs_.reordered.inc();
+  }
   last_epoch_seen_ = std::max(last_epoch_seen_, epoch);
   if (!valid_record(record)) {
     ++quality_.invalid_rtt;
+    obs_.drop_invalid_rtt.inc();
     return;
   }
   if (!record.success) return;
@@ -31,8 +37,11 @@ void PingSeriesStore::add(const probe::PingRecord& record) {
   // sample the analyses already count on.
   if (slot != kMissing) {
     ++quality_.duplicates_dropped;
+    obs_.drop_duplicates.inc();
     return;
   }
+  obs_.records.inc();
+  obs_.rtt_ms.record(record.rtt_ms);
   ++series.valid;
   slot = static_cast<std::uint16_t>(
       std::min(6553.0, std::max(0.0, record.rtt_ms)) * 10.0);

@@ -61,6 +61,7 @@ class PingSeriesStore {
   double start_day_;
   std::int64_t interval_s_;
   std::size_t epochs_;
+  IngestObs obs_ = IngestObs::make("ping_store");
   DataQualityReport quality_;
   DedupWindow dedup_;
   std::int64_t last_epoch_seen_ = -1;

@@ -4,6 +4,9 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace s2s::core {
 
 namespace {
@@ -62,18 +65,28 @@ void analyze_family(const TraceTimeline& timeline, double interval_hours,
 
 RoutingStudy run_routing_study(const TimelineStore& store,
                                const RoutingStudyConfig& config) {
+  const obs::TraceSpan stage_span("analysis.routing_study");
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Counter timelines_analyzed =
+      reg.counter("s2s.routing_study.timelines");
+
   RoutingStudy study;
   const double interval_hours = store.interval_hours();
 
   // Pass 1: qualifying timelines, per family.
-  store.for_each([&](topology::ServerId, topology::ServerId, net::Family fam,
-                     const TraceTimeline& timeline) {
-    if (timeline.obs.size() < config.min_observations) return;
-    analyze_family(timeline, interval_hours, config, study.of(fam));
-  });
+  {
+    const obs::TraceSpan pass_span("qualify");
+    store.for_each([&](topology::ServerId, topology::ServerId,
+                       net::Family fam, const TraceTimeline& timeline) {
+      if (timeline.obs.size() < config.min_observations) return;
+      analyze_family(timeline, interval_hours, config, study.of(fam));
+      timelines_analyzed.inc();
+    });
+  }
 
   // Pass 2 (Fig 2b): forward/reverse AS-path pairs per unordered pair.
   // Collect keys first to visit each unordered pair once.
+  const obs::TraceSpan pairs_span("path_pairs");
   std::map<std::tuple<topology::ServerId, topology::ServerId, net::Family>,
            const TraceTimeline*>
       index;

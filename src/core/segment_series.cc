@@ -17,21 +17,29 @@ std::uint16_t to_tenths(double ms) {
 void SegmentSeriesStore::add(const probe::TracerouteRecord& record) {
   if (dedup_.seen_or_insert(fingerprint(record))) {
     ++quality_.duplicates_dropped;
+    obs_.drop_duplicates.inc();
     return;
   }
   const std::int64_t epoch =
       net::grid_epoch(record.time, start_day_, interval_s_);
   if (epoch < 0 || static_cast<std::size_t>(epoch) >= epochs_) {
     ++quality_.out_of_grid;
+    obs_.drop_out_of_grid.inc();
     return;
   }
-  if (epoch < last_epoch_seen_) ++quality_.reordered;
+  if (epoch < last_epoch_seen_) {
+    ++quality_.reordered;
+    obs_.reordered.inc();
+  }
   last_epoch_seen_ = std::max(last_epoch_seen_, epoch);
   if (!valid_record(record)) {
     ++quality_.invalid_rtt;
+    obs_.drop_invalid_rtt.inc();
     return;
   }
   if (!record.complete || record.hops.empty()) return;
+  obs_.records.inc();
+  obs_.rtt_ms.record(record.end_to_end_rtt_ms());
   const auto e = static_cast<std::size_t>(epoch);
 
   PairSeries& series = series_[key(record.src, record.dst, record.family)];

@@ -78,6 +78,7 @@ class SegmentSeriesStore {
   double start_day_;
   std::int64_t interval_s_;
   std::size_t epochs_;
+  IngestObs obs_ = IngestObs::make("segments");
   DataQualityReport quality_;
   DedupWindow dedup_;
   std::int64_t last_epoch_seen_ = -1;

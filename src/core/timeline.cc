@@ -20,20 +20,28 @@ void TimelineStore::add(const probe::TracerouteRecord& record) {
   // cannot inflate the paper's completeness statistics.
   if (dedup_.seen_or_insert(fingerprint(record))) {
     ++quality_.duplicates_dropped;
+    obs_.drop_duplicates.inc();
     return;
   }
   const std::int64_t grid = net::grid_epoch(record.time, config_.start_day,
                                             config_.interval_s);
   if (grid < 0 || grid > 0xFFFF) {
     ++quality_.out_of_grid;
+    obs_.drop_out_of_grid.inc();
     return;
   }
-  if (grid < last_epoch_seen_) ++quality_.reordered;
+  if (grid < last_epoch_seen_) {
+    ++quality_.reordered;
+    obs_.reordered.inc();
+  }
   last_epoch_seen_ = std::max(last_epoch_seen_, grid);
   if (!valid_record(record)) {
     ++quality_.invalid_rtt;
+    obs_.drop_invalid_rtt.inc();
     return;
   }
+  obs_.records.inc();
+  if (record.complete) obs_.rtt_ms.record(record.end_to_end_rtt_ms());
 
   auto& counts = table1_.of(record.family);
   ++counts.collected;

@@ -129,6 +129,7 @@ class TimelineStore {
   const topology::Topology& topo_;
   AsPathInferrer inferrer_;
   TimelineStoreConfig config_;
+  IngestObs obs_ = IngestObs::make("timeline");
   PathInterner interner_;
   Table1Counts table1_;
   DataQualityReport quality_;

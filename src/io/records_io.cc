@@ -7,6 +7,8 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/log.h"
+
 namespace s2s::io {
 
 namespace {
@@ -205,7 +207,13 @@ bool RecordReader::next_line(std::string& line) {
 
 void RecordReader::note_malformed(const std::string& line) {
   ++errors_;
-  if (malformed_.size() >= max_samples_) return;
+  if (malformed_.size() >= max_samples_) {
+    obs_dropped_.inc();
+    return;
+  }
+  obs_retained_.inc();
+  obs::logf(obs::LogLevel::kWarn, "malformed record at line %zu: %.40s%s",
+            lines_, line.c_str(), line.size() > 40 ? "..." : "");
   malformed_.push_back(
       {lines_, line.substr(0, kMaxSampleLength)});
 }

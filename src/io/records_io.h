@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "probe/records.h"
 
 namespace s2s::io {
@@ -61,6 +62,13 @@ struct MalformedLine {
 /// Streaming reader: dispatches each parsed record to the matching sink;
 /// malformed lines are counted — and the first few retained verbatim —
 /// but never fatal.
+///
+/// Retention is capped: only the first `max_samples` malformed lines are
+/// kept (each truncated to kMaxSampleLength bytes) so a systematically
+/// corrupt multi-gigabyte file cannot balloon memory; the full count is
+/// always available via errors(). The same split is mirrored into the
+/// global metrics registry as `s2s.io.malformed_retained` and
+/// `s2s.io.malformed_dropped`, alongside `s2s.io.records_parsed`.
 class RecordReader {
  public:
   /// Longest retained prefix of a malformed line.
@@ -77,12 +85,14 @@ class RecordReader {
       if (line.empty()) continue;
       if (line.front() == 'T') {
         if (auto rec = parse_traceroute(line)) {
+          obs_parsed_.inc();
           on_trace(*rec);
         } else {
           note_malformed(line);
         }
       } else if (line.front() == 'P') {
         if (auto rec = parse_ping(line)) {
+          obs_parsed_.inc();
           on_ping(*rec);
         } else {
           note_malformed(line);
@@ -100,6 +110,11 @@ class RecordReader {
   const std::vector<MalformedLine>& malformed() const noexcept {
     return malformed_;
   }
+  /// Malformed lines kept as samples vs. counted-only past the cap.
+  std::size_t malformed_retained() const noexcept { return malformed_.size(); }
+  std::size_t malformed_dropped() const noexcept {
+    return errors_ - malformed_.size();
+  }
 
  private:
   bool next_line(std::string& line);
@@ -110,6 +125,12 @@ class RecordReader {
   std::size_t lines_ = 0;
   std::size_t errors_ = 0;
   std::vector<MalformedLine> malformed_;
+  obs::Counter obs_parsed_ =
+      obs::MetricsRegistry::global().counter("s2s.io.records_parsed");
+  obs::Counter obs_retained_ =
+      obs::MetricsRegistry::global().counter("s2s.io.malformed_retained");
+  obs::Counter obs_dropped_ =
+      obs::MetricsRegistry::global().counter("s2s.io.malformed_dropped");
 };
 
 }  // namespace s2s::io

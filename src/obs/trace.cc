@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace s2s::obs {
+
+namespace {
+
+/// Innermost live span on this thread (across all collectors; a span
+/// only adopts the parent when it belongs to the same collector).
+thread_local TraceSpan* t_top = nullptr;
+TraceSpan** top_slot() { return &t_top; }
+
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceCollector::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::int64_t TraceCollector::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<SpanEvent> TraceCollector::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceCollector::commit(SpanEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  const auto snapshot = events();
+  json::Writer w;
+  w.begin_object().key("traceEvents").begin_array();
+  for (const auto& e : snapshot) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value("s2s");
+    w.key("ph").value("X");
+    w.key("ts").value(static_cast<std::int64_t>(e.start_us));
+    w.key("dur").value(static_cast<std::int64_t>(e.dur_us));
+    w.key("pid").value(std::int64_t{1});
+    w.key("tid").value(static_cast<std::int64_t>(e.tid));
+    w.key("args").begin_object();
+    w.key("path").value(e.path);
+    w.key("depth").value(static_cast<std::int64_t>(e.depth));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit").value("ms");
+  w.end_object();
+  return w.str();
+}
+
+std::map<std::string, TraceCollector::PathStat> TraceCollector::aggregate()
+    const {
+  std::map<std::string, PathStat> stats;
+  for (const auto& e : events()) {
+    auto& s = stats[e.path];
+    s.depth = e.depth;
+    s.count += 1;
+    s.total_ms += static_cast<double>(e.dur_us) / 1000.0;
+  }
+  // self = total - direct children (identified by parent path).
+  for (auto& [path, stat] : stats) {
+    stat.self_ms = stat.total_ms;
+  }
+  for (const auto& [path, stat] : stats) {
+    const auto cut = path.rfind('/');
+    if (cut == std::string::npos) continue;
+    const auto parent = stats.find(path.substr(0, cut));
+    if (parent != stats.end()) parent->second.self_ms -= stat.total_ms;
+  }
+  return stats;
+}
+
+std::string TraceCollector::flamegraph() const {
+  const auto stats = aggregate();
+  std::string out;
+  // std::map iterates paths lexicographically, which interleaves every
+  // subtree directly under its parent ('/' sorts low in span names).
+  for (const auto& [path, s] : stats) {
+    const auto leaf = path.rfind('/');
+    const std::string name =
+        leaf == std::string::npos ? path : path.substr(leaf + 1);
+    out.append(2 * s.depth, ' ');
+    out += name;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  %llux  %.3f ms (self %.3f ms)\n",
+                  static_cast<unsigned long long>(s.count), s.total_ms,
+                  std::max(0.0, s.self_ms));
+    out += buf;
+  }
+  if (dropped() > 0) {
+    out += "(+" + std::to_string(dropped()) + " spans dropped past cap)\n";
+  }
+  return out;
+}
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector* collector = new TraceCollector();  // never dies
+  return *collector;
+}
+
+TraceSpan::TraceSpan(std::string_view name, TraceCollector& collector) {
+  if (!collector.enabled()) return;
+  collector_ = &collector;
+  name_ = name;
+  TraceSpan** top = top_slot();
+  parent_ = *top;
+  if (parent_ != nullptr && parent_->collector_ == collector_) {
+    path_ = parent_->path_ + "/" + name_;
+    depth_ = parent_->depth_ + 1;
+  } else {
+    path_ = name_;
+    depth_ = 0;
+  }
+  start_us_ = collector.now_us();
+  *top = this;
+}
+
+TraceSpan::~TraceSpan() {
+  if (collector_ == nullptr) return;
+  TraceSpan** top = top_slot();
+  if (*top == this) *top = parent_;
+  SpanEvent event;
+  event.name = std::move(name_);
+  event.path = std::move(path_);
+  event.tid = this_thread_tid();
+  event.depth = depth_;
+  event.start_us = start_us_;
+  event.dur_us = collector_->now_us() - start_us_;
+  collector_->commit(std::move(event));
+}
+
+}  // namespace s2s::obs

@@ -1,0 +1,133 @@
+// Pipeline trace spans: RAII timers with parent/child nesting.
+//
+// A TraceSpan marks a stage of the pipeline (a campaign run, one epoch,
+// an analysis pass); spans opened while another span is live on the same
+// thread become its children, so the collected events form a forest that
+// exports directly as Chrome trace-event JSON ("X" complete events —
+// load chrome://tracing or https://ui.perfetto.dev and drop the file in)
+// and aggregates into a compact text flamegraph keyed by span path
+// ("campaign.traceroute/epoch").
+//
+// Spans are for stage granularity, not per-record loops: closing a span
+// takes one mutex acquisition to append the finished event. Per-record
+// instrumentation belongs in MetricsRegistry counters/histograms.
+// ScopedTimer bridges the two: an RAII guard that records its elapsed
+// microseconds into a Histogram, for hot sections that want a latency
+// distribution without a trace event per iteration.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace s2s::obs {
+
+/// One finished span.
+struct SpanEvent {
+  std::string name;
+  std::string path;  ///< "/"-joined ancestor names, root first
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;      ///< 0 = root span
+  std::int64_t start_us = 0;    ///< since the collector epoch
+  std::int64_t dur_us = 0;
+};
+
+class TraceSpan;
+
+class TraceCollector {
+ public:
+  /// Completed-event cap; past it, events are dropped and counted (a
+  /// runaway per-item span loop degrades the trace, never the process).
+  static constexpr std::size_t kMaxEvents = 1 << 16;
+
+  TraceCollector();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all collected events and restarts the time origin.
+  void clear();
+
+  std::vector<SpanEvent> events() const;
+  std::size_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::int64_t now_us() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[{"ph":"X",...}]}.
+  std::string to_chrome_json() const;
+
+  /// Per-path aggregate over all finished spans.
+  struct PathStat {
+    std::uint32_t depth = 0;
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    double self_ms = 0.0;  ///< total minus direct children
+  };
+  std::map<std::string, PathStat> aggregate() const;
+
+  /// Indented text summary, one line per path, children under parents.
+  std::string flamegraph() const;
+
+  static TraceCollector& global();
+
+ private:
+  friend class TraceSpan;
+  void commit(SpanEvent event);
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::size_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> events_;
+};
+
+/// RAII span. Construct on the stack; destruction commits the event.
+/// Construction while the collector is disabled is a no-op and does not
+/// link into the nesting chain.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name,
+                     TraceCollector& collector = TraceCollector::global());
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  TraceCollector* collector_ = nullptr;  ///< null when disabled
+  TraceSpan* parent_ = nullptr;
+  std::string name_;
+  std::string path_;
+  std::uint32_t depth_ = 0;
+  std::int64_t start_us_ = 0;
+};
+
+/// Records elapsed microseconds into `hist` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_.record(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace s2s::obs

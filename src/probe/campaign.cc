@@ -2,13 +2,47 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <exception>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace s2s::probe {
 
 using topology::ServerId;
 
 namespace {
+
+/// Obs handles shared by both campaign kinds; resolved once per run().
+struct CampaignObs {
+  obs::Counter records;
+  obs::Counter epochs;
+  obs::Histogram epoch_us;
+  obs::Histogram checkpoint_us;
+  obs::Gauge records_per_sec;
+
+  static CampaignObs make() {
+    auto& reg = obs::MetricsRegistry::global();
+    CampaignObs o;
+    o.records = reg.counter("s2s.campaign.records");
+    o.epochs = reg.counter("s2s.campaign.epochs");
+    o.epoch_us = reg.histogram("s2s.campaign.epoch_us",
+                               obs::MetricsRegistry::latency_us_bounds());
+    o.checkpoint_us = reg.histogram("s2s.campaign.checkpoint_us",
+                                    obs::MetricsRegistry::latency_us_bounds());
+    o.records_per_sec = reg.gauge("s2s.campaign.records_per_sec");
+    return o;
+  }
+
+  /// Records/sec over the whole run; elapsed measured by the caller.
+  void finish(std::size_t records_delivered, double elapsed_s) const {
+    if (elapsed_s > 0.0) {
+      records_per_sec.set(static_cast<double>(records_delivered) / elapsed_s);
+    }
+  }
+};
 
 std::vector<std::pair<ServerId, ServerId>> with_reversed(
     std::span<const std::pair<ServerId, ServerId>> pairs) {
@@ -134,18 +168,27 @@ CampaignRunResult TracerouteCampaign::run(const TraceSink& sink,
     first = resume->next_epoch;
     engine_.set_rng_state(resume->rng_state);
   }
+  const CampaignObs cobs = CampaignObs::make();
+  const obs::TraceSpan run_span("campaign.traceroute");
+  const auto run_start = std::chrono::steady_clock::now();
   const auto start_s =
       static_cast<std::int64_t>(config_.start_day * 86400.0);
   for (std::size_t epoch = first; epoch < total; ++epoch) {
+    const obs::TraceSpan epoch_span("epoch");
+    const obs::ScopedTimer epoch_timer(cobs.epoch_us);
     // Checkpoint at the epoch boundary: if the sink fails below, the
     // whole epoch is replayed on resume (at-least-once delivery).
-    result.checkpoint.next_epoch = epoch;
-    result.checkpoint.rng_state = engine_.rng_state();
+    {
+      const obs::ScopedTimer ckpt_timer(cobs.checkpoint_us);
+      result.checkpoint.next_epoch = epoch;
+      result.checkpoint.rng_state = engine_.rng_state();
+    }
     const net::SimTime t(start_s +
                          static_cast<std::int64_t>(epoch) *
                              config_.interval_s);
     const bool v4_paris = config_.paris_switch_day >= 0.0 &&
                           t.days() >= config_.paris_switch_day;
+    std::size_t epoch_records = 0;
     try {
       for (const auto& [src, dst] : pairs_) {
         if (downtime_.down(src, t) || downtime_.down(dst, t)) continue;
@@ -156,6 +199,7 @@ CampaignRunResult TracerouteCampaign::run(const TraceSink& sink,
                   engine_.run(src, dst, net::Family::kIPv4, t, method)) {
             sink(*rec);
             ++result.records_delivered;
+            ++epoch_records;
           }
         }
         if (config_.probe_ipv6) {
@@ -163,14 +207,21 @@ CampaignRunResult TracerouteCampaign::run(const TraceSink& sink,
                                      TracerouteMethod::kClassic)) {
             sink(*rec);
             ++result.records_delivered;
+            ++epoch_records;
           }
         }
       }
     } catch (const std::exception& e) {
       result.aborted = true;
       result.error = e.what();
+      cobs.records.inc(epoch_records);
+      obs::logf(obs::LogLevel::kWarn,
+                "traceroute campaign aborted at epoch %zu/%zu: %s", epoch,
+                total, e.what());
       return result;
     }
+    cobs.records.inc(epoch_records);
+    cobs.epochs.inc();
     ++result.epochs_completed;
     if (progress) {
       progress(static_cast<double>(epoch + 1) / static_cast<double>(total));
@@ -178,6 +229,10 @@ CampaignRunResult TracerouteCampaign::run(const TraceSink& sink,
   }
   result.checkpoint.next_epoch = total;
   result.checkpoint.rng_state = engine_.rng_state();
+  cobs.finish(result.records_delivered,
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            run_start)
+                  .count());
   return result;
 }
 
@@ -208,14 +263,23 @@ CampaignRunResult PingCampaign::run(const PingSink& sink,
     first = resume->next_epoch;
     engine_.set_rng_state(resume->rng_state);
   }
+  const CampaignObs cobs = CampaignObs::make();
+  const obs::TraceSpan run_span("campaign.ping");
+  const auto run_start = std::chrono::steady_clock::now();
   const auto start_s =
       static_cast<std::int64_t>(config_.start_day * 86400.0);
   for (std::size_t epoch = first; epoch < total; ++epoch) {
-    result.checkpoint.next_epoch = epoch;
-    result.checkpoint.rng_state = engine_.rng_state();
+    const obs::TraceSpan epoch_span("epoch");
+    const obs::ScopedTimer epoch_timer(cobs.epoch_us);
+    {
+      const obs::ScopedTimer ckpt_timer(cobs.checkpoint_us);
+      result.checkpoint.next_epoch = epoch;
+      result.checkpoint.rng_state = engine_.rng_state();
+    }
     const net::SimTime t(start_s +
                          static_cast<std::int64_t>(epoch) *
                              config_.interval_s);
+    std::size_t epoch_records = 0;
     try {
       for (const auto& [src, dst] : pairs_) {
         if (downtime_.down(src, t) || downtime_.down(dst, t)) continue;
@@ -223,20 +287,28 @@ CampaignRunResult PingCampaign::run(const PingSink& sink,
           if (auto rec = engine_.run(src, dst, net::Family::kIPv4, t)) {
             sink(*rec);
             ++result.records_delivered;
+            ++epoch_records;
           }
         }
         if (config_.probe_ipv6) {
           if (auto rec = engine_.run(src, dst, net::Family::kIPv6, t)) {
             sink(*rec);
             ++result.records_delivered;
+            ++epoch_records;
           }
         }
       }
     } catch (const std::exception& e) {
       result.aborted = true;
       result.error = e.what();
+      cobs.records.inc(epoch_records);
+      obs::logf(obs::LogLevel::kWarn,
+                "ping campaign aborted at epoch %zu/%zu: %s", epoch, total,
+                e.what());
       return result;
     }
+    cobs.records.inc(epoch_records);
+    cobs.epochs.inc();
     ++result.epochs_completed;
     if (progress) {
       progress(static_cast<double>(epoch + 1) / static_cast<double>(total));
@@ -244,6 +316,10 @@ CampaignRunResult PingCampaign::run(const PingSink& sink,
   }
   result.checkpoint.next_epoch = total;
   result.checkpoint.rng_state = engine_.rng_state();
+  cobs.finish(result.records_delivered,
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            run_start)
+                  .count());
   return result;
 }
 

@@ -6,6 +6,8 @@
 
 #include "core/timeline.h"
 #include "faultsim/line_mangler.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "probe/campaign.h"
 
 namespace s2s::io {
@@ -197,6 +199,32 @@ TEST(RecordsIo, ReaderRetainsFirstMalformedLinesWithNumbers) {
             RecordReader::kMaxSampleLength);  // long line truncated
   EXPECT_EQ(reader.malformed()[1].line_number, 3u);
   EXPECT_EQ(reader.malformed()[1].text, "T\tbroken");
+}
+
+TEST(RecordsIo, MalformedRetainedDroppedSplitMirroredToObs) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.reset();
+  obs::set_log_level(obs::LogLevel::kOff);  // silence per-line warns
+
+  std::stringstream buffer;
+  for (int i = 0; i < 5; ++i) buffer << "T\tbroken" << i << "\n";
+  buffer << to_line(sample_trace()) << "\n";
+
+  RecordReader reader(buffer, 2);  // retain at most two samples
+  std::size_t traces = 0;
+  reader.read_all([&](const probe::TracerouteRecord&) { ++traces; },
+                  [](const probe::PingRecord&) {});
+  obs::set_log_level(obs::LogLevel::kInfo);
+
+  EXPECT_EQ(traces, 1u);
+  EXPECT_EQ(reader.errors(), 5u);
+  EXPECT_EQ(reader.malformed_retained(), 2u);
+  EXPECT_EQ(reader.malformed_dropped(), 3u);
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("s2s.io.malformed_retained"), 2u);
+  EXPECT_EQ(snap.counters.at("s2s.io.malformed_dropped"), 3u);
+  EXPECT_EQ(snap.counters.at("s2s.io.records_parsed"), 1u);
 }
 
 TEST(RecordsIo, CorruptedLinesNeverCrashAndStayRoundTrippable) {

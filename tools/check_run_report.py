@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a s2s RunReport JSON document (DESIGN.md section 8).
+
+Usage: check_run_report.py REPORT.json [TRACE.json]
+
+Exits non-zero when the report is missing, fails to parse, carries an
+unknown schema_version, or violates the structural invariants the
+pipeline promises (metric sections present and typed, histogram count
+arrays sized bounds+1, span stats well-formed). When a trace file is
+given, it must be loadable chrome://tracing JSON: a traceEvents array of
+complete ("ph": "X") events with numeric ts/dur.
+"""
+import json
+import sys
+
+EXPECTED_SCHEMA_VERSION = 1
+
+
+def fail(message):
+    print(f"check_run_report: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    version = report.get("schema_version")
+    if version != EXPECTED_SCHEMA_VERSION:
+        fail(f"schema_version {version!r} != expected {EXPECTED_SCHEMA_VERSION}")
+    if not isinstance(report.get("tool"), str) or not report["tool"]:
+        fail("missing or empty 'tool'")
+    if not isinstance(report.get("wall_ms"), (int, float)):
+        fail("missing numeric 'wall_ms'")
+
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        fail("missing 'metrics' object")
+    for section, value_type in [("counters", int), ("gauges", (int, float))]:
+        entries = metrics.get(section)
+        if not isinstance(entries, dict):
+            fail(f"missing 'metrics.{section}' object")
+        for name, value in entries.items():
+            if not isinstance(value, value_type):
+                fail(f"metrics.{section}[{name!r}] is not {value_type}")
+    histograms = metrics.get("histograms")
+    if not isinstance(histograms, dict):
+        fail("missing 'metrics.histograms' object")
+    for name, hist in histograms.items():
+        bounds = hist.get("bounds")
+        counts = hist.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            fail(f"histogram {name!r} missing bounds/counts arrays")
+        if len(counts) != len(bounds) + 1:
+            fail(f"histogram {name!r}: {len(counts)} counts for "
+                 f"{len(bounds)} bounds (want bounds+1)")
+        if sum(counts) != hist.get("total"):
+            fail(f"histogram {name!r}: counts sum != total")
+
+    spans = report.get("spans")
+    if not isinstance(spans, dict):
+        fail("missing 'spans' object")
+    for path_key, stat in spans.items():
+        for field in ("depth", "count", "total_ms", "self_ms"):
+            if not isinstance(stat.get(field), (int, float)):
+                fail(f"span {path_key!r} missing numeric {field!r}")
+        if stat["depth"] != path_key.count("/"):
+            fail(f"span {path_key!r}: depth {stat['depth']} != path depth")
+
+    if not isinstance(report.get("data_quality"), dict):
+        fail("missing 'data_quality' object")
+
+    metric_count = sum(len(metrics[s]) for s in ("counters", "gauges",
+                                                 "histograms"))
+    nested = sum(1 for p in spans if "/" in p)
+    print(f"check_run_report: OK: tool={report['tool']} "
+          f"metrics={metric_count} spans={len(spans)} (nested={nested})")
+    return metric_count, nested
+
+
+def check_trace(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"trace {path}: {e}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace has no traceEvents array")
+    for event in events:
+        if event.get("ph") != "X":
+            fail(f"trace event {event.get('name')!r} is not a complete event")
+        for field in ("ts", "dur"):
+            if not isinstance(event.get(field), (int, float)):
+                fail(f"trace event {event.get('name')!r} missing {field!r}")
+        if not isinstance(event.get("name"), str):
+            fail("trace event missing name")
+    print(f"check_run_report: OK: trace has {len(events)} events")
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        fail("usage: check_run_report.py REPORT.json [TRACE.json]")
+    check_report(sys.argv[1])
+    if len(sys.argv) == 3:
+        check_trace(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
