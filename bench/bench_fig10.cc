@@ -16,9 +16,10 @@ int main(int argc, char** argv) {
 
   auto deployment = bench::make_deployment(opt);
   const auto store = bench::run_long_term(deployment, opt);
+  auto pool = bench::make_pool(opt);
 
   // --- Figure 10a --------------------------------------------------------
-  const auto dual = core::run_dualstack_study(store);
+  const auto dual = core::run_dualstack_study(store, &pool);
   std::printf("Fig 10a: RTTv4 - RTTv6 over %llu matched samples"
               " (%zu pairs)\n",
               static_cast<unsigned long long>(dual.samples_matched),

@@ -13,9 +13,10 @@ int main(int argc, char** argv) {
 
   auto deployment = bench::make_deployment(opt);
   const auto store = bench::run_long_term(deployment, opt);
+  auto pool = bench::make_pool(opt);
   core::RoutingStudyConfig cfg;
   cfg.min_observations = bench::qualifying_observations(opt);
-  const auto study = core::run_routing_study(store, cfg);
+  const auto study = core::run_routing_study(store, cfg, &pool);
 
   bench::print_ecdf("Fig 3a IPv4: prevalence of most popular AS path",
                     stats::Ecdf(study.v4.popular_prevalence));

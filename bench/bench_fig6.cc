@@ -14,9 +14,10 @@ int main(int argc, char** argv) {
 
   auto deployment = bench::make_deployment(opt);
   const auto store = bench::run_long_term(deployment, opt);
+  auto pool = bench::make_pool(opt);
   core::RoutingStudyConfig cfg;
   cfg.min_observations = bench::qualifying_observations(opt);
-  const auto study = core::run_routing_study(store, cfg);
+  const auto study = core::run_routing_study(store, cfg, &pool);
 
   for (const net::Family fam : {net::Family::kIPv4, net::Family::kIPv6}) {
     const auto& f = study.of(fam);

@@ -35,12 +35,13 @@ int main(int argc, char** argv) {
     if (rel % net::kThreeHours == 0) coarse.add(r);
   });
 
+  auto pool = bench::make_pool(opt);
   core::RoutingStudyConfig study_cfg;
   study_cfg.min_observations = 40;
-  const auto study_all = core::run_routing_study(all, study_cfg);
+  const auto study_all = core::run_routing_study(all, study_cfg, &pool);
   core::RoutingStudyConfig coarse_cfg;
   coarse_cfg.min_observations = 8;
-  const auto study_coarse = core::run_routing_study(coarse, coarse_cfg);
+  const auto study_coarse = core::run_routing_study(coarse, coarse_cfg, &pool);
 
   auto show = [](const char* label, const std::vector<double>& d10,
                  const std::vector<double>& d90) {

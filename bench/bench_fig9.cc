@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 9: density of congestion overhead", opt);
 
   auto deployment = bench::make_deployment(opt);
-  const auto pipeline = bench::run_congestion_pipeline(deployment, opt);
+  auto pool = bench::make_pool(opt);
+  const auto pipeline =
+      bench::run_congestion_pipeline(deployment, opt, {}, &pool);
 
   std::printf("--- measured (localized congested links) ---\n");
   print_density("All interconnection", pipeline.study.overhead_interconnection);

@@ -5,8 +5,10 @@
 // edit-distance vs exact-equality change-detection ablation.
 //
 // After the benchmark table, main() prints a one-line JSON summary with
-// ingest throughput, the obs overhead percentage, and p50/p99 of the
-// ingested RTTs taken from the s2s.timeline.rtt_ms histogram.
+// ingest throughput, the obs overhead percentage, p50/p99 of the
+// ingested RTTs taken from the s2s.timeline.rtt_ms histogram, and the
+// parallel congestion-survey speedup vs 1 thread (with an
+// identical-output cross-check of the serial and 8-thread results).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -14,9 +16,13 @@
 
 #include "bgp/rib.h"
 #include "core/change_detect.h"
+#include "core/congestion_detect.h"
+#include "core/ping_series.h"
 #include "core/timeline.h"
+#include "exec/pool.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "probe/campaign.h"
 #include "probe/traceroute.h"
 #include "routing/valley_free.h"
 #include "simnet/network.h"
@@ -187,6 +193,66 @@ void BM_TimelineIngest(benchmark::State& state) {
 }
 BENCHMARK(BM_TimelineIngest)->Arg(0)->Arg(1);
 
+/// One week of 15-minute pings over the shared 40-server mesh: the
+/// pair-level workload for the parallel congestion-survey benchmark.
+const core::PingSeriesStore& survey_store() {
+  static const core::PingSeriesStore* store = [] {
+    simnet::Network& net = shared_network();
+    std::vector<std::pair<topology::ServerId, topology::ServerId>> pairs;
+    const auto n = net.topo().servers.size();
+    for (topology::ServerId a = 0; a < n; ++a) {
+      for (topology::ServerId b = a + 1; b < n; ++b) pairs.emplace_back(a, b);
+    }
+    probe::PingCampaignConfig cfg;
+    cfg.days = 7.0;
+    probe::PingCampaign pings(net, cfg, pairs);
+    auto* s = new core::PingSeriesStore(cfg.start_day, net::kFifteenMinutes,
+                                        pings.epochs());
+    pings.run([&](const probe::PingRecord& r) { s->add(r); });
+    return s;
+  }();
+  return *store;
+}
+
+// The tentpole workload: survey_congestion sharded over Arg(0) worker
+// threads. Results are byte-identical at any thread count (DESIGN.md
+// section 9); main() cross-checks that and reports speedup vs Arg(1).
+void BM_SurveyCongestion(benchmark::State& state) {
+  const auto& store = survey_store();
+  exec::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    const auto survey = core::survey_congestion(store, {}, &pool);
+    benchmark::DoNotOptimize(survey.v4.pairs_assessed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SurveyCongestion)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Key fields of two surveys compared for the identical-output check.
+bool surveys_identical(const core::CongestionSurvey& a,
+                       const core::CongestionSurvey& b) {
+  if (a.quality.as_map() != b.quality.as_map()) return false;
+  if (a.flagged.size() != b.flagged.size()) return false;
+  for (std::size_t i = 0; i < a.flagged.size(); ++i) {
+    const auto& fa = a.flagged[i];
+    const auto& fb = b.flagged[i];
+    if (fa.src != fb.src || fa.dst != fb.dst || fa.family != fb.family ||
+        fa.verdict.diurnal_ratio != fb.verdict.diurnal_ratio) {
+      return false;
+    }
+  }
+  const auto family_equal = [](const core::CongestionSurvey::PerFamily& x,
+                               const core::CongestionSurvey::PerFamily& y) {
+    return x.pairs_assessed == y.pairs_assessed &&
+           x.consistent == y.consistent;
+  };
+  return family_equal(a.v4, b.v4) && family_equal(a.v6, b.v6);
+}
+
 /// ConsoleReporter that also captures per-iteration wall time, keyed by
 /// benchmark name, for the JSON summary line.
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -221,25 +287,54 @@ int main(int argc, char** argv) {
 
   const double off_s = reporter.seconds_per_iter("BM_TimelineIngest/0");
   const double on_s = reporter.seconds_per_iter("BM_TimelineIngest/1");
-  if (off_s <= 0.0 || on_s <= 0.0) return 0;  // filtered out
+  const double survey_1t = reporter.seconds_per_iter("BM_SurveyCongestion/1");
+  const double survey_2t = reporter.seconds_per_iter("BM_SurveyCongestion/2");
+  const double survey_8t = reporter.seconds_per_iter("BM_SurveyCongestion/8");
+  if (off_s <= 0.0 && survey_1t <= 0.0) return 0;  // all filtered out
 
   const auto snapshot = obs::MetricsRegistry::global().snapshot();
   obs::json::Writer w;
   w.begin_object();
   w.key("bench");
   w.value("bench_micro");
-  w.key("ingest_ops_per_sec");
-  w.value(1.0 / on_s);
-  w.key("ingest_ops_per_sec_noobs");
-  w.value(1.0 / off_s);
-  w.key("obs_overhead_pct");
-  w.value((on_s - off_s) / off_s * 100.0);
-  const auto hist = snapshot.histograms.find("s2s.timeline.rtt_ms");
-  if (hist != snapshot.histograms.end()) {
-    w.key("rtt_ms_p50");
-    w.value(hist->second.quantile(0.50));
-    w.key("rtt_ms_p99");
-    w.value(hist->second.quantile(0.99));
+  if (off_s > 0.0 && on_s > 0.0) {
+    w.key("ingest_ops_per_sec");
+    w.value(1.0 / on_s);
+    w.key("ingest_ops_per_sec_noobs");
+    w.value(1.0 / off_s);
+    w.key("obs_overhead_pct");
+    w.value((on_s - off_s) / off_s * 100.0);
+    const auto hist = snapshot.histograms.find("s2s.timeline.rtt_ms");
+    if (hist != snapshot.histograms.end()) {
+      w.key("rtt_ms_p50");
+      w.value(hist->second.quantile(0.50));
+      w.key("rtt_ms_p99");
+      w.value(hist->second.quantile(0.99));
+    }
+  }
+  if (survey_1t > 0.0) {
+    // Parallel congestion survey: wall time per pass and speedup vs the
+    // exact serial path. Speedup tracks physical cores — on a 1-core
+    // host every arm reports ~1.0x.
+    w.key("survey_ms_1t");
+    w.value(survey_1t * 1e3);
+    if (survey_2t > 0.0) {
+      w.key("survey_speedup_2t");
+      w.value(survey_1t / survey_2t);
+    }
+    if (survey_8t > 0.0) {
+      w.key("survey_speedup_8t");
+      w.value(survey_1t / survey_8t);
+    }
+    w.key("survey_hw_threads");
+    w.value(static_cast<std::uint64_t>(s2s::exec::resolve_thread_count(0)));
+    // Determinism cross-check: the serial result and an 8-thread run
+    // must agree on every flagged pair and quality counter.
+    s2s::exec::ThreadPool pool(8);
+    const auto serial = s2s::core::survey_congestion(survey_store());
+    const auto parallel = s2s::core::survey_congestion(survey_store(), {}, &pool);
+    w.key("survey_parallel_output_identical");
+    w.value(surveys_identical(serial, parallel));
   }
   w.end_object();
   std::printf("%s\n", w.str().c_str());

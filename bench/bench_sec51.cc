@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
                       opt);
 
   auto deployment = bench::make_deployment(opt);
+  auto pool = bench::make_pool(opt);
   // Re-use the Section 5 ping survey at several diurnal thresholds.
   for (const double threshold : {0.2, 0.3, 0.4}) {
     core::CongestionDetectConfig cfg;
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
                                 pings.epochs());
     pings.run([&](const probe::PingRecord& r) { store.add(r); });
     cfg.min_samples = static_cast<std::size_t>(0.88 * pings.epochs());
-    const auto survey = core::survey_congestion(store, cfg);
+    const auto survey = core::survey_congestion(store, cfg, &pool);
 
     auto show = [&](const char* name,
                     const core::CongestionSurvey::PerFamily& f) {

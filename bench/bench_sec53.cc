@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
                       " links", opt);
 
   auto deployment = bench::make_deployment(opt);
-  const auto pipeline = bench::run_congestion_pipeline(deployment, opt);
+  auto pool = bench::make_pool(opt);
+  const auto pipeline =
+      bench::run_congestion_pipeline(deployment, opt, {}, &pool);
 
   std::printf("survey: %zu flagged pairs -> follow-up on %zu\n",
               pipeline.survey.flagged.size(), pipeline.followup_pairs);

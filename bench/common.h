@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/timeline.h"
+#include "exec/pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -32,6 +33,10 @@ struct Options {
   double days = 485.0;   ///< long-term campaign length
   std::uint64_t seed = 42;
   bool fast = false;     ///< tiny run for smoke-testing the harness
+  /// Worker threads for the parallel analysis passes: 0 = auto
+  /// (S2S_THREADS env, else hardware), 1 = exact serial path. Results are
+  /// byte-identical at any setting (DESIGN.md section 9).
+  int threads = 0;
   bool report = true;          ///< emit a RunReport JSON on exit
   std::string report_path;     ///< default: BENCH_<tool>.json
   std::string trace_path;      ///< chrome://tracing JSON; empty = none
@@ -47,6 +52,8 @@ struct Options {
       else if (!std::strcmp(argv[i], "--days")) opt.days = std::atof(next());
       else if (!std::strcmp(argv[i], "--seed")) {
         opt.seed = std::strtoull(next(), nullptr, 10);
+      } else if (!std::strcmp(argv[i], "--threads")) {
+        opt.threads = std::atoi(next());
       } else if (!std::strcmp(argv[i], "--fast")) {
         opt.fast = true;
       } else if (!std::strcmp(argv[i], "--report")) {
@@ -131,6 +138,13 @@ struct Deployment {
 
   const topology::Topology& topo() const { return net->topo(); }
 };
+
+/// Thread pool honoring --threads / S2S_THREADS for the analysis passes.
+inline exec::ThreadPool make_pool(const Options& opt) {
+  return exec::ThreadPool(opt.threads > 0
+                              ? static_cast<unsigned>(opt.threads)
+                              : 0u);
+}
 
 /// Builds the network and samples the measurement pairs (dual-stack mesh).
 inline Deployment make_deployment(const Options& opt) {

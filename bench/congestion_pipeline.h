@@ -23,7 +23,8 @@ struct CongestionPipeline {
 /// Runs the paper's Section 5 measurement chain end to end.
 inline CongestionPipeline run_congestion_pipeline(
     Deployment& d, const Options& opt,
-    const core::CongestionDetectConfig& detect_cfg = {}) {
+    const core::CongestionDetectConfig& detect_cfg = {},
+    exec::ThreadPool* pool = nullptr) {
   CongestionPipeline out;
 
   // --- 5.1: one-week 15-minute ping campaign --------------------------
@@ -42,7 +43,7 @@ inline CongestionPipeline run_congestion_pipeline(
   }
   auto cfg = detect_cfg;
   cfg.min_samples = static_cast<std::size_t>(0.88 * pings.epochs());
-  out.survey = core::survey_congestion(ping_store, cfg);
+  out.survey = core::survey_congestion(ping_store, cfg, pool);
 
   // --- 5.2: three-week 30-minute traceroute follow-up ------------------
   std::vector<std::pair<topology::ServerId, topology::ServerId>> flagged;
@@ -109,7 +110,7 @@ inline CongestionPipeline run_congestion_pipeline(
   core::LocalizeConfig loc_cfg;
   loc_cfg.min_traces = static_cast<std::size_t>(0.3 * followup.epochs());
   out.localization =
-      core::localize_congestion(segments, d.net->rib(), loc_cfg);
+      core::localize_congestion(segments, d.net->rib(), loc_cfg, pool);
 
   const auto ixps = core::IxpDirectory::from_topology(d.topo());
   const core::LinkClassifier classifier(ownership, rels, ixps);

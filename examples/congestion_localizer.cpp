@@ -3,19 +3,27 @@
 // congestion, re-probe them with traceroutes, and print the congested
 // IP-IP links with their inferred owners and classification.
 //
-//   ./build/examples/congestion_localizer
+//   ./build/examples/congestion_localizer [--threads N]
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/congestion_detect.h"
 #include "core/congestion_study.h"
 #include "core/localize.h"
 #include "core/ownership.h"
 #include "core/segment_series.h"
+#include "exec/pool.h"
 #include "probe/campaign.h"
 
 using namespace s2s;
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 0;  // 0 = auto (S2S_THREADS env, else hardware)
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads")) threads = std::atoi(argv[++i]);
+  }
+  exec::ThreadPool pool(threads > 0 ? static_cast<unsigned>(threads) : 0u);
   simnet::NetworkConfig config;
   config.topology.seed = 11;
   config.topology.server_count = 70;
@@ -41,7 +49,7 @@ int main() {
   std::printf("step 1: pinging %zu pairs every 15 minutes for a week...\n",
               pairs.size());
   pings.run([&](const probe::PingRecord& r) { ping_store.add(r); });
-  const auto survey = core::survey_congestion(ping_store);
+  const auto survey = core::survey_congestion(ping_store, {}, &pool);
   std::printf("  IPv4: %zu/%zu pairs show consistent congestion\n",
               survey.v4.consistent, survey.v4.pairs_assessed);
   std::printf("  IPv6: %zu/%zu\n", survey.v6.consistent,
@@ -87,7 +95,8 @@ int main() {
   ownership.finalize();
 
   // Step 3: localize and classify.
-  const auto localization = core::localize_congestion(segments, net.rib());
+  const auto localization =
+      core::localize_congestion(segments, net.rib(), {}, &pool);
   const auto ixps = core::IxpDirectory::from_topology(topo);
   const core::LinkClassifier classifier(ownership, rels, ixps);
   const auto study =

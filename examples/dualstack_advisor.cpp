@@ -3,17 +3,25 @@
 // protocol would cut the median RTT — the paper found reductions of up to
 // 50 ms on a meaningful fraction of pairs.
 //
-//   ./build/examples/dualstack_advisor
+//   ./build/examples/dualstack_advisor [--threads N]
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/dualstack.h"
+#include "exec/pool.h"
 #include "probe/campaign.h"
 #include "stats/summary.h"
 
 using namespace s2s;
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 0;  // 0 = auto (S2S_THREADS env, else hardware)
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads")) threads = std::atoi(argv[++i]);
+  }
+  exec::ThreadPool pool(threads > 0 ? static_cast<unsigned>(threads) : 0u);
   simnet::NetworkConfig config;
   config.topology.seed = 3;
   config.topology.server_count = 50;
@@ -37,7 +45,7 @@ int main() {
               " %.0f days...\n", pairs.size(), cfg.days);
   campaign.run([&](const probe::TracerouteRecord& r) { store.add(r); });
 
-  const auto study = core::run_dualstack_study(store);
+  const auto study = core::run_dualstack_study(store, &pool);
   std::printf("\nmatched %llu simultaneous v4/v6 samples on %zu pairs\n",
               static_cast<unsigned long long>(study.samples_matched),
               study.pairs_matched);

@@ -20,6 +20,7 @@
 #include "core/dualstack.h"
 #include "core/routing_study.h"
 #include "core/timeline.h"
+#include "exec/pool.h"
 #include "faultsim/line_mangler.h"
 #include "io/records_io.h"
 #include "obs/run_report.h"
@@ -32,10 +33,12 @@ using namespace s2s;
 
 int main(int argc, char** argv) {
   std::string report_path, trace_path;
+  int threads = 0;  // 0 = auto (S2S_THREADS env, else hardware)
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
     if (!std::strcmp(argv[i], "--report")) report_path = next();
     else if (!std::strcmp(argv[i], "--trace")) trace_path = next();
+    else if (!std::strcmp(argv[i], "--threads")) threads = std::atoi(next());
   }
   if (report_path.empty()) {
     if (const char* env = std::getenv("S2S_RUN_REPORT")) report_path = env;
@@ -169,8 +172,9 @@ int main(int argc, char** argv) {
                 campaign_reader.lines(), store.timeline_count());
   }
 
-  const auto routing = core::run_routing_study(store, {});
-  const auto dual = core::run_dualstack_study(store);
+  exec::ThreadPool pool(threads > 0 ? static_cast<unsigned>(threads) : 0u);
+  const auto routing = core::run_routing_study(store, {}, &pool);
+  const auto dual = core::run_dualstack_study(store, &pool);
   std::printf("routing study: %zu v4 + %zu v6 qualifying timelines; "
               "dual-stack: %zu pairs matched\n",
               routing.v4.timelines, routing.v6.timelines, dual.pairs_matched);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/parallel_for.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/summary.h"
@@ -38,8 +39,32 @@ SeriesVerdict assess_series(std::span<const double> rtt_ms,
   return verdict;
 }
 
+namespace {
+
+/// Per-shard survey aggregate; merged in shard order.
+struct SurveyPartial {
+  CongestionSurvey::PerFamily v4, v6;
+  std::vector<FlaggedPair> flagged;
+  DataQualityReport quality;  ///< survey-level counters only
+
+  CongestionSurvey::PerFamily& of(net::Family f) {
+    return f == net::Family::kIPv4 ? v4 : v6;
+  }
+};
+
+void merge_family(CongestionSurvey::PerFamily& into,
+                  const CongestionSurvey::PerFamily& from) {
+  into.pairs_total += from.pairs_total;
+  into.pairs_assessed += from.pairs_assessed;
+  into.high_variation += from.high_variation;
+  into.consistent += from.consistent;
+}
+
+}  // namespace
+
 CongestionSurvey survey_congestion(const PingSeriesStore& store,
-                                   const CongestionDetectConfig& config) {
+                                   const CongestionDetectConfig& config,
+                                   exec::ThreadPool* pool) {
   const obs::TraceSpan stage_span("analysis.congestion.fft_detect");
   auto& reg = obs::MetricsRegistry::global();
   const obs::Counter assessed = reg.counter("s2s.congestion.pairs_assessed");
@@ -47,31 +72,52 @@ CongestionSurvey survey_congestion(const PingSeriesStore& store,
 
   CongestionSurvey survey;
   survey.quality = store.quality();
-  store.for_each([&](topology::ServerId src, topology::ServerId dst,
-                     net::Family fam, const PingSeriesStore::Series& series) {
-    auto& agg = survey.of(fam);
-    ++agg.pairs_total;
-    if (series.valid < config.min_samples) {
-      ++survey.quality.insufficient_epochs;
-      return;
-    }
-    ++agg.pairs_assessed;
-    assessed.inc();
-    const auto rtts = PingSeriesStore::to_ms_interpolated(series);
-    const SeriesVerdict verdict =
-        assess_series(rtts, store.samples_per_day(), config);
-    if (verdict.insufficient) {
-      ++survey.quality.insufficient_epochs;
-      return;
-    }
-    survey.quality.invalid_rtt += verdict.invalid_samples;
-    if (verdict.high_variation) ++agg.high_variation;
-    if (verdict.consistent_congestion()) {
-      ++agg.consistent;
-      flagged.inc();
-      survey.flagged.push_back({src, dst, fam, verdict});
-    }
-  });
+  exec::sharded_reduce<SurveyPartial>(
+      pool, exec::kAnalysisShards, "analysis.congestion.fft_detect.shard",
+      [&](std::size_t shard, SurveyPartial& partial) {
+        store.for_each_shard(
+            shard, exec::kAnalysisShards,
+            [&](topology::ServerId src, topology::ServerId dst,
+                net::Family fam, const PingSeriesStore::Series& series) {
+              auto& agg = partial.of(fam);
+              ++agg.pairs_total;
+              // Missing raw slots, counted BEFORE interpolation: the
+              // interpolated series is gap-free by construction, so any
+              // honest accounting has to look at the grid itself.
+              const std::size_t missing =
+                  series.rtt_tenths.size() - series.valid;
+              if (series.valid < config.min_samples) {
+                ++partial.quality.insufficient_series;
+                partial.quality.insufficient_epochs += missing;
+                return;
+              }
+              ++agg.pairs_assessed;
+              assessed.inc();
+              const auto rtts = PingSeriesStore::to_ms_interpolated(series);
+              SeriesVerdict verdict =
+                  assess_series(rtts, store.samples_per_day(), config);
+              verdict.missing_samples = missing;
+              if (verdict.insufficient) {
+                ++partial.quality.insufficient_series;
+                partial.quality.insufficient_epochs += missing;
+                return;
+              }
+              partial.quality.interpolated_samples += missing;
+              if (verdict.high_variation) ++agg.high_variation;
+              if (verdict.consistent_congestion()) {
+                ++agg.consistent;
+                flagged.inc();
+                partial.flagged.push_back({src, dst, fam, verdict});
+              }
+            });
+      },
+      [&](const SurveyPartial& partial) {
+        merge_family(survey.v4, partial.v4);
+        merge_family(survey.v6, partial.v6);
+        survey.flagged.insert(survey.flagged.end(), partial.flagged.begin(),
+                              partial.flagged.end());
+        survey.quality.merge(partial.quality);
+      });
   return survey;
 }
 

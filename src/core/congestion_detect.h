@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/ping_series.h"
+#include "exec/pool.h"
 #include "stats/fft.h"
 
 namespace s2s::core {
@@ -24,6 +25,11 @@ struct CongestionDetectConfig {
 struct SeriesVerdict {
   std::size_t samples = 0;          ///< samples offered
   std::size_t invalid_samples = 0;  ///< non-finite inputs, ignored
+  /// Raw-grid slots that were missing and gap-filled before assessment.
+  /// assess_series() sees only the interpolated series, so the survey
+  /// fills this in from the raw store — the spectral estimate's verdict
+  /// always says how much of its input was manufactured.
+  std::size_t missing_samples = 0;
   /// Too few usable samples to judge; all flags stay false. An explicit
   /// "insufficient data" verdict, never a NaN statistic.
   bool insufficient = false;
@@ -62,9 +68,11 @@ struct CongestionSurvey {
   };
   PerFamily v4, v6;
   std::vector<FlaggedPair> flagged;  ///< the pairs with consistent congestion
-  /// Store-level counters plus the pairs skipped for lack of samples
-  /// (insufficient_epochs), so a survey result always says how much data
-  /// it was NOT based on.
+  /// Store-level counters plus the survey's own accounting: pairs skipped
+  /// for lack of samples (insufficient_series, with their missing epochs
+  /// in insufficient_epochs) and the gap-filled slots behind every
+  /// assessed verdict (interpolated_samples) — a survey result always
+  /// says how much data it was NOT based on.
   DataQualityReport quality;
 
   PerFamily& of(net::Family f) {
@@ -75,7 +83,12 @@ struct CongestionSurvey {
   }
 };
 
+/// Surveys every pair in the store. With a pool, pairs are processed in
+/// kAnalysisShards fixed shards whose partial aggregates merge in shard
+/// order, so the result is byte-identical at any thread count (DESIGN.md
+/// section 9); pool == nullptr runs the shards inline.
 CongestionSurvey survey_congestion(const PingSeriesStore& store,
-                                   const CongestionDetectConfig& config = {});
+                                   const CongestionDetectConfig& config = {},
+                                   exec::ThreadPool* pool = nullptr);
 
 }  // namespace s2s::core

@@ -50,7 +50,9 @@ std::map<std::string, std::size_t> DataQualityReport::as_map() const {
           {"duplicates_dropped", duplicates_dropped},
           {"reordered", reordered},
           {"out_of_grid", out_of_grid},
-          {"insufficient_epochs", insufficient_epochs}};
+          {"insufficient_epochs", insufficient_epochs},
+          {"insufficient_series", insufficient_series},
+          {"interpolated_samples", interpolated_samples}};
 }
 
 std::string DataQualityReport::to_string() const {
@@ -59,6 +61,8 @@ std::string DataQualityReport::to_string() const {
   out += " reordered=" + std::to_string(reordered);
   out += " out_of_grid=" + std::to_string(out_of_grid);
   out += " insufficient_epochs=" + std::to_string(insufficient_epochs);
+  out += " insufficient_series=" + std::to_string(insufficient_series);
+  out += " interpolated_samples=" + std::to_string(interpolated_samples);
   return out;
 }
 

@@ -29,7 +29,9 @@ struct DataQualityReport {
   std::size_t duplicates_dropped = 0;  ///< exact re-delivery, dropped
   std::size_t reordered = 0;       ///< accepted behind a later epoch
   std::size_t out_of_grid = 0;     ///< timestamp off the campaign grid
-  std::size_t insufficient_epochs = 0;  ///< series below min-sample bar
+  std::size_t insufficient_epochs = 0;  ///< missing epochs in dropped series
+  std::size_t insufficient_series = 0;  ///< pairs below the min-sample bar
+  std::size_t interpolated_samples = 0;  ///< gap-filled slots in assessed series
 
   /// Records affected by any fault class (insufficient series excluded:
   /// those are series-level, not record-level).
@@ -43,6 +45,8 @@ struct DataQualityReport {
     reordered += o.reordered;
     out_of_grid += o.out_of_grid;
     insufficient_epochs += o.insufficient_epochs;
+    insufficient_series += o.insufficient_series;
+    interpolated_samples += o.interpolated_samples;
     return *this;
   }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/timeline.h"
+#include "exec/pool.h"
 #include "stats/binned_ecdf.h"
 
 namespace s2s::core {
@@ -28,6 +29,12 @@ struct DualStackStudy {
   DataQualityReport quality;
 };
 
-DualStackStudy run_dualstack_study(const TimelineStore& store);
+/// Matches every dual-stack pair in the store. With a pool, the v6
+/// timelines are processed in kAnalysisShards fixed shards whose partial
+/// aggregates (BinnedEcdf counts, per-pair medians) merge in shard order,
+/// so the result is byte-identical at any thread count (DESIGN.md
+/// section 9); pool == nullptr runs the shards inline.
+DualStackStudy run_dualstack_study(const TimelineStore& store,
+                                   exec::ThreadPool* pool = nullptr);
 
 }  // namespace s2s::core

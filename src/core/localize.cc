@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/parallel_for.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/fft.h"
@@ -47,82 +48,107 @@ net::AsPath as_sequence_of_hops(
 
 LocalizeResult localize_congestion(const SegmentSeriesStore& store,
                                    const bgp::Rib& rib,
-                                   const LocalizeConfig& config) {
+                                   const LocalizeConfig& config,
+                                   exec::ThreadPool* pool) {
   const obs::TraceSpan stage_span("analysis.congestion.localize");
   const obs::Counter localized =
       obs::MetricsRegistry::global().counter("s2s.congestion.pairs_localized");
 
   LocalizeResult result;
-  store.for_each([&](topology::ServerId src, topology::ServerId dst,
-                     net::Family fam,
-                     const SegmentSeriesStore::PairSeries& series) {
-    ++result.pairs_considered;
-    if (!series.ip_static || series.traces < config.min_traces) return;
-    ++result.pairs_static;
+  exec::sharded_reduce<LocalizeResult>(
+      pool, exec::kAnalysisShards, "analysis.congestion.localize.shard",
+      [&](std::size_t shard, LocalizeResult& partial) {
+        store.for_each_shard(
+            shard, exec::kAnalysisShards,
+            [&](topology::ServerId src, topology::ServerId dst,
+                net::Family fam,
+                const SegmentSeriesStore::PairSeries& series) {
+              ++partial.pairs_considered;
+              if (!series.ip_static || series.traces < config.min_traces) {
+                return;
+              }
+              ++partial.pairs_static;
 
-    if (config.require_symmetric_as_paths) {
-      const auto* rev = store.find(dst, src, fam);
-      if (rev == nullptr || !rev->ip_static) return;
-      // Anchor both sequences with the endpoint host addresses: the last
-      // router before the destination frequently answers from neighbor-
-      // assigned space, hiding the terminal AS at hop level.
-      auto with_endpoints = [&](const SegmentSeriesStore::PairSeries& ps) {
-        std::vector<std::optional<net::IPAddr>> hops;
-        hops.reserve(ps.hop_addrs.size() + 2);
-        hops.emplace_back(ps.src_addr);
-        hops.insert(hops.end(), ps.hop_addrs.begin(), ps.hop_addrs.end());
-        hops.emplace_back(ps.dst_addr);
-        return as_sequence_of_hops(hops, rib);
-      };
-      auto fwd_as = with_endpoints(series);
-      auto rev_as = with_endpoints(*rev);
-      std::reverse(rev_as.begin(), rev_as.end());
-      if (fwd_as != rev_as) return;
-    }
-    ++result.pairs_symmetric;
+              if (config.require_symmetric_as_paths) {
+                // Reverse-direction lookup crosses shard boundaries; the
+                // store is const, so concurrent readers are safe.
+                const auto* rev = store.find(dst, src, fam);
+                if (rev == nullptr || !rev->ip_static) return;
+                // Anchor both sequences with the endpoint host addresses:
+                // the last router before the destination frequently
+                // answers from neighbor-assigned space, hiding the
+                // terminal AS at hop level.
+                auto with_endpoints =
+                    [&](const SegmentSeriesStore::PairSeries& ps) {
+                      std::vector<std::optional<net::IPAddr>> hops;
+                      hops.reserve(ps.hop_addrs.size() + 2);
+                      hops.emplace_back(ps.src_addr);
+                      hops.insert(hops.end(), ps.hop_addrs.begin(),
+                                  ps.hop_addrs.end());
+                      hops.emplace_back(ps.dst_addr);
+                      return as_sequence_of_hops(hops, rib);
+                    };
+                auto fwd_as = with_endpoints(series);
+                auto rev_as = with_endpoints(*rev);
+                std::reverse(rev_as.begin(), rev_as.end());
+                if (fwd_as != rev_as) return;
+              }
+              ++partial.pairs_symmetric;
 
-    const auto end_series =
-        SegmentSeriesStore::row_ms_interpolated(series.end_rtt);
-    if (end_series.empty()) return;
-    const auto power =
-        stats::diurnal_power_ratio(end_series, store.samples_per_day());
-    if (power.ratio < config.diurnal_ratio_threshold) return;
-    ++result.pairs_persistent;
+              const auto end_series =
+                  SegmentSeriesStore::row_ms_interpolated(series.end_rtt);
+              if (end_series.empty()) return;
+              const auto power = stats::diurnal_power_ratio(
+                  end_series, store.samples_per_day());
+              if (power.ratio < config.diurnal_ratio_threshold) return;
+              ++partial.pairs_persistent;
 
-    const auto end_sorted = stats::sorted(end_series);
-    const double overhead = stats::quantile_sorted(end_sorted, 0.90) -
-                            stats::quantile_sorted(end_sorted, 0.10);
+              const auto end_sorted = stats::sorted(end_series);
+              const double overhead =
+                  stats::quantile_sorted(end_sorted, 0.90) -
+                  stats::quantile_sorted(end_sorted, 0.10);
 
-    for (std::size_t k = 0; k < series.hop_rtt.size(); ++k) {
-      std::size_t valid = 0;
-      for (auto v : series.hop_rtt[k]) {
-        valid += v != SegmentSeriesStore::kMissing;
-      }
-      if (static_cast<double>(valid) <
-          config.min_row_coverage * static_cast<double>(store.epochs())) {
-        continue;
-      }
-      const auto row =
-          SegmentSeriesStore::row_ms_interpolated(series.hop_rtt[k]);
-      const double rho = stats::pearson(row, end_series);
-      if (rho < config.rho_threshold) continue;
+              for (std::size_t k = 0; k < series.hop_rtt.size(); ++k) {
+                std::size_t valid = 0;
+                for (auto v : series.hop_rtt[k]) {
+                  valid += v != SegmentSeriesStore::kMissing;
+                }
+                if (static_cast<double>(valid) <
+                    config.min_row_coverage *
+                        static_cast<double>(store.epochs())) {
+                  continue;
+                }
+                const auto row =
+                    SegmentSeriesStore::row_ms_interpolated(series.hop_rtt[k]);
+                const double rho = stats::pearson(row, end_series);
+                if (rho < config.rho_threshold) continue;
 
-      CongestedSegmentObs obs;
-      obs.src = src;
-      obs.dst = dst;
-      obs.family = fam;
-      obs.segment_index = k;
-      obs.far_addr = series.hop_addrs[k];
-      if (k > 0) obs.near_addr = series.hop_addrs[k - 1];
-      obs.rho = rho;
-      obs.diurnal_ratio = power.ratio;
-      obs.overhead_ms = overhead;
-      result.segments.push_back(std::move(obs));
-      ++result.pairs_localized;
-      localized.inc();
-      break;  // first matching segment marks the congested link
-    }
-  });
+                CongestedSegmentObs obs;
+                obs.src = src;
+                obs.dst = dst;
+                obs.family = fam;
+                obs.segment_index = k;
+                obs.far_addr = series.hop_addrs[k];
+                if (k > 0) obs.near_addr = series.hop_addrs[k - 1];
+                obs.rho = rho;
+                obs.diurnal_ratio = power.ratio;
+                obs.overhead_ms = overhead;
+                partial.segments.push_back(std::move(obs));
+                ++partial.pairs_localized;
+                localized.inc();
+                break;  // first matching segment marks the congested link
+              }
+            });
+      },
+      [&](const LocalizeResult& partial) {
+        result.segments.insert(result.segments.end(), partial.segments.begin(),
+                               partial.segments.end());
+        result.pairs_considered += partial.pairs_considered;
+        result.pairs_static += partial.pairs_static;
+        result.pairs_symmetric += partial.pairs_symmetric;
+        result.pairs_persistent += partial.pairs_persistent;
+        result.pairs_localized += partial.pairs_localized;
+      });
   return result;
 }
 

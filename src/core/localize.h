@@ -13,6 +13,7 @@
 
 #include "bgp/rib.h"
 #include "core/segment_series.h"
+#include "exec/pool.h"
 #include "stats/pearson.h"
 
 namespace s2s::core {
@@ -56,8 +57,15 @@ struct LocalizeResult {
 net::AsPath as_sequence_of_hops(
     const std::vector<std::optional<net::IPAddr>>& hops, const bgp::Rib& rib);
 
+/// Localizes over every pair in the store. With a pool, pairs run in
+/// kAnalysisShards fixed shards merged in shard order, so the result is
+/// byte-identical at any thread count (DESIGN.md section 9); pool ==
+/// nullptr runs the shards inline. Workers read the whole store (the
+/// reverse-direction lookup crosses shards), which is safe: the store is
+/// const throughout.
 LocalizeResult localize_congestion(const SegmentSeriesStore& store,
                                    const bgp::Rib& rib,
-                                   const LocalizeConfig& config = {});
+                                   const LocalizeConfig& config = {},
+                                   exec::ThreadPool* pool = nullptr);
 
 }  // namespace s2s::core

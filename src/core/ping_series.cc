@@ -63,6 +63,23 @@ void PingSeriesStore::for_each(
   }
 }
 
+void PingSeriesStore::for_each_shard(
+    std::size_t shard, std::size_t n_shards,
+    const std::function<void(topology::ServerId, topology::ServerId,
+                             net::Family, const Series&)>& fn) const {
+  std::vector<std::pair<std::uint64_t, const Series*>> keys;
+  for (const auto& [k, series] : series_) {
+    if (k % n_shards == shard) keys.emplace_back(k, &series);
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [k, series] : keys) {
+    fn(static_cast<topology::ServerId>(k >> 24),
+       static_cast<topology::ServerId>((k >> 4) & 0xFFFFFu),
+       (k & 1u) ? net::Family::kIPv6 : net::Family::kIPv4, *series);
+  }
+}
+
 std::vector<double> PingSeriesStore::to_ms_interpolated(const Series& series) {
   std::vector<double> out;
   if (series.valid == 0) return out;

@@ -40,6 +40,17 @@ class PingSeriesStore {
                                          topology::ServerId, net::Family,
                                          const Series&)>& fn) const;
 
+  /// Visits the pairs whose key falls in `shard` (key % n_shards), in
+  /// ascending key order. Shards partition the store: over all shards of
+  /// one n_shards every pair is visited exactly once, and the visit order
+  /// within a shard is independent of hash-map layout — the store half of
+  /// the deterministic-merge contract (DESIGN.md section 9). Read-only, so
+  /// distinct shards may run on distinct threads concurrently.
+  void for_each_shard(std::size_t shard, std::size_t n_shards,
+                      const std::function<void(topology::ServerId,
+                                               topology::ServerId, net::Family,
+                                               const Series&)>& fn) const;
+
   std::size_t pair_count() const noexcept { return series_.size(); }
   std::size_t epochs() const noexcept { return epochs_; }
   const DataQualityReport& quality() const noexcept { return quality_; }

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "exec/parallel_for.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -61,10 +62,38 @@ void analyze_family(const TraceTimeline& timeline, double interval_hours,
   out.suboptimal_prevalence.push_back(std::move(prevalence_sums));
 }
 
+void merge_family(RoutingStudy::PerFamily& into,
+                  RoutingStudy::PerFamily&& from) {
+  auto append = [](auto& dst, auto& src) {
+    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+               std::make_move_iterator(src.end()));
+  };
+  append(into.unique_paths, from.unique_paths);
+  append(into.changes, from.changes);
+  append(into.popular_prevalence, from.popular_prevalence);
+  append(into.suboptimal_prevalence, from.suboptimal_prevalence);
+  append(into.lifetime_hours_p10, from.lifetime_hours_p10);
+  append(into.delta_p10_ms, from.delta_p10_ms);
+  append(into.lifetime_hours_p90, from.lifetime_hours_p90);
+  append(into.delta_p90_ms, from.delta_p90_ms);
+  append(into.delta_stddev_ms, from.delta_stddev_ms);
+  into.timelines += from.timelines;
+}
+
+/// Per-shard qualify-pass aggregate.
+struct QualifyPartial {
+  RoutingStudy::PerFamily v4, v6;
+
+  RoutingStudy::PerFamily& of(net::Family f) {
+    return f == net::Family::kIPv4 ? v4 : v6;
+  }
+};
+
 }  // namespace
 
 RoutingStudy run_routing_study(const TimelineStore& store,
-                               const RoutingStudyConfig& config) {
+                               const RoutingStudyConfig& config,
+                               exec::ThreadPool* pool) {
   const obs::TraceSpan stage_span("analysis.routing_study");
   auto& reg = obs::MetricsRegistry::global();
   const obs::Counter timelines_analyzed =
@@ -73,15 +102,26 @@ RoutingStudy run_routing_study(const TimelineStore& store,
   RoutingStudy study;
   const double interval_hours = store.interval_hours();
 
-  // Pass 1: qualifying timelines, per family.
+  // Pass 1: qualifying timelines, per family (the bucket scan).
   {
     const obs::TraceSpan pass_span("qualify");
-    store.for_each([&](topology::ServerId, topology::ServerId,
-                       net::Family fam, const TraceTimeline& timeline) {
-      if (timeline.obs.size() < config.min_observations) return;
-      analyze_family(timeline, interval_hours, config, study.of(fam));
-      timelines_analyzed.inc();
-    });
+    exec::sharded_reduce<QualifyPartial>(
+        pool, exec::kAnalysisShards, "analysis.routing_study.qualify.shard",
+        [&](std::size_t shard, QualifyPartial& partial) {
+          store.for_each_shard(
+              shard, exec::kAnalysisShards,
+              [&](topology::ServerId, topology::ServerId, net::Family fam,
+                  const TraceTimeline& timeline) {
+                if (timeline.obs.size() < config.min_observations) return;
+                analyze_family(timeline, interval_hours, config,
+                               partial.of(fam));
+                timelines_analyzed.inc();
+              });
+        },
+        [&](QualifyPartial& partial) {
+          merge_family(study.v4, std::move(partial.v4));
+          merge_family(study.v6, std::move(partial.v6));
+        });
   }
 
   // Pass 2 (Fig 2b): forward/reverse AS-path pairs per unordered pair.

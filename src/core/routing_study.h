@@ -8,6 +8,7 @@
 
 #include "core/path_stats.h"
 #include "core/timeline.h"
+#include "exec/pool.h"
 
 namespace s2s::core {
 
@@ -54,7 +55,13 @@ struct RoutingStudy {
   }
 };
 
+/// Runs the routing study. With a pool, the per-timeline qualify pass
+/// (the bucket scan) runs in kAnalysisShards fixed shards whose partial
+/// aggregates merge in shard order, so the result is byte-identical at
+/// any thread count (DESIGN.md section 9); the pairwise pass 2 is
+/// index-bound and stays serial. pool == nullptr runs the shards inline.
 RoutingStudy run_routing_study(const TimelineStore& store,
-                               const RoutingStudyConfig& config = {});
+                               const RoutingStudyConfig& config = {},
+                               exec::ThreadPool* pool = nullptr);
 
 }  // namespace s2s::core

@@ -57,6 +57,15 @@ class SegmentSeriesStore {
                                          topology::ServerId, net::Family,
                                          const PairSeries&)>& fn) const;
 
+  /// Visits the pairs whose key falls in `shard` (key % n_shards), in
+  /// ascending key order — hash-layout-independent, so shard outputs merge
+  /// deterministically (DESIGN.md section 9). Read-only; distinct shards
+  /// are safe to run concurrently.
+  void for_each_shard(std::size_t shard, std::size_t n_shards,
+                      const std::function<void(topology::ServerId,
+                                               topology::ServerId, net::Family,
+                                               const PairSeries&)>& fn) const;
+
   std::size_t pair_count() const noexcept { return series_.size(); }
   std::size_t epochs() const noexcept { return epochs_; }
   const DataQualityReport& quality() const noexcept { return quality_; }

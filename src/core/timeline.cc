@@ -110,4 +110,21 @@ void TimelineStore::for_each(
   }
 }
 
+void TimelineStore::for_each_shard(
+    std::size_t shard, std::size_t n_shards,
+    const std::function<void(topology::ServerId, topology::ServerId,
+                             net::Family, const TraceTimeline&)>& fn) const {
+  std::vector<std::pair<std::uint64_t, const TraceTimeline*>> keys;
+  for (const auto& [k, timeline] : timelines_) {
+    if (k % n_shards == shard) keys.emplace_back(k, &timeline);
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [k, timeline] : keys) {
+    fn(static_cast<topology::ServerId>(k >> 24),
+       static_cast<topology::ServerId>((k >> 4) & 0xFFFFFu),
+       (k & 1u) ? net::Family::kIPv6 : net::Family::kIPv4, *timeline);
+  }
+}
+
 }  // namespace s2s::core

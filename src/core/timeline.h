@@ -110,6 +110,16 @@ class TimelineStore {
                                          topology::ServerId, net::Family,
                                          const TraceTimeline&)>& fn) const;
 
+  /// Visits the timelines whose key falls in `shard` (key % n_shards), in
+  /// ascending key order — hash-layout-independent, so shard outputs merge
+  /// deterministically (DESIGN.md section 9). Read-only; distinct shards
+  /// are safe to run concurrently.
+  void for_each_shard(std::size_t shard, std::size_t n_shards,
+                      const std::function<void(topology::ServerId,
+                                               topology::ServerId, net::Family,
+                                               const TraceTimeline&)>& fn)
+      const;
+
   const PathInterner& interner() const noexcept { return interner_; }
   const Table1Counts& table1() const noexcept { return table1_; }
   const DataQualityReport& quality() const noexcept { return quality_; }

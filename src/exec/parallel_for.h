@@ -1,0 +1,73 @@
+// Sharded map-reduce on top of exec::ThreadPool.
+//
+// The analysis passes parallelize by sharding a store's key space with a
+// FIXED shard count, computing an independent partial aggregate per
+// shard, and merging the partials in ascending shard order once every
+// shard finished. Because the shard count and the key->shard assignment
+// never depend on the thread count, and each store visits a shard's keys
+// in ascending key order (see for_each_shard on the stores), the merged
+// result is byte-identical whether the shards ran on 1, 2, or 64
+// threads. See DESIGN.md section 9 for the full contract.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "exec/pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace s2s::exec {
+
+/// Shard count used by the converted analysis passes. Deliberately fixed
+/// (not derived from the thread count): the partition of the key space —
+/// and therefore the order of every merged list — must not change when
+/// the thread count does. 64 shards keep 8-16 workers load-balanced via
+/// dynamic claiming while staying cheap for the serial path.
+inline constexpr std::size_t kAnalysisShards = 64;
+
+/// Runs body(shard) for shard in [0, n_shards), on `pool` when given, or
+/// inline in shard order when `pool` is null (the library default: every
+/// existing caller that never asks for parallelism keeps the serial
+/// path). Each shard executes under a TraceSpan named `span_name`, so
+/// per-shard timing shows up in traces and run reports.
+inline void parallel_for(ThreadPool* pool, std::size_t n_shards,
+                         std::string_view span_name,
+                         const std::function<void(std::size_t)>& body) {
+  auto task = [&](std::size_t shard) {
+    const obs::TraceSpan span(span_name);
+    body(shard);
+  };
+  if (pool == nullptr) {
+    // Inline serial path still ticks s2s.exec.tasks: the counter means
+    // "shards executed", independent of how they were scheduled, so
+    // metric snapshots compare equal across thread counts.
+    const obs::Counter tasks =
+        obs::MetricsRegistry::global().counter("s2s.exec.tasks");
+    for (std::size_t shard = 0; shard < n_shards; ++shard) {
+      task(shard);
+      tasks.inc();
+    }
+    return;
+  }
+  pool->run(n_shards, task);
+}
+
+/// Sharded map-reduce: `body(shard, partial)` fills partials[shard] (in
+/// parallel, disjoint slots), then `merge(partial)` folds them serially
+/// in ascending shard order — the deterministic-merge half of the
+/// byte-identical-output contract.
+template <typename Partial, typename Body, typename Merge>
+void sharded_reduce(ThreadPool* pool, std::size_t n_shards,
+                    std::string_view span_name, Body&& body, Merge&& merge) {
+  std::vector<Partial> partials(n_shards);
+  parallel_for(pool, n_shards, span_name,
+               [&](std::size_t shard) { body(shard, partials[shard]); });
+  for (std::size_t shard = 0; shard < n_shards; ++shard) {
+    merge(partials[shard]);
+  }
+}
+
+}  // namespace s2s::exec

@@ -1,0 +1,120 @@
+#include "exec/pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace s2s::exec {
+
+unsigned hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("S2S_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  return hardware_threads();
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(resolve_thread_count(threads)) {
+  auto& reg = obs::MetricsRegistry::global();
+  tasks_ = reg.counter("s2s.exec.tasks");
+  queue_depth_ = reg.gauge("s2s.exec.queue_depth");
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t)>& fn,
+                       std::size_t n) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    queue_depth_.set(static_cast<double>(n - std::min(n, i + 1)));
+    try {
+      fn(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    tasks_.inc();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_serial = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (fn_ != nullptr && batch_serial_ != seen_serial);
+      });
+      if (shutdown_) return;
+      seen_serial = batch_serial_;
+      fn = fn_;
+      n = n_;
+    }
+    drain(*fn, n);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1 || n == 1) {
+    // Exact serial path: index order, no synchronization.
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+      tasks_.inc();
+    }
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    completed_ = 0;
+    first_error_ = nullptr;
+    ++batch_serial_;
+    queue_depth_.set(static_cast<double>(n));
+  }
+  work_cv_.notify_all();
+  drain(fn, n);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return completed_ == workers_.size(); });
+    fn_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  queue_depth_.set(0.0);
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace s2s::exec

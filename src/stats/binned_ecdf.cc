@@ -22,6 +22,18 @@ void BinnedEcdf::add(double value) {
   ++total_;
 }
 
+BinnedEcdf& BinnedEcdf::merge(const BinnedEcdf& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("BinnedEcdf::merge: grid mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  return *this;
+}
+
 double BinnedEcdf::at(double x) const {
   if (total_ == 0) return 0.0;
   if (x < lo_) return 0.0;

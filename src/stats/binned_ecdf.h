@@ -20,6 +20,12 @@ class BinnedEcdf {
 
   void add(double value);
 
+  /// Adds another accumulator's counts into this one. Both must share the
+  /// same grid (lo, hi, bins) — built for merging per-shard partials of a
+  /// parallel pass, where every partial is constructed identically.
+  /// Throws std::invalid_argument on a grid mismatch.
+  BinnedEcdf& merge(const BinnedEcdf& other);
+
   std::uint64_t total() const noexcept { return total_; }
   bool empty() const noexcept { return total_ == 0; }
 

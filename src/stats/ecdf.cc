@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "stats/summary.h"
+
 namespace s2s::stats {
 
 Ecdf::Ecdf(std::span<const double> samples)
@@ -26,11 +28,11 @@ double Ecdf::below(double x) const {
 
 double Ecdf::quantile(double q) const {
   if (samples_.empty()) return 0.0;
-  if (q <= 0.0) return samples_.front();
-  if (q >= 1.0) return samples_.back();
-  const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(samples_.size()));
-  return samples_[std::min(rank, samples_.size() - 1)];
+  // Shared interpolating convention (summary.h): the old nearest-rank
+  // formula here (rank = q * size) was biased a full rank high — the
+  // median of {1,2,3,4} came back as 3, not 2.5 — and disagreed with
+  // every other quantile in the stats layer.
+  return quantile_sorted(samples_, q);
 }
 
 std::vector<Ecdf::Point> Ecdf::curve(std::size_t n) const {

@@ -22,7 +22,9 @@ class Ecdf {
   /// F(x) = fraction of samples <= x.
   double at(double x) const;
 
-  /// Smallest sample value v with F(v) >= q (the q-quantile step inverse).
+  /// The q-quantile under the stats layer's shared interpolating
+  /// convention (quantile_sorted: pos = q * (size - 1), linear between
+  /// ranks), so Ecdf agrees with Summary and friends on the same data.
   double quantile(double q) const;
 
   /// Fraction of samples >= x (complementary CDF including ties).

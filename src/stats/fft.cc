@@ -92,10 +92,18 @@ DiurnalPower diurnalpower_impl(std::span<const double> series,
 
   // Power "around" f: the day bin plus its immediate neighbours, counting
   // both the positive and the (conjugate-symmetric) negative frequency.
+  // Distinct bins only exist up to Nyquist (k = n/2); beyond it they
+  // alias onto bins already counted, and the Nyquist bin itself (n even)
+  // is self-conjugate, so doubling it would count its power twice.
+  const std::size_t nyquist = n / 2;
   double diurnal = 0.0;
   for (int k = day_bin - 1; k <= day_bin + 1; ++k) {
-    if (k <= 0 || static_cast<std::size_t>(k) >= n) continue;
-    diurnal += 2.0 * std::norm(goertzel_bin(centered, static_cast<double>(k)));
+    if (k <= 0 || static_cast<std::size_t>(k) > nyquist) continue;
+    const double power =
+        std::norm(goertzel_bin(centered, static_cast<double>(k)));
+    const bool self_conjugate =
+        n % 2 == 0 && static_cast<std::size_t>(k) == nyquist;
+    diurnal += self_conjugate ? power : 2.0 * power;
   }
   out.diurnal_power = diurnal;
   out.total_power = total_power;

@@ -361,7 +361,9 @@ TEST(ChaosCampaign, TracerouteQualityCountersMatchInjectedFaultsExactly) {
 
   const auto ds = core::run_dualstack_study(timelines);
   expect_all_finite(ds.pair_median_diff, "pair_median_diff");
-  EXPECT_GE(ds.quality.invalid_rtt, timelines.quality().invalid_rtt);
+  // Store slots hold only valid RTTs, so matching cannot surface new
+  // non-finite diffs: the study's counter is exactly the store's.
+  EXPECT_EQ(ds.quality.invalid_rtt, timelines.quality().invalid_rtt);
 
   core::LocalizeConfig lcfg;
   lcfg.min_traces = 4;
@@ -447,9 +449,31 @@ TEST(ChaosCampaign, PingQualityCountersMatchInjectedFaultsExactly) {
     EXPECT_TRUE(std::isfinite(fp.verdict.variation_ms));
     EXPECT_TRUE(std::isfinite(fp.verdict.diurnal_ratio));
   }
-  // Survey-level quality report includes the store's counters.
-  EXPECT_GE(survey.quality.invalid_rtt, q.invalid_rtt);
+  // Survey-level quality report includes the store's counters verbatim:
+  // invalid RTTs are dropped at ingest, never resurface post-interpolation.
+  EXPECT_EQ(survey.quality.invalid_rtt, q.invalid_rtt);
   EXPECT_EQ(survey.quality.duplicates_dropped, q.duplicates_dropped);
+  // The survey's own accounting: every pair either passed the min-sample
+  // bar (its gap-filled slots land in interpolated_samples) or was
+  // dropped as an insufficient series with its missing epochs counted.
+  std::size_t pairs_dropped = 0, missing_assessed = 0, missing_dropped = 0;
+  store.for_each([&](ServerId, ServerId, net::Family,
+                     const core::PingSeriesStore::Series& s) {
+    const std::size_t missing = s.rtt_tenths.size() - s.valid;
+    if (s.valid < ccfg2.min_samples) {
+      ++pairs_dropped;
+      missing_dropped += missing;
+    } else {
+      missing_assessed += missing;
+    }
+  });
+  EXPECT_EQ(survey.quality.insufficient_series, pairs_dropped);
+  EXPECT_EQ(survey.quality.insufficient_epochs, missing_dropped);
+  EXPECT_EQ(survey.quality.interpolated_samples, missing_assessed);
+  for (const auto& fp : survey.flagged) {
+    EXPECT_EQ(fp.verdict.invalid_samples, 0u);  // interpolation is finite
+    EXPECT_LE(fp.verdict.missing_samples, fp.verdict.samples);
+  }
 }
 
 }  // namespace

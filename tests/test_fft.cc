@@ -162,6 +162,31 @@ TEST_P(DiurnalCadence, DetectsAcrossCadences) {
 INSTANTIATE_TEST_SUITE_P(Cadences, DiurnalCadence,
                          ::testing::Values(8, 48, 96));  // 3h, 30min, 15min
 
+TEST(DiurnalRatio, DayBinAtNyquistCountsOnce) {
+  // samples_per_day == 2 puts the day bin at Nyquist: 8 samples over 4
+  // days -> day_bin = 4 = n/2. The Nyquist bin is self-conjugate, so its
+  // power must be counted once, and the k = 5 neighbour lies past Nyquist
+  // (it aliases onto bin 3) and must be skipped. The old guard (k < n)
+  // admitted k = 5 and doubled Nyquist, inflating the ratio.
+  constexpr std::size_t n = 8;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 2.0 * std::numbers::pi * static_cast<double>(i) / 8.0;
+    // Bin 1 (outside the day window), bin 3, and the Nyquist bin 4.
+    x[i] = 5.0 * std::cos(1.0 * t) + 2.0 * std::cos(3.0 * t) +
+           3.0 * std::cos(4.0 * t);
+  }
+  const auto r = diurnal_power_ratio(x, 2.0);
+  EXPECT_EQ(r.day_bin, 4);
+  // Cross-check against the full spectrum: window = {3, 4}, with bin 3
+  // conjugate-doubled and Nyquist counted once.
+  const auto p = power_spectrum(x);  // mean is already zero
+  const double expected =
+      (2.0 * p[3] + p[4]) / (2.0 * p[1] + 2.0 * p[3] + p[4]);
+  EXPECT_NEAR(r.ratio, expected, 1e-9);
+  EXPECT_LT(r.ratio, 1.0);  // bin 1 keeps the ratio off the clamp
+}
+
 TEST(PowerSpectrum, ParsevalHolds) {
   Rng rng(12);
   std::vector<double> x(128);

@@ -75,6 +75,21 @@ TEST(Ecdf, QuantileInverse) {
   EXPECT_DOUBLE_EQ(e.quantile(0.5), 30.0);
 }
 
+TEST(Ecdf, QuantileMatchesSharedInterpolatingConvention) {
+  // Regression: the old nearest-rank formula (rank = q * size) returned
+  // 3.0 for the median of {1,2,3,4}; the shared convention says 2.5.
+  const Ecdf e(std::vector<double>{1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 2.5);
+  // Ecdf::quantile and Summary's quantile() must agree on any input.
+  Rng rng(21);
+  std::vector<double> v;
+  for (int i = 0; i < 257; ++i) v.push_back(rng.normal(40, 12));
+  const Ecdf big(v);
+  for (const double q : {0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(big.quantile(q), quantile(v, q)) << "q=" << q;
+  }
+}
+
 TEST(Ecdf, CurveIsMonotone) {
   Rng rng(7);
   std::vector<double> v;
