@@ -12,9 +12,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "bgp/rib.h"
+#include "io/binrec.h"
+#include "io/records_io.h"
 #include "core/change_detect.h"
 #include "core/congestion_detect.h"
 #include "core/ping_series.h"
@@ -193,6 +198,88 @@ void BM_TimelineIngest(benchmark::State& state) {
 }
 BENCHMARK(BM_TimelineIngest)->Arg(0)->Arg(1);
 
+/// The same record set serialized once into each archive format, plus an
+/// on-disk copy of the binary image for the mmap arm.
+struct IngestImages {
+  std::string text;
+  std::string binary;
+  std::string binary_path;
+};
+
+const IngestImages& ingest_images() {
+  static const IngestImages images = [] {
+    IngestImages out;
+    std::ostringstream text_out;
+    std::ostringstream bin_out(std::ios::binary);
+    io::RecordWriter text_writer(text_out);
+    io::BinRecordWriter bin_writer(bin_out);
+    for (const auto& r : ingest_records()) {
+      text_writer.write(r);
+      bin_writer.write(r);
+    }
+    bin_writer.finish();
+    out.text = text_out.str();
+    out.binary = bin_out.str();
+    out.binary_path =
+        std::filesystem::temp_directory_path() / "s2s_bench_micro.s2sb";
+    std::ofstream file(out.binary_path, std::ios::binary | std::ios::trunc);
+    file << out.binary;
+    return out;
+  }();
+  return images;
+}
+
+// Archive-ingest formats, full decode of the same 8192 traceroutes per
+// iteration: text parsing vs the binary columnar block format, streamed
+// and memory-mapped. main() reports the binary arms' speedup over text —
+// the `.s2sb` acceptance bar is >= 5x for the mmap arm.
+void BM_ArchiveIngest_Text(benchmark::State& state) {
+  const auto& images = ingest_images();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    std::istringstream in(images.text);
+    io::RecordReader reader(in);
+    reader.read_all([&](const probe::TracerouteRecord& r) {
+                      benchmark::DoNotOptimize(r.time);
+                      ++n;
+                    },
+                    [](const probe::PingRecord&) {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ArchiveIngest_Text)->Unit(benchmark::kMillisecond);
+
+void BM_ArchiveIngest_BinStream(benchmark::State& state) {
+  const auto& images = ingest_images();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    std::istringstream in(images.binary, std::ios::binary);
+    io::BinRecordReader reader(in);
+    reader.read_all([&](const probe::TracerouteRecord& r) {
+                      benchmark::DoNotOptimize(r.time);
+                      ++n;
+                    },
+                    [](const probe::PingRecord&) {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ArchiveIngest_BinStream)->Unit(benchmark::kMillisecond);
+
+void BM_ArchiveIngest_BinMmap(benchmark::State& state) {
+  const auto& images = ingest_images();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    io::BinRecordMmapReader reader(images.binary_path);
+    reader.read_all([&](const probe::TracerouteRecord& r) {
+                      benchmark::DoNotOptimize(r.time);
+                      ++n;
+                    },
+                    [](const probe::PingRecord&) {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ArchiveIngest_BinMmap)->Unit(benchmark::kMillisecond);
+
 /// One week of 15-minute pings over the shared 40-server mesh: the
 /// pair-level workload for the parallel congestion-survey benchmark.
 const core::PingSeriesStore& survey_store() {
@@ -287,6 +374,10 @@ int main(int argc, char** argv) {
 
   const double off_s = reporter.seconds_per_iter("BM_TimelineIngest/0");
   const double on_s = reporter.seconds_per_iter("BM_TimelineIngest/1");
+  const double text_s = reporter.seconds_per_iter("BM_ArchiveIngest_Text");
+  const double bstream_s =
+      reporter.seconds_per_iter("BM_ArchiveIngest_BinStream");
+  const double bmmap_s = reporter.seconds_per_iter("BM_ArchiveIngest_BinMmap");
   const double survey_1t = reporter.seconds_per_iter("BM_SurveyCongestion/1");
   const double survey_2t = reporter.seconds_per_iter("BM_SurveyCongestion/2");
   const double survey_8t = reporter.seconds_per_iter("BM_SurveyCongestion/8");
@@ -310,6 +401,21 @@ int main(int argc, char** argv) {
       w.value(hist->second.quantile(0.50));
       w.key("rtt_ms_p99");
       w.value(hist->second.quantile(0.99));
+    }
+  }
+  if (text_s > 0.0) {
+    // Archive-format speedups: whole-archive decode time relative to the
+    // text parser over the identical record set (>= 5x is the `.s2sb`
+    // acceptance bar for the mmap arm).
+    w.key("archive_ingest_records_per_sec_text");
+    w.value(8192.0 / text_s);
+    if (bstream_s > 0.0) {
+      w.key("binrec_stream_speedup_vs_text");
+      w.value(text_s / bstream_s);
+    }
+    if (bmmap_s > 0.0) {
+      w.key("binrec_mmap_speedup_vs_text");
+      w.value(text_s / bmmap_s);
     }
   }
   if (survey_1t > 0.0) {

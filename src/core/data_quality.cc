@@ -52,7 +52,8 @@ std::map<std::string, std::size_t> DataQualityReport::as_map() const {
           {"out_of_grid", out_of_grid},
           {"insufficient_epochs", insufficient_epochs},
           {"insufficient_series", insufficient_series},
-          {"interpolated_samples", interpolated_samples}};
+          {"interpolated_samples", interpolated_samples},
+          {"corrupt_blocks", corrupt_blocks}};
 }
 
 std::string DataQualityReport::to_string() const {
@@ -63,6 +64,7 @@ std::string DataQualityReport::to_string() const {
   out += " insufficient_epochs=" + std::to_string(insufficient_epochs);
   out += " insufficient_series=" + std::to_string(insufficient_series);
   out += " interpolated_samples=" + std::to_string(interpolated_samples);
+  out += " corrupt_blocks=" + std::to_string(corrupt_blocks);
   return out;
 }
 

@@ -32,6 +32,9 @@ struct DataQualityReport {
   std::size_t insufficient_epochs = 0;  ///< missing epochs in dropped series
   std::size_t insufficient_series = 0;  ///< pairs below the min-sample bar
   std::size_t interpolated_samples = 0;  ///< gap-filled slots in assessed series
+  /// Binary-ingest (.s2sb) blocks skipped for CRC/structure damage. Block
+  /// granularity, not records: the text-format analog is malformed lines.
+  std::size_t corrupt_blocks = 0;
 
   /// Records affected by any fault class (insufficient series excluded:
   /// those are series-level, not record-level).
@@ -47,6 +50,7 @@ struct DataQualityReport {
     insufficient_epochs += o.insufficient_epochs;
     insufficient_series += o.insufficient_series;
     interpolated_samples += o.interpolated_samples;
+    corrupt_blocks += o.corrupt_blocks;
     return *this;
   }
 

@@ -1,0 +1,113 @@
+#include "faultsim/block_corruptor.h"
+
+#include "io/varint.h"
+
+namespace s2s::faultsim {
+
+namespace {
+
+/// Header bytes a bit flip may touch while leaving the header
+/// structurally valid: the reserved byte and the stored CRC. The kind
+/// byte is handled separately (only its low bit keeps kind <= 1);
+/// record_count and payload_bytes are off-limits — damaging them would
+/// change how many bytes the reader skips, and the corruption-matrix
+/// test asserts skips stay exact.
+constexpr std::size_t kSafeHeaderBytes[] = {5, 12, 13, 14, 15};
+
+}  // namespace
+
+void BlockCorruptor::corrupt_block(std::string& image,
+                                   const io::BlockRef& ref,
+                                   BlockFault fault) {
+  switch (fault) {
+    case BlockFault::kPayloadBitFlip: {
+      if (ref.payload_bytes == 0) {  // nothing to flip; damage the CRC
+        corrupt_block(image, ref, BlockFault::kCrcCorrupt);
+        return;
+      }
+      ++stats_.payload_flips;
+      const std::size_t pos = ref.payload_offset + rng_.below(ref.payload_bytes);
+      image[pos] = static_cast<char>(
+          static_cast<unsigned char>(image[pos]) ^ (1u << rng_.below(8)));
+      break;
+    }
+    case BlockFault::kHeaderBitFlip: {
+      ++stats_.header_flips;
+      const std::size_t which = rng_.below(std::size(kSafeHeaderBytes) + 1);
+      std::size_t pos;
+      unsigned mask;
+      if (which == std::size(kSafeHeaderBytes)) {
+        pos = ref.header_offset + 4;  // kind: low bit keeps it valid
+        mask = 1u;
+      } else {
+        pos = ref.header_offset + kSafeHeaderBytes[which];
+        mask = 1u << rng_.below(8);
+      }
+      image[pos] = static_cast<char>(
+          static_cast<unsigned char>(image[pos]) ^ mask);
+      break;
+    }
+    case BlockFault::kCrcCorrupt: {
+      ++stats_.crc_corruptions;
+      const std::size_t pos = ref.header_offset + 12 + rng_.below(4);
+      image[pos] = static_cast<char>(
+          static_cast<unsigned char>(image[pos]) ^ (1u << rng_.below(8)));
+      break;
+    }
+    case BlockFault::kTruncateMidBlock:
+    case BlockFault::kStaleVersion:
+      break;  // file-level: handled by apply()
+  }
+  ++stats_.corrupted;
+  stats_.records_lost += ref.record_count;
+}
+
+std::string BlockCorruptor::mangle(std::string image) {
+  const auto blocks = io::scan_blocks(image.data(), image.size());
+  if (!blocks) return image;
+  for (const auto& ref : *blocks) {
+    ++stats_.blocks;
+    if (!rng_.chance(config_.corrupt_prob)) continue;
+    const auto fault = static_cast<BlockFault>(rng_.below(3));
+    corrupt_block(image, ref, fault);
+  }
+  return image;
+}
+
+std::string BlockCorruptor::apply(std::string image, BlockFault fault,
+                                  std::size_t block_index) {
+  const auto blocks = io::scan_blocks(image.data(), image.size());
+  if (!blocks) return image;
+  if (fault == BlockFault::kStaleVersion) {
+    ++stats_.stale_versions;
+    std::string version;
+    io::put_u16le(version, io::kBinVersion + 1);
+    image[4] = version[0];
+    image[5] = version[1];
+    for (const auto& ref : *blocks) stats_.records_lost += ref.record_count;
+    return image;
+  }
+  if (block_index >= blocks->size()) return image;
+  const auto& ref = (*blocks)[block_index];
+  if (fault == BlockFault::kTruncateMidBlock) {
+    ++stats_.truncations;
+    ++stats_.corrupted;
+    // Cut strictly inside the block (header_offset < cut < block end), so
+    // the reader always sees a torn block — never a clean boundary.
+    // Everything from this block on is lost (including the footer, which
+    // truncation naturally removes).
+    const std::size_t block_bytes =
+        io::kBinBlockHeaderBytes + ref.payload_bytes;
+    const std::size_t cut =
+        ref.header_offset + 1 + rng_.below(block_bytes - 1);
+    image.resize(cut);
+    for (std::size_t i = block_index; i < blocks->size(); ++i) {
+      stats_.records_lost += (*blocks)[i].record_count;
+    }
+    return image;
+  }
+  corrupt_block(image, ref, fault);
+  return image;
+}
+
+}  // namespace s2s::faultsim

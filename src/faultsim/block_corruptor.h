@@ -1,0 +1,87 @@
+// Block-level corruption for `.s2sb` binary record archives: the
+// LineMangler analog one layer down the stack.
+//
+// A binary campaign archive fails differently from a text one — a torn
+// write tears a block, a bad sector flips payload bits, a partial copy
+// truncates mid-block, an old tool writes a stale version — and the
+// reader's contract is exact accounting: every injected fault is
+// detected as exactly one corrupt block (or, for file-level faults, one
+// unreadable file), never a crash, never a silent wrong record.
+//
+// To make that equality provable rather than probabilistic, the
+// stochastic mangle() only flips bytes whose damage keeps the block
+// header *structurally* valid (the kind's low bit, the reserved byte,
+// the stored CRC, any payload byte): the reader then skips exactly
+// payload_bytes and counts exactly one corrupt block per fault. Faults
+// that change a block's framing (mid-block truncation) or the file
+// header (stale version) are applied through the targeted apply() API,
+// where the test knows which blocks become unreachable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/binrec.h"
+#include "stats/rng.h"
+
+namespace s2s::faultsim {
+
+/// Fault classes for the corruption-matrix test.
+enum class BlockFault : std::uint8_t {
+  kPayloadBitFlip = 0,  ///< bad sector: random payload bit
+  kHeaderBitFlip,       ///< header damage the CRC must catch
+  kCrcCorrupt,          ///< stored checksum itself damaged
+  kTruncateMidBlock,    ///< torn write: file ends inside a block
+  kStaleVersion,        ///< file header claims an unsupported version
+};
+
+struct BlockCorruptorConfig {
+  std::uint64_t seed = 5;
+  /// Per-block probability of corruption; the class is drawn uniformly
+  /// among the per-block classes (flip/header/crc).
+  double corrupt_prob = 1.0;
+};
+
+struct BlockCorruptorStats {
+  std::size_t blocks = 0;     ///< blocks seen across mangle() calls
+  std::size_t corrupted = 0;  ///< blocks damaged (any class)
+  std::size_t payload_flips = 0;
+  std::size_t header_flips = 0;
+  std::size_t crc_corruptions = 0;
+  std::size_t truncations = 0;
+  std::size_t stale_versions = 0;
+  /// Records inside damaged or unreachable blocks — what a reader with
+  /// exact skip accounting must fail to deliver.
+  std::size_t records_lost = 0;
+};
+
+class BlockCorruptor {
+ public:
+  explicit BlockCorruptor(const BlockCorruptorConfig& config = {})
+      : config_(config), rng_(config.seed) {}
+
+  /// Returns `image`, with each block independently corrupted with
+  /// corrupt_prob by a uniformly drawn per-block class. Non-`.s2sb`
+  /// images pass through untouched. The footer (when present) is never
+  /// damaged — per-block CRC failures must be detected by the block
+  /// CRC, not hidden behind a discarded index.
+  std::string mangle(std::string image);
+
+  /// Applies exactly one fault to block `block_index` (file-level
+  /// classes ignore it). Out-of-range indexes and non-binary images
+  /// pass through untouched.
+  std::string apply(std::string image, BlockFault fault,
+                    std::size_t block_index = 0);
+
+  const BlockCorruptorStats& stats() const noexcept { return stats_; }
+
+ private:
+  void corrupt_block(std::string& image, const io::BlockRef& ref,
+                     BlockFault fault);
+
+  BlockCorruptorConfig config_;
+  stats::Rng rng_;
+  BlockCorruptorStats stats_;
+};
+
+}  // namespace s2s::faultsim

@@ -1,0 +1,935 @@
+#include "io/binrec.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <tuple>
+
+#include "io/crc32c.h"
+#include "io/records_io.h"
+#include "io/varint.h"
+
+namespace s2s::io {
+
+namespace {
+
+/// Upper bound a decoder trusts for a per-record hop count (traceroute
+/// TTLs cap out near 64; anything past 255 in a CRC-valid block is a
+/// structural decode bug, not data).
+constexpr std::uint64_t kMaxHopsPerRecord = 255;
+
+obs::Counter obs_blocks_read() {
+  static obs::Counter c =
+      obs::MetricsRegistry::global().counter("s2s.io.binrec.blocks_read");
+  return c;
+}
+
+obs::Counter obs_crc_failures() {
+  static obs::Counter c =
+      obs::MetricsRegistry::global().counter("s2s.io.binrec.crc_failures");
+  return c;
+}
+
+obs::Counter obs_bytes_mapped() {
+  static obs::Counter c =
+      obs::MetricsRegistry::global().counter("s2s.io.binrec.bytes_mapped");
+  return c;
+}
+
+obs::Counter obs_records_read() {
+  static obs::Counter c =
+      obs::MetricsRegistry::global().counter("s2s.io.binrec.records_read");
+  return c;
+}
+
+std::uint8_t family_code(net::Family f) {
+  return f == net::Family::kIPv4 ? 4 : 6;
+}
+
+void put_addr(std::string& out, const net::IPAddr& addr) {
+  if (addr.is_v4()) {
+    out.push_back(4);
+    put_u32le(out, addr.v4().value());
+  } else {
+    out.push_back(6);
+    const auto& b = addr.v6().bytes();
+    out.append(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+}
+
+bool get_addr(ByteCursor& cur, net::IPAddr& out) {
+  std::uint8_t tag = 0;
+  if (!cur.get_u8(tag)) return false;
+  if (tag == 4) {
+    std::uint32_t v = 0;
+    if (!cur.get_u32(v)) return false;
+    out = net::IPv4Addr(v);
+    return true;
+  }
+  if (tag == 6) {
+    net::IPv6Addr::Bytes b{};
+    if (!cur.get_bytes(b.data(), b.size())) return false;
+    out = net::IPv6Addr(b);
+    return true;
+  }
+  return false;
+}
+
+/// Per-block (src, dst, family) dictionary in first-appearance order, so
+/// a block's bytes are a pure function of its record sequence.
+class PairDict {
+ public:
+  template <typename Record>
+  std::uint64_t intern(const Record& r) {
+    const auto key = std::make_tuple(r.src, r.dst, family_code(r.family));
+    const auto [it, inserted] = index_.emplace(key, entries_.size());
+    if (inserted) entries_.push_back(key);
+    return it->second;
+  }
+
+  void encode(std::string& out) const {
+    put_varint(out, entries_.size());
+    for (const auto& [src, dst, fam] : entries_) {
+      put_varint(out, src);
+      put_varint(out, dst);
+      out.push_back(static_cast<char>(fam));
+    }
+  }
+
+ private:
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>,
+           std::uint64_t>
+      index_;
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t>>
+      entries_;
+};
+
+struct PairEntry {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  net::Family family = net::Family::kIPv4;
+};
+
+bool decode_pair_dict(ByteCursor& cur, std::size_t record_count,
+                      std::vector<PairEntry>& dict) {
+  std::uint64_t n = 0;
+  if (!cur.get_varint(n)) return false;
+  if (n > record_count || (record_count > 0 && n == 0)) return false;
+  dict.resize(static_cast<std::size_t>(n));
+  for (auto& e : dict) {
+    std::uint64_t src = 0, dst = 0;
+    std::uint8_t fam = 0;
+    if (!cur.get_varint(src) || src > 0xFFFFFFFFull) return false;
+    if (!cur.get_varint(dst) || dst > 0xFFFFFFFFull) return false;
+    if (!cur.get_u8(fam) || (fam != 4 && fam != 6)) return false;
+    e.src = static_cast<std::uint32_t>(src);
+    e.dst = static_cast<std::uint32_t>(dst);
+    e.family = fam == 4 ? net::Family::kIPv4 : net::Family::kIPv6;
+  }
+  return true;
+}
+
+bool decode_pair_indices(ByteCursor& cur, std::size_t record_count,
+                         std::size_t dict_size,
+                         std::vector<std::uint32_t>& idx) {
+  idx.resize(record_count);
+  for (auto& i : idx) {
+    std::uint64_t v = 0;
+    if (!cur.get_varint(v) || v >= dict_size) return false;
+    i = static_cast<std::uint32_t>(v);
+  }
+  return true;
+}
+
+void encode_times(std::string& out,
+                  const std::vector<std::int64_t>& times) {
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    put_varint_signed(out, i == 0 ? times[0] : times[i] - prev);
+    prev = times[i];
+  }
+}
+
+bool decode_times(ByteCursor& cur, std::size_t record_count,
+                  std::vector<std::int64_t>& times) {
+  times.resize(record_count);
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < record_count; ++i) {
+    std::int64_t v = 0;
+    if (!cur.get_varint_signed(v)) return false;
+    times[i] = i == 0 ? v : prev + v;
+    prev = times[i];
+  }
+  return true;
+}
+
+void encode_bitmap(std::string& out, const std::vector<bool>& bits) {
+  for (std::size_t i = 0; i < bits.size(); i += 8) {
+    std::uint8_t byte = 0;
+    for (std::size_t j = 0; j < 8 && i + j < bits.size(); ++j) {
+      if (bits[i + j]) byte |= static_cast<std::uint8_t>(1u << j);
+    }
+    out.push_back(static_cast<char>(byte));
+  }
+}
+
+bool decode_bitmap(ByteCursor& cur, std::size_t record_count,
+                   std::vector<bool>& bits) {
+  bits.resize(record_count);
+  for (std::size_t i = 0; i < record_count; i += 8) {
+    std::uint8_t byte = 0;
+    if (!cur.get_u8(byte)) return false;
+    for (std::size_t j = 0; j < 8 && i + j < record_count; ++j) {
+      bits[i + j] = (byte >> j) & 1u;
+    }
+  }
+  return true;
+}
+
+// -- Block payload encoders --------------------------------------------------
+
+std::string encode_ping_payload(const std::vector<probe::PingRecord>& recs,
+                                std::int64_t& first_time,
+                                std::int64_t& last_time) {
+  std::string out;
+  PairDict dict;
+  std::vector<std::uint64_t> idx;
+  std::vector<std::int64_t> times;
+  std::vector<bool> success;
+  idx.reserve(recs.size());
+  times.reserve(recs.size());
+  success.reserve(recs.size());
+  first_time = recs.empty() ? 0 : recs.front().time.seconds();
+  last_time = first_time;
+  for (const auto& r : recs) {
+    idx.push_back(dict.intern(r));
+    times.push_back(r.time.seconds());
+    success.push_back(r.success);
+    first_time = std::min(first_time, r.time.seconds());
+    last_time = std::max(last_time, r.time.seconds());
+  }
+  dict.encode(out);
+  for (const auto i : idx) put_varint(out, i);
+  encode_times(out, times);
+  encode_bitmap(out, success);
+  for (const auto& r : recs) put_u32le(out, encode_rtt_thousandths(r.rtt_ms));
+  return out;
+}
+
+std::string encode_trace_payload(
+    const std::vector<probe::TracerouteRecord>& recs,
+    std::int64_t& first_time, std::int64_t& last_time) {
+  std::string out;
+  PairDict dict;
+  std::vector<std::uint64_t> idx;
+  std::vector<std::int64_t> times;
+  std::vector<bool> paris, complete;
+  idx.reserve(recs.size());
+  times.reserve(recs.size());
+  first_time = recs.empty() ? 0 : recs.front().time.seconds();
+  last_time = first_time;
+  for (const auto& r : recs) {
+    idx.push_back(dict.intern(r));
+    times.push_back(r.time.seconds());
+    paris.push_back(r.method == probe::TracerouteMethod::kParis);
+    complete.push_back(r.complete);
+    first_time = std::min(first_time, r.time.seconds());
+    last_time = std::max(last_time, r.time.seconds());
+  }
+  dict.encode(out);
+  for (const auto i : idx) put_varint(out, i);
+  encode_times(out, times);
+  encode_bitmap(out, paris);
+  encode_bitmap(out, complete);
+  for (const auto& r : recs) put_addr(out, r.src_addr);
+  for (const auto& r : recs) put_addr(out, r.dst_addr);
+  for (const auto& r : recs) put_varint(out, r.hops.size());
+  for (const auto& r : recs) {
+    for (const auto& hop : r.hops) {
+      if (!hop.addr) {
+        out.push_back(0);  // unresponsive: no addr, no RTT (mirrors "*")
+        continue;
+      }
+      put_addr(out, *hop.addr);
+      put_u32le(out, encode_rtt_thousandths(hop.rtt_ms));
+    }
+  }
+  return out;
+}
+
+// -- Block payload decoders --------------------------------------------------
+
+bool decode_ping_payload(const unsigned char* payload, std::size_t size,
+                         std::size_t record_count,
+                         const PingRecordFn& on_ping,
+                         BinReadCounters& counters) {
+  ByteCursor cur(payload, size);
+  std::vector<PairEntry> dict;
+  std::vector<std::uint32_t> idx;
+  std::vector<std::int64_t> times;
+  std::vector<bool> success;
+  if (!decode_pair_dict(cur, record_count, dict)) return false;
+  if (!decode_pair_indices(cur, record_count, dict.size(), idx)) return false;
+  if (!decode_times(cur, record_count, times)) return false;
+  if (!decode_bitmap(cur, record_count, success)) return false;
+  if (cur.remaining() != record_count * 4) return false;
+  probe::PingRecord r;  // reused across the loop: the sink sees a const&
+  for (std::size_t i = 0; i < record_count; ++i) {
+    std::uint32_t raw = 0;
+    cur.get_u32(raw);
+    const auto rtt = decode_rtt_thousandths(raw);
+    if (!rtt) {
+      ++counters.records_rejected;
+      continue;
+    }
+    r.src = dict[idx[i]].src;
+    r.dst = dict[idx[i]].dst;
+    r.family = dict[idx[i]].family;
+    r.time = net::SimTime(times[i]);
+    r.success = success[i];
+    r.rtt_ms = *rtt;
+    ++counters.records_read;
+    on_ping(r);
+  }
+  return true;
+}
+
+bool decode_trace_payload(const unsigned char* payload, std::size_t size,
+                          std::size_t record_count,
+                          const TraceRecordFn& on_trace,
+                          BinReadCounters& counters) {
+  ByteCursor cur(payload, size);
+  std::vector<PairEntry> dict;
+  std::vector<std::uint32_t> idx;
+  std::vector<std::int64_t> times;
+  std::vector<bool> paris, complete;
+  if (!decode_pair_dict(cur, record_count, dict)) return false;
+  if (!decode_pair_indices(cur, record_count, dict.size(), idx)) return false;
+  if (!decode_times(cur, record_count, times)) return false;
+  if (!decode_bitmap(cur, record_count, paris)) return false;
+  if (!decode_bitmap(cur, record_count, complete)) return false;
+  std::vector<net::IPAddr> src_addrs(record_count), dst_addrs(record_count);
+  for (auto& a : src_addrs) {
+    if (!get_addr(cur, a)) return false;
+  }
+  for (auto& a : dst_addrs) {
+    if (!get_addr(cur, a)) return false;
+  }
+  std::vector<std::uint32_t> hop_counts(record_count);
+  for (auto& c : hop_counts) {
+    std::uint64_t v = 0;
+    if (!cur.get_varint(v) || v > kMaxHopsPerRecord) return false;
+    c = static_cast<std::uint32_t>(v);
+  }
+  // One record reused across the loop (the sink sees a const&): clearing
+  // the hop vector keeps its capacity, so a block's worth of records
+  // costs at most one hop allocation instead of one per record.
+  probe::TracerouteRecord r;
+  for (std::size_t i = 0; i < record_count; ++i) {
+    r.src = dict[idx[i]].src;
+    r.dst = dict[idx[i]].dst;
+    r.family = dict[idx[i]].family;
+    r.time = net::SimTime(times[i]);
+    r.method = paris[i] ? probe::TracerouteMethod::kParis
+                        : probe::TracerouteMethod::kClassic;
+    r.complete = complete[i];
+    r.src_addr = src_addrs[i];
+    r.dst_addr = dst_addrs[i];
+    r.hops.clear();
+    r.hops.reserve(hop_counts[i]);
+    bool record_ok = true;
+    for (std::uint32_t h = 0; h < hop_counts[i]; ++h) {
+      std::uint8_t tag = 0;
+      if (!cur.get_u8(tag)) return false;
+      if (tag == 0) {  // unresponsive: no addr, no RTT (mirrors "*")
+        r.hops.emplace_back();
+        continue;
+      }
+      std::uint32_t raw = 0;
+      net::IPAddr addr;
+      if (tag == 4) {
+        // Fused read of the v4 addr + RTT pair: one bounds check for the
+        // whole row (the hop loop dominates whole-archive decode).
+        unsigned char row[8];
+        if (!cur.get_bytes(row, 8)) return false;
+        addr = net::IPv4Addr(get_u32le(row));
+        raw = get_u32le(row + 4);
+      } else if (tag == 6) {
+        net::IPv6Addr::Bytes b{};
+        if (!cur.get_bytes(b.data(), b.size())) return false;
+        if (!cur.get_u32(raw)) return false;
+        addr = net::IPv6Addr(b);
+      } else {
+        return false;
+      }
+      const auto rtt = decode_rtt_thousandths(raw);
+      if (!rtt) {
+        record_ok = false;  // row fully consumed; reject the record
+        continue;
+      }
+      auto& hop = r.hops.emplace_back();
+      hop.addr = addr;
+      hop.rtt_ms = *rtt;
+    }
+    if (!record_ok) {
+      ++counters.records_rejected;
+      continue;
+    }
+    ++counters.records_read;
+    on_trace(r);
+  }
+  return cur.remaining() == 0;
+}
+
+/// CRC-checks and decodes one block whose header has already been
+/// validated structurally. Returns false when the block must be counted
+/// corrupt.
+bool decode_block(BlockKind kind, std::size_t record_count,
+                  const unsigned char* payload, std::size_t payload_bytes,
+                  const TraceRecordFn& on_trace, const PingRecordFn& on_ping,
+                  BinReadCounters& counters) {
+  if (record_count == 0) return payload_bytes == 0;  // explicit empty block
+  const std::size_t before = counters.records_read;
+  const bool ok =
+      kind == BlockKind::kPing
+          ? decode_ping_payload(payload, payload_bytes, record_count, on_ping,
+                                counters)
+          : decode_trace_payload(payload, payload_bytes, record_count,
+                                 on_trace, counters);
+  if (counters.records_read > before) {
+    obs_records_read().inc(counters.records_read - before);
+  }
+  return ok;
+}
+
+/// Parsed block header; `valid` false means the fixed fields are
+/// implausible (decode must not trust payload_bytes).
+struct BlockHeader {
+  BlockKind kind = BlockKind::kPing;
+  std::uint16_t record_count = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t crc = 0;
+  bool valid = false;
+};
+
+BlockHeader parse_block_header(const unsigned char* h) {
+  BlockHeader out;
+  const std::uint8_t kind = h[4];
+  out.record_count = get_u16le(h + 6);
+  out.payload_bytes = get_u32le(h + 8);
+  out.crc = get_u32le(h + 12);
+  out.valid = kind <= 1 && out.record_count <= kMaxBlockRecords &&
+              out.payload_bytes <= kMaxBlockPayloadBytes;
+  out.kind = kind == 0 ? BlockKind::kPing : BlockKind::kTraceroute;
+  return out;
+}
+
+std::uint32_t block_crc(const unsigned char* header,
+                        const unsigned char* payload,
+                        std::size_t payload_bytes) {
+  std::uint32_t crc = crc32c(0, header + 4, 8);
+  return crc32c(crc, payload, payload_bytes);
+}
+
+bool parse_file_header(const unsigned char* data, std::size_t size,
+                       std::uint16_t& version, std::string& error) {
+  if (size < kBinFileHeaderBytes || get_u32le(data) != kBinFileMagic) {
+    error = "not an .s2sb stream (bad magic)";
+    return false;
+  }
+  version = get_u16le(data + 4);
+  if (version == 0 || version > kBinVersion) {
+    error = "unsupported .s2sb version " + std::to_string(version);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<double> decode_rtt_thousandths(std::uint32_t v) {
+  if (v == kInvalidRttThousandths ||
+      v > static_cast<std::uint32_t>(probe::kMaxPlausibleRttMs * 1000.0)) {
+    return std::nullopt;
+  }
+  return static_cast<double>(v) / 1000.0;
+}
+
+std::optional<std::vector<BlockRef>> scan_blocks(const void* data,
+                                                 std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint16_t version = 0;
+  std::string error;
+  if (!parse_file_header(bytes, size, version, error)) return std::nullopt;
+  std::vector<BlockRef> out;
+  std::size_t pos = kBinFileHeaderBytes;
+  while (pos + 4 <= size) {
+    const std::uint32_t magic = get_u32le(bytes + pos);
+    if (magic != kBinBlockMagic) break;  // footer, garbage, or EOF
+    if (pos + kBinBlockHeaderBytes > size) break;
+    const auto header = parse_block_header(bytes + pos);
+    if (!header.valid ||
+        pos + kBinBlockHeaderBytes + header.payload_bytes > size) {
+      break;
+    }
+    BlockRef ref;
+    ref.header_offset = pos;
+    ref.payload_offset = pos + kBinBlockHeaderBytes;
+    ref.payload_bytes = header.payload_bytes;
+    ref.record_count = header.record_count;
+    ref.kind = header.kind;
+    out.push_back(ref);
+    pos = ref.payload_offset + ref.payload_bytes;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BinRecordWriter
+// ---------------------------------------------------------------------------
+
+BinRecordWriter::BinRecordWriter(std::ostream& out,
+                                 const BinWriterConfig& config)
+    : out_(out), config_(config) {
+  config_.block_records = std::min(config_.block_records, kMaxBlockRecords);
+  if (config_.block_records == 0) config_.block_records = 1;
+  if (config_.write_header) {
+    std::string header;
+    put_u32le(header, kBinFileMagic);
+    put_u16le(header, kBinVersion);
+    put_u16le(header, 0);  // flags
+    put_u64le(header, 0);  // reserved
+    out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+    bytes_written_ += header.size();
+  }
+}
+
+BinRecordWriter::~BinRecordWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // A throwing ostream in a destructor must not terminate the program;
+    // callers that care about write failures call finish() themselves.
+  }
+}
+
+void BinRecordWriter::write(const probe::TracerouteRecord& record) {
+  pending_traces_.push_back(record);
+  ++written_;
+  if (pending_traces_.size() >= config_.block_records) {
+    flush_kind(BlockKind::kTraceroute);
+  }
+}
+
+void BinRecordWriter::write(const probe::PingRecord& record) {
+  pending_pings_.push_back(record);
+  ++written_;
+  if (pending_pings_.size() >= config_.block_records) {
+    flush_kind(BlockKind::kPing);
+  }
+}
+
+void BinRecordWriter::flush_kind(BlockKind kind) {
+  std::int64_t first_time = 0, last_time = 0;
+  std::string payload;
+  std::size_t count = 0;
+  if (kind == BlockKind::kTraceroute) {
+    if (pending_traces_.empty()) return;
+    count = pending_traces_.size();
+    payload = encode_trace_payload(pending_traces_, first_time, last_time);
+    pending_traces_.clear();
+  } else {
+    if (pending_pings_.empty()) return;
+    count = pending_pings_.size();
+    payload = encode_ping_payload(pending_pings_, first_time, last_time);
+    pending_pings_.clear();
+  }
+  emit_block(kind, payload, count, first_time, last_time);
+}
+
+void BinRecordWriter::emit_block(BlockKind kind, const std::string& payload,
+                                 std::size_t record_count,
+                                 std::int64_t first_time,
+                                 std::int64_t last_time) {
+  std::string header;
+  put_u32le(header, kBinBlockMagic);
+  header.push_back(static_cast<char>(kind));
+  header.push_back(0);  // reserved
+  put_u16le(header, static_cast<std::uint16_t>(record_count));
+  put_u32le(header, static_cast<std::uint32_t>(payload.size()));
+  const std::uint32_t crc =
+      block_crc(reinterpret_cast<const unsigned char*>(header.data()),
+                reinterpret_cast<const unsigned char*>(payload.data()),
+                payload.size());
+  put_u32le(header, crc);
+
+  BlockIndexEntry entry;
+  entry.offset = bytes_written_;
+  entry.first_time_s = first_time;
+  entry.last_time_s = last_time;
+  entry.record_count = static_cast<std::uint32_t>(record_count);
+  entry.kind = kind;
+  index_.push_back(entry);
+
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  bytes_written_ += header.size() + payload.size();
+  obs_blocks_written_.inc();
+}
+
+void BinRecordWriter::flush_block() {
+  flush_kind(BlockKind::kTraceroute);
+  flush_kind(BlockKind::kPing);
+}
+
+void BinRecordWriter::finish() {
+  if (finished_) return;
+  flush_block();
+  finished_ = true;
+  if (!config_.write_footer) return;
+  std::string footer;
+  put_u32le(footer, kBinFooterMagic);
+  std::string entries;
+  for (const auto& e : index_) {
+    put_u64le(entries, e.offset);
+    put_u64le(entries, static_cast<std::uint64_t>(e.first_time_s));
+    put_u64le(entries, static_cast<std::uint64_t>(e.last_time_s));
+    put_u32le(entries, e.record_count);
+    entries.push_back(static_cast<char>(e.kind));
+    entries.append(3, '\0');
+  }
+  footer += entries;
+  put_u32le(footer, static_cast<std::uint32_t>(index_.size()));
+  put_u32le(footer, crc32c(entries.data(), entries.size()));
+  put_u64le(footer, kBinEofMagic);
+  out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  bytes_written_ += footer.size();
+}
+
+// ---------------------------------------------------------------------------
+// BinRecordReader (buffered istream arm)
+// ---------------------------------------------------------------------------
+
+BinRecordReader::BinRecordReader(std::istream& in) : in_(in) {
+  unsigned char header[kBinFileHeaderBytes];
+  in_.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    error_ = "truncated .s2sb header";
+    return;
+  }
+  ok_ = parse_file_header(header, sizeof(header), version_, error_);
+}
+
+void BinRecordReader::read_all_impl(const TraceRecordFn& on_trace,
+                                    const PingRecordFn& on_ping) {
+  if (!ok_) return;
+  std::string payload;
+  // Rolling 4-byte window for magic detection; refilled byte-by-byte
+  // only while resyncing after a corrupt header.
+  while (true) {
+    unsigned char header[kBinBlockHeaderBytes];
+    in_.read(reinterpret_cast<char*>(header), 4);
+    if (in_.gcount() == 0) return;  // clean EOF at a block boundary
+    if (in_.gcount() < 4) {
+      ++counters_.corrupt_blocks;  // trailing partial magic
+      return;
+    }
+    std::uint32_t magic = get_u32le(header);
+    if (magic == kBinFooterMagic) return;  // index begins; records done
+    if (magic != kBinBlockMagic) {
+      // Resync: scan forward one byte at a time for the next block or
+      // footer magic. One resync event = one corrupt block.
+      ++counters_.corrupt_blocks;
+      int c;
+      while ((c = in_.get()) != std::char_traits<char>::eof()) {
+        magic = (magic >> 8) |
+                (static_cast<std::uint32_t>(static_cast<unsigned char>(c))
+                 << 24);
+        if (magic == kBinFooterMagic) return;
+        if (magic == kBinBlockMagic) break;
+      }
+      if (magic != kBinBlockMagic) return;  // EOF while resyncing
+      // Fall through with the magic consumed; rebuild header[0..3]
+      // (cosmetic — the CRC scope starts at byte 4).
+      header[0] = 'S'; header[1] = '2'; header[2] = 'B'; header[3] = 'K';
+    }
+    in_.read(reinterpret_cast<char*>(header) + 4,
+             kBinBlockHeaderBytes - 4);
+    if (in_.gcount() <
+        static_cast<std::streamsize>(kBinBlockHeaderBytes - 4)) {
+      ++counters_.corrupt_blocks;  // truncated mid-header
+      return;
+    }
+    const auto bh = parse_block_header(header);
+    if (!bh.valid) {
+      // Implausible fixed fields: do not trust payload_bytes; resync.
+      ++counters_.corrupt_blocks;
+      continue;  // next loop iteration starts a fresh magic scan
+    }
+    payload.resize(bh.payload_bytes);
+    in_.read(payload.data(), static_cast<std::streamsize>(bh.payload_bytes));
+    if (in_.gcount() < static_cast<std::streamsize>(bh.payload_bytes)) {
+      ++counters_.corrupt_blocks;  // truncated mid-payload
+      return;
+    }
+    const auto* pbytes = reinterpret_cast<const unsigned char*>(payload.data());
+    if (block_crc(header, pbytes, payload.size()) != bh.crc) {
+      ++counters_.corrupt_blocks;
+      obs_crc_failures().inc();
+      continue;
+    }
+    if (!decode_block(bh.kind, bh.record_count, pbytes, payload.size(),
+                      on_trace, on_ping, counters_)) {
+      ++counters_.corrupt_blocks;
+      continue;
+    }
+    ++counters_.blocks_read;
+    obs_blocks_read().inc();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BinRecordMmapReader (zero-copy arm)
+// ---------------------------------------------------------------------------
+
+BinRecordMmapReader::BinRecordMmapReader(const std::string& path) {
+  if (!file_.open(path)) {
+    error_ = file_.error();
+    return;
+  }
+  obs_bytes_mapped().inc(file_.size());
+  init(file_.data(), file_.size());
+}
+
+BinRecordMmapReader::BinRecordMmapReader(const void* data, std::size_t size) {
+  init(data, size);
+}
+
+void BinRecordMmapReader::init(const void* data, std::size_t size) {
+  data_ = static_cast<const unsigned char*>(data);
+  size_ = size;
+  ok_ = parse_file_header(data_, size_, version_, error_);
+  if (!ok_) return;
+
+  // Footer validation: fixed-width tail at EOF -> entry array -> magic.
+  // Any inconsistency (missing, truncated, CRC mismatch, out-of-range
+  // offsets) silently degrades to the sequential walk.
+  if (size_ < kBinFileHeaderBytes + 4 + kBinFooterTailBytes) return;
+  const unsigned char* tail = data_ + size_ - kBinFooterTailBytes;
+  if (get_u64le(tail + 8) != kBinEofMagic) return;
+  const std::uint32_t entry_count = get_u32le(tail);
+  const std::uint32_t entries_crc = get_u32le(tail + 4);
+  const std::uint64_t entries_bytes =
+      static_cast<std::uint64_t>(entry_count) * kBinFooterEntryBytes;
+  if (entries_bytes + 4 + kBinFooterTailBytes + kBinFileHeaderBytes > size_) {
+    return;
+  }
+  const unsigned char* entries = tail - entries_bytes;
+  if (get_u32le(entries - 4) != kBinFooterMagic) return;
+  if (crc32c(entries, entries_bytes) != entries_crc) return;
+  const std::size_t footer_start =
+      static_cast<std::size_t>(entries - 4 - data_);
+  index_.reserve(entry_count);
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    const unsigned char* e = entries + i * kBinFooterEntryBytes;
+    BlockIndexEntry entry;
+    entry.offset = get_u64le(e);
+    entry.first_time_s = static_cast<std::int64_t>(get_u64le(e + 8));
+    entry.last_time_s = static_cast<std::int64_t>(get_u64le(e + 16));
+    entry.record_count = get_u32le(e + 24);
+    entry.kind = e[28] == 0 ? BlockKind::kPing : BlockKind::kTraceroute;
+    if (entry.offset < kBinFileHeaderBytes ||
+        entry.offset + kBinBlockHeaderBytes > footer_start) {
+      index_.clear();  // poisoned index; fall back to sequential walk
+      return;
+    }
+    index_.push_back(entry);
+  }
+}
+
+void BinRecordMmapReader::decode_at(std::size_t offset,
+                                    const TraceRecordFn& on_trace,
+                                    const PingRecordFn& on_ping) {
+  const unsigned char* h = data_ + offset;
+  if (get_u32le(h) != kBinBlockMagic) {
+    ++counters_.corrupt_blocks;
+    return;
+  }
+  const auto bh = parse_block_header(h);
+  if (!bh.valid ||
+      offset + kBinBlockHeaderBytes + bh.payload_bytes > size_) {
+    ++counters_.corrupt_blocks;
+    return;
+  }
+  const unsigned char* payload = h + kBinBlockHeaderBytes;
+  if (block_crc(h, payload, bh.payload_bytes) != bh.crc) {
+    ++counters_.corrupt_blocks;
+    obs_crc_failures().inc();
+    return;
+  }
+  if (!decode_block(bh.kind, bh.record_count, payload, bh.payload_bytes,
+                    on_trace, on_ping, counters_)) {
+    ++counters_.corrupt_blocks;
+    return;
+  }
+  ++counters_.blocks_read;
+  obs_blocks_read().inc();
+}
+
+void BinRecordMmapReader::read_all_impl(const TraceRecordFn& on_trace,
+                                        const PingRecordFn& on_ping) {
+  if (!ok_) return;
+  if (!index_.empty()) {
+    for (const auto& entry : index_) {
+      decode_at(static_cast<std::size_t>(entry.offset), on_trace, on_ping);
+    }
+    return;
+  }
+  // Sequential walk with resync, mirroring the stream arm exactly.
+  std::size_t pos = kBinFileHeaderBytes;
+  while (pos < size_) {
+    if (pos + 4 > size_) {
+      ++counters_.corrupt_blocks;  // trailing partial magic
+      return;
+    }
+    const std::uint32_t magic = get_u32le(data_ + pos);
+    if (magic == kBinFooterMagic) return;
+    if (magic != kBinBlockMagic) {
+      ++counters_.corrupt_blocks;
+      ++pos;
+      while (pos + 4 <= size_) {
+        const std::uint32_t m = get_u32le(data_ + pos);
+        if (m == kBinBlockMagic || m == kBinFooterMagic) break;
+        ++pos;
+      }
+      if (pos + 4 > size_) return;  // EOF while resyncing
+      continue;
+    }
+    if (pos + kBinBlockHeaderBytes > size_) {
+      ++counters_.corrupt_blocks;  // truncated mid-header
+      return;
+    }
+    const auto bh = parse_block_header(data_ + pos);
+    if (!bh.valid) {
+      ++counters_.corrupt_blocks;
+      pos += 4;  // keep scanning past the bad header
+      continue;
+    }
+    if (pos + kBinBlockHeaderBytes + bh.payload_bytes > size_) {
+      ++counters_.corrupt_blocks;  // truncated mid-payload
+      return;
+    }
+    decode_at(pos, on_trace, on_ping);
+    pos += kBinBlockHeaderBytes + bh.payload_bytes;
+  }
+}
+
+bool BinRecordMmapReader::read_range_impl(std::int64_t t0_s, std::int64_t t1_s,
+                                          const TraceRecordFn& on_trace,
+                                          const PingRecordFn& on_ping) {
+  if (!ok_ || index_.empty()) return false;
+  for (const auto& entry : index_) {
+    if (entry.last_time_s < t0_s || entry.first_time_s > t1_s) continue;
+    decode_at(static_cast<std::size_t>(entry.offset), on_trace, on_ping);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Format sniffing and the interchangeable-ingest seam
+// ---------------------------------------------------------------------------
+
+bool is_binary_record_stream(std::istream& in) {
+  const auto pos = in.tellg();
+  unsigned char magic[4];
+  in.read(reinterpret_cast<char*>(magic), 4);
+  const bool binary =
+      in.gcount() == 4 && get_u32le(magic) == kBinFileMagic;
+  in.clear();
+  in.seekg(pos);
+  return binary;
+}
+
+bool is_binary_record_file(const std::string& path) {
+  MmapFile probe;
+  if (!probe.open(path)) return false;
+  return probe.size() >= 4 && get_u32le(probe.data()) == kBinFileMagic;
+}
+
+IngestResult read_records_auto(std::istream& in,
+                               const TraceRecordFn& on_trace,
+                               const PingRecordFn& on_ping) {
+  IngestResult result;
+  std::size_t delivered = 0;
+  const auto count_trace = [&](const probe::TracerouteRecord& r) {
+    ++delivered;
+    on_trace(r);
+  };
+  const auto count_ping = [&](const probe::PingRecord& r) {
+    ++delivered;
+    on_ping(r);
+  };
+  if (is_binary_record_stream(in)) {
+    result.binary = true;
+    BinRecordReader reader(in);
+    if (!reader.ok()) {
+      result.ok = false;
+      result.error = reader.error();
+      return result;
+    }
+    reader.read_all(count_trace, count_ping);
+    result.blocks_read = reader.blocks_read();
+    result.corrupt_blocks = reader.corrupt_blocks();
+    result.records_rejected = reader.counters().records_rejected;
+  } else {
+    RecordReader reader(in);
+    reader.read_all(count_trace, count_ping);
+    result.malformed_lines = reader.errors();
+  }
+  result.records = delivered;
+  return result;
+}
+
+IngestResult ingest_record_file(const std::string& path,
+                                const TraceRecordFn& on_trace,
+                                const PingRecordFn& on_ping,
+                                bool prefer_mmap) {
+  IngestResult result;
+  std::size_t delivered = 0;
+  const auto count_trace = [&](const probe::TracerouteRecord& r) {
+    ++delivered;
+    on_trace(r);
+  };
+  const auto count_ping = [&](const probe::PingRecord& r) {
+    ++delivered;
+    on_ping(r);
+  };
+  if (prefer_mmap && is_binary_record_file(path)) {
+    result.binary = true;
+    result.used_mmap = true;
+    BinRecordMmapReader reader(path);
+    if (!reader.ok()) {
+      result.ok = false;
+      result.error = reader.error();
+      return result;
+    }
+    reader.read_all(count_trace, count_ping);
+    result.blocks_read = reader.blocks_read();
+    result.corrupt_blocks = reader.corrupt_blocks();
+    result.records_rejected = reader.counters().records_rejected;
+    result.records = delivered;
+    return result;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    result.ok = false;
+    result.error = path + ": open failed";
+    return result;
+  }
+  result = read_records_auto(in, on_trace, on_ping);
+  return result;
+}
+
+}  // namespace s2s::io

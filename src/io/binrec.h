@@ -1,0 +1,340 @@
+// `.s2sb` — versioned little-endian binary columnar record format.
+//
+// The text format in records_io re-parses every epoch with strtod and IP
+// string parsing on the ingest hot path; at paper scale (16-month
+// full-mesh campaigns, short-term campaigns over millions of pairs) that
+// parse is the bottleneck before the analysis stores ever see a sample.
+// `.s2sb` stores the same records as per-block column segments:
+//
+//   File   := FileHeader Block* Footer?
+//   FileHeader (16 B): magic "S2SB", u16 version=1, u16 flags=0, u64 rsvd
+//   Block  := BlockHeader payload
+//   BlockHeader (16 B): magic "S2BK", u8 kind (0=ping 1=trace), u8 rsvd,
+//                       u16 record_count, u32 payload_bytes, u32 crc32c
+//   Footer := magic "S2SF", entry[n] (32 B each: u64 offset,
+//             i64 first_time_s, i64 last_time_s, u32 record_count,
+//             u8 kind, u8[3] rsvd), tail (16 B: u32 entry_count,
+//             u32 entries_crc32c, 8 B magic "S2SB_EOF")
+//
+// Block payloads are columnar: (src, dst, family) tuples are
+// dictionary-coded per block, timestamps are zigzag-varint deltas, RTTs
+// are fixed-point u32 columns in microsecond-granularity "thousandths of
+// a millisecond" — exactly the %.3f precision of the text format, so a
+// record decoded from either format quantizes identically in every store
+// (an f32 column was rejected: its rounding differs from the text parse
+// near .05 ms tenths boundaries and would break the cross-format
+// byte-identical-analysis contract; see DESIGN.md section 10).
+//
+// The per-block CRC32C covers the header fields after the magic plus the
+// payload, so every damaged block is detected and skipped exactly; the
+// footer index gives O(1) seek to the block covering any epoch. Two
+// reader arms — buffered std::istream and mmap zero-copy — funnel into
+// the same Record callbacks as the text RecordReader, so text and binary
+// archives are drop-in interchangeable at every call site.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/mmap_file.h"
+#include "obs/metrics.h"
+#include "probe/records.h"
+
+namespace s2s::io {
+
+// ---------------------------------------------------------------------------
+// Format constants (DESIGN.md section 10 is the normative table).
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kBinFileMagic = 0x42533253u;   // "S2SB"
+inline constexpr std::uint32_t kBinBlockMagic = 0x4B423253u;  // "S2BK"
+inline constexpr std::uint32_t kBinFooterMagic = 0x46533253u; // "S2SF"
+inline constexpr std::uint64_t kBinEofMagic =
+    0x464F455F42533253ull;                                    // "S2SB_EOF"
+inline constexpr std::uint16_t kBinVersion = 1;
+inline constexpr std::size_t kBinFileHeaderBytes = 16;
+inline constexpr std::size_t kBinBlockHeaderBytes = 16;
+inline constexpr std::size_t kBinFooterEntryBytes = 32;
+inline constexpr std::size_t kBinFooterTailBytes = 16;
+/// Hard caps a reader enforces before trusting a block header.
+inline constexpr std::size_t kMaxBlockRecords = 4096;
+inline constexpr std::size_t kMaxBlockPayloadBytes = 1u << 26;
+/// RTT column sentinel for a non-encodable (non-finite/out-of-range) RTT;
+/// decoders reject the record, mirroring the text parser's strictness.
+inline constexpr std::uint32_t kInvalidRttThousandths = 0xFFFFFFFFu;
+
+enum class BlockKind : std::uint8_t { kPing = 0, kTraceroute = 1 };
+
+/// Fixed-point RTT encoding shared by writer and decoder: thousandths of
+/// a millisecond, round-half-away — the exact grid "%.3f" text uses.
+inline std::uint32_t encode_rtt_thousandths(double ms);
+/// Inverse; kInvalidRttThousandths and out-of-range values -> nullopt.
+std::optional<double> decode_rtt_thousandths(std::uint32_t v);
+
+/// Structural description of one block, from a forward scan of the image
+/// (used by the corruption injector and the footer builder; offsets are
+/// from the start of the file).
+struct BlockRef {
+  std::size_t header_offset = 0;
+  std::size_t payload_offset = 0;
+  std::size_t payload_bytes = 0;
+  std::uint16_t record_count = 0;
+  BlockKind kind = BlockKind::kPing;
+};
+
+/// Walks the blocks of an `.s2sb` image by header chaining (no CRC
+/// checks; stops at the footer, EOF, or the first structurally
+/// implausible header). Returns nullopt when the file header itself is
+/// missing or unsupported.
+std::optional<std::vector<BlockRef>> scan_blocks(const void* data,
+                                                 std::size_t size);
+
+/// One footer index entry (O(1) seek support: entries are fixed-width
+/// and carry the block's time span).
+struct BlockIndexEntry {
+  std::uint64_t offset = 0;  ///< of the block header
+  std::int64_t first_time_s = 0;
+  std::int64_t last_time_s = 0;
+  std::uint32_t record_count = 0;
+  BlockKind kind = BlockKind::kPing;
+};
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+struct BinWriterConfig {
+  /// Records per block before an automatic flush (per kind; <= 4096).
+  std::size_t block_records = 1024;
+  /// Emit the 16-byte file header (off when appending blocks to an
+  /// existing archive, e.g. on campaign checkpoint resume).
+  bool write_header = true;
+  /// Emit the footer index in finish(). Footerless archives stay fully
+  /// readable (readers fall back to a sequential block walk); resumed
+  /// campaign archives use this so an appended file is byte-identical to
+  /// an uninterrupted run's block stream.
+  bool write_footer = true;
+};
+
+/// Streaming `.s2sb` writer with bounded memory: at most one open block
+/// per record kind is buffered. Usable directly as a campaign sink;
+/// call flush_block() at epoch/checkpoint boundaries so blocks align
+/// with epochs (that is what makes the footer an epoch index and a
+/// truncate-to-boundary resume byte-exact), then finish() once.
+class BinRecordWriter {
+ public:
+  explicit BinRecordWriter(std::ostream& out, const BinWriterConfig& config = {});
+  ~BinRecordWriter();
+
+  BinRecordWriter(const BinRecordWriter&) = delete;
+  BinRecordWriter& operator=(const BinRecordWriter&) = delete;
+
+  void write(const probe::TracerouteRecord& record);
+  void write(const probe::PingRecord& record);
+
+  /// Closes the open block(s) — traceroute first, then ping, so the
+  /// block order is a deterministic function of the record stream.
+  void flush_block();
+
+  /// flush_block() + footer; idempotent. The destructor calls it, but
+  /// call it explicitly when the ostream can fail.
+  void finish();
+
+  std::size_t written() const noexcept { return written_; }
+  std::size_t blocks_written() const noexcept { return index_.size(); }
+  /// Bytes emitted so far (header + closed blocks [+ footer]); valid as
+  /// a resume boundary right after a flush_block().
+  std::size_t bytes_written() const noexcept { return bytes_written_; }
+
+ private:
+  void flush_kind(BlockKind kind);
+  void emit_block(BlockKind kind, const std::string& payload,
+                  std::size_t record_count, std::int64_t first_time,
+                  std::int64_t last_time);
+
+  std::ostream& out_;
+  BinWriterConfig config_;
+  std::vector<probe::TracerouteRecord> pending_traces_;
+  std::vector<probe::PingRecord> pending_pings_;
+  std::vector<BlockIndexEntry> index_;
+  std::size_t written_ = 0;
+  std::size_t bytes_written_ = 0;
+  bool finished_ = false;
+  obs::Counter obs_blocks_written_ =
+      obs::MetricsRegistry::global().counter("s2s.io.binrec.blocks_written");
+};
+
+// ---------------------------------------------------------------------------
+// Readers
+// ---------------------------------------------------------------------------
+
+using TraceRecordFn = std::function<void(const probe::TracerouteRecord&)>;
+using PingRecordFn = std::function<void(const probe::PingRecord&)>;
+
+/// Counters shared by both reader arms; the text RecordReader's
+/// lines()/errors() analog at block granularity.
+struct BinReadCounters {
+  std::size_t blocks_read = 0;      ///< CRC-verified and decoded
+  std::size_t corrupt_blocks = 0;   ///< skipped: bad CRC/header/structure
+  std::size_t records_read = 0;     ///< delivered to a callback
+  std::size_t records_rejected = 0; ///< per-record decode rejects (bad RTT)
+};
+
+/// Buffered std::istream arm. Reads the file header eagerly (ok() /
+/// error() report version problems before any block is touched), then
+/// read_all() walks blocks with bounded memory: one payload buffer,
+/// reused. Damaged blocks are counted and skipped — a corrupted
+/// payload_bytes field triggers a byte-level resync scan to the next
+/// block magic, so one injected fault is detected as exactly one
+/// corrupt block.
+class BinRecordReader {
+ public:
+  explicit BinRecordReader(std::istream& in);
+
+  /// False when the stream is not an `.s2sb` file or the version is
+  /// unsupported; read_all() then delivers nothing.
+  bool ok() const noexcept { return ok_; }
+  const std::string& error() const noexcept { return error_; }
+  std::uint16_t version() const noexcept { return version_; }
+
+  template <typename TraceFn, typename PingFn>
+  void read_all(TraceFn&& on_trace, PingFn&& on_ping) {
+    read_all_impl(TraceRecordFn(std::forward<TraceFn>(on_trace)),
+                  PingRecordFn(std::forward<PingFn>(on_ping)));
+  }
+
+  const BinReadCounters& counters() const noexcept { return counters_; }
+  std::size_t blocks_read() const noexcept { return counters_.blocks_read; }
+  std::size_t corrupt_blocks() const noexcept {
+    return counters_.corrupt_blocks;
+  }
+  std::size_t records_read() const noexcept { return counters_.records_read; }
+
+ private:
+  void read_all_impl(const TraceRecordFn& on_trace,
+                     const PingRecordFn& on_ping);
+
+  std::istream& in_;
+  bool ok_ = false;
+  std::uint16_t version_ = 0;
+  std::string error_;
+  BinReadCounters counters_;
+};
+
+/// mmap zero-copy arm. Uses the footer index when it validates (exact
+/// per-block offsets survive even header corruption); otherwise falls
+/// back to the same sequential walk as the stream arm, over the mapped
+/// bytes. Column segments are decoded in place — no line strings, no
+/// payload copies.
+class BinRecordMmapReader {
+ public:
+  explicit BinRecordMmapReader(const std::string& path);
+  /// Borrow an already-mapped (or in-memory) image; `data` must outlive
+  /// the reader. This is also the unit-test entry for in-memory images.
+  BinRecordMmapReader(const void* data, std::size_t size);
+
+  bool ok() const noexcept { return ok_; }
+  const std::string& error() const noexcept { return error_; }
+  std::uint16_t version() const noexcept { return version_; }
+  /// True when the footer index validated (read_all walks by index).
+  bool has_index() const noexcept { return !index_.empty(); }
+  const std::vector<BlockIndexEntry>& index() const noexcept {
+    return index_;
+  }
+
+  template <typename TraceFn, typename PingFn>
+  void read_all(TraceFn&& on_trace, PingFn&& on_ping) {
+    read_all_impl(TraceRecordFn(std::forward<TraceFn>(on_trace)),
+                  PingRecordFn(std::forward<PingFn>(on_ping)));
+  }
+
+  /// O(1)-seek arm: decodes only the blocks whose [first, last] time
+  /// span intersects [t0_s, t1_s]. Requires the footer index (returns
+  /// false without one — callers fall back to read_all + filtering).
+  template <typename TraceFn, typename PingFn>
+  bool read_time_range(std::int64_t t0_s, std::int64_t t1_s,
+                       TraceFn&& on_trace, PingFn&& on_ping) {
+    return read_range_impl(t0_s, t1_s,
+                           TraceRecordFn(std::forward<TraceFn>(on_trace)),
+                           PingRecordFn(std::forward<PingFn>(on_ping)));
+  }
+
+  const BinReadCounters& counters() const noexcept { return counters_; }
+  std::size_t blocks_read() const noexcept { return counters_.blocks_read; }
+  std::size_t corrupt_blocks() const noexcept {
+    return counters_.corrupt_blocks;
+  }
+  std::size_t records_read() const noexcept { return counters_.records_read; }
+
+ private:
+  void init(const void* data, std::size_t size);
+  void read_all_impl(const TraceRecordFn& on_trace,
+                     const PingRecordFn& on_ping);
+  bool read_range_impl(std::int64_t t0_s, std::int64_t t1_s,
+                       const TraceRecordFn& on_trace,
+                       const PingRecordFn& on_ping);
+  void decode_at(std::size_t offset, const TraceRecordFn& on_trace,
+                 const PingRecordFn& on_ping);
+
+  MmapFile file_;  ///< owns the mapping for the path constructor
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool ok_ = false;
+  std::uint16_t version_ = 0;
+  std::string error_;
+  std::vector<BlockIndexEntry> index_;
+  BinReadCounters counters_;
+};
+
+// ---------------------------------------------------------------------------
+// Format interchangeability helpers
+// ---------------------------------------------------------------------------
+
+/// True when the stream starts with the `.s2sb` magic (the stream is
+/// rewound either way). This is the sniff every ingest call site uses to
+/// accept text and binary archives interchangeably.
+bool is_binary_record_stream(std::istream& in);
+bool is_binary_record_file(const std::string& path);
+
+/// Result of a format-agnostic ingest pass (read_records_auto /
+/// ingest_record_file): the union of the text reader's line counters and
+/// the binary readers' block counters, whichever arm actually ran.
+struct IngestResult {
+  bool binary = false;       ///< which arm ran
+  bool used_mmap = false;    ///< binary arm only
+  bool ok = true;            ///< false: unreadable header/unsupported version
+  std::string error;
+  std::size_t records = 0;   ///< delivered to callbacks
+  std::size_t malformed_lines = 0;   ///< text arm
+  std::size_t blocks_read = 0;       ///< binary arm
+  std::size_t corrupt_blocks = 0;    ///< binary arm
+  std::size_t records_rejected = 0;  ///< binary arm
+};
+
+/// Sniffs the format and streams every record to the callbacks: text
+/// lines through io::RecordReader, binary blocks through
+/// io::BinRecordReader. Campaigns, stores, benches and examples all
+/// ingest through this seam, which is what makes the two formats
+/// drop-in interchangeable.
+IngestResult read_records_auto(std::istream& in, const TraceRecordFn& on_trace,
+                               const PingRecordFn& on_ping);
+
+/// File variant: binary files take the mmap zero-copy arm (set
+/// `prefer_mmap = false` to force the buffered arm), text files stream.
+IngestResult ingest_record_file(const std::string& path,
+                                const TraceRecordFn& on_trace,
+                                const PingRecordFn& on_ping,
+                                bool prefer_mmap = true);
+
+inline std::uint32_t encode_rtt_thousandths(double ms) {
+  if (!(ms >= 0.0) || ms > probe::kMaxPlausibleRttMs) {
+    return kInvalidRttThousandths;  // also catches NaN
+  }
+  return static_cast<std::uint32_t>(ms * 1000.0 + 0.5);
+}
+
+}  // namespace s2s::io

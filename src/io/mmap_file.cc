@@ -1,0 +1,96 @@
+#include "io/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define S2S_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define S2S_HAVE_MMAP 0
+#endif
+
+namespace s2s::io {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    opened_ = std::exchange(other.opened_, false);
+    error_ = std::move(other.error_);
+    fallback_ = std::move(other.fallback_);
+    if (!fallback_.empty()) {
+      data_ = reinterpret_cast<const unsigned char*>(fallback_.data());
+    }
+  }
+  return *this;
+}
+
+bool MmapFile::open(const std::string& path) {
+  close();
+#if S2S_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    error_ = path + ": " + std::strerror(errno);
+    return false;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    error_ = path + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {  // mmap(0) is EINVAL; an empty archive is still valid
+    ::close(fd);
+    opened_ = true;
+    return true;
+  }
+  void* addr = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) {
+    error_ = path + ": mmap: " + std::strerror(errno);
+    size_ = 0;
+    return false;
+  }
+  data_ = static_cast<const unsigned char*>(addr);
+  mapped_ = true;
+  opened_ = true;
+  return true;
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error_ = path + ": open failed";
+    return false;
+  }
+  fallback_.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  data_ = reinterpret_cast<const unsigned char*>(fallback_.data());
+  size_ = fallback_.size();
+  opened_ = true;
+  return true;
+#endif
+}
+
+void MmapFile::close() {
+#if S2S_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  opened_ = false;
+  error_.clear();
+  fallback_.clear();
+}
+
+}  // namespace s2s::io

@@ -208,6 +208,7 @@ bool RecordReader::next_line(std::string& line) {
 void RecordReader::note_malformed(const std::string& line) {
   ++errors_;
   if (malformed_.size() >= max_samples_) {
+    ++dropped_;
     obs_dropped_.inc();
     return;
   }

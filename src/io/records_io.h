@@ -74,6 +74,19 @@ class RecordReader {
   /// Longest retained prefix of a malformed line.
   static constexpr std::size_t kMaxSampleLength = 160;
 
+  /// Malformed-line accounting snapshot, for checkpoint/resume. A resumed
+  /// reader must adopt the counts and the retained samples *together*:
+  /// historically resume code copied `malformed()` into a fresh reader
+  /// whose error counter restarted at zero, so `malformed_dropped()`
+  /// (then computed as errors - retained) underflowed and the obs
+  /// mirrors disagreed with the reader.
+  struct State {
+    std::size_t lines = 0;
+    std::size_t errors = 0;
+    std::size_t dropped = 0;  ///< malformed beyond the retention cap
+    std::vector<MalformedLine> malformed;
+  };
+
   explicit RecordReader(std::istream& in, std::size_t max_samples = 10)
       : in_(in), max_samples_(max_samples) {}
 
@@ -111,9 +124,39 @@ class RecordReader {
     return malformed_;
   }
   /// Malformed lines kept as samples vs. counted-only past the cap.
+  /// Tracked explicitly (not derived as errors - retained) so the split
+  /// stays exact even when counts and samples were adopted separately.
   std::size_t malformed_retained() const noexcept { return malformed_.size(); }
-  std::size_t malformed_dropped() const noexcept {
-    return errors_ - malformed_.size();
+  std::size_t malformed_dropped() const noexcept { return dropped_; }
+
+  /// Snapshot of the malformed-line accounting, for a checkpoint.
+  State state() const {
+    return {lines_, errors_, dropped_, malformed_};
+  }
+
+  /// Adopts a checkpoint snapshot into this (typically fresh) reader,
+  /// keeping counter and samples consistent by construction: the error
+  /// count is re-derived as retained + dropped, so no combination of
+  /// inputs can make malformed_dropped() disagree with the samples.
+  /// With `replay_metrics` the obs mirrors are re-ticked for the adopted
+  /// events — use it on cross-process resume, where the global metrics
+  /// registry restarted with the process; leave it off for a same-process
+  /// re-read, where those events were already counted once.
+  void resume_from(State state, bool replay_metrics = false) {
+    malformed_ = std::move(state.malformed);
+    if (malformed_.size() > max_samples_) malformed_.resize(max_samples_);
+    dropped_ = state.dropped;
+    if (state.errors > malformed_.size() + dropped_) {
+      // A snapshot from the pre-State era (errors tallied separately):
+      // attribute the excess to the dropped side of the split.
+      dropped_ = state.errors - malformed_.size();
+    }
+    errors_ = malformed_.size() + dropped_;
+    lines_ = state.lines;
+    if (replay_metrics) {
+      obs_retained_.inc(malformed_.size());
+      obs_dropped_.inc(dropped_);
+    }
   }
 
  private:
@@ -124,6 +167,7 @@ class RecordReader {
   std::size_t max_samples_;
   std::size_t lines_ = 0;
   std::size_t errors_ = 0;
+  std::size_t dropped_ = 0;
   std::vector<MalformedLine> malformed_;
   obs::Counter obs_parsed_ =
       obs::MetricsRegistry::global().counter("s2s.io.records_parsed");

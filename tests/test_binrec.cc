@@ -1,0 +1,567 @@
+// Round-trip property tests for the `.s2sb` binary columnar format:
+// every record sequence must survive write -> read bit-exact through
+// both reader arms (buffered stream and mmap/in-memory), and a binary
+// archive must be analysis-equivalent to the text archive of the same
+// records — identical DataQualityReports, identical store contents.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ping_series.h"
+#include "core/segment_series.h"
+#include "net/timebase.h"
+#include "io/binrec.h"
+#include "io/crc32c.h"
+#include "io/records_io.h"
+#include "io/varint.h"
+#include "stats/rng.h"
+
+namespace s2s {
+namespace {
+
+using probe::PingRecord;
+using probe::TracerouteRecord;
+
+// -- bit-exact record equality ----------------------------------------------
+
+void expect_same(const PingRecord& a, const PingRecord& b, std::size_t i) {
+  EXPECT_EQ(a.src, b.src) << "ping " << i;
+  EXPECT_EQ(a.dst, b.dst) << "ping " << i;
+  EXPECT_EQ(a.family, b.family) << "ping " << i;
+  EXPECT_EQ(a.time.seconds(), b.time.seconds()) << "ping " << i;
+  EXPECT_EQ(a.success, b.success) << "ping " << i;
+  // Bitwise, not approximate: the format contract is exactness on the
+  // 1e-3 ms grid both formats share.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.rtt_ms),
+            std::bit_cast<std::uint64_t>(b.rtt_ms))
+      << "ping " << i << " rtt " << a.rtt_ms << " vs " << b.rtt_ms;
+}
+
+void expect_same(const TracerouteRecord& a, const TracerouteRecord& b,
+                 std::size_t i) {
+  EXPECT_EQ(a.src, b.src) << "trace " << i;
+  EXPECT_EQ(a.dst, b.dst) << "trace " << i;
+  EXPECT_EQ(a.family, b.family) << "trace " << i;
+  EXPECT_EQ(a.time.seconds(), b.time.seconds()) << "trace " << i;
+  EXPECT_EQ(a.method, b.method) << "trace " << i;
+  EXPECT_EQ(a.complete, b.complete) << "trace " << i;
+  EXPECT_EQ(a.src_addr, b.src_addr) << "trace " << i;
+  EXPECT_EQ(a.dst_addr, b.dst_addr) << "trace " << i;
+  ASSERT_EQ(a.hops.size(), b.hops.size()) << "trace " << i;
+  for (std::size_t h = 0; h < a.hops.size(); ++h) {
+    EXPECT_EQ(a.hops[h].addr.has_value(), b.hops[h].addr.has_value())
+        << "trace " << i << " hop " << h;
+    if (a.hops[h].addr && b.hops[h].addr) {
+      EXPECT_EQ(*a.hops[h].addr, *b.hops[h].addr)
+          << "trace " << i << " hop " << h;
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.hops[h].rtt_ms),
+              std::bit_cast<std::uint64_t>(b.hops[h].rtt_ms))
+        << "trace " << i << " hop " << h;
+  }
+}
+
+template <typename Record>
+void expect_same_sequence(const std::vector<Record>& want,
+                          const std::vector<Record>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    expect_same(want[i], got[i], i);
+  }
+}
+
+// -- seeded generators -------------------------------------------------------
+
+/// An RTT on the 1e-3 ms grid — the exact values "%.3f" text can carry,
+/// including the extreme-but-valid boundaries.
+double grid_rtt(stats::Rng& rng) {
+  switch (rng.below(8)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return 0.001;  // smallest nonzero grid point
+    case 2:
+      return probe::kMaxPlausibleRttMs;  // largest valid value
+    case 3:
+      return probe::kMaxPlausibleRttMs - 0.001;
+    default:
+      return static_cast<double>(rng.below(60'000'000)) / 1000.0;
+  }
+}
+
+std::int64_t boundary_time(stats::Rng& rng) {
+  switch (rng.below(6)) {
+    case 0:
+      return 0;  // epoch floor
+    case 1:
+      return probe::kMaxTimestampS;  // epoch ceiling
+    case 2:
+      return probe::kMaxTimestampS - 1;
+    default:
+      return static_cast<std::int64_t>(rng.below(1000)) * 10'800;
+  }
+}
+
+net::IPAddr random_addr(stats::Rng& rng) {
+  if (rng.chance(0.5)) {
+    return net::IPv4Addr(static_cast<std::uint32_t>(rng()));
+  }
+  return net::IPv6Addr::from_halves(rng(), rng());
+}
+
+PingRecord random_ping(stats::Rng& rng) {
+  PingRecord r;
+  r.src = static_cast<topology::ServerId>(rng.below(40));
+  r.dst = static_cast<topology::ServerId>(rng.below(40));
+  r.family = rng.chance(0.5) ? net::Family::kIPv4 : net::Family::kIPv6;
+  r.time = net::SimTime(boundary_time(rng));
+  r.success = rng.chance(0.9);
+  r.rtt_ms = grid_rtt(rng);
+  return r;
+}
+
+TracerouteRecord random_trace(stats::Rng& rng) {
+  TracerouteRecord r;
+  r.src = static_cast<topology::ServerId>(rng.below(40));
+  r.dst = static_cast<topology::ServerId>(rng.below(40));
+  r.family = rng.chance(0.5) ? net::Family::kIPv4 : net::Family::kIPv6;
+  r.time = net::SimTime(boundary_time(rng));
+  r.method = rng.chance(0.5) ? probe::TracerouteMethod::kParis
+                             : probe::TracerouteMethod::kClassic;
+  const std::size_t hops = rng.below(12);  // 0 hops is a valid record
+  for (std::size_t h = 0; h < hops; ++h) {
+    probe::Hop hop;
+    if (!rng.chance(0.15)) {  // 15% unresponsive ("*")
+      hop.addr = random_addr(rng);
+      hop.rtt_ms = grid_rtt(rng);
+    }
+    r.hops.push_back(hop);
+  }
+  r.src_addr = random_addr(rng);
+  r.dst_addr = random_addr(rng);
+  r.complete = !r.hops.empty() && r.hops.back().addr.has_value() &&
+               rng.chance(0.75);
+  if (r.complete) r.hops.back().addr = r.dst_addr;
+  return r;
+}
+
+struct Generated {
+  std::vector<TracerouteRecord> traces;
+  std::vector<PingRecord> pings;
+  std::string image;  ///< the serialized `.s2sb` bytes
+};
+
+/// Generates a mixed record stream and serializes it with per-kind block
+/// interleaving and explicit epoch-style flushes.
+Generated generate(std::uint64_t seed, std::size_t n,
+                   io::BinWriterConfig config = {.block_records = 64}) {
+  Generated g;
+  stats::Rng rng(seed);
+  std::ostringstream out(std::ios::binary);
+  io::BinRecordWriter writer(out, config);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.5)) {
+      g.traces.push_back(random_trace(rng));
+      writer.write(g.traces.back());
+    } else {
+      g.pings.push_back(random_ping(rng));
+      writer.write(g.pings.back());
+    }
+    if (rng.chance(0.02)) writer.flush_block();  // epoch boundary
+  }
+  writer.finish();
+  EXPECT_EQ(writer.written(), n);
+  g.image = out.str();
+  return g;
+}
+
+struct Collected {
+  std::vector<TracerouteRecord> traces;
+  std::vector<PingRecord> pings;
+};
+
+Collected collect_stream(const std::string& image,
+                         io::BinReadCounters* counters = nullptr) {
+  Collected c;
+  std::istringstream in(image, std::ios::binary);
+  io::BinRecordReader reader(in);
+  EXPECT_TRUE(reader.ok()) << reader.error();
+  reader.read_all([&](const TracerouteRecord& r) { c.traces.push_back(r); },
+                  [&](const PingRecord& r) { c.pings.push_back(r); });
+  if (counters != nullptr) *counters = reader.counters();
+  return c;
+}
+
+Collected collect_mmap(const std::string& image,
+                       io::BinReadCounters* counters = nullptr) {
+  Collected c;
+  io::BinRecordMmapReader reader(image.data(), image.size());
+  EXPECT_TRUE(reader.ok()) << reader.error();
+  reader.read_all([&](const TracerouteRecord& r) { c.traces.push_back(r); },
+                  [&](const PingRecord& r) { c.pings.push_back(r); });
+  if (counters != nullptr) *counters = reader.counters();
+  return c;
+}
+
+// -- RTT fixed-point encoding ------------------------------------------------
+
+TEST(BinRecRtt, GridValuesRoundTripExactly) {
+  stats::Rng rng(17);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint32_t k =
+        static_cast<std::uint32_t>(rng.below(60'000'001));
+    const double ms = static_cast<double>(k) / 1000.0;
+    ASSERT_EQ(io::encode_rtt_thousandths(ms), k) << ms;
+    const auto back = io::decode_rtt_thousandths(k);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(*back),
+              std::bit_cast<std::uint64_t>(ms));
+  }
+}
+
+TEST(BinRecRtt, BoundariesAndInvalids) {
+  EXPECT_EQ(io::encode_rtt_thousandths(0.0), 0u);
+  EXPECT_EQ(io::encode_rtt_thousandths(probe::kMaxPlausibleRttMs),
+            60'000'000u);
+  // NaN-adjacent and out-of-range inputs all hit the sentinel.
+  EXPECT_EQ(io::encode_rtt_thousandths(std::nan("")),
+            io::kInvalidRttThousandths);
+  EXPECT_EQ(io::encode_rtt_thousandths(std::numeric_limits<double>::infinity()),
+            io::kInvalidRttThousandths);
+  EXPECT_EQ(io::encode_rtt_thousandths(-0.001), io::kInvalidRttThousandths);
+  EXPECT_EQ(io::encode_rtt_thousandths(
+                std::nextafter(probe::kMaxPlausibleRttMs,
+                               std::numeric_limits<double>::infinity())),
+            io::kInvalidRttThousandths);
+  // Negative zero is a valid zero.
+  EXPECT_EQ(io::encode_rtt_thousandths(-0.0), 0u);
+  EXPECT_FALSE(io::decode_rtt_thousandths(io::kInvalidRttThousandths));
+  EXPECT_FALSE(io::decode_rtt_thousandths(60'000'001u));
+  EXPECT_TRUE(io::decode_rtt_thousandths(60'000'000u));
+}
+
+// -- round-trip properties ---------------------------------------------------
+
+TEST(BinRecRoundTrip, StreamArmIsBitExact) {
+  const auto g = generate(101, 3000);
+  io::BinReadCounters counters;
+  const auto got = collect_stream(g.image, &counters);
+  expect_same_sequence(g.traces, got.traces);
+  expect_same_sequence(g.pings, got.pings);
+  EXPECT_EQ(counters.corrupt_blocks, 0u);
+  EXPECT_EQ(counters.records_rejected, 0u);
+  EXPECT_EQ(counters.records_read, g.traces.size() + g.pings.size());
+}
+
+TEST(BinRecRoundTrip, MmapArmIsBitExact) {
+  const auto g = generate(202, 3000);
+  io::BinReadCounters counters;
+  const auto got = collect_mmap(g.image, &counters);
+  expect_same_sequence(g.traces, got.traces);
+  expect_same_sequence(g.pings, got.pings);
+  EXPECT_EQ(counters.corrupt_blocks, 0u);
+}
+
+TEST(BinRecRoundTrip, ArmsAgreeOnEveryBlockSize) {
+  for (const std::size_t block_records : {1ul, 7ul, 64ul, 4096ul}) {
+    const auto g =
+        generate(303 + block_records, 500,
+                 io::BinWriterConfig{.block_records = block_records});
+    const auto s = collect_stream(g.image);
+    const auto m = collect_mmap(g.image);
+    expect_same_sequence(g.traces, s.traces);
+    expect_same_sequence(g.pings, s.pings);
+    expect_same_sequence(g.traces, m.traces);
+    expect_same_sequence(g.pings, m.pings);
+  }
+}
+
+TEST(BinRecRoundTrip, FooterlessArchiveFallsBackToSequentialWalk) {
+  const auto g = generate(404, 800,
+                          io::BinWriterConfig{.block_records = 32,
+                                              .write_header = true,
+                                              .write_footer = false});
+  io::BinRecordMmapReader footerless(g.image.data(), g.image.size());
+  EXPECT_TRUE(footerless.ok());
+  EXPECT_FALSE(footerless.has_index());
+  const auto s = collect_stream(g.image);
+  const auto m = collect_mmap(g.image);
+  expect_same_sequence(g.traces, s.traces);
+  expect_same_sequence(g.pings, s.pings);
+  expect_same_sequence(g.traces, m.traces);
+  expect_same_sequence(g.pings, m.pings);
+}
+
+TEST(BinRecRoundTrip, EmptyArchive) {
+  std::ostringstream out(std::ios::binary);
+  {
+    io::BinRecordWriter writer(out);
+    writer.flush_block();  // flushing nothing emits nothing
+    writer.finish();
+    EXPECT_EQ(writer.blocks_written(), 0u);
+  }
+  const std::string image = out.str();
+  EXPECT_EQ(image.size(),
+            io::kBinFileHeaderBytes + 4 + io::kBinFooterTailBytes);
+  const auto s = collect_stream(image);
+  const auto m = collect_mmap(image);
+  EXPECT_TRUE(s.traces.empty() && s.pings.empty());
+  EXPECT_TRUE(m.traces.empty() && m.pings.empty());
+}
+
+TEST(BinRecRoundTrip, CraftedEmptyBlockIsValid) {
+  // A zero-record block is not something the writer emits, but the
+  // format allows it; readers must accept and count it.
+  std::string image;
+  {
+    std::ostringstream out(std::ios::binary);
+    io::BinRecordWriter writer(out);
+    writer.finish();
+    image = out.str().substr(0, io::kBinFileHeaderBytes);  // header only
+  }
+  std::string header;
+  io::put_u32le(header, io::kBinBlockMagic);
+  header.push_back(1);  // kind: traceroute
+  header.push_back(0);
+  io::put_u16le(header, 0);  // record_count = 0
+  io::put_u32le(header, 0);  // payload_bytes = 0
+  const std::uint32_t crc = io::crc32c(
+      reinterpret_cast<const unsigned char*>(header.data()) + 4, 8);
+  io::put_u32le(header, crc);
+  image += header;
+
+  io::BinReadCounters sc, mc;
+  const auto s = collect_stream(image, &sc);
+  const auto m = collect_mmap(image, &mc);
+  EXPECT_TRUE(s.traces.empty() && s.pings.empty());
+  EXPECT_TRUE(m.traces.empty() && m.pings.empty());
+  EXPECT_EQ(sc.blocks_read, 1u);
+  EXPECT_EQ(mc.blocks_read, 1u);
+  EXPECT_EQ(sc.corrupt_blocks, 0u);
+  EXPECT_EQ(mc.corrupt_blocks, 0u);
+}
+
+TEST(BinRecRoundTrip, NotAnArchive) {
+  const std::string text = "T\tnot\tbinary\n";
+  std::istringstream in(text, std::ios::binary);
+  io::BinRecordReader reader(in);
+  EXPECT_FALSE(reader.ok());
+  io::BinRecordMmapReader mm(text.data(), text.size());
+  EXPECT_FALSE(mm.ok());
+  std::istringstream empty(std::string(), std::ios::binary);
+  io::BinRecordReader empty_reader(empty);
+  EXPECT_FALSE(empty_reader.ok());
+}
+
+// -- footer index and O(1) epoch seek ---------------------------------------
+
+TEST(BinRecFooter, TimeRangeSeekDecodesOnlyCoveringBlocks) {
+  // One block per epoch: 10 epochs, 3h grid, 20 pings each.
+  std::ostringstream out(std::ios::binary);
+  io::BinRecordWriter writer(out);
+  std::vector<PingRecord> all;
+  stats::Rng rng(7);
+  for (std::int64_t epoch = 0; epoch < 10; ++epoch) {
+    for (int i = 0; i < 20; ++i) {
+      PingRecord r = random_ping(rng);
+      r.time = net::SimTime(epoch * 10'800 + i);
+      all.push_back(r);
+      writer.write(r);
+    }
+    writer.flush_block();
+  }
+  writer.finish();
+  const std::string image = out.str();
+
+  io::BinRecordMmapReader reader(image.data(), image.size());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader.has_index());
+  EXPECT_EQ(reader.index().size(), 10u);
+
+  std::vector<PingRecord> got;
+  const bool seek_ok = reader.read_time_range(
+      3 * 10'800, 5 * 10'800 + 19, [](const TracerouteRecord&) {},
+      [&](const PingRecord& r) { got.push_back(r); });
+  ASSERT_TRUE(seek_ok);
+  // Exactly epochs 3..5 decode: 60 records, no others touched.
+  ASSERT_EQ(got.size(), 60u);
+  EXPECT_EQ(reader.blocks_read(), 3u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_same(all[60 + i], got[i], i);
+  }
+}
+
+TEST(BinRecFooter, IndexCarriesBlockTimeSpans) {
+  const auto g = generate(505, 400);
+  io::BinRecordMmapReader reader(g.image.data(), g.image.size());
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader.has_index());
+  std::size_t indexed_records = 0;
+  for (const auto& e : reader.index()) {
+    EXPECT_LE(e.first_time_s, e.last_time_s);
+    indexed_records += e.record_count;
+  }
+  EXPECT_EQ(indexed_records, g.traces.size() + g.pings.size());
+}
+
+// -- checkpoint/resume byte identity ----------------------------------------
+
+TEST(BinRecResume, AppendedArchiveIsByteIdenticalToUninterrupted) {
+  // Epoch-aligned blocks make each block a pure function of its records,
+  // so interrupt-at-boundary + append == uninterrupted write.
+  stats::Rng rng(606);
+  std::vector<PingRecord> epochs[6];
+  for (int e = 0; e < 6; ++e) {
+    for (int i = 0; i < 50; ++i) {
+      PingRecord r = random_ping(rng);
+      r.time = net::SimTime(e * 10'800 + i);
+      epochs[e].push_back(r);
+    }
+  }
+  const io::BinWriterConfig footerless{
+      .block_records = 1024, .write_header = true, .write_footer = false};
+
+  std::ostringstream full(std::ios::binary);
+  {
+    io::BinRecordWriter writer(full, footerless);
+    for (const auto& epoch : epochs) {
+      for (const auto& r : epoch) writer.write(r);
+      writer.flush_block();
+    }
+    writer.finish();
+  }
+
+  std::ostringstream interrupted(std::ios::binary);
+  {
+    io::BinRecordWriter writer(interrupted, footerless);
+    for (int e = 0; e < 3; ++e) {
+      for (const auto& r : epochs[e]) writer.write(r);
+      writer.flush_block();
+    }
+    writer.finish();
+  }
+  {
+    const io::BinWriterConfig append{.block_records = 1024,
+                                     .write_header = false,
+                                     .write_footer = false};
+    io::BinRecordWriter writer(interrupted, append);
+    for (int e = 3; e < 6; ++e) {
+      for (const auto& r : epochs[e]) writer.write(r);
+      writer.flush_block();
+    }
+    writer.finish();
+  }
+  EXPECT_EQ(interrupted.str(), full.str());
+}
+
+// -- format interchangeability at the ingest seam ----------------------------
+
+TEST(BinRecInterchange, AutoIngestMatchesFormatSniff) {
+  const auto g = generate(707, 600);
+  std::string text;
+  for (const auto& r : g.traces) text += io::to_line(r) + '\n';
+  for (const auto& r : g.pings) text += io::to_line(r) + '\n';
+
+  std::istringstream bin_in(g.image, std::ios::binary);
+  EXPECT_TRUE(io::is_binary_record_stream(bin_in));
+  std::istringstream text_in(text, std::ios::binary);
+  EXPECT_FALSE(io::is_binary_record_stream(text_in));
+
+  Collected from_bin;
+  const auto bin_result = io::read_records_auto(
+      bin_in, [&](const TracerouteRecord& r) { from_bin.traces.push_back(r); },
+      [&](const PingRecord& r) { from_bin.pings.push_back(r); });
+  EXPECT_TRUE(bin_result.binary);
+  EXPECT_TRUE(bin_result.ok);
+  EXPECT_EQ(bin_result.records, g.traces.size() + g.pings.size());
+
+  Collected from_text;
+  const auto text_result = io::read_records_auto(
+      text_in,
+      [&](const TracerouteRecord& r) { from_text.traces.push_back(r); },
+      [&](const PingRecord& r) { from_text.pings.push_back(r); });
+  EXPECT_FALSE(text_result.binary);
+  EXPECT_EQ(text_result.malformed_lines, 0u);
+
+  expect_same_sequence(g.traces, from_bin.traces);
+  expect_same_sequence(g.pings, from_bin.pings);
+  expect_same_sequence(g.traces, from_text.traces);
+  expect_same_sequence(g.pings, from_text.pings);
+}
+
+TEST(BinRecInterchange, StoresProduceIdenticalQualityReportsFromEitherFormat) {
+  // The acceptance contract: an analysis fed from text or binary sees the
+  // same records, so every store tallies the same DataQualityReport.
+  const auto g = generate(808, 1200);
+  std::string text;
+  for (const auto& r : g.traces) text += io::to_line(r) + '\n';
+  for (const auto& r : g.pings) text += io::to_line(r) + '\n';
+
+  // Slot-addressed stores construct without a topology; their quality
+  // accounting (duplicates, off-grid timestamps, invalid samples) is the
+  // same seam TimelineStore uses.
+  core::SegmentSeriesStore text_seg(0.0, net::kThreeHours, 1000);
+  core::SegmentSeriesStore bin_seg(0.0, net::kThreeHours, 1000);
+  core::PingSeriesStore text_ps(0.0, net::kThreeHours, 1000);
+  core::PingSeriesStore bin_ps(0.0, net::kThreeHours, 1000);
+
+  std::istringstream text_in(text, std::ios::binary);
+  io::RecordReader text_reader(text_in);
+  text_reader.read_all([&](const TracerouteRecord& r) { text_seg.add(r); },
+                       [&](const PingRecord& r) { text_ps.add(r); });
+  EXPECT_EQ(text_reader.errors(), 0u);
+
+  std::istringstream bin_in(g.image, std::ios::binary);
+  io::BinRecordReader bin_reader(bin_in);
+  ASSERT_TRUE(bin_reader.ok());
+  bin_reader.read_all([&](const TracerouteRecord& r) { bin_seg.add(r); },
+                      [&](const PingRecord& r) { bin_ps.add(r); });
+
+  EXPECT_EQ(text_seg.quality().as_map(), bin_seg.quality().as_map());
+  EXPECT_EQ(text_ps.quality().as_map(), bin_ps.quality().as_map());
+}
+
+TEST(BinRecInterchange, FileIngestUsesTheMmapArm) {
+  const auto g = generate(909, 300);
+  const std::string dir = ::testing::TempDir();
+  const std::string bin_path = dir + "/binrec_interchange.s2sb";
+  const std::string text_path = dir + "/binrec_interchange.tsv";
+  {
+    std::ofstream out(bin_path, std::ios::binary | std::ios::trunc);
+    out << g.image;
+  }
+  {
+    std::ofstream out(text_path, std::ios::binary | std::ios::trunc);
+    for (const auto& r : g.traces) out << io::to_line(r) << '\n';
+    for (const auto& r : g.pings) out << io::to_line(r) << '\n';
+  }
+  EXPECT_TRUE(io::is_binary_record_file(bin_path));
+  EXPECT_FALSE(io::is_binary_record_file(text_path));
+
+  Collected from_bin, from_text;
+  const auto bin_result = io::ingest_record_file(
+      bin_path, [&](const TracerouteRecord& r) { from_bin.traces.push_back(r); },
+      [&](const PingRecord& r) { from_bin.pings.push_back(r); });
+  EXPECT_TRUE(bin_result.binary);
+  EXPECT_TRUE(bin_result.used_mmap);
+  const auto text_result = io::ingest_record_file(
+      text_path,
+      [&](const TracerouteRecord& r) { from_text.traces.push_back(r); },
+      [&](const PingRecord& r) { from_text.pings.push_back(r); });
+  EXPECT_FALSE(text_result.binary);
+
+  expect_same_sequence(g.traces, from_bin.traces);
+  expect_same_sequence(g.pings, from_bin.pings);
+  expect_same_sequence(g.traces, from_text.traces);
+  expect_same_sequence(g.pings, from_text.pings);
+}
+
+}  // namespace
+}  // namespace s2s

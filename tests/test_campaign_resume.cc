@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "io/binrec.h"
 #include "io/records_io.h"
 #include "probe/campaign.h"
 
@@ -160,6 +161,94 @@ TEST(CampaignResume, PingResumeIsByteIdentical) {
         {}, &*ckpt);
   }
   EXPECT_EQ(buf, full);
+}
+
+TEST(CampaignResume, BinaryEpochResumeIsByteIdentical) {
+  // The binary analog of the text resume: a BinRecordWriter flushing one
+  // block per epoch at the progress boundary, interrupted mid-epoch,
+  // truncated to the last completed epoch and resumed by *appending*
+  // (write_header=false). Per-block dictionaries and timestamp deltas
+  // reset at every flush, so blocks are pure functions of the epoch's
+  // record sequence and the spliced archive must equal the uninterrupted
+  // one byte for byte. Footerless on both sides: a footer indexes the
+  // whole file and is rebuilt (or skipped) on splice, not appended.
+  simnet::Network net(resume_net_cfg());
+  std::vector<std::pair<ServerId, ServerId>> pairs{{0, 12}};
+  TracerouteCampaignConfig cfg;
+  cfg.days = 2.0;  // 16 three-hour epochs
+  cfg.downtime.monthly_window_prob = 0.0;
+
+  const io::BinWriterConfig plain{.block_records = 4096,
+                                  .write_header = true,
+                                  .write_footer = false};
+
+  std::string full;
+  {
+    TracerouteCampaign campaign(net, cfg, pairs);
+    std::ostringstream out(std::ios::binary);
+    io::BinRecordWriter writer(out, plain);
+    const auto res = campaign.run(
+        [&](const TracerouteRecord& r) { writer.write(r); },
+        [&](double) { writer.flush_block(); });
+    EXPECT_FALSE(res.aborted);
+    writer.finish();
+    full = out.str();
+  }
+  ASSERT_GT(full.size(), 16u);
+
+  // Interrupted run: the sink dies mid-epoch; the epoch boundary flushes
+  // the writer and records the archive's safe byte offset.
+  std::string buf;
+  std::size_t boundary = 0;
+  CampaignRunResult aborted;
+  {
+    TracerouteCampaign campaign(net, cfg, pairs);
+    std::ostringstream out(std::ios::binary);
+    io::BinRecordWriter writer(out, plain);
+    std::size_t delivered = 0;
+    aborted = campaign.run(
+        [&](const TracerouteRecord& r) {
+          if (++delivered == 9) throw std::runtime_error("disk full");
+          writer.write(r);
+        },
+        [&](double) {
+          writer.flush_block();
+          boundary = static_cast<std::size_t>(out.tellp());
+        });
+    EXPECT_TRUE(aborted.aborted);
+    EXPECT_EQ(aborted.error, "disk full");
+    EXPECT_LT(aborted.checkpoint.next_epoch, campaign.epochs());
+    buf = out.str().substr(0, boundary);  // drop the torn epoch
+  }
+
+  const auto ckpt = CampaignCheckpoint::parse(aborted.checkpoint.serialize());
+  ASSERT_TRUE(ckpt.has_value());
+  {
+    TracerouteCampaign campaign(net, cfg, pairs);
+    std::ostringstream out(std::ios::binary);
+    io::BinRecordWriter writer(
+        out, io::BinWriterConfig{.block_records = 4096,
+                                 .write_header = false,
+                                 .write_footer = false});
+    const auto res = campaign.run(
+        [&](const TracerouteRecord& r) { writer.write(r); },
+        [&](double) { writer.flush_block(); }, &*ckpt);
+    EXPECT_FALSE(res.aborted);
+    writer.finish();
+    buf += out.str();
+  }
+  EXPECT_EQ(buf, full);
+
+  // And the spliced archive ingests cleanly: every record, no corruption.
+  std::istringstream in(buf, std::ios::binary);
+  io::BinRecordReader reader(in);
+  ASSERT_TRUE(reader.ok());
+  std::size_t records = 0;
+  reader.read_all([&](const TracerouteRecord&) { ++records; },
+                  [](const PingRecord&) {});
+  EXPECT_EQ(reader.counters().corrupt_blocks, 0u);
+  EXPECT_EQ(records, reader.counters().records_read);
+  EXPECT_GT(records, 0u);
 }
 
 TEST(CampaignResume, ResumeFromFinalCheckpointDeliversNothing) {

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/change_detect.h"
@@ -14,7 +18,9 @@
 #include "core/routing_study.h"
 #include "core/segment_series.h"
 #include "core/timeline.h"
+#include "faultsim/block_corruptor.h"
 #include "faultsim/line_mangler.h"
+#include "io/binrec.h"
 #include "probe/campaign.h"
 
 namespace s2s::faultsim {
@@ -473,6 +479,94 @@ TEST(ChaosCampaign, PingQualityCountersMatchInjectedFaultsExactly) {
   for (const auto& fp : survey.flagged) {
     EXPECT_EQ(fp.verdict.invalid_samples, 0u);  // interpolation is finite
     EXPECT_LE(fp.verdict.missing_samples, fp.verdict.samples);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary-archive chaos: the campaign persisted as `.s2sb`, damaged at the
+// block layer by BlockCorruptor, must lose exactly the corrupted blocks —
+// both reader arms agree with the injector's accounting, and the stores
+// fed from the damaged archive still produce finite analyses.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosCampaign, BinaryArchiveBlockCorruptionDetectedExactly) {
+  simnet::Network net(chaos_net_cfg());
+  std::vector<std::pair<ServerId, ServerId>> pairs{{0, 20}, {1, 21}, {2, 22}};
+
+  probe::TracerouteCampaignConfig ccfg;
+  ccfg.start_day = 1.0;
+  ccfg.days = 3.0;  // 24 three-hour epochs
+  ccfg.downtime.monthly_window_prob = 0.0;
+
+  // Persist the clean campaign as a binary archive, one block per epoch
+  // (flush on every epoch boundary) so block loss maps to whole epochs.
+  std::ostringstream bin_out(std::ios::binary);
+  io::BinRecordWriter writer(bin_out);
+  std::size_t total = 0;
+  probe::TracerouteCampaign campaign(net, ccfg, pairs);
+  campaign.run(
+      [&](const probe::TracerouteRecord& r) {
+        writer.write(r);
+        ++total;
+      },
+      [&](double) { writer.flush_block(); });
+  writer.finish();
+  const std::string clean = bin_out.str();
+
+  for (const std::uint64_t seed : {7ull, 8ull, 9ull}) {
+    BlockCorruptor corruptor(
+        BlockCorruptorConfig{.seed = seed, .corrupt_prob = 0.3});
+    const std::string damaged = corruptor.mangle(clean);
+    const auto& st = corruptor.stats();
+    ASSERT_GT(st.blocks, 0u);
+
+    for (const bool use_mmap : {false, true}) {
+      core::TimelineStore timelines(net.topo(), net.rib(),
+                                    {ccfg.start_day, net::kThreeHours});
+      std::size_t records = 0;
+      const auto trace_sink = [&](const probe::TracerouteRecord& r) {
+        timelines.add(r);
+        ++records;
+      };
+      const auto ping_sink = [](const probe::PingRecord&) {};
+
+      io::BinReadCounters counters;
+      if (use_mmap) {
+        io::BinRecordMmapReader reader(damaged.data(), damaged.size());
+        ASSERT_TRUE(reader.ok());
+        reader.read_all(trace_sink, ping_sink);
+        counters = reader.counters();
+      } else {
+        std::istringstream in(damaged, std::ios::binary);
+        io::BinRecordReader reader(in);
+        ASSERT_TRUE(reader.ok());
+        reader.read_all(trace_sink, ping_sink);
+        counters = reader.counters();
+      }
+
+      // Exact agreement between injected and detected block damage.
+      EXPECT_EQ(counters.corrupt_blocks, st.corrupted)
+          << "seed=" << seed << " mmap=" << use_mmap;
+      EXPECT_EQ(counters.records_read, total - st.records_lost);
+      EXPECT_EQ(records, total - st.records_lost);
+      EXPECT_EQ(counters.blocks_read, st.blocks - st.corrupted);
+
+      // Whole-epoch loss is invisible to the per-record validators: the
+      // surviving records are pristine, so no quality counter may tick.
+      const auto& q = timelines.quality();
+      EXPECT_EQ(q.duplicates_dropped, 0u);
+      EXPECT_EQ(q.invalid_rtt, 0u);
+      EXPECT_EQ(q.out_of_grid, 0u);
+
+      // The depleted store still yields a finite routing study.
+      core::RoutingStudyConfig rcfg;
+      rcfg.min_observations = 4;
+      const auto study = core::run_routing_study(timelines, rcfg);
+      for (const auto* fam : {&study.v4, &study.v6}) {
+        expect_all_finite(fam->unique_paths, "unique_paths");
+        expect_all_finite(fam->delta_p90_ms, "delta_p90_ms");
+      }
+    }
   }
 }
 
