@@ -1,0 +1,252 @@
+// bench_svc — closed-loop load generator for the s2sd query daemon.
+//
+// Starts an in-process server on an ephemeral port over a generated
+// fixture archive, then drives it from N client connections, each
+// looping a mixed workload (figure digests dominate, so the cold
+// numbers measure real analysis work, not framing overhead):
+//
+//   cold phase: every request carries kFlagNoCache, so the server
+//     executes the analysis each time (results are still inserted);
+//   warm phase: the same workload without the flag — all cache hits.
+//
+// Prints a JSON document with requests/sec and client-observed p50/p99
+// latency for both phases plus the cache counters, and writes the same
+// document to BENCH_svc.json (override with --report PATH, disable with
+// --no-report). The warm/cold p50 ratio is the headline: the acceptance
+// bar is warm p50 at least 5x lower than cold p50.
+//
+//   bench_svc [--fast] [--connections N] [--warm-rounds N]
+//             [--threads N] [--report PATH] [--no-report]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/pool.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "stats/summary.h"
+#include "svc/client.h"
+#include "svc/dataset.h"
+#include "svc/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Request {
+  s2s::svc::MsgType type;
+  std::string payload;
+};
+
+struct PhaseResult {
+  std::vector<double> latencies_us;
+  double wall_s = 0.0;
+  std::size_t errors = 0;
+
+  double requests_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(latencies_us.size()) / wall_s
+                        : 0.0;
+  }
+};
+
+PhaseResult run_phase(const char* host, std::uint16_t port,
+                      const std::vector<Request>& workload,
+                      std::size_t connections, std::size_t rounds,
+                      std::uint8_t flags) {
+  std::vector<std::vector<double>> lat(connections);
+  std::vector<std::size_t> errors(connections, 0);
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      s2s::svc::Client client;
+      std::string error;
+      if (!client.connect(host, port, error, /*timeout_ms=*/60000)) {
+        ++errors[c];
+        return;
+      }
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (const Request& req : workload) {
+          s2s::svc::MsgType rtype;
+          std::string rpayload;
+          const auto q0 = Clock::now();
+          if (!client.call(req.type, flags, req.payload, &rtype, &rpayload,
+                           error) ||
+              rtype != s2s::svc::MsgType::kOk) {
+            ++errors[c];
+            continue;
+          }
+          lat[c].push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - q0)
+                  .count());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  PhaseResult out;
+  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (auto& v : lat) {
+    out.latencies_us.insert(out.latencies_us.end(), v.begin(), v.end());
+  }
+  for (const std::size_t e : errors) out.errors += e;
+  return out;
+}
+
+void phase_json(s2s::obs::json::Writer& w, const char* name,
+                const PhaseResult& r) {
+  w.key(name).begin_object();
+  w.key("requests").value(static_cast<std::uint64_t>(r.latencies_us.size()));
+  w.key("errors").value(static_cast<std::uint64_t>(r.errors));
+  w.key("wall_s").value(r.wall_s);
+  w.key("requests_per_sec").value(r.requests_per_sec());
+  w.key("p50_us").value(s2s::stats::quantile(r.latencies_us, 0.50));
+  w.key("p99_us").value(s2s::stats::quantile(r.latencies_us, 0.99));
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace s2s;
+
+  std::size_t connections = 4;
+  std::size_t warm_rounds = 4;
+  int threads = 0;
+  bool fast = false;
+  bool want_report = true;
+  std::string report_path = "BENCH_svc.json";
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (!std::strcmp(argv[i], "--connections")) {
+      connections = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--warm-rounds")) {
+      warm_rounds = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      threads = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--fast")) {
+      fast = true;
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report_path = next();
+    } else if (!std::strcmp(argv[i], "--no-report")) {
+      want_report = false;
+    }
+  }
+  if (fast) {
+    connections = 2;
+    warm_rounds = 2;
+  }
+  if (connections == 0) connections = 1;
+
+  obs::MetricsRegistry::global().reset();
+
+  svc::DatasetConfig cfg;
+  cfg.archive_path = "bench_svc_fixture.s2sb";
+  svc::FixtureParams params;
+  if (fast) {
+    params.trace_days = 7.0;
+    params.ping_days = 3.0;
+    params.max_trace_pairs = 6;
+    params.max_ping_pairs = 24;
+  }
+  std::string error;
+  std::printf("bench_svc: writing fixture %s\n", cfg.archive_path.c_str());
+  if (!svc::write_fixture_archive(cfg.archive_path, cfg, params, error)) {
+    std::fprintf(stderr, "bench_svc: fixture write failed: %s\n",
+                 error.c_str());
+    return 1;
+  }
+
+  svc::Dataset dataset(cfg);
+  if (!dataset.load(error)) {
+    std::fprintf(stderr, "bench_svc: load failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  exec::ThreadPool pool(threads > 0 ? static_cast<unsigned>(threads) : 0u);
+  svc::ServerConfig server_cfg;
+  server_cfg.max_inflight = 1024;  // closed-loop clients, no shedding
+  svc::Server server(dataset, &pool, server_cfg);
+  if (!server.start(error)) {
+    std::fprintf(stderr, "bench_svc: %s\n", error.c_str());
+    return 1;
+  }
+  std::thread serve_thread([&] { server.serve(); });
+  const std::uint16_t port = server.port();
+
+  // Workload: figure digests dominate so cold latency is analysis-bound;
+  // the point queries use the first traced pair.
+  std::vector<Request> workload;
+  const auto pairs = dataset.trace_pairs();
+  if (!pairs.empty()) {
+    svc::PairQuery q;
+    q.src = pairs.front().src;
+    q.dst = pairs.front().dst;
+    q.family = pairs.front().family;
+    workload.push_back({svc::MsgType::kPairRtt, svc::encode_pair_query(q)});
+    workload.push_back(
+        {svc::MsgType::kPathPrevalence, svc::encode_pair_query(q)});
+    workload.push_back(
+        {svc::MsgType::kCongestionVerdict, svc::encode_pair_query(q)});
+    workload.push_back({svc::MsgType::kDualStackDelta,
+                        svc::encode_dualstack_query({q.src, q.dst})});
+  }
+  for (const std::uint8_t figure : {1, 2, 5, 10, 2, 5, 10, 2}) {
+    svc::FigureQuery q;
+    q.figure = figure;
+    workload.push_back(
+        {svc::MsgType::kFigureDigest, svc::encode_figure_query(q)});
+  }
+
+  std::printf("bench_svc: %zu connections, %zu-request workload, port %u\n",
+              connections, workload.size(), static_cast<unsigned>(port));
+
+  const PhaseResult cold = run_phase("127.0.0.1", port, workload, connections,
+                                     /*rounds=*/1, svc::kFlagNoCache);
+  const PhaseResult warm = run_phase("127.0.0.1", port, workload, connections,
+                                     warm_rounds, /*flags=*/0);
+
+  const svc::ResultCache::Stats cache = server.cache().stats();
+  server.request_drain();
+  serve_thread.join();
+
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("tool").value("bench_svc");
+  w.key("connections").value(static_cast<std::uint64_t>(connections));
+  w.key("workload_requests").value(
+      static_cast<std::uint64_t>(workload.size()));
+  w.key("warm_rounds").value(static_cast<std::uint64_t>(warm_rounds));
+  phase_json(w, "cold", cold);
+  phase_json(w, "warm", warm);
+  const double p50_cold = stats::quantile(cold.latencies_us, 0.50);
+  const double p50_warm = stats::quantile(warm.latencies_us, 0.50);
+  w.key("speedup_p50").value(p50_warm > 0.0 ? p50_cold / p50_warm : 0.0);
+  w.key("cache").begin_object();
+  w.key("hits").value(cache.hits);
+  w.key("misses").value(cache.misses);
+  w.key("insertions").value(cache.insertions);
+  w.key("evictions").value(cache.evictions);
+  w.key("entries").value(cache.entries);
+  w.key("bytes").value(cache.bytes);
+  w.end_object();
+  w.end_object();
+
+  const std::string json = w.str();
+  std::printf("%s\n", json.c_str());
+  if (want_report && !obs::write_text_file(report_path, json)) {
+    return 1;
+  }
+  if (cold.errors > 0 || warm.errors > 0) {
+    std::fprintf(stderr, "bench_svc: %zu cold / %zu warm request errors\n",
+                 cold.errors, warm.errors);
+    return 1;
+  }
+  return 0;
+}

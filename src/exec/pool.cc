@@ -1,7 +1,11 @@
 #include "exec/pool.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <set>
 #include <string>
+
+#include "obs/log.h"
 
 namespace s2s::exec {
 
@@ -10,14 +14,38 @@ unsigned hardware_threads() {
   return hw == 0 ? 1u : hw;
 }
 
+namespace {
+
+/// Sanity ceiling for S2S_THREADS: large values are typos or overflow,
+/// not a real machine, and each worker pins a stack.
+constexpr long kMaxEnvThreads = 4096;
+
+/// Warns once per distinct bad value, and stops entirely after a few so
+/// a hot loop resolving pools cannot flood the log.
+void warn_bad_threads_env(const char* value) {
+  static std::mutex mutex;
+  static std::set<std::string> seen;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (seen.size() >= 8 || !seen.insert(value).second) return;
+  obs::logf(obs::LogLevel::kWarn,
+            "S2S_THREADS=\"%s\" is not a positive integer <= %ld; "
+            "falling back to hardware concurrency (%u)",
+            value, kMaxEnvThreads, hardware_threads());
+}
+
+}  // namespace
+
 unsigned resolve_thread_count(unsigned requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("S2S_THREADS")) {
     char* end = nullptr;
+    errno = 0;
     const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) {
+    if (end != env && *end == '\0' && errno != ERANGE && parsed > 0 &&
+        parsed <= kMaxEnvThreads) {
       return static_cast<unsigned>(parsed);
     }
+    warn_bad_threads_env(env);
   }
   return hardware_threads();
 }

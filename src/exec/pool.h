@@ -41,8 +41,10 @@ namespace s2s::exec {
 unsigned hardware_threads();
 
 /// Resolves the effective worker count: `requested` if positive, else the
-/// S2S_THREADS environment variable (positive integers only), else
-/// hardware_threads(). Always >= 1.
+/// S2S_THREADS environment variable, else hardware_threads(). Always >= 1.
+/// S2S_THREADS must be a positive integer no larger than 4096; anything
+/// else (non-numeric, zero, negative, overflow) is rejected with a
+/// bounded log warning and falls back to hardware_threads().
 unsigned resolve_thread_count(unsigned requested = 0);
 
 class ThreadPool {

@@ -634,6 +634,7 @@ void BinRecordReader::read_all_impl(const TraceRecordFn& on_trace,
     if (in_.gcount() == 0) return;  // clean EOF at a block boundary
     if (in_.gcount() < 4) {
       ++counters_.corrupt_blocks;  // trailing partial magic
+      counters_.truncated = true;
       return;
     }
     std::uint32_t magic = get_u32le(header);
@@ -660,6 +661,7 @@ void BinRecordReader::read_all_impl(const TraceRecordFn& on_trace,
     if (in_.gcount() <
         static_cast<std::streamsize>(kBinBlockHeaderBytes - 4)) {
       ++counters_.corrupt_blocks;  // truncated mid-header
+      counters_.truncated = true;
       return;
     }
     const auto bh = parse_block_header(header);
@@ -672,6 +674,7 @@ void BinRecordReader::read_all_impl(const TraceRecordFn& on_trace,
     in_.read(payload.data(), static_cast<std::streamsize>(bh.payload_bytes));
     if (in_.gcount() < static_cast<std::streamsize>(bh.payload_bytes)) {
       ++counters_.corrupt_blocks;  // truncated mid-payload
+      counters_.truncated = true;
       return;
     }
     const auto* pbytes = reinterpret_cast<const unsigned char*>(payload.data());
@@ -714,11 +717,14 @@ void BinRecordMmapReader::init(const void* data, std::size_t size) {
   if (!ok_) return;
 
   // Footer validation: fixed-width tail at EOF -> entry array -> magic.
-  // Any inconsistency (missing, truncated, CRC mismatch, out-of-range
-  // offsets) silently degrades to the sequential walk.
+  // Any inconsistency degrades to the sequential walk for reading, but
+  // footer_status_ records the distinction between "never had a footer"
+  // (kAbsent: no EOF seal at the tail, e.g. torn or footerless file) and
+  // "had one that is damaged" (kInvalid) so tools can fail loudly.
   if (size_ < kBinFileHeaderBytes + 4 + kBinFooterTailBytes) return;
   const unsigned char* tail = data_ + size_ - kBinFooterTailBytes;
   if (get_u64le(tail + 8) != kBinEofMagic) return;
+  footer_status_ = FooterStatus::kInvalid;  // seal present; prove validity
   const std::uint32_t entry_count = get_u32le(tail);
   const std::uint32_t entries_crc = get_u32le(tail + 4);
   const std::uint64_t entries_bytes =
@@ -747,6 +753,7 @@ void BinRecordMmapReader::init(const void* data, std::size_t size) {
     }
     index_.push_back(entry);
   }
+  footer_status_ = FooterStatus::kValid;
 }
 
 void BinRecordMmapReader::decode_at(std::size_t offset,
@@ -792,10 +799,20 @@ void BinRecordMmapReader::read_all_impl(const TraceRecordFn& on_trace,
   while (pos < size_) {
     if (pos + 4 > size_) {
       ++counters_.corrupt_blocks;  // trailing partial magic
+      counters_.truncated = true;
       return;
     }
     const std::uint32_t magic = get_u32le(data_ + pos);
-    if (magic == kBinFooterMagic) return;
+    if (magic == kBinFooterMagic) {
+      // A footer begins here, yet init() could not validate one (that is
+      // why we are walking): the footer was torn off or mangled. Without
+      // this, truncating a file mid-footer would look like a clean
+      // footerless archive.
+      if (footer_status_ == FooterStatus::kAbsent) {
+        footer_status_ = FooterStatus::kInvalid;
+      }
+      return;
+    }
     if (magic != kBinBlockMagic) {
       ++counters_.corrupt_blocks;
       ++pos;
@@ -809,6 +826,7 @@ void BinRecordMmapReader::read_all_impl(const TraceRecordFn& on_trace,
     }
     if (pos + kBinBlockHeaderBytes > size_) {
       ++counters_.corrupt_blocks;  // truncated mid-header
+      counters_.truncated = true;
       return;
     }
     const auto bh = parse_block_header(data_ + pos);
@@ -819,6 +837,7 @@ void BinRecordMmapReader::read_all_impl(const TraceRecordFn& on_trace,
     }
     if (pos + kBinBlockHeaderBytes + bh.payload_bytes > size_) {
       ++counters_.corrupt_blocks;  // truncated mid-payload
+      counters_.truncated = true;
       return;
     }
     decode_at(pos, on_trace, on_ping);
@@ -841,12 +860,29 @@ bool BinRecordMmapReader::read_range_impl(std::int64_t t0_s, std::int64_t t1_s,
 // Format sniffing and the interchangeable-ingest seam
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// The sniff window is magic + version, not magic alone: a text file that
+/// happens to begin with "S2SB" (a hostname column, say) almost certainly
+/// continues with printable bytes, which decode as a little-endian version
+/// far above 255 and send the file to the text arm. Versions in [1, 255]
+/// are claimed as binary even beyond kBinVersion so that a future-format
+/// file gets the reader's explicit "unsupported version" error instead of
+/// being shredded line-by-line as text.
+bool sniff_binary_header(const unsigned char* data, std::size_t size) {
+  if (size < 6 || get_u32le(data) != kBinFileMagic) return false;
+  const std::uint16_t version = get_u16le(data + 4);
+  return version >= 1 && version <= 255;
+}
+
+}  // namespace
+
 bool is_binary_record_stream(std::istream& in) {
   const auto pos = in.tellg();
-  unsigned char magic[4];
-  in.read(reinterpret_cast<char*>(magic), 4);
+  unsigned char head[6];
+  in.read(reinterpret_cast<char*>(head), sizeof(head));
   const bool binary =
-      in.gcount() == 4 && get_u32le(magic) == kBinFileMagic;
+      sniff_binary_header(head, static_cast<std::size_t>(in.gcount()));
   in.clear();
   in.seekg(pos);
   return binary;
@@ -855,7 +891,7 @@ bool is_binary_record_stream(std::istream& in) {
 bool is_binary_record_file(const std::string& path) {
   MmapFile probe;
   if (!probe.open(path)) return false;
-  return probe.size() >= 4 && get_u32le(probe.data()) == kBinFileMagic;
+  return sniff_binary_header(probe.data(), probe.size());
 }
 
 IngestResult read_records_auto(std::istream& in,
@@ -883,6 +919,7 @@ IngestResult read_records_auto(std::istream& in,
     result.blocks_read = reader.blocks_read();
     result.corrupt_blocks = reader.corrupt_blocks();
     result.records_rejected = reader.counters().records_rejected;
+    result.truncated = reader.counters().truncated;
   } else {
     RecordReader reader(in);
     reader.read_all(count_trace, count_ping);
@@ -919,6 +956,8 @@ IngestResult ingest_record_file(const std::string& path,
     result.blocks_read = reader.blocks_read();
     result.corrupt_blocks = reader.corrupt_blocks();
     result.records_rejected = reader.counters().records_rejected;
+    result.truncated = reader.counters().truncated;
+    result.footer = reader.footer_status();
     result.records = delivered;
     return result;
   }

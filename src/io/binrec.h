@@ -182,6 +182,17 @@ struct BinReadCounters {
   std::size_t corrupt_blocks = 0;   ///< skipped: bad CRC/header/structure
   std::size_t records_read = 0;     ///< delivered to a callback
   std::size_t records_rejected = 0; ///< per-record decode rejects (bad RTT)
+  /// The walk hit EOF mid-header or mid-payload: the file is torn, not
+  /// merely carrying damaged blocks. Tools that report archive health
+  /// (s2s_recconv info) treat this as a hard failure.
+  bool truncated = false;
+};
+
+/// Outcome of validating the optional footer index.
+enum class FooterStatus : std::uint8_t {
+  kAbsent = 0,   ///< no footer (footerless archive, or file torn before it)
+  kValid = 1,    ///< entry CRC and offsets check out; index walk enabled
+  kInvalid = 2,  ///< footer present but damaged (CRC/structure mismatch)
 };
 
 /// Buffered std::istream arm. Reads the file header eagerly (ok() /
@@ -245,6 +256,10 @@ class BinRecordMmapReader {
   const std::vector<BlockIndexEntry>& index() const noexcept {
     return index_;
   }
+  /// Distinguishes a footerless archive (normal) from a damaged footer
+  /// (the sequential-walk fallback still reads what it can, but the
+  /// archive lost its integrity seal and O(1) seek).
+  FooterStatus footer_status() const noexcept { return footer_status_; }
 
   template <typename TraceFn, typename PingFn>
   void read_all(TraceFn&& on_trace, PingFn&& on_ping) {
@@ -287,6 +302,7 @@ class BinRecordMmapReader {
   std::uint16_t version_ = 0;
   std::string error_;
   std::vector<BlockIndexEntry> index_;
+  FooterStatus footer_status_ = FooterStatus::kAbsent;
   BinReadCounters counters_;
 };
 
@@ -294,9 +310,11 @@ class BinRecordMmapReader {
 // Format interchangeability helpers
 // ---------------------------------------------------------------------------
 
-/// True when the stream starts with the `.s2sb` magic (the stream is
-/// rewound either way). This is the sniff every ingest call site uses to
-/// accept text and binary archives interchangeably.
+/// True when the stream starts with the `.s2sb` magic followed by a
+/// plausible version (1..255); the stream is rewound either way. This is
+/// the sniff every ingest call site uses to accept text and binary
+/// archives interchangeably — the version guard keeps text files that
+/// merely begin with the magic bytes on the text arm.
 bool is_binary_record_stream(std::istream& in);
 bool is_binary_record_file(const std::string& path);
 
@@ -313,6 +331,10 @@ struct IngestResult {
   std::size_t blocks_read = 0;       ///< binary arm
   std::size_t corrupt_blocks = 0;    ///< binary arm
   std::size_t records_rejected = 0;  ///< binary arm
+  bool truncated = false;            ///< binary arm: EOF hit mid-block
+  /// Binary mmap arm only; the stream arm stops at the footer without
+  /// validating it and leaves kAbsent.
+  FooterStatus footer = FooterStatus::kAbsent;
 };
 
 /// Sniffs the format and streams every record to the callbacks: text

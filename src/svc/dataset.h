@@ -1,0 +1,166 @@
+// The data a running s2sd serves: one `.s2sb` archive ingested into the
+// analysis stores, plus the simulated deployment that provides the
+// topology and RIB for AS-path inference.
+//
+// A Dataset is built once (the topology build is the expensive part) and
+// (re)loaded from its archive at startup and on SIGHUP: load() ingests
+// into fresh stores and swaps them in only on success, so a failed reload
+// keeps serving the previous data. The archive digest (size + CRC32C of
+// the raw bytes) is part of every cache key, so a reload that actually
+// changed the file implicitly invalidates all cached responses
+// (DESIGN.md section 11).
+//
+// execute() answers one decoded request from the loaded stores. All
+// handlers are deterministic: the figure studies run through the
+// fixed-shard parallel passes (DESIGN.md section 9) and every other
+// handler reads store state in key order, so a response is a pure
+// function of (archive bytes, request payload) at any thread count —
+// the property the result cache and the byte-identity tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/congestion_detect.h"
+#include "core/ping_series.h"
+#include "core/routing_study.h"
+#include "core/timeline.h"
+#include "exec/pool.h"
+#include "io/binrec.h"
+#include "obs/json.h"
+#include "simnet/network.h"
+#include "svc/protocol.h"
+
+namespace s2s::svc {
+
+struct DatasetConfig {
+  std::string archive_path;
+
+  // Provenance of the archive: the generator parameters of the simulated
+  // deployment that produced it. Must match, or AS-path inference and
+  // pair ids are meaningless.
+  std::uint64_t topo_seed = 7;
+  std::size_t tier1_count = 4;
+  std::size_t transit_count = 18;
+  std::size_t stub_count = 70;
+  std::size_t server_count = 16;
+  /// Crank the congested-link fractions the way the golden-figure test
+  /// world does, so small fixtures have congestion to find.
+  bool crank_congestion = true;
+
+  // Sampling grids of the archived campaigns.
+  double trace_start_day = 0.0;
+  std::int64_t trace_interval_s = net::kThreeHours;
+  double ping_start_day = 0.0;
+  std::int64_t ping_interval_s = net::kFifteenMinutes;
+
+  /// Routing-study qualification; default lowered from the paper's
+  /// long-campaign filter so week-scale fixtures have qualifying
+  /// timelines.
+  core::RoutingStudyConfig routing = [] {
+    core::RoutingStudyConfig r;
+    r.min_observations = 40;
+    return r;
+  }();
+  core::CongestionDetectConfig detect;
+  /// Congestion verdicts require this fraction of the grid to be valid
+  /// (scales the paper's ">= 600 of 672" to the archive's actual epochs).
+  double detect_min_fraction = 0.6;
+
+  bool prefer_mmap = true;
+};
+
+class Dataset {
+ public:
+  /// Builds the deployment from the config (expensive: topology + RIB).
+  explicit Dataset(const DatasetConfig& config);
+  /// Borrows an externally owned deployment (tests share one network
+  /// across several Dataset instances). `shared_net` must outlive this.
+  Dataset(const DatasetConfig& config, const simnet::Network* shared_net);
+
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  /// Ingests the archive (mmap arm by default) into fresh stores and
+  /// swaps them in; on failure the previous stores keep serving.
+  bool load(std::string& error);
+
+  bool loaded() const noexcept { return timelines_ != nullptr; }
+  /// (file size << 32) ^ CRC32C of the archive bytes; cache-key half.
+  std::uint64_t digest() const noexcept { return digest_; }
+  const DatasetConfig& config() const noexcept { return config_; }
+  const io::IngestResult& ingest() const noexcept { return ingest_; }
+  std::size_t ping_epochs() const noexcept { return ping_epochs_; }
+  const core::TimelineStore& timelines() const { return *timelines_; }
+  const core::PingSeriesStore& pings() const { return *pings_; }
+  const simnet::Network& net() const { return *net_; }
+
+  struct Response {
+    MsgType type = MsgType::kError;
+    std::string payload;
+  };
+
+  /// Answers one request (kPairRtt .. kFigureDigest, kPingEcho). The
+  /// figure studies run on `pool` when given. kServerStats is the
+  /// server's job (it owns the cache and connection state) and returns
+  /// an internal error here.
+  Response execute(MsgType type, std::string_view payload,
+                   exec::ThreadPool* pool) const;
+
+  struct PairKey {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint8_t family = 4;
+  };
+  /// Sorted (src, dst, family) keys present in each store — the
+  /// discovery surface tools and the bench build workloads from.
+  std::vector<PairKey> trace_pairs() const;
+  std::vector<PairKey> ping_pairs() const;
+
+  /// Emits the "dataset" stats object body (caller opens/closes it).
+  void summary_json(obs::json::Writer& w) const;
+
+ private:
+  Response pair_rtt(const PairQuery& q) const;
+  Response path_prevalence(const PairQuery& q) const;
+  Response congestion_verdict(const PairQuery& q) const;
+  Response dualstack_delta(const DualStackQuery& q) const;
+  Response figure_digest(const FigureQuery& q, exec::ThreadPool* pool) const;
+
+  DatasetConfig config_;
+  std::unique_ptr<simnet::Network> owned_net_;
+  const simnet::Network* net_ = nullptr;
+  std::unique_ptr<core::TimelineStore> timelines_;
+  std::unique_ptr<core::PingSeriesStore> pings_;
+  std::uint64_t digest_ = 0;
+  io::IngestResult ingest_;
+  std::size_t ping_epochs_ = 0;
+};
+
+/// Deterministic measurement pairs for fixtures: the dual-stack mesh of
+/// the topology in server-id order, capped at `cap` pairs.
+std::vector<std::pair<topology::ServerId, topology::ServerId>>
+fixture_pairs(const topology::Topology& topo, std::size_t cap);
+
+struct FixtureParams {
+  double trace_days = 14.0;
+  double ping_days = 7.0;
+  std::size_t max_trace_pairs = 12;
+  std::size_t max_ping_pairs = 48;
+  std::uint64_t trace_seed = 11;
+  std::uint64_t ping_seed = 31;
+};
+
+/// Writes a self-contained `.s2sb` fixture archive (a traceroute and a
+/// ping campaign over the same deployment and time base) that a Dataset
+/// built from the same DatasetConfig serves. The trace pairs are a
+/// prefix of the ping pairs, so every traced pair also has a ping
+/// series. Deterministic for a given (config, params).
+bool write_fixture_archive(const std::string& path, const DatasetConfig& cfg,
+                           const FixtureParams& params, std::string& error);
+
+}  // namespace s2s::svc

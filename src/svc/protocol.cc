@@ -1,0 +1,140 @@
+#include "svc/protocol.h"
+
+#include "io/crc32c.h"
+#include "io/varint.h"
+#include "obs/json.h"
+
+namespace s2s::svc {
+
+const char* type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPingEcho: return "ping_echo";
+    case MsgType::kPairRtt: return "pair_rtt";
+    case MsgType::kPathPrevalence: return "path_prevalence";
+    case MsgType::kCongestionVerdict: return "congestion_verdict";
+    case MsgType::kDualStackDelta: return "dualstack_delta";
+    case MsgType::kFigureDigest: return "figure_digest";
+    case MsgType::kServerStats: return "server_stats";
+    case MsgType::kOk: return "ok";
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool is_request(MsgType t) {
+  switch (t) {
+    case MsgType::kPingEcho:
+    case MsgType::kPairRtt:
+    case MsgType::kPathPrevalence:
+    case MsgType::kCongestionVerdict:
+    case MsgType::kDualStackDelta:
+    case MsgType::kFigureDigest:
+    case MsgType::kServerStats:
+      return true;
+    case MsgType::kOk:
+    case MsgType::kError:
+      return false;
+  }
+  return false;
+}
+
+bool is_cacheable(MsgType t) {
+  switch (t) {
+    case MsgType::kPairRtt:
+    case MsgType::kPathPrevalence:
+    case MsgType::kCongestionVerdict:
+    case MsgType::kDualStackDelta:
+    case MsgType::kFigureDigest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+HeaderStatus parse_frame_header(const unsigned char* bytes, FrameHeader& out) {
+  if (io::get_u32le(bytes) != kFrameMagic) return HeaderStatus::kBadMagic;
+  out.version = io::get_u16le(bytes + 4);
+  out.type = static_cast<MsgType>(bytes[6]);
+  out.flags = bytes[7];
+  out.payload_bytes = io::get_u32le(bytes + 8);
+  out.crc = io::get_u32le(bytes + 12);
+  if (out.version != kProtocolVersion) return HeaderStatus::kBadVersion;
+  return HeaderStatus::kOk;
+}
+
+std::uint32_t frame_crc(const unsigned char* header_bytes,
+                        std::string_view payload) {
+  std::uint32_t crc = io::crc32c(0, header_bytes + 4, 8);
+  return io::crc32c(crc, payload.data(), payload.size());
+}
+
+std::string encode_frame(MsgType type, std::uint8_t flags,
+                         std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  io::put_u32le(out, kFrameMagic);
+  io::put_u16le(out, kProtocolVersion);
+  out.push_back(static_cast<char>(type));
+  out.push_back(static_cast<char>(flags));
+  io::put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  const std::uint32_t crc = frame_crc(
+      reinterpret_cast<const unsigned char*>(out.data()), payload);
+  io::put_u32le(out, crc);
+  out.append(payload);
+  return out;
+}
+
+std::string encode_pair_query(const PairQuery& q) {
+  std::string out;
+  io::put_u32le(out, q.src);
+  io::put_u32le(out, q.dst);
+  out.push_back(static_cast<char>(q.family));
+  out.push_back(static_cast<char>(q.arg));
+  return out;
+}
+
+bool decode_pair_query(std::string_view payload, PairQuery& out) {
+  if (payload.size() != 10) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  out.src = io::get_u32le(p);
+  out.dst = io::get_u32le(p + 4);
+  out.family = p[8];
+  out.arg = p[9];
+  return out.family == 4 || out.family == 6;
+}
+
+std::string encode_dualstack_query(const DualStackQuery& q) {
+  std::string out;
+  io::put_u32le(out, q.src);
+  io::put_u32le(out, q.dst);
+  return out;
+}
+
+bool decode_dualstack_query(std::string_view payload, DualStackQuery& out) {
+  if (payload.size() != 8) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  out.src = io::get_u32le(p);
+  out.dst = io::get_u32le(p + 4);
+  return true;
+}
+
+std::string encode_figure_query(const FigureQuery& q) {
+  return std::string(1, static_cast<char>(q.figure));
+}
+
+bool decode_figure_query(std::string_view payload, FigureQuery& out) {
+  if (payload.size() != 1) return false;
+  out.figure = static_cast<std::uint8_t>(payload[0]);
+  return true;
+}
+
+std::string error_payload(std::string_view code, std::string_view message) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("error").value(code);
+  w.key("message").value(message);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace s2s::svc

@@ -1,0 +1,133 @@
+// s2sd wire protocol: length-prefixed, CRC-guarded binary frames.
+//
+// Every message — request or response — is one frame:
+//
+//   Frame       := FrameHeader payload
+//   FrameHeader (16 B, little-endian):
+//     [ 0.. 3] u32 magic "S2SQ"
+//     [ 4.. 5] u16 version = 1
+//     [ 6    ] u8  type (MsgType)
+//     [ 7    ] u8  flags
+//     [ 8..11] u32 payload_bytes
+//     [12..15] u32 crc32c over header bytes [4..11] then the payload
+//
+// The CRC scope mirrors the `.s2sb` block checksum (everything after the
+// magic, excluding the CRC field itself) and reuses io::crc32c, so a
+// damaged frame is detected before any payload field is trusted. Request
+// payloads are fixed-width little-endian structs (decoded with exact
+// length checks: a short payload is a protocol error, not a partial
+// read); response payloads are JSON text (obs::json), self-describing
+// enough for scripts and the CI smoke to consume without this header.
+//
+// DESIGN.md section 11 is the normative description, including the
+// cache-key semantics (archive digest + request type + payload bytes)
+// that make responses to cacheable requests pure functions of the frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace s2s::svc {
+
+inline constexpr std::uint32_t kFrameMagic = 0x51533253u;  // "S2SQ"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Default cap a server enforces on request payloads (requests are tiny
+/// fixed-width structs; anything near this is abuse, not a query).
+inline constexpr std::size_t kDefaultMaxRequestBytes = 4096;
+
+enum class MsgType : std::uint8_t {
+  // Requests.
+  kPingEcho = 0x01,           ///< liveness probe; empty payload
+  kPairRtt = 0x02,            ///< PairQuery; arg != 0 appends the series
+  kPathPrevalence = 0x03,     ///< PairQuery; arg caps returned paths
+  kCongestionVerdict = 0x04,  ///< PairQuery (arg unused)
+  kDualStackDelta = 0x05,     ///< DualStackQuery
+  kFigureDigest = 0x06,       ///< FigureQuery
+  kServerStats = 0x07,        ///< empty payload; never cached
+  // Responses.
+  kOk = 0x80,
+  kError = 0x81,
+};
+
+/// Request flag: skip the cache lookup (the result is still inserted),
+/// so load generators can force cold executions on a warm server.
+inline constexpr std::uint8_t kFlagNoCache = 0x01;
+
+/// Stable lowercase name ("pair_rtt", ...); "unknown" for anything else.
+/// Used for metric names and the JSON "type" echo, so it never changes
+/// meaning across protocol versions.
+const char* type_name(MsgType t);
+
+bool is_request(MsgType t);
+/// Cacheable requests are pure functions of (archive, payload). Stats and
+/// echo are excluded: they describe the serving process, not the data.
+bool is_cacheable(MsgType t);
+
+struct FrameHeader {
+  std::uint16_t version = 0;
+  MsgType type = MsgType::kPingEcho;
+  std::uint8_t flags = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+enum class HeaderStatus : std::uint8_t { kOk, kBadMagic, kBadVersion };
+
+/// Decodes 16 header bytes. kBadMagic/kBadVersion mean the stream is not
+/// speaking this protocol — the connection cannot be resynced and must
+/// close after an error frame. payload_bytes is NOT capped here; the
+/// server enforces its own limit so it can skip an oversized payload and
+/// keep the connection.
+HeaderStatus parse_frame_header(const unsigned char* bytes, FrameHeader& out);
+
+/// CRC32C over header bytes [4..11] then the payload.
+std::uint32_t frame_crc(const unsigned char* header_bytes,
+                        std::string_view payload);
+
+/// Encodes a complete frame (header + payload) with the CRC filled in.
+std::string encode_frame(MsgType type, std::uint8_t flags,
+                         std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Request payloads (fixed-width little-endian; decode checks exact size).
+// ---------------------------------------------------------------------------
+
+/// kPairRtt / kPathPrevalence / kCongestionVerdict payload (10 bytes):
+/// u32 src, u32 dst, u8 family (4 or 6), u8 arg (per-type meaning).
+struct PairQuery {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint8_t family = 4;
+  std::uint8_t arg = 0;
+};
+
+std::string encode_pair_query(const PairQuery& q);
+bool decode_pair_query(std::string_view payload, PairQuery& out);
+
+/// kDualStackDelta payload (8 bytes): u32 src, u32 dst.
+struct DualStackQuery {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+
+std::string encode_dualstack_query(const DualStackQuery& q);
+bool decode_dualstack_query(std::string_view payload, DualStackQuery& out);
+
+/// kFigureDigest payload (1 byte): paper figure selector. 1 = Table 1
+/// counts, 2 = Fig 2 routing series, 5 = Fig 5 sub-optimal buckets,
+/// 10 = Fig 10 dual-stack ECDF.
+struct FigureQuery {
+  std::uint8_t figure = 2;
+};
+
+std::string encode_figure_query(const FigureQuery& q);
+bool decode_figure_query(std::string_view payload, FigureQuery& out);
+
+/// kError payload: {"error":code,"message":message}. Codes: bad_frame,
+/// bad_crc, bad_request, oversized, busy, not_found, draining, internal.
+std::string error_payload(std::string_view code, std::string_view message);
+
+}  // namespace s2s::svc

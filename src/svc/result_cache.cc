@@ -1,0 +1,114 @@
+#include "svc/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "io/varint.h"
+
+namespace s2s::svc {
+
+namespace {
+
+std::size_t key_hash(const std::string& key) {
+  // FNV-1a 64; stable across platforms (std::hash<string> is not).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const Config& config)
+    : shards_(std::max<std::size_t>(config.shards, 1)) {
+  shard_budget_ = std::max<std::size_t>(config.max_bytes / shards_.size(), 1);
+  auto& reg = obs::MetricsRegistry::global();
+  obs_hits_ = reg.counter("s2s.svc.cache_hits");
+  obs_misses_ = reg.counter("s2s.svc.cache_misses");
+  obs_evictions_ = reg.counter("s2s.svc.cache_evictions");
+}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
+  return shards_[key_hash(key) % shards_.size()];
+}
+
+bool ResultCache::lookup(const std::string& key, std::string& value_out) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    obs_misses_.inc();
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  value_out = it->second->second;
+  ++shard.hits;
+  obs_hits_.inc();
+  return true;
+}
+
+void ResultCache::insert(const std::string& key, std::string value) {
+  Shard& shard = shard_for(key);
+  const std::size_t cost = entry_bytes(key, value);
+  if (cost > shard_budget_) return;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= entry_bytes(key, it->second->second);
+    shard.bytes += cost;
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += cost;
+    ++shard.insertions;
+  }
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const auto& victim = shard.lru.back();
+    shard.bytes -= entry_bytes(victim.first, victim.second);
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    obs_evictions_.inc();
+  }
+}
+
+void ResultCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.insertions += shard.insertions;
+    out.evictions += shard.evictions;
+    out.entries += shard.lru.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+std::string ResultCache::make_key(std::uint64_t archive_digest,
+                                  std::uint8_t type,
+                                  std::string_view payload) {
+  std::string key;
+  key.reserve(9 + payload.size());
+  io::put_u64le(key, archive_digest);
+  key.push_back(static_cast<char>(type));
+  key.append(payload);
+  return key;
+}
+
+}  // namespace s2s::svc

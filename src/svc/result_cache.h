@@ -1,0 +1,95 @@
+// Sharded LRU cache for serialized query responses.
+//
+// The daemon's queries are pure functions of (archive content, request
+// bytes) — the analyses are deterministic at any thread count (DESIGN.md
+// section 9) — so a response can be cached verbatim under a key that is
+// exactly those inputs: the archive digest concatenated with the request
+// type and payload bytes. Reloading a changed archive changes the digest,
+// which invalidates every prior entry without an explicit flush (stale
+// keys simply stop matching and age out of the LRU).
+//
+// Sharded by key hash so concurrent callers (the bench drives the cache
+// directly from many threads; the server today looks up from its single
+// event loop) contend on per-shard mutexes, not one global lock. The
+// byte budget is split evenly across shards; an entry larger than its
+// shard's budget is simply not cached.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace s2s::svc {
+
+class ResultCache {
+ public:
+  struct Config {
+    std::size_t shards = 8;
+    std::size_t max_bytes = 64u << 20;
+  };
+
+  ResultCache() : ResultCache(Config{}) {}
+  explicit ResultCache(const Config& config);
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// True and fills `value_out` on a hit (the entry becomes most recently
+  /// used); false on a miss. Counts s2s.svc.cache_hits / cache_misses.
+  bool lookup(const std::string& key, std::string& value_out);
+
+  /// Inserts or refreshes; evicts least-recently-used entries of the
+  /// key's shard until the shard is back under budget
+  /// (s2s.svc.cache_evictions). Values larger than a shard budget are
+  /// dropped rather than cycling the whole shard through the LRU.
+  void insert(const std::string& key, std::string value);
+
+  /// Drops every entry (counts nothing; used on explicit reset paths).
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  Stats stats() const;
+
+  /// Builds the canonical cache key: archive digest + request type byte +
+  /// request payload bytes.
+  static std::string make_key(std::uint64_t archive_digest,
+                              std::uint8_t type, std::string_view payload);
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<std::string, std::string>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+  static std::size_t entry_bytes(const std::string& key,
+                                 const std::string& value) {
+    return key.size() + value.size();
+  }
+
+  std::size_t shard_budget_ = 0;
+  std::vector<Shard> shards_;
+  obs::Counter obs_hits_;
+  obs::Counter obs_misses_;
+  obs::Counter obs_evictions_;
+};
+
+}  // namespace s2s::svc

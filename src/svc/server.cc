@@ -1,0 +1,659 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/log.h"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace s2s::svc {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::chrono::milliseconds ms(int v) { return std::chrono::milliseconds(v); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Poller
+// ---------------------------------------------------------------------------
+
+Server::Poller::Poller(bool use_epoll) {
+#ifdef __linux__
+  if (use_epoll) {
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd_ >= 0) {
+      epoll_ = true;
+      ok_ = true;
+      return;
+    }
+  }
+#else
+  (void)use_epoll;
+#endif
+  ok_ = true;  // poll() backend needs no setup
+}
+
+Server::Poller::~Poller() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void Server::Poller::add(int fd, bool want_read, bool want_write) {
+#ifdef __linux__
+  if (epoll_) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+    return;
+  }
+#endif
+  interest_[fd] = static_cast<short>((want_read ? POLLIN : 0) |
+                                     (want_write ? POLLOUT : 0));
+}
+
+void Server::Poller::update(int fd, bool want_read, bool want_write) {
+#ifdef __linux__
+  if (epoll_) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+    return;
+  }
+#endif
+  interest_[fd] = static_cast<short>((want_read ? POLLIN : 0) |
+                                     (want_write ? POLLOUT : 0));
+}
+
+void Server::Poller::remove(int fd) {
+#ifdef __linux__
+  if (epoll_) {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    return;
+  }
+#endif
+  interest_.erase(fd);
+}
+
+void Server::Poller::wait(std::vector<Event>& out, int timeout_ms) {
+  out.clear();
+#ifdef __linux__
+  if (epoll_) {
+    epoll_event evs[64];
+    const int n = ::epoll_wait(epfd_, evs, 64, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = evs[i].data.fd;
+      e.readable = (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
+      e.writable = (evs[i].events & EPOLLOUT) != 0;
+      e.error = (evs[i].events & EPOLLERR) != 0;
+      out.push_back(e);
+    }
+    return;
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, events] : interest_) {
+    fds.push_back({fd, events, 0});
+  }
+  const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                       timeout_ms);
+  if (n <= 0) return;
+  for (const auto& p : fds) {
+    if (p.revents == 0) continue;
+    Event e;
+    e.fd = p.fd;
+    e.readable = (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    e.writable = (p.revents & POLLOUT) != 0;
+    e.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+    out.push_back(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+Server::Server(Dataset& dataset, exec::ThreadPool* pool,
+               const ServerConfig& config)
+    : dataset_(dataset),
+      pool_(pool),
+      config_(config),
+      cache_({config.cache_shards, config.cache_bytes}) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs_requests_ = reg.counter("s2s.svc.requests");
+  obs_accepted_ = reg.counter("s2s.svc.conns_accepted");
+  obs_reaped_ = reg.counter("s2s.svc.conns_reaped");
+  obs_busy_ = reg.counter("s2s.svc.busy_rejected");
+  obs_protocol_errors_ = reg.counter("s2s.svc.protocol_errors");
+  obs_bytes_rx_ = reg.counter("s2s.svc.bytes_rx");
+  obs_bytes_tx_ = reg.counter("s2s.svc.bytes_tx");
+  obs_reloads_ = reg.counter("s2s.svc.reloads");
+  obs_active_conns_ = reg.gauge("s2s.svc.active_conns");
+  for (const MsgType t :
+       {MsgType::kPingEcho, MsgType::kPairRtt, MsgType::kPathPrevalence,
+        MsgType::kCongestionVerdict, MsgType::kDualStackDelta,
+        MsgType::kFigureDigest, MsgType::kServerStats}) {
+    latency_.emplace(
+        static_cast<std::uint8_t>(t),
+        reg.histogram(std::string("s2s.svc.latency_us.") + type_name(t),
+                      obs::MetricsRegistry::latency_us_bounds()));
+  }
+}
+
+Server::~Server() {
+  for (const auto& [fd, conn] : conns_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+bool Server::start(std::string& error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error = "socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    error = "bad bind address: " + config_.bind_address;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    error = "bind: " + std::string(std::strerror(errno));
+    return false;
+  }
+  if (::listen(listen_fd_, config_.backlog) < 0) {
+    error = "listen: " + std::string(std::strerror(errno));
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (!set_nonblocking(listen_fd_)) {
+    error = "fcntl: " + std::string(std::strerror(errno));
+    return false;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    error = "pipe: " + std::string(std::strerror(errno));
+    return false;
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+  poller_ = std::make_unique<Poller>(config_.use_epoll);
+  if (!poller_->ok()) {
+    error = "poller setup failed";
+    return false;
+  }
+  poller_->add(listen_fd_, true, false);
+  poller_->add(wake_pipe_[0], true, false);
+  return true;
+}
+
+void Server::request_drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  // write() is async-signal-safe; this is the SIGTERM handler's body.
+  const char b = 'D';
+  if (wake_pipe_[1] >= 0) {
+    [[maybe_unused]] const auto r = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Server::request_reload() {
+  reload_pending_.store(true, std::memory_order_relaxed);
+  const char b = 'R';
+  if (wake_pipe_[1] >= 0) {
+    [[maybe_unused]] const auto r = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Server::serve() {
+  std::vector<Poller::Event> events;
+  std::vector<int> fds;
+  bool drain_observed = false;
+  bool drain_quiet = false;  ///< last poll round saw no socket events
+  Clock::time_point drain_deadline;
+  while (true) {
+    if (reload_pending_.exchange(false, std::memory_order_relaxed)) {
+      do_reload();
+    }
+    const bool draining = draining_.load(std::memory_order_relaxed);
+    if (draining && !drain_observed) {
+      drain_observed = true;
+      drain_quiet = false;
+      // A connection that finished its handshake in the backlog is
+      // in-flight too: accept it now, then stop watching the listener.
+      // The socket stays open until every response has been flushed.
+      accept_ready();
+      poller_->remove(listen_fd_);
+      // A request sent just before the signal may still be in flight in
+      // the kernel, so reads continue during the drain; the deadline
+      // bounds how long a chatty client can hold shutdown open.
+      drain_deadline = Clock::now() + ms(std::max(
+          {config_.read_timeout_ms, config_.write_timeout_ms, 100}));
+    }
+    execute_pending();
+    if (draining) {
+      fds.clear();
+      for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+      for (const int fd : fds) {
+        const auto it = conns_.find(fd);
+        if (it != conns_.end()) flush_out(it->second);
+      }
+      bool settled = pending_.empty();
+      for (const auto& [fd, conn] : conns_) {
+        if (conn.out_off < conn.out.size()) settled = false;
+      }
+      // Exit once everything is flushed AND a poll round confirmed no
+      // more bytes were in flight — or the drain deadline expires.
+      if ((settled && drain_quiet) || Clock::now() >= drain_deadline) break;
+    }
+    reap_timeouts(Clock::now());
+    poller_->wait(events,
+                  draining ? 20 : next_timeout_ms(Clock::now()));
+    drain_quiet = true;
+    for (const auto& ev : events) {
+      if (ev.fd == wake_pipe_[0]) {
+        char buf[64];
+        while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+        }
+        continue;
+      }
+      drain_quiet = false;
+      if (ev.fd == listen_fd_) {
+        if (!draining_.load(std::memory_order_relaxed)) accept_ready();
+        continue;
+      }
+      if (ev.writable) {
+        const auto it = conns_.find(ev.fd);
+        if (it != conns_.end()) flush_out(it->second);
+      }
+      const auto it = conns_.find(ev.fd);
+      if (it == conns_.end()) continue;
+      if (ev.error) {
+        close_conn(ev.fd);
+        continue;
+      }
+      if (ev.readable) handle_readable(it->second);
+    }
+  }
+  // Drain complete: connections first, listener last — the socket stays
+  // accept()-able until every in-flight response has been flushed.
+  fds.clear();
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (const int fd : fds) close_conn(fd);
+  if (listen_fd_ >= 0) {
+    poller_->remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or transient accept failure
+    }
+    if (conns_.size() >= config_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    Conn conn;
+    conn.fd = fd;
+    conn.read_deadline_base = conn.write_deadline_base = Clock::now();
+    conns_.emplace(fd, std::move(conn));
+    poller_->add(fd, true, false);
+    ++accepted_;
+    obs_accepted_.inc();
+    obs_active_conns_.set(static_cast<double>(conns_.size()));
+  }
+}
+
+void Server::handle_readable(Conn& conn) {
+  char buf[4096];
+  bool progress = false;
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(n));
+      obs_bytes_rx_.inc(static_cast<std::uint64_t>(n));
+      progress = true;
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      close_conn(conn.fd);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_conn(conn.fd);
+    return;
+  }
+  if (progress) {
+    conn.read_deadline_base = Clock::now();
+    parse_frames(conn);
+  }
+}
+
+void Server::parse_frames(Conn& conn) {
+  std::size_t off = 0;
+  while (true) {
+    if (conn.discard > 0) {
+      const std::size_t n = std::min(conn.discard, conn.in.size() - off);
+      off += n;
+      conn.discard -= n;
+      if (conn.discard > 0) break;  // rest of the oversized payload pending
+    }
+    if (conn.close_after_flush) {  // stream unframeable; drop the rest
+      off = conn.in.size();
+      break;
+    }
+    if (conn.in.size() - off < kFrameHeaderBytes) break;
+    const auto* header_bytes =
+        reinterpret_cast<const unsigned char*>(conn.in.data() + off);
+    FrameHeader header;
+    const HeaderStatus status = parse_frame_header(header_bytes, header);
+    if (status != HeaderStatus::kOk) {
+      // Without a trusted magic/version there is no frame boundary to
+      // resync to; answer and close.
+      ++protocol_errors_;
+      obs_protocol_errors_.inc();
+      respond_error(conn, "bad_frame",
+                    status == HeaderStatus::kBadMagic
+                        ? "bad frame magic; stream is not framed"
+                        : "unsupported protocol version",
+                    /*close_after=*/true);
+      off = conn.in.size();
+      break;
+    }
+    if (header.payload_bytes > config_.max_request_bytes) {
+      ++protocol_errors_;
+      obs_protocol_errors_.inc();
+      const bool recoverable =
+          header.payload_bytes <= config_.max_discard_bytes;
+      respond_error(conn, "oversized", "request payload exceeds limit",
+                    /*close_after=*/!recoverable);
+      if (!recoverable) {
+        off = conn.in.size();
+        break;
+      }
+      off += kFrameHeaderBytes;
+      conn.discard = header.payload_bytes;
+      continue;
+    }
+    if (conn.in.size() - off < kFrameHeaderBytes + header.payload_bytes) {
+      break;  // incomplete frame; wait for more bytes
+    }
+    const std::string_view payload(conn.in.data() + off + kFrameHeaderBytes,
+                                   header.payload_bytes);
+    off += kFrameHeaderBytes + header.payload_bytes;
+    if (frame_crc(header_bytes, payload) != header.crc) {
+      // The length field was covered by the (failed) CRC but the frame
+      // boundary is still coherent: skip exactly this frame and keep the
+      // connection.
+      ++protocol_errors_;
+      obs_protocol_errors_.inc();
+      respond_error(conn, "bad_crc", "frame checksum mismatch",
+                    /*close_after=*/false);
+      continue;
+    }
+    if (!is_request(header.type)) {
+      ++protocol_errors_;
+      obs_protocol_errors_.inc();
+      respond_error(conn, "bad_request", "unknown or non-request frame type",
+                    /*close_after=*/false);
+      continue;
+    }
+    if (pending_.size() >= config_.max_inflight) {
+      ++busy_rejected_;
+      obs_busy_.inc();
+      respond_error(conn, "busy", "too many requests in flight",
+                    /*close_after=*/false);
+      continue;
+    }
+    pending_.push_back(
+        {conn.fd, header.type, header.flags, std::string(payload)});
+  }
+  conn.in.erase(0, off);
+}
+
+void Server::execute_pending() {
+  while (!pending_.empty()) {
+    const PendingRequest request = std::move(pending_.front());
+    pending_.pop_front();
+    execute_one(request);
+  }
+}
+
+void Server::execute_one(const PendingRequest& request) {
+  if (conns_.find(request.fd) == conns_.end()) return;  // closed meanwhile
+  const auto t0 = Clock::now();
+  ++requests_served_;
+  obs_requests_.inc();
+
+  Dataset::Response response;
+  if (request.type == MsgType::kServerStats) {
+    response = {MsgType::kOk, stats_payload()};
+  } else if (is_cacheable(request.type)) {
+    const std::string key = ResultCache::make_key(
+        dataset_.digest(), static_cast<std::uint8_t>(request.type),
+        request.payload);
+    std::string cached;
+    if ((request.flags & kFlagNoCache) == 0 && cache_.lookup(key, cached)) {
+      response = {MsgType::kOk, std::move(cached)};
+    } else {
+      response = dataset_.execute(request.type, request.payload, pool_);
+      if (response.type == MsgType::kOk) cache_.insert(key, response.payload);
+    }
+  } else {
+    response = dataset_.execute(request.type, request.payload, pool_);
+  }
+
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - t0)
+                      .count();
+  latency_histogram(request.type).record(static_cast<double>(us));
+
+  const auto it = conns_.find(request.fd);
+  if (it == conns_.end()) return;
+  respond(it->second, response.type, response.payload);
+  const auto again = conns_.find(request.fd);
+  if (again != conns_.end()) flush_out(again->second);
+}
+
+void Server::respond(Conn& conn, MsgType type, std::string_view payload) {
+  if (conn.out_off >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+    conn.write_deadline_base = Clock::now();
+  }
+  conn.out += encode_frame(type, 0, payload);
+  update_interest(conn);
+}
+
+void Server::respond_error(Conn& conn, std::string_view code,
+                           std::string_view message, bool close_after) {
+  if (close_after) conn.close_after_flush = true;
+  respond(conn, MsgType::kError, error_payload(code, message));
+}
+
+void Server::flush_out(Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_off,
+               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      obs_bytes_tx_.inc(static_cast<std::uint64_t>(n));
+      conn.write_deadline_base = Clock::now();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close_conn(conn.fd);
+    return;
+  }
+  if (conn.out_off >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+    if (conn.close_after_flush) {
+      close_conn(conn.fd);
+      return;
+    }
+  }
+  update_interest(conn);
+}
+
+void Server::update_interest(Conn& conn) {
+  const bool want_read = !conn.close_after_flush;
+  const bool want_write = conn.out_off < conn.out.size();
+  poller_->update(conn.fd, want_read, want_write);
+}
+
+void Server::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  poller_->remove(fd);
+  ::close(fd);
+  conns_.erase(it);
+  // fd numbers are reused by later accepts; drop any queued requests so
+  // a stale response can never reach the wrong connection.
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [fd](const PendingRequest& r) {
+                                  return r.fd == fd;
+                                }),
+                 pending_.end());
+  obs_active_conns_.set(static_cast<double>(conns_.size()));
+}
+
+void Server::reap_timeouts(Clock::time_point now) {
+  std::vector<int> dead;
+  for (const auto& [fd, conn] : conns_) {
+    const bool mid_frame = !conn.in.empty() || conn.discard > 0;
+    if (mid_frame && config_.read_timeout_ms > 0 &&
+        now - conn.read_deadline_base > ms(config_.read_timeout_ms)) {
+      dead.push_back(fd);
+    } else if (conn.out_off < conn.out.size() &&
+               config_.write_timeout_ms > 0 &&
+               now - conn.write_deadline_base >
+                   ms(config_.write_timeout_ms)) {
+      dead.push_back(fd);
+    }
+  }
+  for (const int fd : dead) {
+    ++reaped_;
+    obs_reaped_.inc();
+    close_conn(fd);
+  }
+}
+
+int Server::next_timeout_ms(Clock::time_point now) const {
+  std::int64_t timeout = 1000;  // heartbeat for reap/drain checks
+  const auto remaining = [&](Clock::time_point base, int limit_ms) {
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - base)
+            .count();
+    return static_cast<std::int64_t>(limit_ms) - elapsed;
+  };
+  for (const auto& [fd, conn] : conns_) {
+    if ((!conn.in.empty() || conn.discard > 0) && config_.read_timeout_ms > 0) {
+      timeout = std::min(
+          timeout, remaining(conn.read_deadline_base, config_.read_timeout_ms));
+    }
+    if (conn.out_off < conn.out.size() && config_.write_timeout_ms > 0) {
+      timeout = std::min(timeout, remaining(conn.write_deadline_base,
+                                            config_.write_timeout_ms));
+    }
+  }
+  return static_cast<int>(std::max<std::int64_t>(timeout, 0));
+}
+
+void Server::do_reload() {
+  std::string error;
+  if (dataset_.load(error)) {
+    ++reloads_;
+    obs_reloads_.inc();
+    obs::logf(obs::LogLevel::kInfo,
+              "s2sd: archive reloaded (%zu records, digest %016llx)",
+              dataset_.ingest().records,
+              static_cast<unsigned long long>(dataset_.digest()));
+  } else {
+    obs::logf(obs::LogLevel::kWarn, "s2sd: reload failed: %s", error.c_str());
+  }
+}
+
+std::string Server::stats_payload() const {
+  const ResultCache::Stats cache = cache_.stats();
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("type").value("server_stats");
+  w.key("server").begin_object();
+  w.key("active_conns").value(static_cast<std::uint64_t>(conns_.size()));
+  w.key("draining").value(draining_.load(std::memory_order_relaxed));
+  w.key("requests").value(requests_served_);
+  w.key("conns_accepted").value(accepted_);
+  w.key("conns_reaped").value(reaped_);
+  w.key("busy_rejected").value(busy_rejected_);
+  w.key("protocol_errors").value(protocol_errors_);
+  w.key("reloads").value(reloads_);
+  w.key("cache").begin_object();
+  w.key("hits").value(cache.hits);
+  w.key("misses").value(cache.misses);
+  w.key("insertions").value(cache.insertions);
+  w.key("evictions").value(cache.evictions);
+  w.key("entries").value(cache.entries);
+  w.key("bytes").value(cache.bytes);
+  w.end_object();
+  w.end_object();
+  w.key("dataset").begin_object();
+  dataset_.summary_json(w);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+obs::Histogram& Server::latency_histogram(MsgType type) {
+  const auto it = latency_.find(static_cast<std::uint8_t>(type));
+  if (it != latency_.end()) return it->second;
+  static obs::Histogram noop;
+  return noop;
+}
+
+}  // namespace s2s::svc

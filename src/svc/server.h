@@ -1,0 +1,191 @@
+// s2sd's non-blocking TCP server: one event-loop thread multiplexing
+// every connection through epoll (Linux) or poll (fallback; also
+// runtime-selectable so tests cover both backends).
+//
+// Per-connection state machine (DESIGN.md section 11):
+//
+//   reading header -> reading payload -> executing -> writing response
+//
+// with a read deadline on partially received frames (slow-loris reap), a
+// write deadline on stalled response flushes, a bounded request size
+// (oversized payloads are drained and answered with an error frame, the
+// connection survives), and a max-inflight cap on parsed-but-unexecuted
+// requests (excess frames get a "busy" error immediately). A frame whose
+// magic or version is wrong leaves the stream unframeable: the server
+// answers with an error frame and closes after flushing. A frame with a
+// bad CRC or unknown type has a trusted length, so it is skipped and the
+// connection survives.
+//
+// Shutdown is a drain, not an abort: request_drain() (what the SIGTERM
+// handler calls; async-signal-safe self-pipe wake) stops accepting and
+// reading, executes every parsed request, flushes every response within
+// the write deadline, then closes the connections and the listener.
+// request_reload() re-ingests the archive between requests (SIGHUP);
+// a changed file changes the digest and thereby invalidates the cache.
+//
+// Requests execute on the event-loop thread; the analyses behind the
+// figure queries fan out over the exec::ThreadPool (the loop thread
+// participates as a worker lane), so the expensive work is parallel
+// while connection state stays single-threaded and lock-free.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/pool.h"
+#include "obs/metrics.h"
+#include "svc/dataset.h"
+#include "svc/protocol.h"
+#include "svc/result_cache.h"
+
+namespace s2s::svc {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see Server::port()
+  int backlog = 64;
+  std::size_t max_connections = 256;
+  std::size_t max_request_bytes = kDefaultMaxRequestBytes;
+  /// Oversized payloads up to this are drained so the connection
+  /// survives; beyond it the connection closes after the error frame.
+  std::size_t max_discard_bytes = 1u << 20;
+  std::size_t max_inflight = 64;
+  int read_timeout_ms = 5000;
+  int write_timeout_ms = 5000;
+  /// False forces the poll() backend even on Linux.
+  bool use_epoll = true;
+  std::size_t cache_bytes = 64u << 20;
+  std::size_t cache_shards = 8;
+};
+
+class Server {
+ public:
+  Server(Dataset& dataset, exec::ThreadPool* pool, const ServerConfig& config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens. After success port() is the actual port.
+  bool start(std::string& error);
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Runs the event loop until a drain completes. Call from one thread.
+  void serve();
+
+  /// Async-signal-safe: request a graceful drain / an archive reload.
+  void request_drain();
+  void request_reload();
+
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  ResultCache& cache() noexcept { return cache_; }
+  std::uint64_t requests_served() const noexcept { return requests_served_; }
+  std::uint64_t connections_reaped() const noexcept { return reaped_; }
+  std::uint64_t reloads() const noexcept { return reloads_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Conn {
+    int fd = -1;
+    std::string in;            ///< received, not yet parsed
+    std::size_t discard = 0;   ///< oversized payload bytes left to drain
+    std::string out;           ///< encoded responses not yet sent
+    std::size_t out_off = 0;
+    Clock::time_point read_deadline_base;   ///< last read progress
+    Clock::time_point write_deadline_base;  ///< last write progress
+    bool close_after_flush = false;
+  };
+
+  struct PendingRequest {
+    int fd = -1;
+    MsgType type = MsgType::kPingEcho;
+    std::uint8_t flags = 0;
+    std::string payload;
+  };
+
+  /// Minimal readiness-poller over epoll or poll, level-triggered.
+  class Poller {
+   public:
+    struct Event {
+      int fd = -1;
+      bool readable = false;
+      bool writable = false;
+      bool error = false;
+    };
+
+    explicit Poller(bool use_epoll);
+    ~Poller();
+    bool ok() const noexcept { return ok_; }
+    void add(int fd, bool want_read, bool want_write);
+    void update(int fd, bool want_read, bool want_write);
+    void remove(int fd);
+    void wait(std::vector<Event>& out, int timeout_ms);
+
+   private:
+    bool epoll_ = false;
+    bool ok_ = false;
+    int epfd_ = -1;
+    /// poll backend: fd -> requested events.
+    std::unordered_map<int, short> interest_;
+  };
+
+  void accept_ready();
+  void handle_readable(Conn& conn);
+  void parse_frames(Conn& conn);
+  void execute_pending();
+  void execute_one(const PendingRequest& request);
+  void respond(Conn& conn, MsgType type, std::string_view payload);
+  void respond_error(Conn& conn, std::string_view code,
+                     std::string_view message, bool close_after);
+  void flush_out(Conn& conn);
+  void update_interest(Conn& conn);
+  void close_conn(int fd);
+  void reap_timeouts(Clock::time_point now);
+  int next_timeout_ms(Clock::time_point now) const;
+  void do_reload();
+  std::string stats_payload() const;
+  obs::Histogram& latency_histogram(MsgType type);
+
+  Dataset& dataset_;
+  exec::ThreadPool* pool_;
+  ServerConfig config_;
+  ResultCache cache_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> reload_pending_{false};
+
+  std::unique_ptr<Poller> poller_;
+  std::unordered_map<int, Conn> conns_;
+  std::deque<PendingRequest> pending_;
+
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t reaped_ = 0;
+  std::uint64_t reloads_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t busy_rejected_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+
+  obs::Counter obs_requests_;
+  obs::Counter obs_accepted_;
+  obs::Counter obs_reaped_;
+  obs::Counter obs_busy_;
+  obs::Counter obs_protocol_errors_;
+  obs::Counter obs_bytes_rx_;
+  obs::Counter obs_bytes_tx_;
+  obs::Counter obs_reloads_;
+  obs::Gauge obs_active_conns_;
+  std::unordered_map<std::uint8_t, obs::Histogram> latency_;
+};
+
+}  // namespace s2s::svc

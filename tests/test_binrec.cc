@@ -496,6 +496,74 @@ TEST(BinRecInterchange, AutoIngestMatchesFormatSniff) {
   expect_same_sequence(g.pings, from_text.pings);
 }
 
+TEST(BinRecInterchange, AutoIngestEdgeCases) {
+  const auto ingest = [](const std::string& bytes, Collected& out) {
+    std::istringstream in(bytes, std::ios::binary);
+    return io::read_records_auto(
+        in, [&](const TracerouteRecord& r) { out.traces.push_back(r); },
+        [&](const PingRecord& r) { out.pings.push_back(r); });
+  };
+
+  // Empty file: not binary, zero records, zero errors, still ok.
+  {
+    Collected got;
+    const auto r = ingest("", got);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.binary);
+    EXPECT_EQ(r.records, 0u);
+    EXPECT_EQ(r.malformed_lines, 0u);
+  }
+
+  // Shorter than the magic itself: a 2-byte prefix of "S2SB" must fall to
+  // the text arm (one malformed line), not be claimed as binary.
+  {
+    Collected got;
+    const auto r = ingest("S2", got);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.binary);
+    EXPECT_EQ(r.records, 0u);
+    EXPECT_EQ(r.malformed_lines, 1u);
+  }
+
+  // A text file that merely *begins* with the binary magic bytes: the
+  // version field decodes from printable text as a value far above 255,
+  // so the sniff routes it to the text arm and the remaining valid line
+  // still parses.
+  {
+    Collected got;
+    const auto r =
+        ingest("S2SBhost\tsome\ttext\tcolumns\nP\t1\t2\t4\t100\t1\t12.500\n",
+               got);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.binary);
+    EXPECT_EQ(r.malformed_lines, 1u);
+    ASSERT_EQ(got.pings.size(), 1u);
+    EXPECT_EQ(got.pings[0].src, 1u);
+    EXPECT_EQ(got.pings[0].rtt_ms, 12.5);
+  }
+
+  // Exactly the magic and nothing else: claimed binary only if a version
+  // could follow; with no version bytes it is text (one malformed line).
+  {
+    Collected got;
+    const auto r = ingest("S2SB", got);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.binary);
+    EXPECT_EQ(r.malformed_lines, 1u);
+  }
+
+  // Magic plus a plausible version but nothing more: the sniff says
+  // binary, and the reader reports a truncated header instead of records.
+  {
+    Collected got;
+    std::string head("S2SB\x01\x00", 6);
+    const auto r = ingest(head, got);
+    EXPECT_TRUE(r.binary);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(got.pings.size() + got.traces.size(), 0u);
+  }
+}
+
 TEST(BinRecInterchange, StoresProduceIdenticalQualityReportsFromEitherFormat) {
   // The acceptance contract: an analysis fed from text or binary sees the
   // same records, so every store tallies the same DataQualityReport.

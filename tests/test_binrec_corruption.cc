@@ -188,6 +188,91 @@ TEST(BinRecCorruption, TruncationLosesTailExactly) {
   }
 }
 
+TEST(BinRecCorruption, TruncationSetsTheTornFlag) {
+  const auto archive = make_ping_archive(81, 5, 25);
+  // Clean archives are not torn.
+  EXPECT_FALSE(read_stream(archive.image).counters.truncated);
+  EXPECT_FALSE(read_mmap(archive.image).counters.truncated);
+
+  BlockCorruptor corruptor(BlockCorruptorConfig{.seed = 17});
+  const auto damaged =
+      corruptor.apply(archive.image, BlockFault::kTruncateMidBlock, 2);
+  for (const bool use_mmap : {false, true}) {
+    const auto got = use_mmap ? read_mmap(damaged) : read_stream(damaged);
+    ASSERT_TRUE(got.ok);
+    EXPECT_TRUE(got.counters.truncated) << "mmap=" << use_mmap;
+  }
+
+  // The flag reaches the ingest seam, where tools (s2s_recconv info)
+  // turn it into a hard failure.
+  const std::string path = ::testing::TempDir() + "/binrec_torn.s2sb";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << damaged;
+  }
+  const auto result = io::ingest_record_file(
+      path, [](const TracerouteRecord&) {}, [](const PingRecord&) {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(BinRecCorruption, DamagedFooterIsInvalidNotMerelyAbsent) {
+  const auto archive = make_ping_archive(82, 4, 20);
+  {
+    io::BinRecordMmapReader reader(archive.image.data(),
+                                   archive.image.size());
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader.footer_status(), io::FooterStatus::kValid);
+    EXPECT_TRUE(reader.has_index());
+  }
+  const auto footerless = make_ping_archive(82, 4, 20, /*with_footer=*/false);
+  {
+    io::BinRecordMmapReader reader(footerless.image.data(),
+                                   footerless.image.size());
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader.footer_status(), io::FooterStatus::kAbsent);
+    EXPECT_FALSE(reader.has_index());
+  }
+
+  // Flip one byte inside the footer entry array: the EOF seal is intact
+  // but the entries CRC no longer matches.
+  std::string damaged = archive.image;
+  damaged[damaged.size() - io::kBinFooterTailBytes - 1] ^= 0x01;
+  io::BinRecordMmapReader reader(damaged.data(), damaged.size());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.footer_status(), io::FooterStatus::kInvalid);
+  EXPECT_FALSE(reader.has_index());
+  // Reading still works via the sequential fallback: every record and no
+  // corrupt blocks, because only the index was damaged.
+  const auto got = read_mmap(damaged);
+  EXPECT_EQ(got.pings.size(), archive.total);
+  EXPECT_EQ(got.counters.corrupt_blocks, 0u);
+  EXPECT_FALSE(got.counters.truncated);
+
+  // Truncation *inside the footer* (data blocks intact, EOF seal gone)
+  // must also read as a damaged footer, not as a clean footerless file.
+  std::string torn_footer = archive.image;
+  torn_footer.resize(torn_footer.size() - 10);
+  io::BinRecordMmapReader torn_reader(torn_footer.data(), torn_footer.size());
+  ASSERT_TRUE(torn_reader.ok());
+  std::size_t torn_records = 0;
+  torn_reader.read_all([](const TracerouteRecord&) {},
+                       [&](const PingRecord&) { ++torn_records; });
+  EXPECT_EQ(torn_records, archive.total);
+  EXPECT_EQ(torn_reader.footer_status(), io::FooterStatus::kInvalid);
+
+  const std::string path = ::testing::TempDir() + "/binrec_bad_footer.s2sb";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << damaged;
+  }
+  const auto result = io::ingest_record_file(
+      path, [](const TracerouteRecord&) {}, [](const PingRecord&) {});
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.footer, io::FooterStatus::kInvalid);
+  EXPECT_EQ(result.records, archive.total);
+}
+
 TEST(BinRecCorruption, StaleVersionIsRejectedUpFront) {
   const auto archive = make_ping_archive(99, 4, 20);
   BlockCorruptor corruptor;

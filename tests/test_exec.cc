@@ -16,6 +16,7 @@
 #include "core/routing_study.h"
 #include "exec/parallel_for.h"
 #include "exec/pool.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "probe/campaign.h"
 
@@ -44,6 +45,42 @@ TEST(ResolveThreadCount, GarbageEnvFallsBackToHardware) {
   ::unsetenv("S2S_THREADS");
   EXPECT_EQ(exec::resolve_thread_count(0), exec::hardware_threads());
   EXPECT_GE(exec::hardware_threads(), 1u);
+}
+
+TEST(ResolveThreadCount, OverflowAndHugeEnvValuesAreRejected) {
+  // strtol clamps overflow to LONG_MAX (> 0), so without an ERANGE check
+  // these would silently coerce to absurd worker counts.
+  for (const char* bad :
+       {"99999999999999999999", "9223372036854775807", "4097", "1e3", "+",
+        "--3"}) {
+    ::setenv("S2S_THREADS", bad, 1);
+    EXPECT_EQ(exec::resolve_thread_count(0), exec::hardware_threads()) << bad;
+  }
+  // The cap itself is still accepted.
+  ::setenv("S2S_THREADS", "4096", 1);
+  EXPECT_EQ(exec::resolve_thread_count(0), 4096u);
+  ::unsetenv("S2S_THREADS");
+}
+
+TEST(ResolveThreadCount, BadEnvWarnsOncePerValue) {
+  std::vector<std::string> messages;
+  obs::set_log_sink([&](obs::LogLevel level, std::string_view message) {
+    if (level == obs::LogLevel::kWarn) messages.emplace_back(message);
+  });
+  ::setenv("S2S_THREADS", "bogus-once", 1);
+  exec::resolve_thread_count(0);
+  exec::resolve_thread_count(0);
+  exec::resolve_thread_count(0);
+  ::unsetenv("S2S_THREADS");
+  obs::set_log_sink({});
+  const auto mentions = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (const auto& m : messages) {
+      if (m.find(needle) != std::string::npos) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(mentions("bogus-once"), 1u);
 }
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {

@@ -1,0 +1,131 @@
+// s2s_query — one-shot client for a running s2sd (DESIGN.md section 11).
+//
+//   s2s_query [--host A] --port N <command> [args]
+//
+// Commands:
+//   ping                          liveness echo
+//   stats                         server + dataset counters
+//   pair-rtt SRC DST FAM          RTT quantiles (add --series for samples)
+//   prevalence SRC DST FAM [CAP]  ranked AS-path prevalence
+//   verdict SRC DST FAM           congestion verdict for the ping series
+//   dualstack SRC DST             matched v4-v6 RTT deltas
+//   figure N                      figure digest (1, 2, 5 or 10)
+//
+// --no-cache asks the server to skip the result-cache lookup (the
+// response is still inserted). Prints the response JSON payload on
+// stdout. Exit status: 0 = ok response, 1 = server error frame,
+// 2 = usage or transport failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "svc/client.h"
+#include "svc/protocol.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: s2s_query [--host A] --port N [--no-cache] "
+               "[--series] <command>\n"
+               "  ping | stats | figure N | dualstack SRC DST |\n"
+               "  pair-rtt SRC DST FAM | prevalence SRC DST FAM [CAP] |\n"
+               "  verdict SRC DST FAM\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace s2s;
+
+  std::string host = "127.0.0.1";
+  int port = 0;
+  bool no_cache = false;
+  bool series = false;
+  std::vector<std::string> words;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (!std::strcmp(argv[i], "--host")) host = next();
+    else if (!std::strcmp(argv[i], "--port")) port = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--no-cache")) no_cache = true;
+    else if (!std::strcmp(argv[i], "--series")) series = true;
+    else words.emplace_back(argv[i]);
+  }
+  if (port <= 0 || port > 65535 || words.empty()) return usage();
+  const std::string& command = words[0];
+
+  auto pair_args = [&](std::size_t want, svc::PairQuery& q) {
+    if (words.size() < 1 + want) return false;
+    q.src = static_cast<std::uint32_t>(std::strtoul(words[1].c_str(),
+                                                    nullptr, 10));
+    q.dst = static_cast<std::uint32_t>(std::strtoul(words[2].c_str(),
+                                                    nullptr, 10));
+    if (want >= 3) {
+      q.family = static_cast<std::uint8_t>(std::atoi(words[3].c_str()));
+    }
+    return true;
+  };
+
+  svc::MsgType type;
+  std::string payload;
+  if (command == "ping") {
+    type = svc::MsgType::kPingEcho;
+  } else if (command == "stats") {
+    type = svc::MsgType::kServerStats;
+  } else if (command == "pair-rtt") {
+    svc::PairQuery q;
+    if (!pair_args(3, q)) return usage();
+    q.arg = series ? 1 : 0;
+    type = svc::MsgType::kPairRtt;
+    payload = svc::encode_pair_query(q);
+  } else if (command == "prevalence") {
+    svc::PairQuery q;
+    if (!pair_args(3, q)) return usage();
+    if (words.size() >= 5) {
+      q.arg = static_cast<std::uint8_t>(std::atoi(words[4].c_str()));
+    }
+    type = svc::MsgType::kPathPrevalence;
+    payload = svc::encode_pair_query(q);
+  } else if (command == "verdict") {
+    svc::PairQuery q;
+    if (!pair_args(3, q)) return usage();
+    type = svc::MsgType::kCongestionVerdict;
+    payload = svc::encode_pair_query(q);
+  } else if (command == "dualstack") {
+    svc::PairQuery p;
+    if (!pair_args(2, p)) return usage();
+    svc::DualStackQuery q;
+    q.src = p.src;
+    q.dst = p.dst;
+    type = svc::MsgType::kDualStackDelta;
+    payload = svc::encode_dualstack_query(q);
+  } else if (command == "figure") {
+    if (words.size() < 2) return usage();
+    svc::FigureQuery q;
+    q.figure = static_cast<std::uint8_t>(std::atoi(words[1].c_str()));
+    type = svc::MsgType::kFigureDigest;
+    payload = svc::encode_figure_query(q);
+  } else {
+    return usage();
+  }
+
+  svc::Client client;
+  std::string error;
+  if (!client.connect(host, static_cast<std::uint16_t>(port), error)) {
+    std::fprintf(stderr, "s2s_query: %s\n", error.c_str());
+    return 2;
+  }
+  svc::MsgType response_type;
+  std::string response;
+  const std::uint8_t flags = no_cache ? svc::kFlagNoCache : 0;
+  if (!client.call(type, flags, payload, &response_type, &response, error)) {
+    std::fprintf(stderr, "s2s_query: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("%s\n", response.c_str());
+  return response_type == svc::MsgType::kError ? 1 : 0;
+}

@@ -10,8 +10,11 @@
 // text -> binary -> text is byte-identical for well-formed archives (the
 // round-trip smoke test in CI asserts this). Malformed text lines and
 // corrupt binary blocks are counted and skipped, mirroring the readers'
-// never-fatal contract; the exit status is nonzero only when the input
-// cannot be opened or is not a record archive at all.
+// never-fatal contract. The conversion modes exit nonzero only when the
+// input cannot be opened or is not a record archive at all; `info` is an
+// integrity check, so it additionally fails when the archive is torn
+// (truncated mid-block), the footer index is damaged, or any block was
+// corrupt — partial stats are still printed, but not as success.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -63,6 +66,30 @@ int main(int argc, char** argv) {
     print_result(in_path.c_str(), result);
     std::printf("%s: traceroutes=%zu pings=%zu\n", in_path.c_str(), traces,
                 pings);
+    if (result.binary) {
+      bool damaged = false;
+      if (result.truncated) {
+        damaged = true;
+        std::fprintf(stderr,
+                     "s2s_recconv: %s: archive truncated mid-block; counts "
+                     "above cover only the readable prefix\n",
+                     in_path.c_str());
+      }
+      if (result.footer == io::FooterStatus::kInvalid) {
+        damaged = true;
+        std::fprintf(stderr,
+                     "s2s_recconv: %s: footer index failed validation "
+                     "(CRC/structure mismatch); read fell back to a "
+                     "sequential walk\n",
+                     in_path.c_str());
+      }
+      if (result.corrupt_blocks > 0) {
+        damaged = true;
+        std::fprintf(stderr, "s2s_recconv: %s: %zu corrupt block(s) skipped\n",
+                     in_path.c_str(), result.corrupt_blocks);
+      }
+      if (damaged) return 1;
+    }
     return 0;
   }
 
