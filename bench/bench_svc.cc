@@ -15,8 +15,17 @@
 // --no-report). The warm/cold p50 ratio is the headline: the acceptance
 // bar is warm p50 at least 5x lower than cold p50.
 //
-//   bench_svc [--fast] [--connections N] [--warm-rounds N]
-//             [--threads N] [--report PATH] [--no-report]
+// Two degraded-mode sections (DESIGN.md section 12) ride along:
+//   "degraded": the warm workload replayed through a seeded in-process
+//     chaos proxy injecting latency+jitter — requests/sec and p99 under
+//     fault vs clean, with the retrying clients' counters; and
+//   "overload": 2x the serving capacity offered as pipelined bursts
+//     against a tight admission budget — the shed rate and that every
+//     busy response carried a retry-after hint.
+//
+//   bench_svc [--fast] [--connections N] [--warm-rounds N] [--threads N]
+//             [--timeout-ms N] [--retries N] [--hedge]
+//             [--hedge-delay-ms N] [--report PATH] [--no-report]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,12 +35,15 @@
 #include <vector>
 
 #include "exec/pool.h"
+#include "faultsim/chaos_proxy.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "stats/summary.h"
 #include "svc/client.h"
 #include "svc/dataset.h"
+#include "svc/protocol.h"
+#include "svc/retry_client.h"
 #include "svc/server.h"
 
 namespace {
@@ -47,6 +59,7 @@ struct PhaseResult {
   std::vector<double> latencies_us;
   double wall_s = 0.0;
   std::size_t errors = 0;
+  s2s::svc::RetryStats retry;  ///< summed over the phase's clients
 
   double requests_per_sec() const {
     return wall_s > 0.0 ? static_cast<double>(latencies_us.size()) / wall_s
@@ -57,19 +70,18 @@ struct PhaseResult {
 PhaseResult run_phase(const char* host, std::uint16_t port,
                       const std::vector<Request>& workload,
                       std::size_t connections, std::size_t rounds,
-                      std::uint8_t flags) {
+                      std::uint8_t flags, const s2s::svc::RetryPolicy& policy) {
   std::vector<std::vector<double>> lat(connections);
   std::vector<std::size_t> errors(connections, 0);
+  std::vector<s2s::svc::RetryStats> retry(connections);
   std::vector<std::thread> threads;
   const auto t0 = Clock::now();
   for (std::size_t c = 0; c < connections; ++c) {
     threads.emplace_back([&, c] {
-      s2s::svc::Client client;
+      s2s::svc::RetryPolicy p = policy;
+      p.jitter_seed = policy.jitter_seed + c;  // decorrelate the backoffs
+      s2s::svc::RetryingClient client(host, port, p);
       std::string error;
-      if (!client.connect(host, port, error, /*timeout_ms=*/60000)) {
-        ++errors[c];
-        return;
-      }
       for (std::size_t r = 0; r < rounds; ++r) {
         for (const Request& req : workload) {
           s2s::svc::MsgType rtype;
@@ -86,6 +98,7 @@ PhaseResult run_phase(const char* host, std::uint16_t port,
                   .count());
         }
       }
+      retry[c] = client.stats();
     });
   }
   for (auto& t : threads) t.join();
@@ -95,11 +108,20 @@ PhaseResult run_phase(const char* host, std::uint16_t port,
     out.latencies_us.insert(out.latencies_us.end(), v.begin(), v.end());
   }
   for (const std::size_t e : errors) out.errors += e;
+  for (const auto& s : retry) {
+    out.retry.attempts += s.attempts;
+    out.retry.retries += s.retries;
+    out.retry.failed_attempts += s.failed_attempts;
+    out.retry.timeouts += s.timeouts;
+    out.retry.busy_rescheduled += s.busy_rescheduled;
+    out.retry.hedges += s.hedges;
+    out.retry.hedge_wins += s.hedge_wins;
+  }
   return out;
 }
 
 void phase_json(s2s::obs::json::Writer& w, const char* name,
-                const PhaseResult& r) {
+                const PhaseResult& r, bool with_retry = false) {
   w.key(name).begin_object();
   w.key("requests").value(static_cast<std::uint64_t>(r.latencies_us.size()));
   w.key("errors").value(static_cast<std::uint64_t>(r.errors));
@@ -107,7 +129,85 @@ void phase_json(s2s::obs::json::Writer& w, const char* name,
   w.key("requests_per_sec").value(r.requests_per_sec());
   w.key("p50_us").value(s2s::stats::quantile(r.latencies_us, 0.50));
   w.key("p99_us").value(s2s::stats::quantile(r.latencies_us, 0.99));
+  if (with_retry) {
+    w.key("retry").begin_object();
+    w.key("attempts").value(r.retry.attempts);
+    w.key("retries").value(r.retry.retries);
+    w.key("failed_attempts").value(r.retry.failed_attempts);
+    w.key("timeouts").value(r.retry.timeouts);
+    w.key("busy_rescheduled").value(r.retry.busy_rescheduled);
+    w.key("hedges").value(r.retry.hedges);
+    w.key("hedge_wins").value(r.retry.hedge_wins);
+    w.end_object();
+  }
   w.end_object();
+}
+
+struct OverloadResult {
+  std::size_t clients = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t other = 0;
+  std::uint64_t hints_present = 0;
+  double wall_s = 0.0;
+
+  double shed_rate() const {
+    const double total = static_cast<double>(ok + busy + other);
+    return total > 0.0 ? static_cast<double>(busy) / total : 0.0;
+  }
+};
+
+/// Offers 2x the admission capacity as pipelined ping bursts: `clients`
+/// raw connections each fire `rounds` bursts of `burst` frames at a
+/// server whose inflight budget admits roughly half of the offered
+/// concurrency, and every shed must carry a retry-after hint.
+OverloadResult run_overload(const char* host, std::uint16_t port,
+                            std::size_t clients, std::size_t rounds,
+                            std::size_t burst) {
+  std::vector<OverloadResult> per(clients);
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      s2s::svc::Client raw;
+      std::string error;
+      if (!raw.connect(host, port, error, /*timeout_ms=*/60000)) return;
+      std::string batch;
+      for (std::size_t i = 0; i < burst; ++i) {
+        batch += s2s::svc::encode_frame(s2s::svc::MsgType::kPingEcho, 0, "");
+      }
+      for (std::size_t r = 0; r < rounds; ++r) {
+        if (!raw.send_bytes(batch, error)) return;
+        for (std::size_t i = 0; i < burst; ++i) {
+          s2s::svc::MsgType rtype;
+          std::string rpayload;
+          if (!raw.read_frame(&rtype, &rpayload, error)) return;
+          if (rtype == s2s::svc::MsgType::kOk) {
+            ++per[c].ok;
+            continue;
+          }
+          const auto info = s2s::svc::parse_error_payload(rpayload);
+          if (info.code == "busy") {
+            ++per[c].busy;
+            if (info.retry_after_ms >= 0) ++per[c].hints_present;
+          } else {
+            ++per[c].other;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  OverloadResult out;
+  out.clients = clients;
+  out.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const auto& p : per) {
+    out.ok += p.ok;
+    out.busy += p.busy;
+    out.other += p.other;
+    out.hints_present += p.hints_present;
+  }
+  return out;
 }
 
 }  // namespace
@@ -121,6 +221,8 @@ int main(int argc, char** argv) {
   bool fast = false;
   bool want_report = true;
   std::string report_path = "BENCH_svc.json";
+  svc::RetryPolicy policy;
+  policy.timeout_ms = 60000;  // closed-loop: cold figures can be slow
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -132,6 +234,14 @@ int main(int argc, char** argv) {
       threads = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--fast")) {
       fast = true;
+    } else if (!std::strcmp(argv[i], "--timeout-ms")) {
+      policy.timeout_ms = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      policy.max_retries = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--hedge")) {
+      policy.hedge = true;
+    } else if (!std::strcmp(argv[i], "--hedge-delay-ms")) {
+      policy.hedge_delay_ms = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--report")) {
       report_path = next();
     } else if (!std::strcmp(argv[i], "--no-report")) {
@@ -208,13 +318,57 @@ int main(int argc, char** argv) {
               connections, workload.size(), static_cast<unsigned>(port));
 
   const PhaseResult cold = run_phase("127.0.0.1", port, workload, connections,
-                                     /*rounds=*/1, svc::kFlagNoCache);
+                                     /*rounds=*/1, svc::kFlagNoCache, policy);
   const PhaseResult warm = run_phase("127.0.0.1", port, workload, connections,
-                                     warm_rounds, /*flags=*/0);
+                                     warm_rounds, /*flags=*/0, policy);
+
+  // Degraded mode: the warm workload again, but through a seeded chaos
+  // proxy injecting latency+jitter — the delta vs "warm" is what the
+  // serving path loses to a degraded network while staying error-free.
+  std::printf("bench_svc: degraded phase (chaos latency+jitter)\n");
+  faultsim::ChaosConfig chaos_cfg;
+  chaos_cfg.seed = 4242;
+  chaos_cfg.upstream_port = port;
+  chaos_cfg.latency_ms = 2;
+  chaos_cfg.jitter_ms = 3;
+  faultsim::ChaosProxy proxy(chaos_cfg);
+  PhaseResult degraded;
+  bool degraded_ran = false;
+  if (proxy.start(error)) {
+    degraded = run_phase("127.0.0.1", proxy.port(), workload, connections,
+                         warm_rounds, /*flags=*/0, policy);
+    proxy.stop();
+    degraded_ran = true;
+  } else {
+    std::fprintf(stderr, "bench_svc: chaos proxy failed: %s\n", error.c_str());
+  }
 
   const svc::ResultCache::Stats cache = server.cache().stats();
   server.request_drain();
   serve_thread.join();
+
+  // Overload: a second server over the same dataset with a tight
+  // admission budget, offered 2x its inflight capacity as pipelined
+  // ping bursts — measures the shed rate and hint coverage.
+  std::printf("bench_svc: overload phase (2x admission capacity)\n");
+  svc::ServerConfig ov_cfg;
+  ov_cfg.max_inflight = 8;
+  svc::Server ov_server(dataset, &pool, ov_cfg);
+  OverloadResult overload;
+  bool overload_ran = false;
+  if (ov_server.start(error)) {
+    std::thread ov_thread([&] { ov_server.serve(); });
+    overload = run_overload("127.0.0.1", ov_server.port(),
+                            /*clients=*/2 * connections,
+                            /*rounds=*/fast ? 20 : 100,
+                            /*burst=*/2 * ov_cfg.max_inflight);
+    ov_server.request_drain();
+    ov_thread.join();
+    overload_ran = true;
+  } else {
+    std::fprintf(stderr, "bench_svc: overload server failed: %s\n",
+                 error.c_str());
+  }
 
   obs::json::Writer w;
   w.begin_object();
@@ -225,6 +379,24 @@ int main(int argc, char** argv) {
   w.key("warm_rounds").value(static_cast<std::uint64_t>(warm_rounds));
   phase_json(w, "cold", cold);
   phase_json(w, "warm", warm);
+  if (degraded_ran) {
+    phase_json(w, "degraded", degraded, /*with_retry=*/true);
+    const double p99_warm = stats::quantile(warm.latencies_us, 0.99);
+    const double p99_deg = stats::quantile(degraded.latencies_us, 0.99);
+    w.key("degraded_p99_ratio")
+        .value(p99_warm > 0.0 ? p99_deg / p99_warm : 0.0);
+  }
+  if (overload_ran) {
+    w.key("overload").begin_object();
+    w.key("clients").value(static_cast<std::uint64_t>(overload.clients));
+    w.key("ok").value(overload.ok);
+    w.key("busy").value(overload.busy);
+    w.key("other").value(overload.other);
+    w.key("hints_present").value(overload.hints_present);
+    w.key("shed_rate").value(overload.shed_rate());
+    w.key("wall_s").value(overload.wall_s);
+    w.end_object();
+  }
   const double p50_cold = stats::quantile(cold.latencies_us, 0.50);
   const double p50_warm = stats::quantile(warm.latencies_us, 0.50);
   w.key("speedup_p50").value(p50_warm > 0.0 ? p50_cold / p50_warm : 0.0);
@@ -243,10 +415,13 @@ int main(int argc, char** argv) {
   if (want_report && !obs::write_text_file(report_path, json)) {
     return 1;
   }
-  if (cold.errors > 0 || warm.errors > 0) {
-    std::fprintf(stderr, "bench_svc: %zu cold / %zu warm request errors\n",
-                 cold.errors, warm.errors);
+  if (cold.errors > 0 || warm.errors > 0 || degraded.errors > 0) {
+    std::fprintf(stderr,
+                 "bench_svc: %zu cold / %zu warm / %zu degraded request "
+                 "errors\n",
+                 cold.errors, warm.errors, degraded.errors);
     return 1;
   }
+  if (!degraded_ran || !overload_ran) return 1;
   return 0;
 }

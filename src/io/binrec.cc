@@ -1,6 +1,11 @@
 #include "io/binrec.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <map>
@@ -447,6 +452,56 @@ bool parse_file_header(const unsigned char* data, std::size_t size,
   return true;
 }
 
+/// Recovers a block's encode-time [first, last] span from its times
+/// column. Both payload kinds lead with dict, pair indices, then times,
+/// so one decoder serves both; the span covers every record in the block
+/// (the writer's min/max does too), not just the ones a full decode would
+/// deliver.
+bool block_time_span(std::size_t record_count, const unsigned char* payload,
+                     std::size_t size, std::int64_t& first,
+                     std::int64_t& last) {
+  first = 0;
+  last = 0;
+  if (record_count == 0) return true;
+  ByteCursor cur(payload, size);
+  std::vector<PairEntry> dict;
+  std::vector<std::uint32_t> idx;
+  std::vector<std::int64_t> times;
+  if (!decode_pair_dict(cur, record_count, dict)) return false;
+  if (!decode_pair_indices(cur, record_count, dict.size(), idx)) return false;
+  if (!decode_times(cur, record_count, times)) return false;
+  first = times.front();
+  last = times.front();
+  for (const auto t : times) {
+    first = std::min(first, t);
+    last = std::max(last, t);
+  }
+  return true;
+}
+
+/// The complete footer image (magic, entries, tail) for an index. Shared
+/// by BinRecordWriter::finish() and recover_archive() so a rebuilt footer
+/// is byte-identical to the one an uninterrupted writer would have sealed
+/// the same blocks with.
+std::string encode_footer(const std::vector<BlockIndexEntry>& index) {
+  std::string footer;
+  put_u32le(footer, kBinFooterMagic);
+  std::string entries;
+  for (const auto& e : index) {
+    put_u64le(entries, e.offset);
+    put_u64le(entries, static_cast<std::uint64_t>(e.first_time_s));
+    put_u64le(entries, static_cast<std::uint64_t>(e.last_time_s));
+    put_u32le(entries, e.record_count);
+    entries.push_back(static_cast<char>(e.kind));
+    entries.append(3, '\0');
+  }
+  footer += entries;
+  put_u32le(footer, static_cast<std::uint32_t>(index.size()));
+  put_u32le(footer, crc32c(entries.data(), entries.size()));
+  put_u64le(footer, kBinEofMagic);
+  return footer;
+}
+
 }  // namespace
 
 std::optional<double> decode_rtt_thousandths(std::uint32_t v) {
@@ -589,23 +644,153 @@ void BinRecordWriter::finish() {
   flush_block();
   finished_ = true;
   if (!config_.write_footer) return;
-  std::string footer;
-  put_u32le(footer, kBinFooterMagic);
-  std::string entries;
-  for (const auto& e : index_) {
-    put_u64le(entries, e.offset);
-    put_u64le(entries, static_cast<std::uint64_t>(e.first_time_s));
-    put_u64le(entries, static_cast<std::uint64_t>(e.last_time_s));
-    put_u32le(entries, e.record_count);
-    entries.push_back(static_cast<char>(e.kind));
-    entries.append(3, '\0');
-  }
-  footer += entries;
-  put_u32le(footer, static_cast<std::uint32_t>(index_.size()));
-  put_u32le(footer, crc32c(entries.data(), entries.size()));
-  put_u64le(footer, kBinEofMagic);
+  const std::string footer = encode_footer(index_);
   out_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
   bytes_written_ += footer.size();
+}
+
+// ---------------------------------------------------------------------------
+// AtomicArchiveWriter and recover_archive
+// ---------------------------------------------------------------------------
+
+AtomicArchiveWriter::AtomicArchiveWriter(const std::string& path)
+    : path_(path), tmp_(path + ".tmp") {
+  out_.open(tmp_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    error_ = tmp_ + ": open failed";
+    return;
+  }
+  ok_ = true;
+}
+
+AtomicArchiveWriter::~AtomicArchiveWriter() {
+  if (!committed_) abort();
+}
+
+void AtomicArchiveWriter::abort() noexcept {
+  if (committed_) return;
+  if (out_.is_open()) out_.close();
+  std::remove(tmp_.c_str());
+  ok_ = false;
+}
+
+bool AtomicArchiveWriter::commit(std::string& error) {
+  if (committed_) return true;
+  if (!ok_) {
+    error = error_;
+    return false;
+  }
+  out_.flush();
+  if (!out_.good()) {
+    error = tmp_ + ": write failed";
+    abort();
+    return false;
+  }
+  out_.close();
+  // Durability order matters: the tmp bytes must be on disk before the
+  // rename publishes them, and the rename must be in the directory before
+  // the commit is claimed — otherwise a crash can surface the new name
+  // with old (or no) bytes behind it.
+  const int fd = ::open(tmp_.c_str(), O_RDONLY);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    if (fd >= 0) ::close(fd);
+    error = tmp_ + ": fsync failed";
+    abort();
+    return false;
+  }
+  ::close(fd);
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    error = "rename " + tmp_ + " -> " + path_ + " failed";
+    abort();
+    return false;
+  }
+  committed_ = true;
+  const auto slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {  // best effort: some filesystems refuse directory fsync
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+RecoverResult recover_archive(const std::string& path) {
+  RecoverResult res;
+  MmapFile file;
+  if (!file.open(path)) {
+    res.error = file.error();
+    return res;
+  }
+  const auto* data = file.data();
+  const std::size_t size = file.size();
+  std::uint16_t version = 0;
+  if (!parse_file_header(data, size, version, res.error)) return res;
+
+  // Walk the longest valid prefix: structurally plausible header, payload
+  // in bounds, CRC match, and a full decode (null sinks — this pass only
+  // proves decodability and recovers each block's encode-time span).
+  std::vector<BlockIndexEntry> index;
+  std::size_t pos = kBinFileHeaderBytes;
+  while (pos + kBinBlockHeaderBytes <= size &&
+         get_u32le(data + pos) == kBinBlockMagic) {
+    const auto bh = parse_block_header(data + pos);
+    if (!bh.valid ||
+        pos + kBinBlockHeaderBytes + bh.payload_bytes > size) {
+      break;
+    }
+    const unsigned char* payload = data + pos + kBinBlockHeaderBytes;
+    if (block_crc(data + pos, payload, bh.payload_bytes) != bh.crc) break;
+    BinReadCounters counters;
+    if (!decode_block(bh.kind, bh.record_count, payload, bh.payload_bytes,
+                      [](const probe::TracerouteRecord&) {},
+                      [](const probe::PingRecord&) {}, counters)) {
+      break;
+    }
+    BlockIndexEntry entry;
+    entry.offset = pos;
+    entry.record_count = bh.record_count;
+    entry.kind = bh.kind;
+    // The footer span is the writer's min/max over every record's time,
+    // including records a decoder would reject for a bad RTT — so take it
+    // from the times column (which all block kinds lead with), not from
+    // the delivered-record callbacks.
+    if (!block_time_span(bh.record_count, payload, bh.payload_bytes,
+                         entry.first_time_s, entry.last_time_s)) {
+      break;
+    }
+    index.push_back(entry);
+    res.records_kept += bh.record_count;
+    pos += kBinBlockHeaderBytes + bh.payload_bytes;
+  }
+  res.blocks_kept = index.size();
+
+  // Already sealed and intact? Leave the file untouched.
+  const std::string footer = encode_footer(index);
+  if (size == pos + footer.size() &&
+      std::memcmp(data + pos, footer.data(), footer.size()) == 0) {
+    res.ok = true;
+    return res;
+  }
+
+  AtomicArchiveWriter out(path);
+  if (!out.ok()) {
+    res.error = out.error();
+    return res;
+  }
+  auto& stream = out.stream();
+  stream.write(reinterpret_cast<const char*>(data),
+               static_cast<std::streamsize>(kBinFileHeaderBytes));
+  stream.write(reinterpret_cast<const char*>(data) + kBinFileHeaderBytes,
+               static_cast<std::streamsize>(pos - kBinFileHeaderBytes));
+  stream.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  if (!out.commit(res.error)) return res;
+  res.ok = true;
+  res.repaired = true;
+  res.bytes_dropped = size > pos ? size - pos : 0;
+  return res;
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <iosfwd>
 #include <optional>
@@ -167,6 +168,70 @@ class BinRecordWriter {
   obs::Counter obs_blocks_written_ =
       obs::MetricsRegistry::global().counter("s2s.io.binrec.blocks_written");
 };
+
+// ---------------------------------------------------------------------------
+// Crash-consistent commit and torn-tail repair (DESIGN.md section 12)
+// ---------------------------------------------------------------------------
+
+/// Atomic file commit for archive writers: bytes stream to `path + ".tmp"`,
+/// and commit() flushes, fsyncs the tmp file, renames it over `path`, and
+/// fsyncs the containing directory. A crash at any point leaves either the
+/// previous file or the new one under the final name — never a torn hybrid
+/// (the tmp file a crash leaves behind is garbage-collected by the next
+/// successful commit to the same path). The destructor aborts (unlinks the
+/// tmp file) unless commit() succeeded.
+class AtomicArchiveWriter {
+ public:
+  explicit AtomicArchiveWriter(const std::string& path);
+  ~AtomicArchiveWriter();
+
+  AtomicArchiveWriter(const AtomicArchiveWriter&) = delete;
+  AtomicArchiveWriter& operator=(const AtomicArchiveWriter&) = delete;
+
+  /// False when the tmp file could not be opened; error() says why.
+  bool ok() const noexcept { return ok_; }
+  const std::string& error() const noexcept { return error_; }
+  /// The stream a BinRecordWriter (or any writer) targets.
+  std::ostream& stream() noexcept { return out_; }
+  const std::string& tmp_path() const noexcept { return tmp_; }
+
+  /// flush + fsync(tmp) + rename(tmp, path) + fsync(dir). Idempotent once
+  /// successful; on failure the tmp file is removed and `error` explains.
+  bool commit(std::string& error);
+  /// Discards the tmp file; the target path is untouched.
+  void abort() noexcept;
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ofstream out_;
+  bool ok_ = false;
+  bool committed_ = false;
+  std::string error_;
+};
+
+/// Outcome of recover_archive().
+struct RecoverResult {
+  bool ok = false;        ///< the file now ingests clean
+  bool repaired = false;  ///< ok and the file was rewritten (else untouched)
+  std::size_t blocks_kept = 0;
+  std::size_t records_kept = 0;
+  std::size_t bytes_dropped = 0;  ///< damaged/stale tail bytes discarded
+  std::string error;
+};
+
+/// Torn-tail repair: keeps the longest prefix of CRC-valid, decodable
+/// blocks, drops everything after it (a half-written block from a crashed
+/// writer, a mangled footer, trailing garbage), rebuilds the footer index
+/// for the kept blocks, and commits the result atomically via
+/// AtomicArchiveWriter. The block region of the repaired file is
+/// byte-identical to a strict prefix of the intended archive, and the
+/// rebuilt footer is byte-identical to what BinRecordWriter would have
+/// emitted for those blocks. A file that is already sealed and intact is
+/// left untouched (ok, not repaired); a clean footerless archive gains a
+/// footer. Only the unrecoverable cases fail: unreadable file or
+/// missing/unsupported file header.
+RecoverResult recover_archive(const std::string& path);
 
 // ---------------------------------------------------------------------------
 // Readers

@@ -157,6 +157,18 @@ bool Client::read_eof() {
   }
 }
 
+bool Client::has_buffered_frame() const noexcept {
+  if (buffer_.size() < kFrameHeaderBytes) return false;
+  FrameHeader header;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(buffer_.data());
+  if (parse_frame_header(bytes, header) != HeaderStatus::kOk) return true;
+  return buffer_.size() >= kFrameHeaderBytes + header.payload_bytes;
+}
+
+void Client::set_timeout(int timeout_ms) {
+  if (fd_ >= 0) arm_timeout(fd_, timeout_ms);
+}
+
 bool Client::call(MsgType type, std::uint8_t flags, std::string_view payload,
                   MsgType* response_type, std::string* response_payload,
                   std::string& error) {

@@ -40,6 +40,15 @@ class Client {
   /// True when the peer has closed (a clean EOF on the next read).
   bool read_eof();
 
+  /// The connected socket, for poll()-based readiness checks (hedging);
+  /// -1 when disconnected.
+  int fd() const noexcept { return fd_; }
+  /// True when a complete frame is already buffered (read_frame would
+  /// return without touching the socket).
+  bool has_buffered_frame() const noexcept;
+  /// Re-arms SO_RCVTIMEO/SO_SNDTIMEO on the live connection.
+  void set_timeout(int timeout_ms);
+
  private:
   int fd_ = -1;
   std::string buffer_;  ///< bytes received past the last parsed frame

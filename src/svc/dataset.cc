@@ -572,12 +572,15 @@ bool write_fixture_archive(const std::string& path, const DatasetConfig& cfg,
                   ping_pairs.begin() +
                       std::min(params.max_trace_pairs, ping_pairs.size()));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    error = "cannot write " + path;
+  // Atomic commit: the campaigns stream into `path + ".tmp"`, and only a
+  // fully sealed archive is renamed into place — a crash mid-campaign
+  // never leaves a torn file under the final name (DESIGN.md section 12).
+  io::AtomicArchiveWriter out(path);
+  if (!out.ok()) {
+    error = out.error();
     return false;
   }
-  io::BinRecordWriter writer(out);
+  io::BinRecordWriter writer(out.stream());
 
   probe::TracerouteCampaignConfig trace_cfg;
   trace_cfg.start_day = cfg.trace_start_day;
@@ -597,12 +600,24 @@ bool write_fixture_archive(const std::string& path, const DatasetConfig& cfg,
   pings.run([&](const probe::PingRecord& r) { writer.write(r); });
 
   writer.finish();
-  out.flush();
-  if (!out.good()) {
-    error = "write failed: " + path;
-    return false;
+  return out.commit(error);
+}
+
+std::string archive_damage(const io::IngestResult& ingest) {
+  if (!ingest.ok) {
+    return ingest.error.empty() ? "archive unreadable" : ingest.error;
   }
-  return true;
+  if (ingest.records == 0) return "archive contains no records";
+  if (!ingest.binary) return "";  // text archives tolerate malformed lines
+  if (ingest.truncated) return "archive is torn (EOF mid-block)";
+  if (ingest.corrupt_blocks > 0) {
+    return std::to_string(ingest.corrupt_blocks) +
+           " corrupt block(s) skipped during ingest";
+  }
+  if (ingest.footer == io::FooterStatus::kInvalid) {
+    return "footer index is damaged";
+  }
+  return "";
 }
 
 }  // namespace s2s::svc

@@ -159,8 +159,17 @@ struct FixtureParams {
 /// ping campaign over the same deployment and time base) that a Dataset
 /// built from the same DatasetConfig serves. The trace pairs are a
 /// prefix of the ping pairs, so every traced pair also has a ping
-/// series. Deterministic for a given (config, params).
+/// series. Deterministic for a given (config, params). The file is
+/// committed atomically (tmp + fsync + rename), so a crash mid-write
+/// never leaves a half-written archive under the final name.
 bool write_fixture_archive(const std::string& path, const DatasetConfig& cfg,
                            const FixtureParams& params, std::string& error);
+
+/// One-line archive-health diagnostic for strict startup: empty when the
+/// ingest saw a fully intact archive, otherwise the reason serving it
+/// would silently drop data (torn tail, corrupt blocks, damaged footer,
+/// zero records). s2sd refuses to start on a non-empty diagnostic;
+/// `s2s_recconv repair` fixes what this reports.
+std::string archive_damage(const io::IngestResult& ingest);
 
 }  // namespace s2s::svc

@@ -137,4 +137,59 @@ std::string error_payload(std::string_view code, std::string_view message) {
   return w.str();
 }
 
+std::string error_payload(std::string_view code, std::string_view message,
+                          int retry_after_ms) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("error").value(code);
+  w.key("message").value(message);
+  w.key("retry_after_ms").value(static_cast<std::int64_t>(retry_after_ms));
+  w.end_object();
+  return w.str();
+}
+
+ErrorInfo parse_error_payload(std::string_view payload) {
+  ErrorInfo info;
+  const auto find_value = [&](std::string_view key) -> std::string_view {
+    const std::string needle = "\"" + std::string(key) + "\":";
+    const auto at = payload.find(needle);
+    if (at == std::string_view::npos) return {};
+    return payload.substr(at + needle.size());
+  };
+  if (auto v = find_value("error"); !v.empty() && v.front() == '"') {
+    v.remove_prefix(1);
+    const auto end = v.find('"');
+    if (end != std::string_view::npos) info.code = std::string(v.substr(0, end));
+  }
+  if (auto v = find_value("retry_after_ms"); !v.empty()) {
+    int ms = 0;
+    bool any = false;
+    for (const char c : v) {
+      if (c < '0' || c > '9') break;
+      ms = ms * 10 + (c - '0');
+      any = true;
+    }
+    if (any) info.retry_after_ms = ms;
+  }
+  return info;
+}
+
+std::uint32_t request_cost(MsgType t) {
+  switch (t) {
+    case MsgType::kPingEcho:
+    case MsgType::kServerStats:
+      return 1;
+    case MsgType::kPairRtt:
+    case MsgType::kPathPrevalence:
+      return 8;
+    case MsgType::kCongestionVerdict:
+    case MsgType::kDualStackDelta:
+      return 16;
+    case MsgType::kFigureDigest:
+      return 128;
+    default:
+      return 8;  // unknown requests are rejected before admission anyway
+  }
+}
+
 }  // namespace s2s::svc

@@ -130,4 +130,26 @@ bool decode_figure_query(std::string_view payload, FigureQuery& out);
 /// bad_crc, bad_request, oversized, busy, not_found, draining, internal.
 std::string error_payload(std::string_view code, std::string_view message);
 
+/// kError payload with a retry-after hint appended:
+/// {"error":code,"message":message,"retry_after_ms":N}. Servers attach
+/// it to `busy` sheds so clients back off for a useful interval instead
+/// of guessing.
+std::string error_payload(std::string_view code, std::string_view message,
+                          int retry_after_ms);
+
+/// Decoded view of a kError payload: the machine-readable code plus the
+/// optional retry-after hint (-1 when absent). A tolerant scan of the
+/// error_payload() shape — not a general JSON parser.
+struct ErrorInfo {
+  std::string code;
+  int retry_after_ms = -1;
+};
+ErrorInfo parse_error_payload(std::string_view payload);
+
+/// Admission cost weight of a request (DESIGN.md section 12), roughly
+/// proportional to the analysis work behind it: echo/stats are free-ish,
+/// single-pair scans are cheap, cross-fleet figure digests dominate.
+/// The server's pending-cost budget is denominated in these units.
+std::uint32_t request_cost(MsgType t);
+
 }  // namespace s2s::svc

@@ -149,11 +149,15 @@ Server::Server(Dataset& dataset, exec::ThreadPool* pool,
   obs_accepted_ = reg.counter("s2s.svc.conns_accepted");
   obs_reaped_ = reg.counter("s2s.svc.conns_reaped");
   obs_busy_ = reg.counter("s2s.svc.busy_rejected");
+  obs_shed_cost_ = reg.counter("s2s.svc.shed.cost");
+  obs_shed_inflight_ = reg.counter("s2s.svc.shed.inflight");
+  obs_shed_client_ = reg.counter("s2s.svc.shed.client");
   obs_protocol_errors_ = reg.counter("s2s.svc.protocol_errors");
   obs_bytes_rx_ = reg.counter("s2s.svc.bytes_rx");
   obs_bytes_tx_ = reg.counter("s2s.svc.bytes_tx");
   obs_reloads_ = reg.counter("s2s.svc.reloads");
   obs_active_conns_ = reg.gauge("s2s.svc.active_conns");
+  obs_pending_cost_ = reg.gauge("s2s.svc.pending_cost");
   for (const MsgType t :
        {MsgType::kPingEcho, MsgType::kPairRtt, MsgType::kPathPrevalence,
         MsgType::kCongestionVerdict, MsgType::kDualStackDelta,
@@ -272,7 +276,7 @@ void Server::serve() {
         const auto it = conns_.find(fd);
         if (it != conns_.end()) flush_out(it->second);
       }
-      bool settled = pending_.empty();
+      bool settled = queues_empty();
       for (const auto& [fd, conn] : conns_) {
         if (conn.out_off < conn.out.size()) settled = false;
       }
@@ -441,60 +445,141 @@ void Server::parse_frames(Conn& conn) {
                     /*close_after=*/false);
       continue;
     }
-    if (pending_.size() >= config_.max_inflight) {
-      ++busy_rejected_;
-      obs_busy_.inc();
-      respond_error(conn, "busy", "too many requests in flight",
-                    /*close_after=*/false);
-      continue;
-    }
-    pending_.push_back(
-        {conn.fd, header.type, header.flags, std::string(payload)});
+    admit_request(conn, header.type, header.flags, payload);
   }
   conn.in.erase(0, off);
 }
 
+void Server::admit_request(Conn& conn, MsgType type, std::uint8_t flags,
+                           std::string_view payload) {
+  const std::uint32_t cost = request_cost(type);
+  std::size_t client_pending = 0;
+  for (const PendingItem& item : conn.queue) {
+    if (!item.shed) ++client_pending;
+  }
+
+  const char* reason = nullptr;
+  if (config_.max_client_pending > 0 &&
+      client_pending >= config_.max_client_pending) {
+    reason = "per-connection queue full";
+    ++shed_client_;
+    obs_shed_client_.inc();
+  } else if (pending_count_ >= config_.max_inflight) {
+    reason = "too many requests in flight";
+    ++shed_inflight_;
+    obs_shed_inflight_.inc();
+  } else if (config_.max_pending_cost > 0 && pending_count_ > 0 &&
+             pending_cost_ + cost > config_.max_pending_cost) {
+    // An empty queue always admits (progress guarantee for requests
+    // costlier than the whole budget).
+    reason = "pending cost budget exceeded";
+    ++shed_cost_;
+    obs_shed_cost_.inc();
+  }
+
+  if (reason != nullptr) {
+    ++busy_rejected_;
+    obs_busy_.inc();
+    // Advertise a retry horizon that grows with budget pressure: base
+    // when idle, 2x base when the pending-cost budget is saturated.
+    int hint = config_.busy_retry_after_ms;
+    if (config_.max_pending_cost > 0) {
+      hint += static_cast<int>(
+          (static_cast<std::uint64_t>(config_.busy_retry_after_ms) *
+           std::min(pending_cost_, config_.max_pending_cost)) /
+          config_.max_pending_cost);
+    }
+    PendingItem marker;
+    marker.type = type;
+    marker.shed = true;
+    marker.payload = error_payload("busy", reason, hint);
+    conn.queue.push_back(std::move(marker));
+    return;
+  }
+
+  PendingItem item;
+  item.type = type;
+  item.flags = flags;
+  item.payload.assign(payload);
+  item.cost = cost;
+  conn.queue.push_back(std::move(item));
+  ++pending_count_;
+  pending_cost_ += cost;
+  obs_pending_cost_.set(static_cast<double>(pending_cost_));
+}
+
 void Server::execute_pending() {
-  while (!pending_.empty()) {
-    const PendingRequest request = std::move(pending_.front());
-    pending_.pop_front();
-    execute_one(request);
+  // Round-robin: one item per connection per pass, connections in fd
+  // order, so no client's pipelined burst can starve another's queue.
+  std::vector<int> fds;
+  while (true) {
+    fds.clear();
+    for (const auto& [fd, conn] : conns_) {
+      if (!conn.queue.empty()) fds.push_back(fd);
+    }
+    if (fds.empty()) return;
+    std::sort(fds.begin(), fds.end());
+    for (const int fd : fds) {
+      const auto it = conns_.find(fd);
+      if (it == conns_.end() || it->second.queue.empty()) continue;
+      PendingItem item = std::move(it->second.queue.front());
+      it->second.queue.pop_front();
+      if (!item.shed) {
+        pending_count_ -= 1;
+        pending_cost_ -= item.cost;
+        obs_pending_cost_.set(static_cast<double>(pending_cost_));
+      }
+      if (item.shed) {
+        respond(it->second, MsgType::kError, item.payload);
+        const auto again = conns_.find(fd);
+        if (again != conns_.end()) flush_out(again->second);
+      } else {
+        execute_one(fd, item);
+      }
+    }
   }
 }
 
-void Server::execute_one(const PendingRequest& request) {
-  if (conns_.find(request.fd) == conns_.end()) return;  // closed meanwhile
+bool Server::queues_empty() const {
+  for (const auto& [fd, conn] : conns_) {
+    if (!conn.queue.empty()) return false;
+  }
+  return true;
+}
+
+void Server::execute_one(int fd, const PendingItem& item) {
+  if (conns_.find(fd) == conns_.end()) return;  // closed meanwhile
   const auto t0 = Clock::now();
   ++requests_served_;
   obs_requests_.inc();
 
   Dataset::Response response;
-  if (request.type == MsgType::kServerStats) {
+  if (item.type == MsgType::kServerStats) {
     response = {MsgType::kOk, stats_payload()};
-  } else if (is_cacheable(request.type)) {
+  } else if (is_cacheable(item.type)) {
     const std::string key = ResultCache::make_key(
-        dataset_.digest(), static_cast<std::uint8_t>(request.type),
-        request.payload);
+        dataset_.digest(), static_cast<std::uint8_t>(item.type),
+        item.payload);
     std::string cached;
-    if ((request.flags & kFlagNoCache) == 0 && cache_.lookup(key, cached)) {
+    if ((item.flags & kFlagNoCache) == 0 && cache_.lookup(key, cached)) {
       response = {MsgType::kOk, std::move(cached)};
     } else {
-      response = dataset_.execute(request.type, request.payload, pool_);
+      response = dataset_.execute(item.type, item.payload, pool_);
       if (response.type == MsgType::kOk) cache_.insert(key, response.payload);
     }
   } else {
-    response = dataset_.execute(request.type, request.payload, pool_);
+    response = dataset_.execute(item.type, item.payload, pool_);
   }
 
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                       Clock::now() - t0)
                       .count();
-  latency_histogram(request.type).record(static_cast<double>(us));
+  latency_histogram(item.type).record(static_cast<double>(us));
 
-  const auto it = conns_.find(request.fd);
+  const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   respond(it->second, response.type, response.payload);
-  const auto again = conns_.find(request.fd);
+  const auto again = conns_.find(fd);
   if (again != conns_.end()) flush_out(again->second);
 }
 
@@ -550,16 +635,18 @@ void Server::update_interest(Conn& conn) {
 void Server::close_conn(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  // The per-connection queue dies with the connection; release what its
+  // admitted requests held against the global gates.
+  for (const PendingItem& item : it->second.queue) {
+    if (!item.shed) {
+      pending_count_ -= 1;
+      pending_cost_ -= item.cost;
+    }
+  }
+  obs_pending_cost_.set(static_cast<double>(pending_cost_));
   poller_->remove(fd);
   ::close(fd);
   conns_.erase(it);
-  // fd numbers are reused by later accepts; drop any queued requests so
-  // a stale response can never reach the wrong connection.
-  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
-                                [fd](const PendingRequest& r) {
-                                  return r.fd == fd;
-                                }),
-                 pending_.end());
   obs_active_conns_.set(static_cast<double>(conns_.size()));
 }
 
@@ -631,6 +718,14 @@ std::string Server::stats_payload() const {
   w.key("conns_accepted").value(accepted_);
   w.key("conns_reaped").value(reaped_);
   w.key("busy_rejected").value(busy_rejected_);
+  w.key("shed").begin_object();
+  w.key("cost").value(shed_cost_);
+  w.key("inflight").value(shed_inflight_);
+  w.key("client").value(shed_client_);
+  w.key("pending_cost").value(static_cast<std::uint64_t>(pending_cost_));
+  w.key("max_pending_cost")
+      .value(static_cast<std::uint64_t>(config_.max_pending_cost));
+  w.end_object();
   w.key("protocol_errors").value(protocol_errors_);
   w.key("reloads").value(reloads_);
   w.key("cache").begin_object();

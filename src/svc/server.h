@@ -9,12 +9,21 @@
 // with a read deadline on partially received frames (slow-loris reap), a
 // write deadline on stalled response flushes, a bounded request size
 // (oversized payloads are drained and answered with an error frame, the
-// connection survives), and a max-inflight cap on parsed-but-unexecuted
-// requests (excess frames get a "busy" error immediately). A frame whose
-// magic or version is wrong leaves the stream unframeable: the server
-// answers with an error frame and closes after flushing. A frame with a
-// bad CRC or unknown type has a trusted length, so it is skipped and the
-// connection survives.
+// connection survives), and cost-based admission control on parsed-but-
+// unexecuted requests (DESIGN.md section 12): each request type carries
+// a cost weight (figure-digest >> ping), and a request is shed with a
+// `busy` error frame — carrying a retry_after_ms hint — when the global
+// pending-cost budget, the global pending-count cap, or the per-
+// connection queue bound would be exceeded. Shed decisions are made at
+// parse time but answered in arrival order: the busy frame is queued on
+// the connection like any response, so a pipelined burst never sees its
+// rejection overtake answers to its accepted predecessors. Admitted
+// requests drain round-robin across connections (per-client fair
+// queueing), so one connection's pipelined figure burst cannot starve
+// another's ping. A frame whose magic or version is wrong leaves the
+// stream unframeable: the server answers with an error frame and closes
+// after flushing. A frame with a bad CRC or unknown type has a trusted
+// length, so it is skipped and the connection survives.
 //
 // Shutdown is a drain, not an abort: request_drain() (what the SIGTERM
 // handler calls; async-signal-safe self-pipe wake) stops accepting and
@@ -55,7 +64,18 @@ struct ServerConfig {
   /// Oversized payloads up to this are drained so the connection
   /// survives; beyond it the connection closes after the error frame.
   std::size_t max_discard_bytes = 1u << 20;
+  /// Global parsed-but-unexecuted request cap (count gate).
   std::size_t max_inflight = 64;
+  /// Global pending-cost budget in request_cost() units (0 = count-only
+  /// admission). An empty queue always admits one request regardless of
+  /// its cost, so expensive queries make progress under any budget.
+  std::size_t max_pending_cost = 4096;
+  /// Per-connection bound on admitted-but-unexecuted requests
+  /// (0 = unbounded); the fair-queue depth one client may hold.
+  std::size_t max_client_pending = 32;
+  /// Base retry-after hint attached to busy sheds; the advertised value
+  /// scales with how full the pending-cost budget is (base..2x base).
+  int busy_retry_after_ms = 25;
   int read_timeout_ms = 5000;
   int write_timeout_ms = 5000;
   /// False forces the poll() backend even on Linux.
@@ -93,22 +113,27 @@ class Server {
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// One parsed request awaiting its turn, or a shed marker. Shed
+  /// markers keep rejected requests in arrival order: the busy frame is
+  /// emitted when the queue drains, never ahead of earlier answers.
+  struct PendingItem {
+    MsgType type = MsgType::kPingEcho;
+    std::uint8_t flags = 0;
+    std::string payload;       ///< request payload; error payload if shed
+    std::uint32_t cost = 0;    ///< admission units held (0 when shed)
+    bool shed = false;
+  };
+
   struct Conn {
     int fd = -1;
     std::string in;            ///< received, not yet parsed
     std::size_t discard = 0;   ///< oversized payload bytes left to drain
     std::string out;           ///< encoded responses not yet sent
     std::size_t out_off = 0;
+    std::deque<PendingItem> queue;  ///< admitted + shed, arrival order
     Clock::time_point read_deadline_base;   ///< last read progress
     Clock::time_point write_deadline_base;  ///< last write progress
     bool close_after_flush = false;
-  };
-
-  struct PendingRequest {
-    int fd = -1;
-    MsgType type = MsgType::kPingEcho;
-    std::uint8_t flags = 0;
-    std::string payload;
   };
 
   /// Minimal readiness-poller over epoll or poll, level-triggered.
@@ -140,8 +165,15 @@ class Server {
   void accept_ready();
   void handle_readable(Conn& conn);
   void parse_frames(Conn& conn);
+  /// Admission decision for one parsed request: queues either the
+  /// request (charging the cost gates) or an ordered busy marker.
+  void admit_request(Conn& conn, MsgType type, std::uint8_t flags,
+                     std::string_view payload);
+  /// Drains every connection queue round-robin, one item per connection
+  /// per pass (fair queueing).
   void execute_pending();
-  void execute_one(const PendingRequest& request);
+  void execute_one(int fd, const PendingItem& item);
+  bool queues_empty() const;
   void respond(Conn& conn, MsgType type, std::string_view payload);
   void respond_error(Conn& conn, std::string_view code,
                      std::string_view message, bool close_after);
@@ -167,24 +199,32 @@ class Server {
 
   std::unique_ptr<Poller> poller_;
   std::unordered_map<int, Conn> conns_;
-  std::deque<PendingRequest> pending_;
+  std::size_t pending_count_ = 0;  ///< admitted items across all conns
+  std::size_t pending_cost_ = 0;   ///< their request_cost() sum
 
   std::uint64_t requests_served_ = 0;
   std::uint64_t reaped_ = 0;
   std::uint64_t reloads_ = 0;
   std::uint64_t accepted_ = 0;
   std::uint64_t busy_rejected_ = 0;
+  std::uint64_t shed_cost_ = 0;      ///< sheds from the cost budget
+  std::uint64_t shed_inflight_ = 0;  ///< sheds from the count cap
+  std::uint64_t shed_client_ = 0;    ///< sheds from the per-conn bound
   std::uint64_t protocol_errors_ = 0;
 
   obs::Counter obs_requests_;
   obs::Counter obs_accepted_;
   obs::Counter obs_reaped_;
   obs::Counter obs_busy_;
+  obs::Counter obs_shed_cost_;
+  obs::Counter obs_shed_inflight_;
+  obs::Counter obs_shed_client_;
   obs::Counter obs_protocol_errors_;
   obs::Counter obs_bytes_rx_;
   obs::Counter obs_bytes_tx_;
   obs::Counter obs_reloads_;
   obs::Gauge obs_active_conns_;
+  obs::Gauge obs_pending_cost_;
   std::unordered_map<std::uint8_t, obs::Histogram> latency_;
 };
 

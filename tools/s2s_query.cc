@@ -14,26 +14,71 @@
 // --no-cache asks the server to skip the result-cache lookup (the
 // response is still inserted). Prints the response JSON payload on
 // stdout. Exit status: 0 = ok response, 1 = server error frame,
-// 2 = usage or transport failure.
+// 2 = usage, transport failure, or retries exhausted.
+//
+// Resilience flags (DESIGN.md section 12):
+//   --timeout-ms N      per-attempt deadline          (default 10000)
+//   --retries N         attempts after the first      (default 0)
+//   --hedge             race a second connection when the primary is
+//                       silent past --hedge-delay-ms  (default 150)
+//   --burst N           first pipeline N copies of the request on one
+//                       raw connection and report ok/busy counts on
+//                       stderr (exercises server admission control),
+//                       then run the real retried call
+//   --report PATH       write a RunReport JSON (s2s.svc.retry.* counters)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 #include "svc/client.h"
 #include "svc/protocol.h"
+#include "svc/retry_client.h"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
                "usage: s2s_query [--host A] --port N [--no-cache] "
-               "[--series] <command>\n"
+               "[--series]\n"
+               "  [--timeout-ms N] [--retries N] [--hedge] "
+               "[--hedge-delay-ms N]\n"
+               "  [--burst N] [--report PATH] <command>\n"
                "  ping | stats | figure N | dualstack SRC DST |\n"
                "  pair-rtt SRC DST FAM | prevalence SRC DST FAM [CAP] |\n"
                "  verdict SRC DST FAM\n");
   return 2;
+}
+
+/// Pipelines `count` copies of the frame on one throwaway connection and
+/// counts the responses by kind; how a script provokes (and proves)
+/// ordered busy shedding without a concurrent client fleet.
+bool run_burst(const std::string& host, std::uint16_t port, int count,
+               const std::string& frame, std::string& error) {
+  s2s::svc::Client raw;
+  if (!raw.connect(host, port, error)) return false;
+  std::string wire;
+  for (int i = 0; i < count; ++i) wire += frame;
+  if (!raw.send_bytes(wire, error)) return false;
+  int ok = 0, busy = 0, other = 0;
+  for (int i = 0; i < count; ++i) {
+    s2s::svc::MsgType type;
+    std::string payload;
+    if (!raw.read_frame(&type, &payload, error)) return false;
+    if (type != s2s::svc::MsgType::kError) {
+      ++ok;
+    } else if (s2s::svc::parse_error_payload(payload).code == "busy") {
+      ++busy;
+    } else {
+      ++other;
+    }
+  }
+  std::fprintf(stderr, "s2s_query: burst %d: ok=%d busy=%d other=%d\n",
+               count, ok, busy, other);
+  return true;
 }
 
 }  // namespace
@@ -45,6 +90,11 @@ int main(int argc, char** argv) {
   int port = 0;
   bool no_cache = false;
   bool series = false;
+  int burst = 0;
+  std::string report_path;
+  svc::RetryPolicy policy;
+  policy.timeout_ms = 10000;
+  policy.max_retries = 0;
   std::vector<std::string> words;
 
   for (int i = 1; i < argc; ++i) {
@@ -53,7 +103,21 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--port")) port = std::atoi(next());
     else if (!std::strcmp(argv[i], "--no-cache")) no_cache = true;
     else if (!std::strcmp(argv[i], "--series")) series = true;
-    else words.emplace_back(argv[i]);
+    else if (!std::strcmp(argv[i], "--timeout-ms")) {
+      policy.timeout_ms = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      policy.max_retries = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--hedge")) {
+      policy.hedge = true;
+    } else if (!std::strcmp(argv[i], "--hedge-delay-ms")) {
+      policy.hedge_delay_ms = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--burst")) {
+      burst = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report_path = next();
+    } else {
+      words.emplace_back(argv[i]);
+    }
   }
   if (port <= 0 || port > 65535 || words.empty()) return usage();
   const std::string& command = words[0];
@@ -113,18 +177,41 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  svc::Client client;
+  obs::MetricsRegistry::global().reset();
   std::string error;
-  if (!client.connect(host, static_cast<std::uint16_t>(port), error)) {
+  const std::uint8_t flags = no_cache ? svc::kFlagNoCache : 0;
+
+  if (burst > 0 &&
+      !run_burst(host, static_cast<std::uint16_t>(port), burst,
+                 svc::encode_frame(type, flags, payload), error)) {
+    std::fprintf(stderr, "s2s_query: burst failed: %s\n", error.c_str());
+    return 2;
+  }
+
+  svc::RetryingClient client(host, static_cast<std::uint16_t>(port), policy);
+  svc::MsgType response_type;
+  std::string response;
+  const bool called =
+      client.call(type, flags, payload, &response_type, &response, error);
+
+  if (!report_path.empty()) {
+    obs::RunReport report = obs::build_run_report("s2s_query");
+    obs::write_text_file(report_path, report.to_json());
+  }
+  if (!called) {
     std::fprintf(stderr, "s2s_query: %s\n", error.c_str());
     return 2;
   }
-  svc::MsgType response_type;
-  std::string response;
-  const std::uint8_t flags = no_cache ? svc::kFlagNoCache : 0;
-  if (!client.call(type, flags, payload, &response_type, &response, error)) {
-    std::fprintf(stderr, "s2s_query: %s\n", error.c_str());
-    return 2;
+  const auto& rs = client.stats();
+  if (rs.retries > 0 || rs.hedges > 0) {
+    std::fprintf(stderr,
+                 "s2s_query: attempts=%llu retries=%llu failed=%llu "
+                 "busy_rescheduled=%llu hedges=%llu\n",
+                 static_cast<unsigned long long>(rs.attempts),
+                 static_cast<unsigned long long>(rs.retries),
+                 static_cast<unsigned long long>(rs.failed_attempts),
+                 static_cast<unsigned long long>(rs.busy_rescheduled),
+                 static_cast<unsigned long long>(rs.hedges));
   }
   std::printf("%s\n", response.c_str());
   return response_type == svc::MsgType::kError ? 1 : 0;

@@ -4,6 +4,7 @@
 //   s2s_recconv to-binary   <in.tsv>  <out.s2sb> [--block-records N]
 //   s2s_recconv to-text     <in.s2sb> <out.tsv>
 //   s2s_recconv info        <in>           # either format: counts + stats
+//   s2s_recconv repair      <in.s2sb>      # torn-tail repair, in place
 //
 // Conversion is lossless in both directions: the binary RTT column is
 // fixed-point at exactly the text format's %.3f precision, so
@@ -15,6 +16,12 @@
 // integrity check, so it additionally fails when the archive is torn
 // (truncated mid-block), the footer index is damaged, or any block was
 // corrupt — partial stats are still printed, but not as success.
+//
+// `repair` truncates a damaged archive to its longest valid block prefix,
+// rebuilds the footer, and commits atomically (tmp + fsync + rename); an
+// already-intact file is left untouched. `to-binary` uses the same atomic
+// commit, so an interrupted conversion never leaves a torn output
+// (DESIGN.md section 12).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,7 +37,8 @@ int usage() {
                "usage: s2s_recconv to-binary <in.tsv> <out.s2sb> "
                "[--block-records N]\n"
                "       s2s_recconv to-text   <in.s2sb> <out.tsv>\n"
-               "       s2s_recconv info      <in>\n");
+               "       s2s_recconv info      <in>\n"
+               "       s2s_recconv repair    <in.s2sb>\n");
   return 2;
 }
 
@@ -93,6 +101,21 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (mode == "repair") {
+    const auto res = io::recover_archive(in_path);
+    if (!res.ok) {
+      std::fprintf(stderr, "s2s_recconv: %s: %s\n", in_path.c_str(),
+                   res.error.c_str());
+      return 1;
+    }
+    std::printf("%s: %s: blocks_kept=%zu records_kept=%zu "
+                "bytes_dropped=%zu\n",
+                in_path.c_str(),
+                res.repaired ? "repaired" : "already intact", res.blocks_kept,
+                res.records_kept, res.bytes_dropped);
+    return 0;
+  }
+
   if (argc < 4) return usage();
   const std::string out_path = argv[3];
 
@@ -106,13 +129,12 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "s2s_recconv: %s: open failed\n",
-                   out_path.c_str());
+    io::AtomicArchiveWriter out(out_path);
+    if (!out.ok()) {
+      std::fprintf(stderr, "s2s_recconv: %s\n", out.error().c_str());
       return 1;
     }
-    io::BinRecordWriter writer(out, config);
+    io::BinRecordWriter writer(out.stream(), config);
     const auto result = io::ingest_record_file(
         in_path, [&](const probe::TracerouteRecord& r) { writer.write(r); },
         [&](const probe::PingRecord& r) { writer.write(r); });
@@ -121,9 +143,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     writer.finish();
-    if (!out) {
-      std::fprintf(stderr, "s2s_recconv: %s: write failed\n",
-                   out_path.c_str());
+    if (std::string commit_error; !out.commit(commit_error)) {
+      std::fprintf(stderr, "s2s_recconv: %s\n", commit_error.c_str());
       return 1;
     }
     print_result(in_path.c_str(), result);

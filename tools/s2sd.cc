@@ -8,7 +8,11 @@
 //   --port N            listen port             (default 0 = ephemeral)
 //   --threads N         analysis pool width     (default 0 = auto)
 //   --poll              force the poll() backend instead of epoll
-//   --max-inflight N    parsed-but-unexecuted request cap
+//   --max-inflight N    parsed-but-unexecuted request cap (count gate)
+//   --max-pending-cost N  pending-cost budget (request_cost units; 0 off)
+//   --max-client-pending N  per-connection queue bound (0 = unbounded)
+//   --busy-retry-ms N   base retry-after hint on busy sheds
+//   --allow-damaged     serve despite a failed archive-health check
 //   --cache-mb N        result cache budget in MiB
 //   --read-timeout-ms N / --write-timeout-ms N
 //   --report PATH       RunReport JSON on shutdown (default s2sd_report.json)
@@ -50,6 +54,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: s2sd --archive <in.s2sb> [--host A] [--port N]\n"
                "            [--threads N] [--poll] [--max-inflight N]\n"
+               "            [--max-pending-cost N] [--max-client-pending N]\n"
+               "            [--busy-retry-ms N] [--allow-damaged]\n"
                "            [--cache-mb N] [--read-timeout-ms N]\n"
                "            [--write-timeout-ms N] [--report PATH]\n"
                "            [--no-report] [--seed N] [--servers N]\n"
@@ -70,6 +76,7 @@ int main(int argc, char** argv) {
   std::string report_path = "s2sd_report.json";
   bool want_report = true;
   bool fast = false;
+  bool allow_damaged = false;
   int threads = 0;
   svc::DatasetConfig dataset_cfg;
   svc::ServerConfig server_cfg;
@@ -87,6 +94,15 @@ int main(int argc, char** argv) {
       server_cfg.use_epoll = false;
     } else if (!std::strcmp(argv[i], "--max-inflight")) {
       server_cfg.max_inflight = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--max-pending-cost")) {
+      server_cfg.max_pending_cost = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--max-client-pending")) {
+      server_cfg.max_client_pending =
+          static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--busy-retry-ms")) {
+      server_cfg.busy_retry_after_ms = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--allow-damaged")) {
+      allow_damaged = true;
     } else if (!std::strcmp(argv[i], "--cache-mb")) {
       server_cfg.cache_bytes =
           static_cast<std::size_t>(std::atoi(next())) << 20;
@@ -145,6 +161,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "s2sd: cannot load %s: %s\n", archive.c_str(),
                  error.c_str());
     return 1;
+  }
+  // Refuse to serve an archive that ingested with damage: a daemon that
+  // silently drops blocks answers queries with confidently wrong data.
+  // SIGHUP reloads stay lenient (old data keeps serving on failure).
+  if (const std::string damage = svc::archive_damage(dataset.ingest());
+      !damage.empty()) {
+    if (allow_damaged) {
+      std::fprintf(stderr, "s2sd: WARNING: serving damaged archive %s: %s\n",
+                   archive.c_str(), damage.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "s2sd: refusing to serve %s: %s (run `s2s_recconv repair`"
+                   " or pass --allow-damaged)\n",
+                   archive.c_str(), damage.c_str());
+      return 1;
+    }
   }
 
   exec::ThreadPool pool(threads > 0 ? static_cast<unsigned>(threads) : 0u);
