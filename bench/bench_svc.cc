@@ -23,9 +23,18 @@
 //     against a tight admission budget — the shed rate and that every
 //     busy response carried a retry-after hint.
 //
+// With --trace PATH the clients stamp every request with a trace
+// context and the chrome://tracing JSON is written on exit; because the
+// server runs in-process, one export holds both the client attempt /
+// retry / hedge spans and the server's per-request phase spans, stitched
+// by shared trace ids (DESIGN.md section 13). --no-report additionally
+// disables the metrics registry and trace collector, so the warm-phase
+// delta vs a default run is the observability overhead.
+//
 //   bench_svc [--fast] [--connections N] [--warm-rounds N] [--threads N]
 //             [--timeout-ms N] [--retries N] [--hedge]
 //             [--hedge-delay-ms N] [--report PATH] [--no-report]
+//             [--trace PATH]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +48,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "obs/trace.h"
 #include "stats/summary.h"
 #include "svc/client.h"
 #include "svc/dataset.h"
@@ -221,6 +231,7 @@ int main(int argc, char** argv) {
   bool fast = false;
   bool want_report = true;
   std::string report_path = "BENCH_svc.json";
+  std::string trace_path;
   svc::RetryPolicy policy;
   policy.timeout_ms = 60000;  // closed-loop: cold figures can be slow
 
@@ -246,6 +257,8 @@ int main(int argc, char** argv) {
       report_path = next();
     } else if (!std::strcmp(argv[i], "--no-report")) {
       want_report = false;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = next();
     }
   }
   if (fast) {
@@ -255,6 +268,14 @@ int main(int argc, char** argv) {
   if (connections == 0) connections = 1;
 
   obs::MetricsRegistry::global().reset();
+  obs::TraceCollector::global().clear();
+  if (!want_report && trace_path.empty()) {
+    // The overhead baseline: no registry writes, no span commits — the
+    // warm-phase delta vs a default run bounds the cost of observability.
+    obs::MetricsRegistry::global().set_enabled(false);
+    obs::TraceCollector::global().set_enabled(false);
+  }
+  if (!trace_path.empty()) policy.trace = true;
 
   svc::DatasetConfig cfg;
   cfg.archive_path = "bench_svc_fixture.s2sb";
@@ -414,6 +435,15 @@ int main(int argc, char** argv) {
   std::printf("%s\n", json.c_str());
   if (want_report && !obs::write_text_file(report_path, json)) {
     return 1;
+  }
+  if (!trace_path.empty()) {
+    const auto& collector = obs::TraceCollector::global();
+    if (!obs::write_text_file(trace_path, collector.to_chrome_json())) {
+      return 1;
+    }
+    std::printf("bench_svc: chrome trace (%zu spans, %zu dropped): %s\n",
+                collector.events().size(), collector.dropped(),
+                trace_path.c_str());
   }
   if (cold.errors > 0 || warm.errors > 0 || degraded.errors > 0) {
     std::fprintf(stderr,

@@ -1,8 +1,10 @@
 #include "obs/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 #include <string>
 
@@ -18,13 +20,30 @@ LogSink& sink_slot() {
 }
 
 void default_sink(LogLevel level, std::string_view message) {
-  std::fprintf(stderr, "s2s [%.*s] %.*s\n",
+  const auto now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  const std::string stamp = log_timestamp_utc(now_ms);
+  std::fprintf(stderr, "s2s %s [%.*s] %.*s\n", stamp.c_str(),
                static_cast<int>(to_string(level).size()),
                to_string(level).data(), static_cast<int>(message.size()),
                message.data());
 }
 
 }  // namespace
+
+std::string log_timestamp_utc(std::int64_t now_ms) {
+  const std::time_t secs = static_cast<std::time_t>(now_ms / 1000);
+  const int ms = static_cast<int>(now_ms % 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, ms);
+  return buf;
+}
 
 std::string_view to_string(LogLevel level) {
   switch (level) {

@@ -6,10 +6,15 @@
 // it is leveled (debug < info < warn < error), filtered before any
 // formatting work happens, and redirectable — tests install a capturing
 // sink or set the level to kOff, embedders forward to their own logger.
-// The default sink writes "s2s [LEVEL] message" lines to stderr.
+// The default sink writes "s2s TIMESTAMP [LEVEL] message" lines to
+// stderr, where TIMESTAMP is UTC wall-clock (2026-08-08T12:34:56.789Z)
+// so daemon logs correlate with external monitoring without guessing
+// the host timezone.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 
 namespace s2s::obs {
@@ -38,6 +43,11 @@ void set_log_sink(LogSink sink);
 
 /// Sends a preformatted message (no trailing newline needed).
 void log_message(LogLevel level, std::string_view message);
+
+/// The default sink's line prefix for `now_ms` milliseconds since the
+/// Unix epoch: "2026-08-08T12:34:56.789Z" (UTC, fixed width). Exposed so
+/// tests can pin the format without scraping stderr.
+std::string log_timestamp_utc(std::int64_t now_ms);
 
 /// printf-style convenience; formatting is skipped when filtered out.
 [[gnu::format(printf, 2, 3)]]

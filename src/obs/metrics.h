@@ -43,6 +43,10 @@ struct HistogramSnapshot {
   /// Mean estimate from bucket midpoints (sum is not tracked per sample
   /// to keep the write path to a single fetch_add).
   double approx_mean() const;
+  /// Samples beyond the last finite bound. A nonzero overflow means
+  /// quantile() is clamped there — RunReport surfaces this so a capped
+  /// p99 is never mistaken for a real one.
+  std::uint64_t overflow() const { return counts.empty() ? 0 : counts.back(); }
 };
 
 struct MetricsSnapshot {

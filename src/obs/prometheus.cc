@@ -1,0 +1,126 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace s2s::obs {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  // %.17g round-trips doubles; integers render without an exponent up
+  // to 2^53, which covers every counter.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+void type_line(std::string& out, const std::string& name, const char* kind) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += kind;
+  out += '\n';
+}
+
+void sample(std::string& out, const std::string& name, std::uint64_t v) {
+  out += name;
+  out += ' ';
+  append_u64(out, v);
+  out += '\n';
+}
+
+void sample(std::string& out, const std::string& name, double v) {
+  out += name;
+  out += ' ';
+  append_number(out, v);
+  out += '\n';
+}
+
+void histogram_block(std::string& out, const std::string& name,
+                     const HistogramSnapshot& h) {
+  type_line(out, name, "histogram");
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    cumulative += i < h.counts.size() ? h.counts[i] : 0;
+    out += name;
+    out += "_bucket{le=\"";
+    append_number(out, h.bounds[i]);
+    out += "\"} ";
+    append_u64(out, cumulative);
+    out += '\n';
+  }
+  out += name;
+  out += "_bucket{le=\"+Inf\"} ";
+  append_u64(out, h.total);
+  out += '\n';
+  sample(out, name + "_sum", h.approx_mean() * static_cast<double>(h.total));
+  sample(out, name + "_count", h.total);
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':' ||
+                    (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    out += ok ? c : '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+std::string to_prometheus_text(
+    const MetricsSnapshot& snapshot,
+    const std::map<std::string, WindowedSnapshot>& windowed,
+    const std::map<std::string, SloStat>& slo) {
+  std::string out;
+  for (const auto& [name, v] : snapshot.counters) {
+    std::string n = prometheus_name(name);
+    const char suffix[] = "_total";
+    if (n.size() < sizeof(suffix) - 1 ||
+        std::strcmp(n.c_str() + n.size() - (sizeof(suffix) - 1), suffix) !=
+            0) {
+      n += suffix;
+    }
+    type_line(out, n, "counter");
+    sample(out, n, v);
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string n = prometheus_name(name);
+    type_line(out, n, "gauge");
+    sample(out, n, v);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    histogram_block(out, prometheus_name(name), h);
+  }
+  for (const auto& [name, w] : windowed) {
+    const std::string n = prometheus_name(name);
+    type_line(out, n + "_p50", "gauge");
+    sample(out, n + "_p50", w.hist.quantile(0.50));
+    type_line(out, n + "_p99", "gauge");
+    sample(out, n + "_p99", w.hist.quantile(0.99));
+    type_line(out, n + "_count", "gauge");
+    sample(out, n + "_count", w.hist.total);
+    type_line(out, n + "_window_s", "gauge");
+    sample(out, n + "_window_s", w.window_s);
+  }
+  for (const auto& [name, s] : slo) {
+    const std::string n = prometheus_name(name);
+    type_line(out, n + "_threshold_us", "gauge");
+    sample(out, n + "_threshold_us", s.threshold_us);
+    type_line(out, n + "_good_ratio", "gauge");
+    sample(out, n + "_good_ratio", s.good_ratio());
+  }
+  return out;
+}
+
+}  // namespace s2s::obs

@@ -1,0 +1,44 @@
+// Prometheus / OpenMetrics text exposition of a MetricsSnapshot.
+//
+// The live serving path exposes its registry through `kMetricsDump`
+// (DESIGN.md section 13); this renderer produces the text format every
+// scraper understands:
+//
+//   # TYPE s2s_svc_requests_total counter
+//   s2s_svc_requests_total 12345
+//   # TYPE s2s_svc_latency_us_pair_rtt histogram
+//   s2s_svc_latency_us_pair_rtt_bucket{le="1"} 0
+//   ...
+//   s2s_svc_latency_us_pair_rtt_bucket{le="+Inf"} 73
+//   s2s_svc_latency_us_pair_rtt_sum 80321.5
+//   s2s_svc_latency_us_pair_rtt_count 73
+//
+// Metric names are sanitized ('.' and any other illegal character
+// become '_'); counters gain the conventional `_total` suffix; bucket
+// counts are emitted cumulatively with the mandatory `+Inf` bucket, and
+// `_sum` is the midpoint estimate (the registry deliberately does not
+// track per-sample sums — see metrics.h). Windowed histograms and SLO
+// stats are appended as gauges (`<name>_p50` / `_p99` / `_count` /
+// `_window_s`, `<name>_good_ratio` / `_threshold_us`) so a scrape
+// carries the last-N-seconds view next to the lifetime one.
+// tools/check_metrics_text.py validates this format in CI.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/windowed.h"
+
+namespace s2s::obs {
+
+/// A metric name with every illegal character replaced by '_'
+/// (Prometheus names match [a-zA-Z_:][a-zA-Z0-9_:]*).
+std::string prometheus_name(const std::string& name);
+
+std::string to_prometheus_text(
+    const MetricsSnapshot& snapshot,
+    const std::map<std::string, WindowedSnapshot>& windowed = {},
+    const std::map<std::string, SloStat>& slo = {});
+
+}  // namespace s2s::obs

@@ -59,6 +59,7 @@ std::string RunReport::to_json() const {
     for (const auto c : h.counts) w.value(c);
     w.end_array();
     w.key("total").value(h.total);
+    w.key("overflow").value(h.overflow());
     w.key("p50").value(h.quantile(0.50));
     w.key("p99").value(h.quantile(0.99));
     w.end_object();
@@ -78,6 +79,35 @@ std::string RunReport::to_json() const {
   w.end_object();
 
   write_u64_map(w, "data_quality", data_quality);
+
+  w.key("windowed").begin_object();
+  for (const auto& [name, win] : windowed) {
+    w.key(name).begin_object();
+    w.key("window_s").value(win.window_s);
+    w.key("bounds").begin_array();
+    for (const double b : win.hist.bounds) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const auto c : win.hist.counts) w.value(c);
+    w.end_array();
+    w.key("total").value(win.hist.total);
+    w.key("p50").value(win.hist.quantile(0.50));
+    w.key("p99").value(win.hist.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("slo").begin_object();
+  for (const auto& [name, s] : slo) {
+    w.key(name).begin_object();
+    w.key("threshold_us").value(s.threshold_us);
+    w.key("good").value(s.good);
+    w.key("total").value(s.total);
+    w.key("good_ratio").value(s.good_ratio());
+    w.end_object();
+  }
+  w.end_object();
+
   w.end_object();
   return w.str();
 }
@@ -155,6 +185,45 @@ std::optional<RunReport> RunReport::parse(std::string_view json_text) {
 
   if (!read_u64_map(*root, "data_quality", report.data_quality)) {
     return std::nullopt;
+  }
+
+  // v2 additions; absent in v1 documents, so both maps are optional.
+  if (const auto* win = root->find("windowed"); win && win->is_object()) {
+    for (const auto& [name, v] : win->object) {
+      const auto* window_s = v.find("window_s");
+      const auto* bounds = v.find("bounds");
+      const auto* counts = v.find("counts");
+      if (window_s == nullptr || !window_s->is_number() || bounds == nullptr ||
+          !bounds->is_array() || counts == nullptr || !counts->is_array() ||
+          counts->array.size() != bounds->array.size() + 1) {
+        return std::nullopt;
+      }
+      WindowedSnapshot snap;
+      snap.window_s = window_s->number;
+      for (const auto& b : bounds->array) {
+        if (!b.is_number()) return std::nullopt;
+        snap.hist.bounds.push_back(b.number);
+      }
+      for (const auto& c : counts->array) {
+        if (!c.is_number()) return std::nullopt;
+        snap.hist.counts.push_back(c.as_u64());
+        snap.hist.total += snap.hist.counts.back();
+      }
+      report.windowed.emplace(name, std::move(snap));
+    }
+  }
+  if (const auto* slo = root->find("slo"); slo && slo->is_object()) {
+    for (const auto& [name, v] : slo->object) {
+      const auto* threshold = v.find("threshold_us");
+      const auto* good = v.find("good");
+      const auto* total = v.find("total");
+      if (threshold == nullptr || !threshold->is_number() || good == nullptr ||
+          !good->is_number() || total == nullptr || !total->is_number()) {
+        return std::nullopt;
+      }
+      report.slo.emplace(
+          name, SloStat{threshold->number, good->as_u64(), total->as_u64()});
+    }
   }
   return report;
 }

@@ -11,6 +11,13 @@
 // on any incompatible change (key removal/retyping); adding keys is
 // compatible and does not bump. Consumers (CI validator, perf-trajectory
 // tooling) must reject versions they do not know.
+//
+// v2 (DESIGN.md section 13): histograms gain an "overflow" key (samples
+// past the last finite bound, i.e. where quantile() clamps), and two
+// optional top-level maps join: "windowed" (last-N-seconds latency
+// views) and "slo" (threshold good/total counters). v1 documents parse
+// as v2 minus the new keys; the version bumped because consumers keying
+// SLO dashboards off these maps must not silently read a v1 file.
 #pragma once
 
 #include <cstdint>
@@ -20,10 +27,11 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/windowed.h"
 
 namespace s2s::obs {
 
-inline constexpr int kRunReportSchemaVersion = 1;
+inline constexpr int kRunReportSchemaVersion = 2;
 
 struct RunReport {
   int schema_version = kRunReportSchemaVersion;
@@ -46,6 +54,13 @@ struct RunReport {
   /// DataQualityReport counters (e.g. "invalid_rtt"), possibly merged
   /// across stores; empty when the run has no quality accounting.
   std::map<std::string, std::uint64_t> data_quality;
+
+  /// Last-N-seconds latency views keyed by metric name (serving daemons
+  /// fill these from their WindowedHistograms at shutdown). Optional —
+  /// batch tools leave them empty.
+  std::map<std::string, WindowedSnapshot> windowed;
+  /// SLO good/total counters keyed by metric name. Optional.
+  std::map<std::string, SloStat> slo;
 
   std::size_t metric_count() const {
     return counters.size() + gauges.size() + histograms.size();

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/json.h"
 
@@ -17,6 +18,13 @@ std::uint32_t this_thread_tid() {
   static std::atomic<std::uint32_t> next{1};
   thread_local std::uint32_t tid = next.fetch_add(1);
   return tid;
+}
+
+std::string hex_id(std::uint64_t id) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
 }
 
 }  // namespace
@@ -67,6 +75,14 @@ std::string TraceCollector::to_chrome_json() const {
     w.key("args").begin_object();
     w.key("path").value(e.path);
     w.key("depth").value(static_cast<std::int64_t>(e.depth));
+    if (e.trace_id != 0) {
+      w.key("trace_id").value(hex_id(e.trace_id));
+      w.key("span_id").value(hex_id(e.span_id));
+      if (e.parent_span_id != 0) {
+        w.key("parent_span_id").value(hex_id(e.parent_span_id));
+      }
+    }
+    if (!e.note.empty()) w.key("note").value(e.note);
     w.end_object();
     w.end_object();
   }
@@ -135,12 +151,23 @@ TraceSpan::TraceSpan(std::string_view name, TraceCollector& collector) {
   if (parent_ != nullptr && parent_->collector_ == collector_) {
     path_ = parent_->path_ + "/" + name_;
     depth_ = parent_->depth_ + 1;
+    trace_id_ = parent_->trace_id_;
+    parent_span_id_ = parent_->span_id_;
   } else {
     path_ = name_;
     depth_ = 0;
   }
+  span_id_ = collector.new_span_id();
   start_us_ = collector.now_us();
   *top = this;
+}
+
+TraceSpan::TraceSpan(std::string_view name, std::uint64_t trace_id,
+                     std::uint64_t parent_span_id, TraceCollector& collector)
+    : TraceSpan(name, collector) {
+  if (collector_ == nullptr) return;
+  trace_id_ = trace_id != 0 ? trace_id : collector_->new_span_id();
+  if (parent_span_id != 0) parent_span_id_ = parent_span_id;
 }
 
 TraceSpan::~TraceSpan() {
@@ -154,6 +181,10 @@ TraceSpan::~TraceSpan() {
   event.depth = depth_;
   event.start_us = start_us_;
   event.dur_us = collector_->now_us() - start_us_;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_span_id = parent_span_id_;
+  event.note = std::move(note_);
   collector_->commit(std::move(event));
 }
 

@@ -29,6 +29,13 @@
 namespace s2s::obs {
 
 /// One finished span.
+///
+/// trace_id / span_id / parent_span_id carry the cross-process request
+/// identity (DESIGN.md section 13): a client call span mints a trace id,
+/// ships it over the wire inside the S2SQ trace-context prefix, and the
+/// server's request span adopts it — so one chrome://tracing export
+/// shows both halves of a request stitched by id. All three are 0 when
+/// tracing is purely local (pipeline stage spans).
 struct SpanEvent {
   std::string name;
   std::string path;  ///< "/"-joined ancestor names, root first
@@ -36,6 +43,10 @@ struct SpanEvent {
   std::uint32_t depth = 0;      ///< 0 = root span
   std::int64_t start_us = 0;    ///< since the collector epoch
   std::int64_t dur_us = 0;
+  std::uint64_t trace_id = 0;       ///< request identity; 0 = untraced
+  std::uint64_t span_id = 0;        ///< this span, unique per collector
+  std::uint64_t parent_span_id = 0; ///< 0 = root of its trace
+  std::string note;                 ///< free-form annotation ("won", ...)
 };
 
 class TraceSpan;
@@ -77,11 +88,25 @@ class TraceCollector {
   /// Indented text summary, one line per path, children under parents.
   std::string flamegraph() const;
 
+  /// Append a pre-built event (same cap/drop policy as span commit).
+  /// For retroactive phases that were never live as a stack span — e.g.
+  /// the server emits queue_wait after the fact, once the dequeue
+  /// timestamp is known.
+  void emit_event(SpanEvent event) { commit(std::move(event)); }
+
+  /// Collector-unique span id (never 0). Also mints trace ids for spans
+  /// that start a new trace.
+  std::uint64_t new_span_id() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   static TraceCollector& global();
 
  private:
   friend class TraceSpan;
   void commit(SpanEvent event);
+
+  std::atomic<std::uint64_t> next_span_id_{1};
 
   std::atomic<bool> enabled_{true};
   std::atomic<std::size_t> dropped_{0};
@@ -97,19 +122,37 @@ class TraceSpan {
  public:
   explicit TraceSpan(std::string_view name,
                      TraceCollector& collector = TraceCollector::global());
+  /// Span with an explicit trace identity — the server side of a traced
+  /// request: `trace_id` and `parent_span_id` arrive over the wire, and
+  /// this span becomes the remote parent's child. trace_id 0 starts a
+  /// fresh trace (a new id is minted), which is how client call spans
+  /// originate one.
+  TraceSpan(std::string_view name, std::uint64_t trace_id,
+            std::uint64_t parent_span_id,
+            TraceCollector& collector = TraceCollector::global());
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
   const std::string& path() const noexcept { return path_; }
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
+  std::uint64_t span_id() const noexcept { return span_id_; }
+  std::uint32_t depth() const noexcept { return depth_; }
+
+  /// Annotation committed with the event ("won" / "lost" on hedges).
+  void set_note(std::string note) { note_ = std::move(note); }
 
  private:
   TraceCollector* collector_ = nullptr;  ///< null when disabled
   TraceSpan* parent_ = nullptr;
   std::string name_;
   std::string path_;
+  std::string note_;
   std::uint32_t depth_ = 0;
   std::int64_t start_us_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
 };
 
 /// Records elapsed microseconds into `hist` on destruction.

@@ -15,6 +15,7 @@ const char* type_name(MsgType t) {
     case MsgType::kDualStackDelta: return "dualstack_delta";
     case MsgType::kFigureDigest: return "figure_digest";
     case MsgType::kServerStats: return "server_stats";
+    case MsgType::kMetricsDump: return "metrics_dump";
     case MsgType::kOk: return "ok";
     case MsgType::kError: return "error";
   }
@@ -30,6 +31,7 @@ bool is_request(MsgType t) {
     case MsgType::kDualStackDelta:
     case MsgType::kFigureDigest:
     case MsgType::kServerStats:
+    case MsgType::kMetricsDump:
       return true;
     case MsgType::kOk:
     case MsgType::kError:
@@ -128,6 +130,36 @@ bool decode_figure_query(std::string_view payload, FigureQuery& out) {
   return true;
 }
 
+std::string encode_metrics_dump_query(const MetricsDumpQuery& q) {
+  return std::string(1, static_cast<char>(q.format));
+}
+
+bool decode_metrics_dump_query(std::string_view payload,
+                               MetricsDumpQuery& out) {
+  if (payload.size() != 1) return false;
+  out.format = static_cast<std::uint8_t>(payload[0]);
+  return out.format == MetricsDumpQuery::kJson ||
+         out.format == MetricsDumpQuery::kPrometheus;
+}
+
+std::string encode_trace_context(const TraceContext& ctx) {
+  std::string out;
+  out.reserve(kTraceContextBytes);
+  io::put_u64le(out, ctx.trace_id);
+  io::put_u64le(out, ctx.span_id);
+  return out;
+}
+
+bool strip_trace_context(std::string_view payload, TraceContext& out,
+                         std::string_view& rest) {
+  if (payload.size() < kTraceContextBytes) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  out.trace_id = io::get_u64le(p);
+  out.span_id = io::get_u64le(p + 8);
+  rest = payload.substr(kTraceContextBytes);
+  return true;
+}
+
 std::string error_payload(std::string_view code, std::string_view message) {
   obs::json::Writer w;
   w.begin_object();
@@ -178,6 +210,7 @@ std::uint32_t request_cost(MsgType t) {
   switch (t) {
     case MsgType::kPingEcho:
     case MsgType::kServerStats:
+    case MsgType::kMetricsDump:
       return 1;
     case MsgType::kPairRtt:
     case MsgType::kPathPrevalence:

@@ -47,6 +47,7 @@ enum class MsgType : std::uint8_t {
   kDualStackDelta = 0x05,     ///< DualStackQuery
   kFigureDigest = 0x06,       ///< FigureQuery
   kServerStats = 0x07,        ///< empty payload; never cached
+  kMetricsDump = 0x08,        ///< 1-byte format selector; never cached
   // Responses.
   kOk = 0x80,
   kError = 0x81,
@@ -55,6 +56,15 @@ enum class MsgType : std::uint8_t {
 /// Request flag: skip the cache lookup (the result is still inserted),
 /// so load generators can force cold executions on a warm server.
 inline constexpr std::uint8_t kFlagNoCache = 0x01;
+
+/// Request flag: the payload starts with a TraceContext prefix
+/// (kTraceContextBytes). Strictly client opt-in — a server never
+/// requires it, so old clients interoperate unchanged; servers advertise
+/// support via "trace_context":true in kServerStats so clients can probe
+/// before opting in. The prefix is stripped before request decoding and
+/// before cache-key construction (a traced request hits the same cache
+/// entry as an untraced one).
+inline constexpr std::uint8_t kFlagTraceContext = 0x02;
 
 /// Stable lowercase name ("pair_rtt", ...); "unknown" for anything else.
 /// Used for metric names and the JSON "type" echo, so it never changes
@@ -125,6 +135,41 @@ struct FigureQuery {
 
 std::string encode_figure_query(const FigureQuery& q);
 bool decode_figure_query(std::string_view payload, FigureQuery& out);
+
+/// kMetricsDump payload (1 byte): exposition format selector.
+struct MetricsDumpQuery {
+  static constexpr std::uint8_t kJson = 0;        ///< MetricsSnapshot JSON
+  static constexpr std::uint8_t kPrometheus = 1;  ///< OpenMetrics text
+  std::uint8_t format = kJson;
+};
+
+std::string encode_metrics_dump_query(const MetricsDumpQuery& q);
+bool decode_metrics_dump_query(std::string_view payload,
+                               MetricsDumpQuery& out);
+
+// ---------------------------------------------------------------------------
+// Trace-context prefix (DESIGN.md section 13).
+// ---------------------------------------------------------------------------
+
+/// Fixed-width prefix a request payload carries when kFlagTraceContext is
+/// set: u64 trace_id, u64 span_id, little-endian. trace_id identifies the
+/// whole request across processes; span_id is the client's attempt span,
+/// which becomes the parent of the server's request span.
+inline constexpr std::size_t kTraceContextBytes = 16;
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+/// The prefix bytes to prepend to a request payload.
+std::string encode_trace_context(const TraceContext& ctx);
+
+/// Splits `payload` into prefix + rest. Returns false (and leaves `rest`
+/// untouched) when the payload is shorter than the prefix — a protocol
+/// error, since the flag promised one.
+bool strip_trace_context(std::string_view payload, TraceContext& out,
+                         std::string_view& rest);
 
 /// kError payload: {"error":code,"message":message}. Codes: bad_frame,
 /// bad_crc, bad_request, oversized, busy, not_found, draining, internal.

@@ -5,7 +5,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace s2s::svc {
 
@@ -82,15 +85,35 @@ bool RetryingClient::ensure_connected(Client& client, bool& first_use,
 int RetryingClient::attempt(MsgType type, std::uint8_t flags,
                             std::string_view payload, MsgType* response_type,
                             std::string* response_payload, int* hint_ms,
-                            std::string& error) {
+                            std::string& error, const char* span_name) {
   ++stats_.attempts;
   obs_attempts_.inc();
+
+  auto& collector = obs::TraceCollector::global();
+  const bool tracing = policy_.trace && collector.enabled();
+  // The attempt span nests under call()'s rpc span (thread-local chain)
+  // and its ids ride the wire, making the server's request span its
+  // child in the merged trace. The hedge span must be declared after it
+  // so stack (destruction) order matches nesting order.
+  std::optional<obs::TraceSpan> attempt_span;
+  std::optional<obs::TraceSpan> hedge_span;
+  if (tracing) attempt_span.emplace(span_name, collector);
+
+  const auto traced_frame = [&](const obs::TraceSpan& span) {
+    std::string traced =
+        encode_trace_context({span.trace_id(), span.span_id()});
+    traced.append(payload);
+    return encode_frame(type, static_cast<std::uint8_t>(
+                                  flags | kFlagTraceContext),
+                        traced);
+  };
 
   bool first = !ever_connected_;
   if (!ensure_connected(primary_, first, error)) return 1;
   ever_connected_ = true;
 
-  const std::string frame = encode_frame(type, flags, payload);
+  const std::string frame = attempt_span ? traced_frame(*attempt_span)
+                                         : encode_frame(type, flags, payload);
   if (!primary_.send_bytes(frame, error)) {
     primary_.close();
     return 1;
@@ -129,12 +152,23 @@ int RetryingClient::attempt(MsgType type, std::uint8_t flags,
         hedge_spent = true;
         ++stats_.hedges;
         obs_hedges_.inc();
+        // The hedge gets its own span (child of the attempt) and its own
+        // span id on the wire, so the export shows two server request
+        // spans racing under one attempt — and which one won.
+        const std::string* hedge_frame = &frame;
+        std::string hedge_traced;
+        if (attempt_span) {
+          hedge_span.emplace("hedge", collector);
+          hedge_traced = traced_frame(*hedge_span);
+          hedge_frame = &hedge_traced;
+        }
         std::string hedge_error;
         bool hedge_first = false;  // hedge connections always count
         if (ensure_connected(hedge, hedge_first, hedge_error) &&
-            hedge.send_bytes(frame, hedge_error)) {
+            hedge.send_bytes(*hedge_frame, hedge_error)) {
           hedge_live = true;
         } else {
+          if (hedge_span) hedge_span->set_note("launch_failed");
           hedge.close();
         }
       }
@@ -175,9 +209,11 @@ int RetryingClient::attempt(MsgType type, std::uint8_t flags,
     if (winner == &hedge) {
       ++stats_.hedge_wins;
       obs_hedge_wins_.inc();
+      if (hedge_span) hedge_span->set_note("won");
       primary_.close();
       primary_ = std::move(hedge);
     } else if (hedge_live) {
+      if (hedge_span) hedge_span->set_note("lost");
       hedge.close();
     }
 
@@ -208,6 +244,15 @@ bool RetryingClient::call(MsgType type, std::uint8_t flags,
                           std::string* response_payload, std::string& error) {
   ++stats_.calls;
 
+  // One trace per logical call: the rpc span mints the trace id every
+  // attempt/retry/hedge below shares (and ships to the server).
+  auto& collector = obs::TraceCollector::global();
+  std::optional<obs::TraceSpan> call_span;
+  if (policy_.trace && collector.enabled()) {
+    call_span.emplace(std::string("rpc:") + type_name(type), /*trace_id=*/0,
+                      /*parent_span_id=*/0, collector);
+  }
+
   if (policy_.breaker_failures > 0 && breaker_until_ms_ > 0) {
     if (now_ms() < breaker_until_ms_) {
       ++stats_.breaker_fast_fails;
@@ -227,8 +272,9 @@ bool RetryingClient::call(MsgType type, std::uint8_t flags,
     }
     int hint = -1;
     std::string attempt_error;
-    const int outcome = attempt(type, flags, payload, response_type,
-                                response_payload, &hint, attempt_error);
+    const int outcome =
+        attempt(type, flags, payload, response_type, response_payload, &hint,
+                attempt_error, attempt_no == 0 ? "attempt" : "retry");
     if (outcome == 0) {
       consecutive_giveups_ = 0;
       breaker_until_ms_ = 0;

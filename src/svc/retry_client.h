@@ -62,6 +62,14 @@ struct RetryPolicy {
   /// Consecutive exhausted calls that open the breaker (0 = disabled).
   int breaker_failures = 0;
   int breaker_cooldown_ms = 1000;
+
+  /// Stamp requests with a trace context (kFlagTraceContext): each call
+  /// mints a trace id, each attempt/retry/hedge gets its own span whose
+  /// id rides the wire, so the server's spans stitch under ours in one
+  /// chrome://tracing export — including which hedge won. Off by
+  /// default: only servers advertising "trace_context" in kServerStats
+  /// understand the flag.
+  bool trace = false;
 };
 
 struct RetryStats {
@@ -98,10 +106,11 @@ class RetryingClient {
   bool ensure_connected(Client& client, bool& first_use, std::string& error);
   /// One wire attempt (possibly hedged). Outcomes: 0 = response frame
   /// obtained, 1 = retryable failure, 2 = busy/draining reschedule
-  /// (hint_ms filled when the server sent one).
+  /// (hint_ms filled when the server sent one). `span_name` labels the
+  /// attempt's trace span ("attempt" / "retry") when tracing is on.
   int attempt(MsgType type, std::uint8_t flags, std::string_view payload,
               MsgType* response_type, std::string* response_payload,
-              int* hint_ms, std::string& error);
+              int* hint_ms, std::string& error, const char* span_name);
   void sleep_ms(int ms);
   std::int64_t now_ms() const;
 

@@ -15,8 +15,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 
 #include "obs/log.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0
@@ -143,7 +146,9 @@ Server::Server(Dataset& dataset, exec::ThreadPool* pool,
     : dataset_(dataset),
       pool_(pool),
       config_(config),
-      cache_({config.cache_shards, config.cache_bytes}) {
+      cache_({config.cache_shards, config.cache_bytes}),
+      slow_log_({config.slow_query_us, config.slow_log_max_per_interval,
+                 /*interval_ms=*/1000, /*max_entries=*/128}) {
   auto& reg = obs::MetricsRegistry::global();
   obs_requests_ = reg.counter("s2s.svc.requests");
   obs_accepted_ = reg.counter("s2s.svc.conns_accepted");
@@ -161,11 +166,23 @@ Server::Server(Dataset& dataset, exec::ThreadPool* pool,
   for (const MsgType t :
        {MsgType::kPingEcho, MsgType::kPairRtt, MsgType::kPathPrevalence,
         MsgType::kCongestionVerdict, MsgType::kDualStackDelta,
-        MsgType::kFigureDigest, MsgType::kServerStats}) {
+        MsgType::kFigureDigest, MsgType::kServerStats,
+        MsgType::kMetricsDump}) {
+    const auto key = static_cast<std::uint8_t>(t);
     latency_.emplace(
-        static_cast<std::uint8_t>(t),
-        reg.histogram(std::string("s2s.svc.latency_us.") + type_name(t),
-                      obs::MetricsRegistry::latency_us_bounds()));
+        key, reg.histogram(std::string("s2s.svc.latency_us.") + type_name(t),
+                           obs::MetricsRegistry::latency_us_bounds()));
+    windowed_.emplace(
+        key, std::make_unique<obs::WindowedHistogram>(
+                 obs::MetricsRegistry::latency_us_bounds(),
+                 config_.window_seconds, config_.window_slots));
+    auto cell = std::make_unique<SloCell>();
+    cell->threshold_us = config_.slo_ms * 1000.0;
+    cell->obs_good =
+        reg.counter(std::string("s2s.svc.slo.") + type_name(t) + ".good");
+    cell->obs_total =
+        reg.counter(std::string("s2s.svc.slo.") + type_name(t) + ".total");
+    slo_.emplace(key, std::move(cell));
   }
 }
 
@@ -223,7 +240,37 @@ bool Server::start(std::string& error) {
   }
   poller_->add(listen_fd_, true, false);
   poller_->add(wake_pipe_[0], true, false);
+  start_time_ = Clock::now();
   return true;
+}
+
+double Server::uptime_seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_time_).count();
+}
+
+std::map<std::string, obs::WindowedSnapshot> Server::windowed_snapshots()
+    const {
+  std::map<std::string, obs::WindowedSnapshot> out;
+  for (const auto& [key, hist] : windowed_) {
+    out.emplace(std::string("s2s.svc.windowed_us.") +
+                    type_name(static_cast<MsgType>(key)),
+                hist->snapshot());
+  }
+  return out;
+}
+
+std::map<std::string, obs::SloStat> Server::slo_stats() const {
+  std::map<std::string, obs::SloStat> out;
+  for (const auto& [key, cell] : slo_) {
+    obs::SloStat s;
+    s.threshold_us = cell->threshold_us;
+    s.good = cell->good.load(std::memory_order_relaxed);
+    s.total = cell->total.load(std::memory_order_relaxed);
+    out.emplace(
+        std::string("s2s.svc.slo.") + type_name(static_cast<MsgType>(key)),
+        s);
+  }
+  return out;
 }
 
 void Server::request_drain() {
@@ -445,13 +492,27 @@ void Server::parse_frames(Conn& conn) {
                     /*close_after=*/false);
       continue;
     }
-    admit_request(conn, header.type, header.flags, payload);
+    TraceContext trace;
+    std::string_view request_payload = payload;
+    if ((header.flags & kFlagTraceContext) != 0 &&
+        !strip_trace_context(payload, trace, request_payload)) {
+      // The flag promised a prefix the payload is too short to hold. The
+      // frame boundary is still trusted, so only this request dies.
+      ++protocol_errors_;
+      obs_protocol_errors_.inc();
+      respond_error(conn, "bad_request",
+                    "trace-context flag without trace-context prefix",
+                    /*close_after=*/false);
+      continue;
+    }
+    admit_request(conn, header.type, header.flags, request_payload, trace);
   }
   conn.in.erase(0, off);
 }
 
 void Server::admit_request(Conn& conn, MsgType type, std::uint8_t flags,
-                           std::string_view payload) {
+                           std::string_view payload,
+                           const TraceContext& trace) {
   const std::uint32_t cost = request_cost(type);
   std::size_t client_pending = 0;
   for (const PendingItem& item : conn.queue) {
@@ -502,6 +563,9 @@ void Server::admit_request(Conn& conn, MsgType type, std::uint8_t flags,
   item.flags = flags;
   item.payload.assign(payload);
   item.cost = cost;
+  item.trace_id = trace.trace_id;
+  item.parent_span_id = trace.span_id;
+  item.admit_time = Clock::now();
   conn.queue.push_back(std::move(item));
   ++pending_count_;
   pending_cost_ += cost;
@@ -553,34 +617,154 @@ void Server::execute_one(int fd, const PendingItem& item) {
   ++requests_served_;
   obs_requests_.inc();
 
+  const auto since_us = [](Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+        .count();
+  };
+  const std::int64_t queue_us =
+      item.admit_time.time_since_epoch().count() == 0
+          ? 0
+          : since_us(item.admit_time, t0);
+
+  auto& collector = obs::TraceCollector::global();
+  // Sampling follows the client: only requests that arrived with a
+  // trace context get the span machinery (the cross-process trace is
+  // the feature; five span commits per untraced request would tax every
+  // caller for diagnostics nobody asked for).
+  const bool tracing =
+      config_.trace_requests && item.trace_id != 0 && collector.enabled();
+  // The server-side half of the request's trace: a child of the
+  // client's attempt span.
+  std::optional<obs::TraceSpan> request_span;
+  if (tracing) {
+    request_span.emplace(std::string("server:") + type_name(item.type),
+                        item.trace_id, item.parent_span_id, collector);
+    // The admission-to-dequeue wait was never live as a stack span (the
+    // item sat in a queue), so emit it retroactively.
+    obs::SpanEvent wait;
+    wait.name = "queue_wait";
+    wait.path = request_span->path() + "/queue_wait";
+    wait.depth = request_span->depth() + 1;
+    wait.start_us = collector.now_us() - queue_us;
+    wait.dur_us = queue_us;
+    wait.trace_id = request_span->trace_id();
+    wait.span_id = collector.new_span_id();
+    wait.parent_span_id = request_span->span_id();
+    collector.emit_event(std::move(wait));
+  }
+
+  std::int64_t cache_us = 0, exec_us = 0;
+  const char* cache_status = "none";
   Dataset::Response response;
   if (item.type == MsgType::kServerStats) {
     response = {MsgType::kOk, stats_payload()};
+  } else if (item.type == MsgType::kMetricsDump) {
+    MetricsDumpQuery q;
+    if (decode_metrics_dump_query(item.payload, q)) {
+      response = {MsgType::kOk, metrics_dump_payload(q.format)};
+    } else {
+      response = {MsgType::kError,
+                  error_payload("bad_request", "bad metrics_dump payload")};
+    }
   } else if (is_cacheable(item.type)) {
     const std::string key = ResultCache::make_key(
         dataset_.digest(), static_cast<std::uint8_t>(item.type),
         item.payload);
     std::string cached;
-    if ((item.flags & kFlagNoCache) == 0 && cache_.lookup(key, cached)) {
+    bool hit = false;
+    const bool bypass = (item.flags & kFlagNoCache) != 0;
+    {
+      std::optional<obs::TraceSpan> phase;
+      if (tracing) phase.emplace("cache_lookup", collector);
+      const auto t = Clock::now();
+      if (!bypass) hit = cache_.lookup(key, cached);
+      cache_us = since_us(t, Clock::now());
+    }
+    if (hit) {
+      cache_status = "hit";
       response = {MsgType::kOk, std::move(cached)};
     } else {
+      cache_status = bypass ? "bypass" : "miss";
+      std::optional<obs::TraceSpan> phase;
+      if (tracing) phase.emplace("exec", collector);
+      const auto t = Clock::now();
       response = dataset_.execute(item.type, item.payload, pool_);
+      exec_us = since_us(t, Clock::now());
       if (response.type == MsgType::kOk) cache_.insert(key, response.payload);
     }
   } else {
+    std::optional<obs::TraceSpan> phase;
+    if (tracing) phase.emplace("exec", collector);
+    const auto t = Clock::now();
     response = dataset_.execute(item.type, item.payload, pool_);
+    exec_us = since_us(t, Clock::now());
   }
 
-  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                      Clock::now() - t0)
-                      .count();
+  const auto us = since_us(t0, Clock::now());
   latency_histogram(item.type).record(static_cast<double>(us));
 
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
-  respond(it->second, response.type, response.payload);
+  std::int64_t encode_us = 0, write_us = 0;
+  {
+    std::optional<obs::TraceSpan> phase;
+    if (tracing) phase.emplace("encode", collector);
+    const auto t = Clock::now();
+    respond(it->second, response.type, response.payload);
+    encode_us = since_us(t, Clock::now());
+  }
   const auto again = conns_.find(fd);
-  if (again != conns_.end()) flush_out(again->second);
+  if (again != conns_.end()) {
+    std::optional<obs::TraceSpan> phase;
+    if (tracing) phase.emplace("write", collector);
+    const auto t = Clock::now();
+    flush_out(again->second);
+    write_us = since_us(t, Clock::now());
+  }
+
+  const std::int64_t total_us =
+      item.admit_time.time_since_epoch().count() == 0
+          ? since_us(t0, Clock::now())
+          : since_us(item.admit_time, Clock::now());
+  finish_request(item, total_us, queue_us, cache_us, exec_us, encode_us,
+                 write_us, cache_status, response);
+}
+
+void Server::finish_request(const PendingItem& item, std::int64_t total_us,
+                            std::int64_t queue_us, std::int64_t cache_us,
+                            std::int64_t exec_us, std::int64_t encode_us,
+                            std::int64_t write_us, const char* cache_status,
+                            const Dataset::Response& response) {
+  const auto key = static_cast<std::uint8_t>(item.type);
+  if (const auto w = windowed_.find(key); w != windowed_.end()) {
+    w->second->record(static_cast<double>(total_us));
+  }
+  if (const auto s = slo_.find(key); s != slo_.end()) {
+    SloCell& cell = *s->second;
+    cell.total.fetch_add(1, std::memory_order_relaxed);
+    cell.obs_total.inc();
+    if (static_cast<double>(total_us) <= cell.threshold_us) {
+      cell.good.fetch_add(1, std::memory_order_relaxed);
+      cell.obs_good.inc();
+    }
+  }
+  if (slow_log_.enabled() && total_us > slow_log_.threshold_us()) {
+    SlowQueryEntry entry;
+    entry.trace_id = item.trace_id;
+    entry.type = type_name(item.type);
+    entry.total_us = total_us;
+    entry.queue_us = queue_us;
+    entry.cache_us = cache_us;
+    entry.exec_us = exec_us;
+    entry.encode_us = encode_us;
+    entry.write_us = write_us;
+    entry.cache_status = cache_status;
+    entry.admission = "admitted";
+    entry.response = response.type == MsgType::kOk
+                         ? "ok"
+                         : parse_error_payload(response.payload).code;
+    slow_log_.emit(entry);
+  }
 }
 
 void Server::respond(Conn& conn, MsgType type, std::string_view payload) {
@@ -712,6 +896,8 @@ std::string Server::stats_payload() const {
   w.begin_object();
   w.key("type").value("server_stats");
   w.key("server").begin_object();
+  w.key("uptime_s").value(uptime_seconds());
+  w.key("trace_context").value(true);
   w.key("active_conns").value(static_cast<std::uint64_t>(conns_.size()));
   w.key("draining").value(draining_.load(std::memory_order_relaxed));
   w.key("requests").value(requests_served_);
@@ -728,6 +914,12 @@ std::string Server::stats_payload() const {
   w.end_object();
   w.key("protocol_errors").value(protocol_errors_);
   w.key("reloads").value(reloads_);
+  w.key("slow_queries").begin_object();
+  w.key("threshold_us")
+      .value(static_cast<std::int64_t>(config_.slow_query_us));
+  w.key("emitted").value(slow_log_.emitted());
+  w.key("suppressed").value(slow_log_.suppressed());
+  w.end_object();
   w.key("cache").begin_object();
   w.key("hits").value(cache.hits);
   w.key("misses").value(cache.misses);
@@ -739,6 +931,72 @@ std::string Server::stats_payload() const {
   w.end_object();
   w.key("dataset").begin_object();
   dataset_.summary_json(w);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string Server::metrics_dump_payload(std::uint8_t format) const {
+  auto snap = obs::MetricsRegistry::global().snapshot();
+  // Graft in the serving facts the registry does not carry: cache stats
+  // live in the ResultCache, uptime is a server property. The hit/miss/
+  // eviction names are the same ones result_cache.cc mirrors into the
+  // registry (here overwritten with the authoritative values) — a second
+  // dotted spelling would collide after Prometheus name sanitization.
+  const ResultCache::Stats cache = cache_.stats();
+  snap.counters["s2s.svc.cache_hits"] = cache.hits;
+  snap.counters["s2s.svc.cache_misses"] = cache.misses;
+  snap.counters["s2s.svc.cache_insertions"] = cache.insertions;
+  snap.counters["s2s.svc.cache_evictions"] = cache.evictions;
+  snap.gauges["s2s.svc.cache_entries"] = static_cast<double>(cache.entries);
+  snap.gauges["s2s.svc.cache_bytes"] = static_cast<double>(cache.bytes);
+  snap.gauges["s2s.svc.uptime_s"] = uptime_seconds();
+  const auto windowed = windowed_snapshots();
+  const auto slo = slo_stats();
+
+  if (format == MetricsDumpQuery::kPrometheus) {
+    return obs::to_prometheus_text(snap, windowed, slo);
+  }
+
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("type").value("metrics_dump");
+  w.key("uptime_s").value(uptime_seconds());
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snap.counters) w.key(name).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : snap.gauges) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).begin_object();
+    w.key("total").value(h.total);
+    w.key("overflow").value(h.overflow());
+    w.key("p50").value(h.quantile(0.50));
+    w.key("p99").value(h.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("windowed").begin_object();
+  for (const auto& [name, win] : windowed) {
+    w.key(name).begin_object();
+    w.key("window_s").value(win.window_s);
+    w.key("total").value(win.hist.total);
+    w.key("p50").value(win.hist.quantile(0.50));
+    w.key("p99").value(win.hist.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("slo").begin_object();
+  for (const auto& [name, s] : slo) {
+    w.key(name).begin_object();
+    w.key("threshold_us").value(s.threshold_us);
+    w.key("good").value(s.good);
+    w.key("total").value(s.total);
+    w.key("good_ratio").value(s.good_ratio());
+    w.end_object();
+  }
   w.end_object();
   w.end_object();
   return w.str();

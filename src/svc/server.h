@@ -42,6 +42,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -49,9 +50,11 @@
 
 #include "exec/pool.h"
 #include "obs/metrics.h"
+#include "obs/windowed.h"
 #include "svc/dataset.h"
 #include "svc/protocol.h"
 #include "svc/result_cache.h"
+#include "svc/slow_log.h"
 
 namespace s2s::svc {
 
@@ -82,6 +85,28 @@ struct ServerConfig {
   bool use_epoll = true;
   std::size_t cache_bytes = 64u << 20;
   std::size_t cache_shards = 8;
+
+  // -- Serving-path observability (DESIGN.md section 13) --
+
+  /// Slow-query log threshold on end-to-end latency (admission to
+  /// response-queued), microseconds; 0 disables the log.
+  std::int64_t slow_query_us = 0;
+  /// Slow-query rate limit: lines per one-second interval.
+  std::uint32_t slow_log_max_per_interval = 10;
+  /// Windowed latency view: merge width and ring granularity.
+  int window_seconds = 60;
+  int window_slots = 6;
+  /// Per-type latency SLO threshold (end-to-end, milliseconds); feeds
+  /// the good/total counters surfaced by kMetricsDump and the report.
+  double slo_ms = 50.0;
+  /// Honor client trace contexts: a request that arrived with the
+  /// kFlagTraceContext prefix gets a server-side span with phase
+  /// sub-spans (queue_wait / cache_lookup / exec / encode / write).
+  /// Untraced requests skip the span machinery entirely — the client
+  /// decides what is traced, so the warm path pays nothing for
+  /// diagnostics nobody asked for. Spans go to the global
+  /// TraceCollector; disabling the collector makes this a no-op.
+  bool trace_requests = true;
 };
 
 class Server {
@@ -110,6 +135,16 @@ class Server {
   std::uint64_t connections_reaped() const noexcept { return reaped_; }
   std::uint64_t reloads() const noexcept { return reloads_; }
 
+  /// Seconds since start() succeeded (steady clock).
+  double uptime_seconds() const;
+  /// Last-N-seconds latency views, keyed "s2s.svc.windowed_us.<type>".
+  /// Safe concurrently with the serving loop.
+  std::map<std::string, obs::WindowedSnapshot> windowed_snapshots() const;
+  /// SLO good/total counters, keyed "s2s.svc.slo.<type>". Safe
+  /// concurrently with the serving loop.
+  std::map<std::string, obs::SloStat> slo_stats() const;
+  const SlowQueryLog& slow_log() const noexcept { return slow_log_; }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -122,6 +157,11 @@ class Server {
     std::string payload;       ///< request payload; error payload if shed
     std::uint32_t cost = 0;    ///< admission units held (0 when shed)
     bool shed = false;
+    /// Client trace context (0/0 when the request carried none); the
+    /// prefix was already stripped from `payload`.
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span_id = 0;
+    Clock::time_point admit_time;  ///< when admission queued the item
   };
 
   struct Conn {
@@ -167,8 +207,10 @@ class Server {
   void parse_frames(Conn& conn);
   /// Admission decision for one parsed request: queues either the
   /// request (charging the cost gates) or an ordered busy marker.
+  /// `payload` is the request payload with any trace prefix stripped;
+  /// `trace` carries the stripped ids (0/0 when untraced).
   void admit_request(Conn& conn, MsgType type, std::uint8_t flags,
-                     std::string_view payload);
+                     std::string_view payload, const TraceContext& trace);
   /// Drains every connection queue round-robin, one item per connection
   /// per pass (fair queueing).
   void execute_pending();
@@ -184,6 +226,15 @@ class Server {
   int next_timeout_ms(Clock::time_point now) const;
   void do_reload();
   std::string stats_payload() const;
+  /// kMetricsDump response body for the given format selector.
+  std::string metrics_dump_payload(std::uint8_t format) const;
+  /// End-of-request accounting: windowed + SLO recording, slow-query
+  /// emission. `total_us` is admission-to-response-queued.
+  void finish_request(const PendingItem& item, std::int64_t total_us,
+                      std::int64_t queue_us, std::int64_t cache_us,
+                      std::int64_t exec_us, std::int64_t encode_us,
+                      std::int64_t write_us, const char* cache_status,
+                      const Dataset::Response& response);
   obs::Histogram& latency_histogram(MsgType type);
 
   Dataset& dataset_;
@@ -226,6 +277,25 @@ class Server {
   obs::Gauge obs_active_conns_;
   obs::Gauge obs_pending_cost_;
   std::unordered_map<std::uint8_t, obs::Histogram> latency_;
+
+  Clock::time_point start_time_ = Clock::now();
+
+  /// Per-type end-to-end latency over the last window_seconds.
+  std::unordered_map<std::uint8_t, std::unique_ptr<obs::WindowedHistogram>>
+      windowed_;
+  /// Per-type SLO accounting. Atomics so windowed_snapshots()/slo_stats()
+  /// may run from another thread while the loop serves; mirrored to
+  /// registry counters s2s.svc.slo.<type>.{good,total}.
+  struct SloCell {
+    double threshold_us = 0.0;
+    std::atomic<std::uint64_t> good{0};
+    std::atomic<std::uint64_t> total{0};
+    obs::Counter obs_good;
+    obs::Counter obs_total;
+  };
+  std::unordered_map<std::uint8_t, std::unique_ptr<SloCell>> slo_;
+
+  SlowQueryLog slow_log_;
 };
 
 }  // namespace s2s::svc

@@ -9,18 +9,25 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "exec/pool.h"
+#include "obs/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "svc/client.h"
 #include "svc/dataset.h"
 #include "svc/protocol.h"
 #include "svc/result_cache.h"
+#include "svc/retry_client.h"
 #include "svc/server.h"
 
 namespace s2s {
@@ -214,12 +221,42 @@ TEST(SvcProtocol, PayloadCodecs) {
 TEST(SvcProtocol, TypePredicates) {
   EXPECT_TRUE(svc::is_request(svc::MsgType::kPingEcho));
   EXPECT_TRUE(svc::is_request(svc::MsgType::kServerStats));
+  EXPECT_TRUE(svc::is_request(svc::MsgType::kMetricsDump));
   EXPECT_FALSE(svc::is_request(svc::MsgType::kOk));
   EXPECT_FALSE(svc::is_request(static_cast<svc::MsgType>(0x42)));
   EXPECT_TRUE(svc::is_cacheable(svc::MsgType::kFigureDigest));
   EXPECT_FALSE(svc::is_cacheable(svc::MsgType::kPingEcho));
   EXPECT_FALSE(svc::is_cacheable(svc::MsgType::kServerStats));
+  EXPECT_FALSE(svc::is_cacheable(svc::MsgType::kMetricsDump));
   EXPECT_STREQ(svc::type_name(svc::MsgType::kPairRtt), "pair_rtt");
+  EXPECT_STREQ(svc::type_name(svc::MsgType::kMetricsDump), "metrics_dump");
+}
+
+TEST(SvcProtocol, TraceContextRoundTripAndShortPayload) {
+  const svc::TraceContext ctx{0x1122334455667788ull, 0x99aabbccddeeff00ull};
+  const std::string prefixed = svc::encode_trace_context(ctx) + "rest";
+  svc::TraceContext back;
+  std::string_view rest;
+  ASSERT_TRUE(svc::strip_trace_context(prefixed, back, rest));
+  EXPECT_EQ(back.trace_id, ctx.trace_id);
+  EXPECT_EQ(back.span_id, ctx.span_id);
+  EXPECT_EQ(rest, "rest");
+  // An empty request payload after the prefix is legal (ping).
+  ASSERT_TRUE(
+      svc::strip_trace_context(svc::encode_trace_context(ctx), back, rest));
+  EXPECT_TRUE(rest.empty());
+  EXPECT_FALSE(svc::strip_trace_context("short", back, rest));
+}
+
+TEST(SvcProtocol, MetricsDumpQueryCodec) {
+  svc::MetricsDumpQuery q;
+  q.format = svc::MetricsDumpQuery::kPrometheus;
+  svc::MetricsDumpQuery back;
+  ASSERT_TRUE(
+      svc::decode_metrics_dump_query(svc::encode_metrics_dump_query(q), back));
+  EXPECT_EQ(back.format, svc::MetricsDumpQuery::kPrometheus);
+  EXPECT_FALSE(svc::decode_metrics_dump_query("", back));
+  EXPECT_FALSE(svc::decode_metrics_dump_query("\x07", back));
 }
 
 // ---------------------------------------------------------------------------
@@ -445,6 +482,278 @@ TEST(SvcServer, PollBackendServes) {
   f.figure = 1;
   must_call(client, svc::MsgType::kFigureDigest, 0,
             svc::encode_figure_query(f));
+}
+
+/// Waits up to ~2s for `pred` over the global collector's events; the
+/// server commits its request span just after flushing the response, so
+/// a client that already read the reply can race the commit.
+std::vector<obs::SpanEvent> wait_for_spans(
+    const std::function<bool(const std::vector<obs::SpanEvent>&)>& pred) {
+  for (int i = 0; i < 200; ++i) {
+    auto events = obs::TraceCollector::global().events();
+    if (pred(events)) return events;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return obs::TraceCollector::global().events();
+}
+
+TEST(SvcServer, TracedRequestAdoptsClientTraceIdWithPhaseSpans) {
+  obs::TraceCollector::global().clear();
+  TestServer ts(*world().dataset);
+  svc::Client client = ts.connect();
+  std::string error;
+
+  const svc::TraceContext ctx{0xabcdef0123456789ull, 0x42ull};
+  svc::FigureQuery f;
+  f.figure = 2;
+  ASSERT_TRUE(client.send_bytes(
+      svc::encode_frame(svc::MsgType::kFigureDigest, svc::kFlagTraceContext,
+                        svc::encode_trace_context(ctx) +
+                            svc::encode_figure_query(f)),
+      error));
+  svc::MsgType rtype;
+  std::string rpayload;
+  ASSERT_TRUE(client.read_frame(&rtype, &rpayload, error)) << error;
+  EXPECT_EQ(rtype, svc::MsgType::kOk) << rpayload;
+
+  const auto events = wait_for_spans([&](const auto& evs) {
+    for (const auto& e : evs) {
+      if (e.name == "server:figure_digest") return true;
+    }
+    return false;
+  });
+  const obs::SpanEvent* request = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "server:figure_digest") request = &e;
+  }
+  ASSERT_NE(request, nullptr);
+  // The server span adopts the wire identity: same trace id, parented
+  // under the client's span.
+  EXPECT_EQ(request->trace_id, ctx.trace_id);
+  EXPECT_EQ(request->parent_span_id, ctx.span_id);
+  // Phase sub-spans share the trace id and hang off the request span.
+  std::size_t phases = 0;
+  for (const auto& e : events) {
+    if (e.name == "queue_wait" || e.name == "cache_lookup" ||
+        e.name == "exec" || e.name == "encode" || e.name == "write") {
+      EXPECT_EQ(e.trace_id, ctx.trace_id) << e.name;
+      EXPECT_EQ(e.parent_span_id, request->span_id) << e.name;
+      ++phases;
+    }
+  }
+  EXPECT_GE(phases, 4u);  // queue_wait, cache_lookup, exec, encode, write
+}
+
+TEST(SvcServer, UntracedClientsAndShortTraceContextKeepWorking) {
+  TestServer ts(*world().dataset);
+  svc::Client client = ts.connect();
+  std::string error;
+
+  // Old client: no flag, no prefix — served exactly as before.
+  must_call(client, svc::MsgType::kPingEcho, 0, "");
+
+  // The flag without the 16-byte prefix is a protocol error, not a
+  // dropped connection.
+  const std::uint64_t errors_before =
+      global_counter("s2s.svc.protocol_errors");
+  ASSERT_TRUE(client.send_bytes(
+      svc::encode_frame(svc::MsgType::kPingEcho, svc::kFlagTraceContext,
+                        "short"),
+      error));
+  svc::MsgType rtype;
+  std::string rpayload;
+  ASSERT_TRUE(client.read_frame(&rtype, &rpayload, error)) << error;
+  EXPECT_EQ(rtype, svc::MsgType::kError);
+  EXPECT_NE(rpayload.find("bad_request"), std::string::npos) << rpayload;
+  must_call(client, svc::MsgType::kPingEcho, 0, "");
+  EXPECT_GT(global_counter("s2s.svc.protocol_errors"), errors_before);
+}
+
+TEST(SvcServer, TraceContextDoesNotForkTheCacheKey) {
+  // A traced and an untraced request for the same query must share one
+  // cache entry: the key is built from the stripped payload.
+  TestServer ts(*world().dataset);
+  svc::Client client = ts.connect();
+  std::string error;
+  svc::FigureQuery f;
+  f.figure = 5;
+  const std::string query = svc::encode_figure_query(f);
+  const std::string plain =
+      must_call(client, svc::MsgType::kFigureDigest, 0, query);
+  const svc::TraceContext ctx{7, 8};
+  ASSERT_TRUE(client.send_bytes(
+      svc::encode_frame(svc::MsgType::kFigureDigest, svc::kFlagTraceContext,
+                        svc::encode_trace_context(ctx) + query),
+      error));
+  svc::MsgType rtype;
+  std::string rpayload;
+  ASSERT_TRUE(client.read_frame(&rtype, &rpayload, error)) << error;
+  EXPECT_EQ(rtype, svc::MsgType::kOk);
+  EXPECT_EQ(rpayload, plain);
+  const auto stats = ts.server().cache().stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_GE(stats.hits, 1u);
+}
+
+TEST(SvcServer, MetricsDumpServesJsonAndPrometheus) {
+  TestServer ts(*world().dataset);
+  svc::Client client = ts.connect();
+  must_call(client, svc::MsgType::kPingEcho, 0, "");
+
+  svc::MetricsDumpQuery q;
+  q.format = svc::MetricsDumpQuery::kJson;
+  const std::string json = must_call(client, svc::MsgType::kMetricsDump, 0,
+                                     svc::encode_metrics_dump_query(q));
+  const auto doc = obs::json::parse(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  EXPECT_EQ(doc->find("type")->string, "metrics_dump");
+  EXPECT_GE(doc->find("uptime_s")->number, 0.0);
+  const auto* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->find("s2s.svc.requests")->as_u64(), 1u);
+  const auto* windowed = doc->find("windowed");
+  ASSERT_NE(windowed, nullptr);
+  const auto* ping = windowed->find("s2s.svc.windowed_us.ping_echo");
+  ASSERT_NE(ping, nullptr);
+  EXPECT_GE(ping->find("total")->as_u64(), 1u);
+  const auto* slo = doc->find("slo");
+  ASSERT_NE(slo, nullptr);
+  ASSERT_NE(slo->find("s2s.svc.slo.ping_echo"), nullptr);
+
+  q.format = svc::MetricsDumpQuery::kPrometheus;
+  const std::string text = must_call(client, svc::MsgType::kMetricsDump, 0,
+                                     svc::encode_metrics_dump_query(q));
+  EXPECT_EQ(text.rfind("# TYPE", 0), 0u) << text.substr(0, 80);
+  EXPECT_NE(text.find("s2s_svc_requests_total "), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+
+  // Malformed selector: error frame, connection survives.
+  std::string error;
+  ASSERT_TRUE(client.send_bytes(
+      svc::encode_frame(svc::MsgType::kMetricsDump, 0, "\x07"), error));
+  svc::MsgType rtype;
+  std::string rpayload;
+  ASSERT_TRUE(client.read_frame(&rtype, &rpayload, error)) << error;
+  EXPECT_EQ(rtype, svc::MsgType::kError);
+  must_call(client, svc::MsgType::kPingEcho, 0, "");
+}
+
+TEST(SvcServer, StatsFieldsMoveBetweenCalls) {
+  TestServer ts(*world().dataset);
+  svc::Client client = ts.connect();
+  const std::string before =
+      must_call(client, svc::MsgType::kServerStats, 0, "");
+  const auto doc1 = obs::json::parse(before);
+  ASSERT_TRUE(doc1.has_value());
+  const auto* srv1 = doc1->find("server");
+  ASSERT_NE(srv1, nullptr);
+  EXPECT_TRUE(srv1->find("trace_context")->boolean);
+  const double uptime1 = srv1->find("uptime_s")->number;
+  const auto requests1 = srv1->find("requests")->as_u64();
+  const auto misses1 = srv1->find("cache")->find("misses")->as_u64();
+
+  // Work the cache: one miss, one hit.
+  svc::FigureQuery f;
+  f.figure = 1;
+  const std::string payload = svc::encode_figure_query(f);
+  must_call(client, svc::MsgType::kFigureDigest, 0, payload);
+  must_call(client, svc::MsgType::kFigureDigest, 0, payload);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  const auto doc2 =
+      obs::json::parse(must_call(client, svc::MsgType::kServerStats, 0, ""));
+  ASSERT_TRUE(doc2.has_value());
+  const auto* srv2 = doc2->find("server");
+  EXPECT_GT(srv2->find("uptime_s")->number, uptime1);
+  EXPECT_GT(srv2->find("requests")->as_u64(), requests1);
+  EXPECT_GT(srv2->find("cache")->find("misses")->as_u64(), misses1);
+  EXPECT_GE(srv2->find("cache")->find("hits")->as_u64(), 1u);
+  ASSERT_NE(srv2->find("slow_queries"), nullptr);
+  EXPECT_DOUBLE_EQ(srv2->find("slow_queries")->find("threshold_us")->number,
+                   0.0);
+}
+
+TEST(SvcServer, SlowQueriesEmitStructuredLines) {
+  std::mutex mu;
+  std::vector<std::string> lines;
+  obs::set_log_sink([&](obs::LogLevel, std::string_view m) {
+    const std::lock_guard<std::mutex> lock(mu);
+    lines.emplace_back(m);
+  });
+  svc::ServerConfig cfg;
+  cfg.slow_query_us = 1;  // everything is slow
+  {
+    TestServer ts(*world().dataset, 2, cfg);
+    svc::Client client = ts.connect();
+    svc::FigureQuery f;
+    f.figure = 2;
+    must_call(client, svc::MsgType::kFigureDigest, 0,
+              svc::encode_figure_query(f));
+    ts.drain();  // the event loop owns the log; flush before reading
+    EXPECT_GE(ts.server().slow_log().emitted(), 1u);
+    const auto entries = ts.server().slow_log().entries();
+    ASSERT_FALSE(entries.empty());
+    EXPECT_EQ(entries.front().type, "figure_digest");
+    EXPECT_GT(entries.front().total_us, 0);
+    EXPECT_EQ(entries.front().response, "ok");
+  }
+  obs::set_log_sink({});
+  const std::lock_guard<std::mutex> lock(mu);
+  bool saw_slow_query = false;
+  for (const auto& line : lines) {
+    if (line.rfind("slow_query {", 0) == 0) {
+      saw_slow_query = true;
+      const auto doc = obs::json::parse(line.substr(11));
+      ASSERT_TRUE(doc.has_value()) << line;
+      EXPECT_NE(doc->find("type"), nullptr);
+      EXPECT_NE(doc->find("total_us"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_slow_query);
+}
+
+TEST(SvcServer, RetryingClientAndServerSpansShareTraceIds) {
+  obs::TraceCollector::global().clear();
+  TestServer ts(*world().dataset);
+  svc::RetryPolicy policy;
+  policy.trace = true;
+  svc::RetryingClient client("127.0.0.1", ts.port(), policy);
+  svc::MsgType rtype;
+  std::string rpayload;
+  std::string error;
+  svc::FigureQuery f;
+  f.figure = 10;
+  ASSERT_TRUE(client.call(svc::MsgType::kFigureDigest, 0,
+                          svc::encode_figure_query(f), &rtype, &rpayload,
+                          error))
+      << error;
+  ASSERT_EQ(rtype, svc::MsgType::kOk);
+
+  const auto events = wait_for_spans([](const auto& evs) {
+    bool rpc = false, server = false;
+    for (const auto& e : evs) {
+      if (e.name == "rpc:figure_digest") rpc = true;
+      if (e.name == "server:figure_digest") server = true;
+    }
+    return rpc && server;
+  });
+  const obs::SpanEvent* rpc = nullptr;
+  const obs::SpanEvent* attempt = nullptr;
+  const obs::SpanEvent* server = nullptr;
+  for (const auto& e : events) {
+    if (e.name == "rpc:figure_digest") rpc = &e;
+    if (e.name == "attempt") attempt = &e;
+    if (e.name == "server:figure_digest") server = &e;
+  }
+  ASSERT_NE(rpc, nullptr);
+  ASSERT_NE(attempt, nullptr);
+  ASSERT_NE(server, nullptr);
+  EXPECT_NE(rpc->trace_id, 0u);
+  EXPECT_EQ(attempt->trace_id, rpc->trace_id);
+  EXPECT_EQ(attempt->parent_span_id, rpc->span_id);
+  // The server half of the request carries the client's identity.
+  EXPECT_EQ(server->trace_id, rpc->trace_id);
+  EXPECT_EQ(server->parent_span_id, attempt->span_id);
 }
 
 TEST(SvcServer, ReloadKeepsServingAndStatsReport) {

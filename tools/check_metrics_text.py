@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition scraped from s2sd.
+
+Usage: check_metrics_text.py METRICS.txt [REQUIRED_METRIC ...]
+
+Checks the format contract of `s2s_query scrape` / the kMetricsDump
+Prometheus renderer (DESIGN.md section 13):
+
+  * every line is a comment, blank, or `name[{labels}] value`;
+  * every sample's metric family has a preceding `# TYPE` declaration
+    (allowing the conventional `_total` / `_bucket` / `_sum` / `_count`
+    suffixes and the windowed/SLO gauge suffixes);
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* — no unsanitized dots;
+  * histogram bucket series are cumulative, end in an `+Inf` bucket, and
+    the `+Inf` count equals the family's `_count` sample.
+
+Any extra arguments are metric names that must be present (the CI smoke
+requires s2s_svc_requests_total). Exits non-zero on any violation.
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[0-9eE+.inf-]+)$")
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<kind>counter|gauge|histogram)$")
+# Suffixes a sample may carry on top of its declared family name.
+FAMILY_SUFFIXES = ("_bucket", "_sum", "_count",
+                   "_p50", "_p99", "_window_s",
+                   "_threshold_us", "_good_ratio")
+
+
+def fail(message):
+    print(f"check_metrics_text: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def family_of(name, declared):
+    """The declared family a sample name belongs to, or None."""
+    if name in declared:
+        return name
+    for suffix in FAMILY_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in declared:
+            return name[: -len(suffix)]
+    return None
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_metrics_text.py METRICS.txt [REQUIRED ...]")
+    path = sys.argv[1]
+    required = set(sys.argv[2:])
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+
+    declared = {}   # family -> kind
+    samples = {}    # sample name -> last value
+    buckets = {}    # family -> list of (le, count) in file order
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if line.startswith("# TYPE") and not m:
+                fail(f"line {lineno}: malformed TYPE declaration: {line!r}")
+            if m:
+                if m["name"] in declared:
+                    fail(f"line {lineno}: duplicate TYPE for {m['name']}")
+                declared[m["name"]] = m["kind"]
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {lineno}: not a sample line: {line!r}")
+        name = m["name"]
+        if not NAME_RE.match(name):
+            fail(f"line {lineno}: illegal metric name {name!r}")
+        family = family_of(name, declared)
+        if family is None:
+            fail(f"line {lineno}: sample {name!r} has no TYPE declaration")
+        try:
+            value = float(m["value"])
+        except ValueError:
+            fail(f"line {lineno}: unparseable value in {line!r}")
+        samples[name] = value
+        if name.endswith("_bucket"):
+            if declared[family] != "histogram":
+                fail(f"line {lineno}: _bucket sample on non-histogram "
+                     f"{family!r}")
+            labels = m["labels"] or ""
+            lm = re.match(r'^le="([^"]+)"$', labels)
+            if not lm:
+                fail(f"line {lineno}: bucket without le label: {line!r}")
+            buckets.setdefault(family, []).append((lm.group(1), value))
+
+    for family, series in buckets.items():
+        if series[-1][0] != "+Inf":
+            fail(f"histogram {family!r}: bucket series does not end in +Inf")
+        counts = [count for _, count in series]
+        if counts != sorted(counts):
+            fail(f"histogram {family!r}: bucket counts are not cumulative")
+        count_sample = samples.get(family + "_count")
+        if count_sample is None:
+            fail(f"histogram {family!r}: missing _count sample")
+        if counts[-1] != count_sample:
+            fail(f"histogram {family!r}: +Inf {counts[-1]} != _count "
+                 f"{count_sample}")
+        if family + "_sum" not in samples:
+            fail(f"histogram {family!r}: missing _sum sample")
+
+    for name in sorted(required):
+        if name not in samples:
+            fail(f"required metric {name!r} not found")
+
+    histograms = sum(1 for kind in declared.values() if kind == "histogram")
+    print(f"check_metrics_text: OK: {len(samples)} samples, "
+          f"{len(declared)} families ({histograms} histograms)")
+
+
+if __name__ == "__main__":
+    main()

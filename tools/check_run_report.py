@@ -13,12 +13,24 @@ complete ("ph": "X") events with numeric ts/dur.
 import json
 import sys
 
-EXPECTED_SCHEMA_VERSION = 1
+EXPECTED_SCHEMA_VERSION = 2
 
 
 def fail(message):
     print(f"check_run_report: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_histogram(name, hist):
+    bounds = hist.get("bounds")
+    counts = hist.get("counts")
+    if not isinstance(bounds, list) or not isinstance(counts, list):
+        fail(f"histogram {name!r} missing bounds/counts arrays")
+    if len(counts) != len(bounds) + 1:
+        fail(f"histogram {name!r}: {len(counts)} counts for "
+             f"{len(bounds)} bounds (want bounds+1)")
+    if sum(counts) != hist.get("total"):
+        fail(f"histogram {name!r}: counts sum != total")
 
 
 def check_report(path):
@@ -52,15 +64,29 @@ def check_report(path):
     if not isinstance(histograms, dict):
         fail("missing 'metrics.histograms' object")
     for name, hist in histograms.items():
-        bounds = hist.get("bounds")
-        counts = hist.get("counts")
-        if not isinstance(bounds, list) or not isinstance(counts, list):
-            fail(f"histogram {name!r} missing bounds/counts arrays")
-        if len(counts) != len(bounds) + 1:
-            fail(f"histogram {name!r}: {len(counts)} counts for "
-                 f"{len(bounds)} bounds (want bounds+1)")
-        if sum(counts) != hist.get("total"):
-            fail(f"histogram {name!r}: counts sum != total")
+        check_histogram(name, hist)
+        if not isinstance(hist.get("overflow"), int):
+            fail(f"histogram {name!r} missing integer 'overflow' (schema v2)")
+        if hist["overflow"] != hist["counts"][-1]:
+            fail(f"histogram {name!r}: overflow != last bucket count")
+
+    # Schema v2: optional windowed / SLO sections from the serving path.
+    windowed = report.get("windowed", {})
+    if not isinstance(windowed, dict):
+        fail("'windowed' is not an object")
+    for name, win in windowed.items():
+        if not isinstance(win.get("window_s"), (int, float)):
+            fail(f"windowed {name!r} missing numeric 'window_s'")
+        check_histogram(name, win)
+    slo = report.get("slo", {})
+    if not isinstance(slo, dict):
+        fail("'slo' is not an object")
+    for name, stat in slo.items():
+        for field in ("threshold_us", "good", "total", "good_ratio"):
+            if not isinstance(stat.get(field), (int, float)):
+                fail(f"slo {name!r} missing numeric {field!r}")
+        if stat["good"] > stat["total"]:
+            fail(f"slo {name!r}: good {stat['good']} > total {stat['total']}")
 
     spans = report.get("spans")
     if not isinstance(spans, dict):
@@ -79,7 +105,8 @@ def check_report(path):
                                                  "histograms"))
     nested = sum(1 for p in spans if "/" in p)
     print(f"check_run_report: OK: tool={report['tool']} "
-          f"metrics={metric_count} spans={len(spans)} (nested={nested})")
+          f"metrics={metric_count} spans={len(spans)} (nested={nested}) "
+          f"windowed={len(windowed)} slo={len(slo)}")
     return metric_count, nested
 
 

@@ -10,6 +10,9 @@
 //   verdict SRC DST FAM           congestion verdict for the ping series
 //   dualstack SRC DST             matched v4-v6 RTT deltas
 //   figure N                      figure digest (1, 2, 5 or 10)
+//   scrape [prom|json]            live metrics dump (default prom); the
+//                                 Prometheus text is what a scraper
+//                                 ingests, the JSON is what s2s_top reads
 //
 // --no-cache asks the server to skip the result-cache lookup (the
 // response is still inserted). Prints the response JSON payload on
@@ -25,6 +28,9 @@
 //                       raw connection and report ok/busy counts on
 //                       stderr (exercises server admission control),
 //                       then run the real retried call
+//   --trace             stamp the request with a trace context
+//                       (kFlagTraceContext) so the server's span adopts
+//                       this call's trace id
 //   --report PATH       write a RunReport JSON (s2s.svc.retry.* counters)
 #include <cstdio>
 #include <cstdlib>
@@ -46,10 +52,10 @@ int usage() {
                "[--series]\n"
                "  [--timeout-ms N] [--retries N] [--hedge] "
                "[--hedge-delay-ms N]\n"
-               "  [--burst N] [--report PATH] <command>\n"
-               "  ping | stats | figure N | dualstack SRC DST |\n"
-               "  pair-rtt SRC DST FAM | prevalence SRC DST FAM [CAP] |\n"
-               "  verdict SRC DST FAM\n");
+               "  [--burst N] [--trace] [--report PATH] <command>\n"
+               "  ping | stats | scrape [prom|json] | figure N |\n"
+               "  dualstack SRC DST | pair-rtt SRC DST FAM |\n"
+               "  prevalence SRC DST FAM [CAP] | verdict SRC DST FAM\n");
   return 2;
 }
 
@@ -113,6 +119,8 @@ int main(int argc, char** argv) {
       policy.hedge_delay_ms = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--burst")) {
       burst = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      policy.trace = true;
     } else if (!std::strcmp(argv[i], "--report")) {
       report_path = next();
     } else {
@@ -173,6 +181,16 @@ int main(int argc, char** argv) {
     q.figure = static_cast<std::uint8_t>(std::atoi(words[1].c_str()));
     type = svc::MsgType::kFigureDigest;
     payload = svc::encode_figure_query(q);
+  } else if (command == "scrape") {
+    svc::MetricsDumpQuery q;
+    q.format = svc::MetricsDumpQuery::kPrometheus;
+    if (words.size() >= 2 && words[1] == "json") {
+      q.format = svc::MetricsDumpQuery::kJson;
+    } else if (words.size() >= 2 && words[1] != "prom") {
+      return usage();
+    }
+    type = svc::MsgType::kMetricsDump;
+    payload = svc::encode_metrics_dump_query(q);
   } else {
     return usage();
   }

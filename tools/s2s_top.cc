@@ -1,0 +1,239 @@
+// s2s_top — a refreshing terminal dashboard for a running s2sd
+// (DESIGN.md section 13).
+//
+//   s2s_top --port N [--host A] [--interval-ms N] [--iterations N]
+//           [--no-clear]
+//
+// Polls the kMetricsDump request (JSON format) on the given server and
+// renders, once per interval:
+//
+//   * request and byte rates over the last interval (counter deltas),
+//   * per-type windowed p50/p99 latency (the server's last-N-seconds
+//     view, not lifetime averages),
+//   * SLO good-ratio per type,
+//   * cache hit ratio, shed / busy / protocol-error counters with
+//     per-interval deltas.
+//
+// --iterations N exits after N polls (CI smoke uses 3); the default is
+// to run until interrupted. --no-clear appends frames instead of
+// redrawing in place, which keeps output pipeable. Exit status: 0 on a
+// clean run, 2 when the server cannot be polled.
+#include <time.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <string>
+
+#include "obs/json.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: s2s_top --port N [--host A] [--interval-ms N]\n"
+               "               [--iterations N] [--no-clear]\n");
+  return 2;
+}
+
+void sleep_ms(int ms) {
+  if (ms <= 0) return;
+  timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  ::nanosleep(&ts, nullptr);
+}
+
+struct Sample {
+  double uptime_s = 0.0;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  /// type -> {p50, p99, total} from the windowed view.
+  struct Window {
+    double p50 = 0.0;
+    double p99 = 0.0;
+    std::uint64_t total = 0;
+  };
+  std::map<std::string, Window> windowed;
+  /// type -> good ratio.
+  std::map<std::string, double> slo;
+};
+
+/// One kMetricsDump(json) round trip; false on any transport/parse error.
+bool poll_server(const std::string& host, std::uint16_t port, Sample& out,
+                 std::string& error) {
+  s2s::svc::Client client;
+  if (!client.connect(host, port, error, 2000)) return false;
+  s2s::svc::MetricsDumpQuery q;
+  q.format = s2s::svc::MetricsDumpQuery::kJson;
+  const std::string frame =
+      s2s::svc::encode_frame(s2s::svc::MsgType::kMetricsDump, 0,
+                             s2s::svc::encode_metrics_dump_query(q));
+  if (!client.send_bytes(frame, error)) return false;
+  s2s::svc::MsgType type;
+  std::string payload;
+  if (!client.read_frame(&type, &payload, error)) return false;
+  if (type != s2s::svc::MsgType::kOk) {
+    error = "server error: " + payload;
+    return false;
+  }
+  const auto root = s2s::obs::json::parse(payload);
+  if (!root || !root->is_object()) {
+    error = "unparseable metrics dump";
+    return false;
+  }
+  if (const auto* v = root->find("uptime_s"); v && v->is_number()) {
+    out.uptime_s = v->number;
+  }
+  if (const auto* obj = root->find("counters"); obj && obj->is_object()) {
+    for (const auto& [name, v] : obj->object) {
+      if (v.is_number()) out.counters[name] = v.as_u64();
+    }
+  }
+  if (const auto* obj = root->find("gauges"); obj && obj->is_object()) {
+    for (const auto& [name, v] : obj->object) {
+      if (v.is_number()) out.gauges[name] = v.number;
+    }
+  }
+  if (const auto* obj = root->find("windowed"); obj && obj->is_object()) {
+    for (const auto& [name, v] : obj->object) {
+      Sample::Window w;
+      if (const auto* p = v.find("p50"); p && p->is_number()) w.p50 = p->number;
+      if (const auto* p = v.find("p99"); p && p->is_number()) w.p99 = p->number;
+      if (const auto* p = v.find("total"); p && p->is_number()) {
+        w.total = p->as_u64();
+      }
+      // Strip the metric prefix so rows read as request types.
+      const std::string prefix = "s2s.svc.windowed_us.";
+      out.windowed[name.rfind(prefix, 0) == 0 ? name.substr(prefix.size())
+                                              : name] = w;
+    }
+  }
+  if (const auto* obj = root->find("slo"); obj && obj->is_object()) {
+    for (const auto& [name, v] : obj->object) {
+      const auto* ratio = v.find("good_ratio");
+      if (ratio == nullptr || !ratio->is_number()) continue;
+      const std::string prefix = "s2s.svc.slo.";
+      out.slo[name.rfind(prefix, 0) == 0 ? name.substr(prefix.size()) : name] =
+          ratio->number;
+    }
+  }
+  return true;
+}
+
+std::uint64_t counter(const Sample& s, const char* name) {
+  const auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+std::uint64_t delta(const Sample& now, const Sample& prev, const char* name) {
+  const std::uint64_t a = counter(now, name), b = counter(prev, name);
+  return a >= b ? a - b : 0;
+}
+
+void render(const Sample& now, const Sample& prev, bool have_prev,
+            double interval_s, const std::string& host, std::uint16_t port) {
+  const double rate_div = interval_s > 0 ? interval_s : 1.0;
+  std::printf("s2s_top — %s:%u  up %.1fs\n", host.c_str(),
+              static_cast<unsigned>(port), now.uptime_s);
+
+  const std::uint64_t req = counter(now, "s2s.svc.requests");
+  const std::uint64_t dreq = have_prev ? delta(now, prev, "s2s.svc.requests")
+                                       : 0;
+  std::printf("requests %" PRIu64 "  (%.1f req/s)  rx %" PRIu64
+              "B/s  tx %" PRIu64 "B/s\n",
+              req, have_prev ? static_cast<double>(dreq) / rate_div : 0.0,
+              have_prev ? static_cast<std::uint64_t>(
+                              static_cast<double>(delta(
+                                  now, prev, "s2s.svc.bytes_rx")) / rate_div)
+                        : 0,
+              have_prev ? static_cast<std::uint64_t>(
+                              static_cast<double>(delta(
+                                  now, prev, "s2s.svc.bytes_tx")) / rate_div)
+                        : 0);
+
+  const std::uint64_t hits = counter(now, "s2s.svc.cache_hits");
+  const std::uint64_t misses = counter(now, "s2s.svc.cache_misses");
+  const double hit_ratio =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  std::printf("cache hit %.1f%% (%" PRIu64 "/%" PRIu64 ")  shed %" PRIu64
+              " (+%" PRIu64 ")  busy %" PRIu64 "  proto_err %" PRIu64 "\n",
+              100.0 * hit_ratio, hits, hits + misses,
+              counter(now, "s2s.svc.shed.cost") +
+                  counter(now, "s2s.svc.shed.inflight") +
+                  counter(now, "s2s.svc.shed.client"),
+              have_prev ? delta(now, prev, "s2s.svc.shed.cost") +
+                              delta(now, prev, "s2s.svc.shed.inflight") +
+                              delta(now, prev, "s2s.svc.shed.client")
+                        : 0,
+              counter(now, "s2s.svc.busy_rejected"),
+              counter(now, "s2s.svc.protocol_errors"));
+
+  std::printf("%-20s %10s %10s %10s %8s\n", "type", "win_p50_us", "win_p99_us",
+              "win_count", "slo");
+  for (const auto& [type, w] : now.windowed) {
+    const auto slo_it = now.slo.find(type);
+    char slo_buf[16];
+    if (slo_it != now.slo.end()) {
+      std::snprintf(slo_buf, sizeof slo_buf, "%.1f%%",
+                    100.0 * slo_it->second);
+    } else {
+      std::snprintf(slo_buf, sizeof slo_buf, "-");
+    }
+    std::printf("%-20s %10.0f %10.0f %10" PRIu64 " %8s\n", type.c_str(),
+                w.p50, w.p99, w.total, slo_buf);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int interval_ms = 1000;
+  long iterations = -1;  // run until interrupted
+  bool clear = true;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (!std::strcmp(argv[i], "--host")) host = next();
+    else if (!std::strcmp(argv[i], "--port")) port = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--interval-ms")) {
+      interval_ms = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--iterations")) {
+      iterations = std::atol(next());
+    } else if (!std::strcmp(argv[i], "--no-clear")) {
+      clear = false;
+    } else {
+      return usage();
+    }
+  }
+  if (port <= 0 || port > 65535) return usage();
+
+  Sample prev;
+  bool have_prev = false;
+  for (long n = 0; iterations < 0 || n < iterations; ++n) {
+    if (n > 0) sleep_ms(interval_ms);
+    Sample now;
+    std::string error;
+    if (!poll_server(host, static_cast<std::uint16_t>(port), now, error)) {
+      std::fprintf(stderr, "s2s_top: %s\n", error.c_str());
+      return 2;
+    }
+    if (clear) std::printf("\x1b[2J\x1b[H");
+    render(now, prev, have_prev, static_cast<double>(interval_ms) / 1000.0,
+           host, static_cast<std::uint16_t>(port));
+    if (!clear) std::printf("\n");
+    prev = std::move(now);
+    have_prev = true;
+  }
+  return 0;
+}

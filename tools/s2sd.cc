@@ -15,6 +15,9 @@
 //   --allow-damaged     serve despite a failed archive-health check
 //   --cache-mb N        result cache budget in MiB
 //   --read-timeout-ms N / --write-timeout-ms N
+//   --slow-ms N         slow-query log threshold (end-to-end ms; 0 = off)
+//   --slo-ms N          per-type latency SLO threshold (ms)
+//   --window-s N        windowed p50/p99 merge width in seconds
 //   --report PATH       RunReport JSON on shutdown (default s2sd_report.json)
 //   --no-report
 // Deployment provenance (must match the archive's generator):
@@ -57,7 +60,8 @@ int usage() {
                "            [--max-pending-cost N] [--max-client-pending N]\n"
                "            [--busy-retry-ms N] [--allow-damaged]\n"
                "            [--cache-mb N] [--read-timeout-ms N]\n"
-               "            [--write-timeout-ms N] [--report PATH]\n"
+               "            [--write-timeout-ms N] [--slow-ms N]\n"
+               "            [--slo-ms N] [--window-s N] [--report PATH]\n"
                "            [--no-report] [--seed N] [--servers N]\n"
                "            [--tier1 N] [--transit N] [--stub N]\n"
                "       s2sd --make-fixture <out.s2sb> [--fast] "
@@ -110,6 +114,15 @@ int main(int argc, char** argv) {
       server_cfg.read_timeout_ms = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--write-timeout-ms")) {
       server_cfg.write_timeout_ms = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--slow-ms")) {
+      // Fractional thresholds are legal (--slow-ms 0.5 = 500us): smoke
+      // tests against tiny fixtures need sub-millisecond cutoffs.
+      server_cfg.slow_query_us =
+          static_cast<std::int64_t>(std::atof(next()) * 1000.0);
+    } else if (!std::strcmp(argv[i], "--slo-ms")) {
+      server_cfg.slo_ms = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--window-s")) {
+      server_cfg.window_seconds = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--report")) {
       report_path = next();
     } else if (!std::strcmp(argv[i], "--no-report")) {
@@ -220,6 +233,8 @@ int main(int argc, char** argv) {
 
   if (want_report) {
     obs::RunReport report = obs::build_run_report("s2sd");
+    report.windowed = server.windowed_snapshots();
+    report.slo = server.slo_stats();
     if (obs::write_text_file(report_path, report.to_json())) {
       obs::logf(obs::LogLevel::kInfo, "run report: %s", report_path.c_str());
     } else {
