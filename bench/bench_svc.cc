@@ -31,7 +31,15 @@
 // disables the metrics registry and trace collector, so the warm-phase
 // delta vs a default run is the observability overhead.
 //
+// A "reactor_scaling" section measures the multi-reactor serving tier:
+// the cached point-query workload replayed against fresh servers at
+// --reactors 1 and at --scale-reactors N (default 4; 0 disables), with
+// enough connections to keep every reactor busy. The reported ratio is
+// the CI scaling gate's input (req/s at N reactors vs 1 — meaningful
+// only on multi-core runners).
+//
 //   bench_svc [--fast] [--connections N] [--warm-rounds N] [--threads N]
+//             [--reactors N] [--scale-reactors N] [--scale-rounds N]
 //             [--timeout-ms N] [--retries N] [--hedge]
 //             [--hedge-delay-ms N] [--report PATH] [--no-report]
 //             [--trace PATH]
@@ -227,6 +235,9 @@ int main(int argc, char** argv) {
 
   std::size_t connections = 4;
   std::size_t warm_rounds = 4;
+  std::size_t reactors = 1;
+  std::size_t scale_reactors = 4;
+  std::size_t scale_rounds = 8;
   int threads = 0;
   bool fast = false;
   bool want_report = true;
@@ -243,6 +254,12 @@ int main(int argc, char** argv) {
       warm_rounds = static_cast<std::size_t>(std::atoi(next()));
     } else if (!std::strcmp(argv[i], "--threads")) {
       threads = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--reactors")) {
+      reactors = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--scale-reactors")) {
+      scale_reactors = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--scale-rounds")) {
+      scale_rounds = static_cast<std::size_t>(std::atoi(next()));
     } else if (!std::strcmp(argv[i], "--fast")) {
       fast = true;
     } else if (!std::strcmp(argv[i], "--timeout-ms")) {
@@ -264,8 +281,10 @@ int main(int argc, char** argv) {
   if (fast) {
     connections = 2;
     warm_rounds = 2;
+    scale_rounds = 3;
   }
   if (connections == 0) connections = 1;
+  if (reactors == 0) reactors = 1;
 
   obs::MetricsRegistry::global().reset();
   obs::TraceCollector::global().clear();
@@ -303,6 +322,7 @@ int main(int argc, char** argv) {
   exec::ThreadPool pool(threads > 0 ? static_cast<unsigned>(threads) : 0u);
   svc::ServerConfig server_cfg;
   server_cfg.max_inflight = 1024;  // closed-loop clients, no shedding
+  server_cfg.reactors = reactors;
   svc::Server server(dataset, &pool, server_cfg);
   if (!server.start(error)) {
     std::fprintf(stderr, "bench_svc: %s\n", error.c_str());
@@ -364,7 +384,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_svc: chaos proxy failed: %s\n", error.c_str());
   }
 
-  const svc::ResultCache::Stats cache = server.cache().stats();
+  const svc::ResultCache::Stats cache = server.cache_stats();
   server.request_drain();
   serve_thread.join();
 
@@ -389,6 +409,64 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "bench_svc: overload server failed: %s\n",
                  error.c_str());
+  }
+
+  // Reactor scaling: the cached point-query workload (cheap per-request
+  // work, so the serving tier — not the analysis — is the bottleneck)
+  // against fresh servers at 1 reactor and at scale_reactors, with
+  // enough connections to keep every reactor's accept shard busy.
+  struct ScalePoint {
+    std::size_t reactors = 0;
+    bool reuseport = false;
+    double rps = 0.0;
+    double p99_us = 0.0;
+  };
+  std::vector<ScalePoint> scaling;
+  bool scaling_ran = false;
+  if (scale_reactors > 1) {
+    std::vector<Request> hot_workload;
+    for (const Request& req : workload) {
+      if (req.type != svc::MsgType::kFigureDigest) hot_workload.push_back(req);
+    }
+    hot_workload.push_back({svc::MsgType::kPingEcho, ""});
+    const std::size_t hot_conns = std::max(connections, 2 * scale_reactors);
+    scaling_ran = true;
+    for (const std::size_t n : {std::size_t{1}, scale_reactors}) {
+      std::printf("bench_svc: scaling phase (%zu reactor%s)\n", n,
+                  n == 1 ? "" : "s");
+      svc::ServerConfig sc_cfg;
+      sc_cfg.max_inflight = 1024;
+      sc_cfg.reactors = n;
+      svc::Server sc_server(dataset, &pool, sc_cfg);
+      if (!sc_server.start(error)) {
+        std::fprintf(stderr, "bench_svc: scaling server failed: %s\n",
+                     error.c_str());
+        scaling_ran = false;
+        break;
+      }
+      std::thread sc_thread([&] { sc_server.serve(); });
+      // Fill pass: every reactor's cache sees the workload once (the
+      // per-reactor caches warm independently), then the measured pass.
+      run_phase("127.0.0.1", sc_server.port(), hot_workload, hot_conns,
+                /*rounds=*/1, /*flags=*/0, policy);
+      const PhaseResult r =
+          run_phase("127.0.0.1", sc_server.port(), hot_workload, hot_conns,
+                    scale_rounds, /*flags=*/0, policy);
+      ScalePoint point;
+      point.reactors = n;
+      point.reuseport = sc_server.reuseport_active();
+      point.rps = r.requests_per_sec();
+      point.p99_us = stats::quantile(r.latencies_us, 0.99);
+      sc_server.request_drain();
+      sc_thread.join();
+      if (r.errors > 0) {
+        std::fprintf(stderr, "bench_svc: %zu scaling request errors\n",
+                     r.errors);
+        scaling_ran = false;
+        break;
+      }
+      scaling.push_back(point);
+    }
   }
 
   obs::json::Writer w;
@@ -416,6 +494,18 @@ int main(int argc, char** argv) {
     w.key("hints_present").value(overload.hints_present);
     w.key("shed_rate").value(overload.shed_rate());
     w.key("wall_s").value(overload.wall_s);
+    w.end_object();
+  }
+  if (scaling_ran && scaling.size() == 2) {
+    w.key("reactor_scaling").begin_object();
+    w.key("reactors").value(static_cast<std::uint64_t>(scaling[1].reactors));
+    w.key("reuseport").value(scaling[1].reuseport);
+    w.key("rps_1").value(scaling[0].rps);
+    w.key("p99_us_1").value(scaling[0].p99_us);
+    w.key("rps_n").value(scaling[1].rps);
+    w.key("p99_us_n").value(scaling[1].p99_us);
+    w.key("ratio").value(scaling[0].rps > 0.0 ? scaling[1].rps / scaling[0].rps
+                                              : 0.0);
     w.end_object();
   }
   const double p50_cold = stats::quantile(cold.latencies_us, 0.50);

@@ -316,6 +316,11 @@ class BinRecordMmapReader {
   bool ok() const noexcept { return ok_; }
   const std::string& error() const noexcept { return error_; }
   std::uint16_t version() const noexcept { return version_; }
+  /// The raw mapped (or borrowed) image. Servers slice response payloads
+  /// directly out of these bytes (svc::Dataset::archive_slice), so the
+  /// pointers stay valid for the reader's lifetime.
+  const unsigned char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
   /// True when the footer index validated (read_all walks by index).
   bool has_index() const noexcept { return !index_.empty(); }
   const std::vector<BlockIndexEntry>& index() const noexcept {

@@ -1,6 +1,7 @@
 #include "svc/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -25,6 +26,11 @@ void arm_timeout(int fd, int timeout_ms) {
   tv.tv_usec = (timeout_ms % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+void arm_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
 }
 
 }  // namespace
@@ -57,20 +63,44 @@ void Client::close() {
 bool Client::connect(const std::string& host, std::uint16_t port,
                      std::string& error, int timeout_ms) {
   close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  // A ':' marks an IPv6 literal ("::1", "fe80::…"); everything else is
+  // an IPv4 dotted quad, matching the server's bind-address rule.
+  const bool v6 = host.find(':') != std::string::npos;
+  const int family = v6 ? AF_INET6 : AF_INET;
+#ifdef SOCK_CLOEXEC
+  fd_ = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+#else
+  fd_ = ::socket(family, SOCK_STREAM, 0);
+#endif
   if (fd_ < 0) {
     error = "socket: " + std::string(std::strerror(errno));
     return false;
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    error = "bad host address: " + host;
-    close();
-    return false;
+  arm_cloexec(fd_);  // no-op where SOCK_CLOEXEC already applied
+  sockaddr_storage ss{};
+  socklen_t slen = 0;
+  if (v6) {
+    auto* addr = reinterpret_cast<sockaddr_in6*>(&ss);
+    addr->sin6_family = AF_INET6;
+    addr->sin6_port = htons(port);
+    if (::inet_pton(AF_INET6, host.c_str(), &addr->sin6_addr) != 1) {
+      error = "bad host address: " + host;
+      close();
+      return false;
+    }
+    slen = sizeof(sockaddr_in6);
+  } else {
+    auto* addr = reinterpret_cast<sockaddr_in*>(&ss);
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+      error = "bad host address: " + host;
+      close();
+      return false;
+    }
+    slen = sizeof(sockaddr_in);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&ss), slen) != 0) {
     error = "connect: " + std::string(std::strerror(errno));
     close();
     return false;

@@ -10,6 +10,7 @@
 
 #include "core/dualstack.h"
 #include "io/crc32c.h"
+#include "io/varint.h"
 #include "net/asn.h"
 #include "probe/campaign.h"
 #include "stats/summary.h"
@@ -176,7 +177,46 @@ bool Dataset::load(std::string& error) {
   digest_ = digest;
   ingest_ = ingest;
   ping_epochs_ = epochs;
+  // Retain the mapped image when the archive came through the mmap arm
+  // with a validated footer: archive_slice() serves raw block bytes
+  // straight out of this mapping.
+  mmap_.reset();
+  if (ingest_.binary && ingest_.used_mmap &&
+      ingest_.footer == io::FooterStatus::kValid) {
+    auto reader =
+        std::make_shared<io::BinRecordMmapReader>(config_.archive_path);
+    if (reader->ok() && reader->has_index()) mmap_ = std::move(reader);
+  }
   return true;
+}
+
+Dataset::ArchiveSlice Dataset::archive_slice(std::int64_t t0_s,
+                                             std::int64_t t1_s) const {
+  ArchiveSlice out;
+  if (!mmap_) {
+    out.error = "archive slice requires an mmap'd binary archive with an "
+                "intact footer index";
+    return out;
+  }
+  const unsigned char* data = mmap_->data();
+  const std::size_t size = mmap_->size();
+  out.file_header.assign(reinterpret_cast<const char*>(data),
+                         io::kBinFileHeaderBytes);
+  for (const io::BlockIndexEntry& entry : mmap_->index()) {
+    if (entry.last_time_s < t0_s || entry.first_time_s > t1_s) continue;
+    const std::size_t off = static_cast<std::size_t>(entry.offset);
+    if (off + io::kBinBlockHeaderBytes > size) continue;  // defensive
+    const std::uint32_t payload_bytes = io::get_u32le(data + off + 8);
+    const std::size_t block_bytes = io::kBinBlockHeaderBytes + payload_bytes;
+    if (off + block_bytes > size) continue;
+    out.blocks.emplace_back(reinterpret_cast<const char*>(data + off),
+                            block_bytes);
+    out.records += entry.record_count;
+  }
+  out.bytes = out.file_header.size();
+  for (const std::string_view b : out.blocks) out.bytes += b.size();
+  out.ok = true;
+  return out;
 }
 
 Dataset::Response Dataset::execute(MsgType type, std::string_view payload,

@@ -104,6 +104,31 @@ class Dataset {
     std::string payload;
   };
 
+  /// Zero-copy archive slice (kArchiveSlice): the response payload as an
+  /// owned 16-byte `.s2sb` file header plus raw block spans pointing
+  /// into the retained mmap. The spans stay valid for this Dataset's
+  /// lifetime — the server pins its dataset snapshot on the connection's
+  /// output queue until the bytes are flushed.
+  struct ArchiveSlice {
+    bool ok = false;
+    std::string error;       ///< reason when !ok
+    std::string file_header; ///< owned FileHeader bytes
+    std::vector<std::string_view> blocks;  ///< raw block bytes, in order
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;  ///< file_header + blocks total
+  };
+
+  /// Blocks whose [first_time_s, last_time_s] intersects [t0_s, t1_s],
+  /// sliced out of the mmap'd archive by the footer index without
+  /// decoding or copying. Fails (ok = false) when the archive was not
+  /// ingested through the mmap arm with a valid footer — text archives
+  /// and damaged footers fall back to an error response, never a copy.
+  ArchiveSlice archive_slice(std::int64_t t0_s, std::int64_t t1_s) const;
+
+  /// True when load() retained the mmap'd image (binary archive, valid
+  /// footer) — the precondition for archive_slice().
+  bool mmap_resident() const noexcept { return mmap_ != nullptr; }
+
   /// Answers one request (kPairRtt .. kFigureDigest, kPingEcho). The
   /// figure studies run on `pool` when given. kServerStats is the
   /// server's job (it owns the cache and connection state) and returns
@@ -136,6 +161,9 @@ class Dataset {
   const simnet::Network* net_ = nullptr;
   std::unique_ptr<core::TimelineStore> timelines_;
   std::unique_ptr<core::PingSeriesStore> pings_;
+  /// Retained mmap of the archive for zero-copy slicing; null when the
+  /// archive is text, footerless, or was read through the stream arm.
+  std::shared_ptr<const io::BinRecordMmapReader> mmap_;
   std::uint64_t digest_ = 0;
   io::IngestResult ingest_;
   std::size_t ping_epochs_ = 0;

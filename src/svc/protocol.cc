@@ -16,6 +16,7 @@ const char* type_name(MsgType t) {
     case MsgType::kFigureDigest: return "figure_digest";
     case MsgType::kServerStats: return "server_stats";
     case MsgType::kMetricsDump: return "metrics_dump";
+    case MsgType::kArchiveSlice: return "archive_slice";
     case MsgType::kOk: return "ok";
     case MsgType::kError: return "error";
   }
@@ -32,6 +33,7 @@ bool is_request(MsgType t) {
     case MsgType::kFigureDigest:
     case MsgType::kServerStats:
     case MsgType::kMetricsDump:
+    case MsgType::kArchiveSlice:
       return true;
     case MsgType::kOk:
     case MsgType::kError:
@@ -70,18 +72,50 @@ std::uint32_t frame_crc(const unsigned char* header_bytes,
   return io::crc32c(crc, payload.data(), payload.size());
 }
 
-std::string encode_frame(MsgType type, std::uint8_t flags,
-                         std::string_view payload) {
+namespace {
+
+std::string header_prefix(MsgType type, std::uint8_t flags,
+                          std::uint32_t payload_bytes) {
   std::string out;
-  out.reserve(kFrameHeaderBytes + payload.size());
+  out.reserve(kFrameHeaderBytes);
   io::put_u32le(out, kFrameMagic);
   io::put_u16le(out, kProtocolVersion);
   out.push_back(static_cast<char>(type));
   out.push_back(static_cast<char>(flags));
-  io::put_u32le(out, static_cast<std::uint32_t>(payload.size()));
-  const std::uint32_t crc = frame_crc(
-      reinterpret_cast<const unsigned char*>(out.data()), payload);
+  io::put_u32le(out, payload_bytes);
+  return out;  // 12 bytes; the caller appends the CRC
+}
+
+}  // namespace
+
+std::string encode_frame_header(MsgType type, std::uint8_t flags,
+                                std::string_view payload) {
+  std::string out = header_prefix(
+      type, flags, static_cast<std::uint32_t>(payload.size()));
+  io::put_u32le(out, frame_crc(
+      reinterpret_cast<const unsigned char*>(out.data()), payload));
+  return out;
+}
+
+std::string encode_frame_header(MsgType type, std::uint8_t flags,
+                                const std::vector<std::string_view>& spans) {
+  std::uint64_t total = 0;
+  for (const std::string_view s : spans) total += s.size();
+  std::string out =
+      header_prefix(type, flags, static_cast<std::uint32_t>(total));
+  std::uint32_t crc = io::crc32c(
+      0, reinterpret_cast<const unsigned char*>(out.data()) + 4, 8);
+  for (const std::string_view s : spans) {
+    crc = io::crc32c(crc, s.data(), s.size());
+  }
   io::put_u32le(out, crc);
+  return out;
+}
+
+std::string encode_frame(MsgType type, std::uint8_t flags,
+                         std::string_view payload) {
+  std::string out = encode_frame_header(type, flags, payload);
+  out.reserve(kFrameHeaderBytes + payload.size());
   out.append(payload);
   return out;
 }
@@ -140,6 +174,21 @@ bool decode_metrics_dump_query(std::string_view payload,
   out.format = static_cast<std::uint8_t>(payload[0]);
   return out.format == MetricsDumpQuery::kJson ||
          out.format == MetricsDumpQuery::kPrometheus;
+}
+
+std::string encode_slice_query(const SliceQuery& q) {
+  std::string out;
+  io::put_u64le(out, static_cast<std::uint64_t>(q.t0_s));
+  io::put_u64le(out, static_cast<std::uint64_t>(q.t1_s));
+  return out;
+}
+
+bool decode_slice_query(std::string_view payload, SliceQuery& out) {
+  if (payload.size() != 16) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  out.t0_s = static_cast<std::int64_t>(io::get_u64le(p));
+  out.t1_s = static_cast<std::int64_t>(io::get_u64le(p + 8));
+  return out.t0_s <= out.t1_s;
 }
 
 std::string encode_trace_context(const TraceContext& ctx) {
@@ -214,6 +263,7 @@ std::uint32_t request_cost(MsgType t) {
       return 1;
     case MsgType::kPairRtt:
     case MsgType::kPathPrevalence:
+    case MsgType::kArchiveSlice:
       return 8;
     case MsgType::kCongestionVerdict:
     case MsgType::kDualStackDelta:

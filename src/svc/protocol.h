@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace s2s::svc {
 
@@ -48,6 +49,7 @@ enum class MsgType : std::uint8_t {
   kFigureDigest = 0x06,       ///< FigureQuery
   kServerStats = 0x07,        ///< empty payload; never cached
   kMetricsDump = 0x08,        ///< 1-byte format selector; never cached
+  kArchiveSlice = 0x09,       ///< SliceQuery; raw `.s2sb` block slice
   // Responses.
   kOk = 0x80,
   kError = 0x81,
@@ -101,6 +103,19 @@ std::uint32_t frame_crc(const unsigned char* header_bytes,
 std::string encode_frame(MsgType type, std::uint8_t flags,
                          std::string_view payload);
 
+/// Encodes only the 16-byte header for a payload that will be written
+/// separately (the server's writev scatter-gather path: header and
+/// payload go out in one sendmsg without concatenating them first).
+std::string encode_frame_header(MsgType type, std::uint8_t flags,
+                                std::string_view payload);
+
+/// Header for a payload made of several spans written back to back
+/// (the zero-copy archive-slice path: an owned prefix plus views into
+/// the mmap'd archive). The CRC accumulates over the spans in order, so
+/// the wire bytes are identical to a single concatenated payload.
+std::string encode_frame_header(MsgType type, std::uint8_t flags,
+                                const std::vector<std::string_view>& spans);
+
 // ---------------------------------------------------------------------------
 // Request payloads (fixed-width little-endian; decode checks exact size).
 // ---------------------------------------------------------------------------
@@ -146,6 +161,20 @@ struct MetricsDumpQuery {
 std::string encode_metrics_dump_query(const MetricsDumpQuery& q);
 bool decode_metrics_dump_query(std::string_view payload,
                                MetricsDumpQuery& out);
+
+/// kArchiveSlice payload (16 bytes): i64 t0_s, i64 t1_s — the inclusive
+/// time span whose archive blocks the caller wants. The response payload
+/// is itself a footerless `.s2sb` image (file header + the raw CRC-
+/// guarded blocks whose [first, last] span intersects [t0, t1]), sliced
+/// zero-copy out of the server's mmap'd archive; feed it to
+/// io::BinRecordMmapReader(data, size) to decode the records.
+struct SliceQuery {
+  std::int64_t t0_s = 0;
+  std::int64_t t1_s = 0;
+};
+
+std::string encode_slice_query(const SliceQuery& q);
+bool decode_slice_query(std::string_view payload, SliceQuery& out);
 
 // ---------------------------------------------------------------------------
 // Trace-context prefix (DESIGN.md section 13).

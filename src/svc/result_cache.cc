@@ -34,23 +34,30 @@ ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
   return shards_[key_hash(key) % shards_.size()];
 }
 
-bool ResultCache::lookup(const std::string& key, std::string& value_out) {
+ResultCache::Value ResultCache::find(const std::string& key) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
     obs_misses_.inc();
-    return false;
+    return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  value_out = it->second->second;
   ++shard.hits;
   obs_hits_.inc();
+  return it->second->second;
+}
+
+bool ResultCache::lookup(const std::string& key, std::string& value_out) {
+  const Value v = find(key);
+  if (!v) return false;
+  value_out = *v;
   return true;
 }
 
-void ResultCache::insert(const std::string& key, std::string value) {
+void ResultCache::insert(const std::string& key, Value value) {
+  if (!value) return;
   Shard& shard = shard_for(key);
   const std::size_t cost = entry_bytes(key, value);
   if (cost > shard_budget_) return;

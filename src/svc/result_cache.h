@@ -9,18 +9,27 @@
 // keys simply stop matching and age out of the LRU).
 //
 // Sharded by key hash so concurrent callers (the bench drives the cache
-// directly from many threads; the server today looks up from its single
-// event loop) contend on per-shard mutexes, not one global lock. The
-// byte budget is split evenly across shards; an entry larger than its
-// shard's budget is simply not cached.
+// directly from many threads; the server gives each reactor its own
+// instance, but stats() readers race the owning reactor) contend on
+// per-shard mutexes, not one global lock. The byte budget is split
+// evenly across shards; an entry larger than its shard's budget is
+// simply not cached.
+//
+// Values are shared-ownership strings: find() hands back the cached
+// std::shared_ptr<const std::string> itself, so the server's writev path
+// can point an iovec straight at the cached bytes (the shared_ptr keeps
+// the entry alive across an eviction racing the flush) — a warm hit is
+// served without copying the payload.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -39,15 +48,25 @@ class ResultCache {
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  /// True and fills `value_out` on a hit (the entry becomes most recently
-  /// used); false on a miss. Counts s2s.svc.cache_hits / cache_misses.
-  bool lookup(const std::string& key, std::string& value_out);
+  /// Shared-ownership cached value; empty on a miss.
+  using Value = std::shared_ptr<const std::string>;
+
+  /// The hit's shared value (the entry becomes most recently used) or
+  /// nullptr on a miss. Counts s2s.svc.cache_hits / cache_misses.
+  Value find(const std::string& key);
 
   /// Inserts or refreshes; evicts least-recently-used entries of the
   /// key's shard until the shard is back under budget
   /// (s2s.svc.cache_evictions). Values larger than a shard budget are
   /// dropped rather than cycling the whole shard through the LRU.
-  void insert(const std::string& key, std::string value);
+  /// Null values are ignored.
+  void insert(const std::string& key, Value value);
+
+  /// Copying convenience wrappers over find()/insert().
+  bool lookup(const std::string& key, std::string& value_out);
+  void insert(const std::string& key, std::string value) {
+    insert(key, std::make_shared<const std::string>(std::move(value)));
+  }
 
   /// Drops every entry (counts nothing; used on explicit reset paths).
   void clear();
@@ -71,18 +90,17 @@ class ResultCache {
   struct Shard {
     mutable std::mutex mutex;
     /// Front = most recently used.
-    std::list<std::pair<std::string, std::string>> lru;
+    std::list<std::pair<std::string, Value>> lru;
     std::unordered_map<std::string,
-                       std::list<std::pair<std::string, std::string>>::iterator>
+                       std::list<std::pair<std::string, Value>>::iterator>
         index;
     std::size_t bytes = 0;
     std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
   };
 
   Shard& shard_for(const std::string& key);
-  static std::size_t entry_bytes(const std::string& key,
-                                 const std::string& value) {
-    return key.size() + value.size();
+  static std::size_t entry_bytes(const std::string& key, const Value& value) {
+    return key.size() + (value ? value->size() : 0);
   }
 
   std::size_t shard_budget_ = 0;

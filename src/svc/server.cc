@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #ifdef __linux__
@@ -35,7 +36,20 @@ bool set_nonblocking(int fd) {
   return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+// Sockets and pipes must not leak into children (SIGHUP handlers and
+// tools fork/exec helpers); kernel-atomic SOCK_CLOEXEC/accept4 where
+// available, fcntl on the fallback paths.
+bool set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
 std::chrono::milliseconds ms(int v) { return std::chrono::milliseconds(v); }
+
+/// Max iovec segments per sendmsg; past this a second readiness round
+/// costs less than the iovec array walk.
+constexpr int kMaxIovec = 64;
 
 }  // namespace
 
@@ -138,7 +152,7 @@ void Server::Poller::wait(std::vector<Event>& out, int timeout_ms) {
 }
 
 // ---------------------------------------------------------------------------
-// Server
+// Server: lifecycle
 // ---------------------------------------------------------------------------
 
 Server::Server(Dataset& dataset, exec::ThreadPool* pool,
@@ -146,9 +160,9 @@ Server::Server(Dataset& dataset, exec::ThreadPool* pool,
     : dataset_(dataset),
       pool_(pool),
       config_(config),
-      cache_({config.cache_shards, config.cache_bytes}),
       slow_log_({config.slow_query_us, config.slow_log_max_per_interval,
                  /*interval_ms=*/1000, /*max_entries=*/128}) {
+  if (config_.reactors == 0) config_.reactors = 1;
   auto& reg = obs::MetricsRegistry::global();
   obs_requests_ = reg.counter("s2s.svc.requests");
   obs_accepted_ = reg.counter("s2s.svc.conns_accepted");
@@ -161,13 +175,14 @@ Server::Server(Dataset& dataset, exec::ThreadPool* pool,
   obs_bytes_rx_ = reg.counter("s2s.svc.bytes_rx");
   obs_bytes_tx_ = reg.counter("s2s.svc.bytes_tx");
   obs_reloads_ = reg.counter("s2s.svc.reloads");
+  obs_accept_emfile_ = reg.counter("s2s.svc.accept_emfile");
   obs_active_conns_ = reg.gauge("s2s.svc.active_conns");
   obs_pending_cost_ = reg.gauge("s2s.svc.pending_cost");
   for (const MsgType t :
        {MsgType::kPingEcho, MsgType::kPairRtt, MsgType::kPathPrevalence,
         MsgType::kCongestionVerdict, MsgType::kDualStackDelta,
-        MsgType::kFigureDigest, MsgType::kServerStats,
-        MsgType::kMetricsDump}) {
+        MsgType::kFigureDigest, MsgType::kServerStats, MsgType::kMetricsDump,
+        MsgType::kArchiveSlice}) {
     const auto key = static_cast<std::uint8_t>(t);
     latency_.emplace(
         key, reg.histogram(std::string("s2s.svc.latency_us.") + type_name(t),
@@ -187,61 +202,306 @@ Server::Server(Dataset& dataset, exec::ThreadPool* pool,
 }
 
 Server::~Server() {
-  for (const auto& [fd, conn] : conns_) ::close(fd);
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
-  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  for (const int wr : handoff_wr_) {
+    if (wr >= 0) ::close(wr);
+  }
+}
+
+int Server::open_listener(std::uint16_t port, bool reuseport,
+                          std::uint16_t& actual_port, std::string& error) {
+  // An address with a ':' is IPv6; "::" with V6ONLY off is the
+  // dual-stack wildcard (v4 peers arrive as v4-mapped addresses).
+  const bool v6 = config_.bind_address.find(':') != std::string::npos;
+  const int family = v6 ? AF_INET6 : AF_INET;
+  int fd = -1;
+#ifdef SOCK_CLOEXEC
+  fd = ::socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+#endif
+  if (fd < 0) {
+    fd = ::socket(family, SOCK_STREAM, 0);
+    if (fd >= 0) set_cloexec(fd);
+  }
+  if (fd < 0) {
+    error = "socket: " + std::string(std::strerror(errno));
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuseport) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      error = "setsockopt(SO_REUSEPORT): " + std::string(std::strerror(errno));
+      ::close(fd);
+      return -1;
+    }
+#else
+    error = "SO_REUSEPORT not supported on this platform";
+    ::close(fd);
+    return -1;
+#endif
+  }
+  sockaddr_storage ss{};
+  socklen_t slen = 0;
+  if (v6) {
+    const int zero = 0;
+    ::setsockopt(fd, IPPROTO_IPV6, IPV6_V6ONLY, &zero, sizeof zero);
+    auto* a = reinterpret_cast<sockaddr_in6*>(&ss);
+    a->sin6_family = AF_INET6;
+    a->sin6_port = htons(port);
+    if (::inet_pton(AF_INET6, config_.bind_address.c_str(), &a->sin6_addr) !=
+        1) {
+      error = "bad bind address: " + config_.bind_address;
+      ::close(fd);
+      return -1;
+    }
+    slen = sizeof(sockaddr_in6);
+  } else {
+    auto* a = reinterpret_cast<sockaddr_in*>(&ss);
+    a->sin_family = AF_INET;
+    a->sin_port = htons(port);
+    if (::inet_pton(AF_INET, config_.bind_address.c_str(), &a->sin_addr) !=
+        1) {
+      error = "bad bind address: " + config_.bind_address;
+      ::close(fd);
+      return -1;
+    }
+    slen = sizeof(sockaddr_in);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&ss), slen) < 0) {
+    error = "bind: " + std::string(std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, config_.backlog) < 0) {
+    error = "listen: " + std::string(std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_storage bound{};
+  socklen_t blen = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    actual_port =
+        bound.ss_family == AF_INET6
+            ? ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port)
+            : ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+  }
+  if (!set_nonblocking(fd)) {
+    error = "fcntl: " + std::string(std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
 }
 
 bool Server::start(std::string& error) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    error = "socket: " + std::string(std::strerror(errno));
-    return false;
+  const std::size_t n = config_.reactors;
+  {
+    // The initial snapshot aliases the caller-owned dataset (the
+    // deleter is empty); reloads replace it with owning snapshots.
+    std::lock_guard<std::mutex> lock(dataset_mutex_);
+    dataset_current_ = std::shared_ptr<const Dataset>(
+        std::shared_ptr<const void>{}, &dataset_);
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    error = "bad bind address: " + config_.bind_address;
-    return false;
+  reactors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>(*this, i));
+    if (!reactors_.back()->poller_->ok()) {
+      error = "poller setup failed";
+      return false;
+    }
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-      0) {
-    error = "bind: " + std::string(std::strerror(errno));
-    return false;
+  for (const auto& r : reactors_) {
+    if (::pipe(r->wake_pipe_) != 0) {
+      error = "pipe: " + std::string(std::strerror(errno));
+      return false;
+    }
+    set_nonblocking(r->wake_pipe_[0]);
+    set_nonblocking(r->wake_pipe_[1]);
+    set_cloexec(r->wake_pipe_[0]);
+    set_cloexec(r->wake_pipe_[1]);
+    r->poller_->add(r->wake_pipe_[0], true, false);
   }
-  if (::listen(listen_fd_, config_.backlog) < 0) {
-    error = "listen: " + std::string(std::strerror(errno));
-    return false;
+
+  // Accept sharding: one SO_REUSEPORT listener per reactor when the
+  // platform and config allow; any failure falls back to the single
+  // acceptor + fd handoff scheme rather than failing startup.
+  if (config_.use_reuseport && n > 1) {
+    std::uint16_t port = config_.port;
+    bool all_ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint16_t actual = 0;
+      std::string lerr;
+      const int fd = open_listener(port, /*reuseport=*/true, actual, lerr);
+      if (fd < 0) {
+        all_ok = false;
+        break;
+      }
+      reactors_[i]->listen_fd_ = fd;
+      if (i == 0) port = actual;  // later listeners join the same port
+    }
+    if (all_ok) {
+      reuseport_ = true;
+      port_ = port;
+    } else {
+      for (const auto& r : reactors_) {
+        if (r->listen_fd_ >= 0) {
+          ::close(r->listen_fd_);
+          r->listen_fd_ = -1;
+        }
+      }
+    }
   }
-  socklen_t len = sizeof addr;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
-    port_ = ntohs(addr.sin_port);
+  if (!reuseport_) {
+    std::uint16_t actual = 0;
+    const int fd = open_listener(config_.port, /*reuseport=*/false, actual,
+                                 error);
+    if (fd < 0) return false;
+    reactors_[0]->listen_fd_ = fd;
+    port_ = actual;
+    handoff_wr_.assign(n, -1);
+    for (std::size_t i = 1; i < n; ++i) {
+      int p[2];
+      if (::pipe(p) != 0) {
+        error = "pipe: " + std::string(std::strerror(errno));
+        return false;
+      }
+      set_nonblocking(p[0]);
+      set_nonblocking(p[1]);
+      set_cloexec(p[0]);
+      set_cloexec(p[1]);
+      reactors_[i]->handoff_rd_ = p[0];
+      handoff_wr_[i] = p[1];
+      reactors_[i]->poller_->add(p[0], true, false);
+    }
   }
-  if (!set_nonblocking(listen_fd_)) {
-    error = "fcntl: " + std::string(std::strerror(errno));
-    return false;
+  for (const auto& r : reactors_) {
+    if (r->listen_fd_ >= 0) r->poller_->add(r->listen_fd_, true, false);
   }
-  if (::pipe(wake_pipe_) != 0) {
-    error = "pipe: " + std::string(std::strerror(errno));
-    return false;
-  }
-  set_nonblocking(wake_pipe_[0]);
-  set_nonblocking(wake_pipe_[1]);
-  poller_ = std::make_unique<Poller>(config_.use_epoll);
-  if (!poller_->ok()) {
-    error = "poller setup failed";
-    return false;
-  }
-  poller_->add(listen_fd_, true, false);
-  poller_->add(wake_pipe_[0], true, false);
   start_time_ = Clock::now();
   return true;
+}
+
+void Server::serve() {
+  if (reactors_.empty()) return;
+  std::vector<std::thread> threads;
+  threads.reserve(reactors_.size() - 1);
+  for (std::size_t i = 1; i < reactors_.size(); ++i) {
+    threads.emplace_back([this, i] { reactors_[i]->run(); });
+  }
+  reactors_[0]->run();
+  for (auto& t : threads) t.join();
+  // Drain complete on every reactor; listeners close last — the socket
+  // stays accept()-able until the final in-flight response is flushed.
+  for (const auto& r : reactors_) {
+    if (r->listen_fd_ >= 0) {
+      ::close(r->listen_fd_);
+      r->listen_fd_ = -1;
+    }
+  }
+}
+
+void Server::request_drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  // write() is async-signal-safe and reactors_ is immutable after
+  // start(); this is the SIGTERM handler's body.
+  for (const auto& r : reactors_) r->wake();
+}
+
+void Server::request_reload() {
+  reload_pending_.store(true, std::memory_order_relaxed);
+  for (const auto& r : reactors_) r->wake();
+}
+
+std::shared_ptr<const Dataset> Server::dataset_snapshot() const {
+  std::lock_guard<std::mutex> lock(dataset_mutex_);
+  return dataset_current_;
+}
+
+void Server::do_reload() {
+  // Build the replacement dataset off to the side (sharing the base's
+  // network — topology is immutable and expensive) and publish it with
+  // a pointer swap only on success. Requests hold the snapshot they
+  // started with, so a reload can never tear a response.
+  auto fresh = std::make_shared<Dataset>(dataset_.config(), &dataset_.net());
+  std::string error;
+  if (fresh->load(error)) {
+    {
+      std::lock_guard<std::mutex> lock(dataset_mutex_);
+      dataset_current_ = fresh;
+    }
+    reloads_.fetch_add(1, std::memory_order_relaxed);
+    obs_reloads_.inc();
+    obs::logf(obs::LogLevel::kInfo,
+              "s2sd: archive reloaded (%zu records, digest %016llx)",
+              fresh->ingest().records,
+              static_cast<unsigned long long>(fresh->digest()));
+  } else {
+    obs::logf(obs::LogLevel::kWarn, "s2sd: reload failed: %s", error.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server: aggregation across reactors
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> Server::reactor_accepted() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(reactors_.size());
+  for (const auto& r : reactors_) {
+    out.push_back(r->accepted_.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+ResultCache::Stats Server::cache_stats() const {
+  ResultCache::Stats out;
+  for (const auto& r : reactors_) {
+    const ResultCache::Stats s = r->cache_.stats();
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.insertions += s.insertions;
+    out.evictions += s.evictions;
+    out.entries += s.entries;
+    out.bytes += s.bytes;
+  }
+  return out;
+}
+
+std::uint64_t Server::requests_served() const {
+  std::uint64_t total = 0;
+  for (const auto& r : reactors_) {
+    total += r->requests_served_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Server::connections_reaped() const {
+  std::uint64_t total = 0;
+  for (const auto& r : reactors_) {
+    total += r->reaped_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Server::accept_emfile() const {
+  std::uint64_t total = 0;
+  for (const auto& r : reactors_) {
+    total += r->accept_emfile_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Server::set_conns_gauge() {
+  obs_active_conns_.set(
+      static_cast<double>(total_conns_.load(std::memory_order_relaxed)));
+}
+
+void Server::set_pending_cost_gauge() {
+  std::size_t total = 0;
+  for (const auto& r : reactors_) {
+    total += r->pending_cost_.load(std::memory_order_relaxed);
+  }
+  obs_pending_cost_.set(static_cast<double>(total));
 }
 
 double Server::uptime_seconds() const {
@@ -273,47 +533,64 @@ std::map<std::string, obs::SloStat> Server::slo_stats() const {
   return out;
 }
 
-void Server::request_drain() {
-  draining_.store(true, std::memory_order_relaxed);
-  // write() is async-signal-safe; this is the SIGTERM handler's body.
-  const char b = 'D';
+// ---------------------------------------------------------------------------
+// Reactor: lifecycle and event loop
+// ---------------------------------------------------------------------------
+
+Server::Reactor::Reactor(Server& server, std::size_t index)
+    : srv_(server),
+      index_(index),
+      cache_({server.config_.cache_shards,
+              std::max<std::size_t>(
+                  server.config_.cache_bytes / server.config_.reactors, 1)}) {
+  poller_ = std::make_unique<Poller>(server.config_.use_epoll);
+}
+
+Server::Reactor::~Reactor() {
+  for (const auto& [fd, conn] : conns_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (handoff_rd_ >= 0) ::close(handoff_rd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void Server::Reactor::wake() {
+  const char b = 'W';
   if (wake_pipe_[1] >= 0) {
     [[maybe_unused]] const auto r = ::write(wake_pipe_[1], &b, 1);
   }
 }
 
-void Server::request_reload() {
-  reload_pending_.store(true, std::memory_order_relaxed);
-  const char b = 'R';
-  if (wake_pipe_[1] >= 0) {
-    [[maybe_unused]] const auto r = ::write(wake_pipe_[1], &b, 1);
-  }
-}
-
-void Server::serve() {
+void Server::Reactor::run() {
   std::vector<Poller::Event> events;
   std::vector<int> fds;
   bool drain_observed = false;
   bool drain_quiet = false;  ///< last poll round saw no socket events
   Clock::time_point drain_deadline;
   while (true) {
-    if (reload_pending_.exchange(false, std::memory_order_relaxed)) {
-      do_reload();
+    if (srv_.reload_pending_.exchange(false, std::memory_order_relaxed)) {
+      srv_.do_reload();
     }
-    const bool draining = draining_.load(std::memory_order_relaxed);
+    const bool draining = srv_.draining_.load(std::memory_order_relaxed);
     if (draining && !drain_observed) {
       drain_observed = true;
       drain_quiet = false;
-      // A connection that finished its handshake in the backlog is
-      // in-flight too: accept it now, then stop watching the listener.
-      // The socket stays open until every response has been flushed.
-      accept_ready();
-      poller_->remove(listen_fd_);
+      if (listen_fd_ >= 0) {
+        // A connection that finished its handshake in the backlog is
+        // in-flight too: accept it now, then stop watching the
+        // listener. The socket stays open until serve() has seen every
+        // reactor quiesce.
+        if (!listener_paused_) {
+          accept_ready();
+          if (!listener_paused_) poller_->remove(listen_fd_);
+        }
+        listener_paused_ = true;  // and never re-armed during a drain
+      }
       // A request sent just before the signal may still be in flight in
       // the kernel, so reads continue during the drain; the deadline
       // bounds how long a chatty client can hold shutdown open.
       drain_deadline = Clock::now() + ms(std::max(
-          {config_.read_timeout_ms, config_.write_timeout_ms, 100}));
+          {srv_.config_.read_timeout_ms, srv_.config_.write_timeout_ms, 100}));
     }
     execute_pending();
     if (draining) {
@@ -325,15 +602,16 @@ void Server::serve() {
       }
       bool settled = queues_empty();
       for (const auto& [fd, conn] : conns_) {
-        if (conn.out_off < conn.out.size()) settled = false;
+        if (conn.out_bytes > 0) settled = false;
       }
       // Exit once everything is flushed AND a poll round confirmed no
       // more bytes were in flight — or the drain deadline expires.
       if ((settled && drain_quiet) || Clock::now() >= drain_deadline) break;
     }
-    reap_timeouts(Clock::now());
-    poller_->wait(events,
-                  draining ? 20 : next_timeout_ms(Clock::now()));
+    const auto now = Clock::now();
+    reap_timeouts(now);
+    if (!draining) maybe_rearm_listener(now);
+    poller_->wait(events, draining ? 20 : next_timeout_ms(Clock::now()));
     drain_quiet = true;
     for (const auto& ev : events) {
       if (ev.fd == wake_pipe_[0]) {
@@ -343,8 +621,12 @@ void Server::serve() {
         continue;
       }
       drain_quiet = false;
-      if (ev.fd == listen_fd_) {
-        if (!draining_.load(std::memory_order_relaxed)) accept_ready();
+      if (handoff_rd_ >= 0 && ev.fd == handoff_rd_) {
+        drain_handoff();
+        continue;
+      }
+      if (listen_fd_ >= 0 && ev.fd == listen_fd_) {
+        if (!srv_.draining_.load(std::memory_order_relaxed)) accept_ready();
         continue;
       }
       if (ev.writable) {
@@ -360,51 +642,171 @@ void Server::serve() {
       if (ev.readable) handle_readable(it->second);
     }
   }
-  // Drain complete: connections first, listener last — the socket stays
-  // accept()-able until every in-flight response has been flushed.
+  // Local teardown: this reactor's connections die here; the listener
+  // is closed by serve() once every reactor has quiesced. Connections
+  // still parked in the handoff pipe have nobody left to serve them.
   fds.clear();
   for (const auto& [fd, conn] : conns_) fds.push_back(fd);
   for (const int fd : fds) close_conn(fd);
-  if (listen_fd_ >= 0) {
-    poller_->remove(listen_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (handoff_rd_ >= 0) {
+    char buf[64];
+    ssize_t n;
+    while ((n = ::read(handoff_rd_, buf, sizeof buf)) > 0) {
+      std::size_t i = 0;
+      while (i < static_cast<std::size_t>(n)) {
+        const std::size_t take = std::min(sizeof(int) - handoff_partial_len_,
+                                          static_cast<std::size_t>(n) - i);
+        std::memcpy(handoff_partial_ + handoff_partial_len_, buf + i, take);
+        handoff_partial_len_ += take;
+        i += take;
+        if (handoff_partial_len_ == sizeof(int)) {
+          int fd = -1;
+          std::memcpy(&fd, handoff_partial_, sizeof fd);
+          handoff_partial_len_ = 0;
+          if (fd >= 0) ::close(fd);
+        }
+      }
+    }
   }
 }
 
-void Server::accept_ready() {
+// ---------------------------------------------------------------------------
+// Reactor: accept path
+// ---------------------------------------------------------------------------
+
+void Server::Reactor::accept_ready() {
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = -1;
+#ifdef __linux__
+    fd = ::accept4(listen_fd_, nullptr, nullptr,
+                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+#else
+    fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nonblocking(fd);
+      set_cloexec(fd);
+    }
+#endif
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of fds: a level-triggered poller would busy-spin on the
+        // still-readable listener. Unwatch it and re-arm on a timer.
+        accept_emfile_.fetch_add(1, std::memory_order_relaxed);
+        srv_.obs_accept_emfile_.inc();
+        pause_listener();
+      }
       break;  // EAGAIN or transient accept failure
     }
-    if (conns_.size() >= config_.max_connections) {
+    if (srv_.total_conns_.load(std::memory_order_relaxed) >=
+        srv_.config_.max_connections) {
       ::close(fd);
       continue;
     }
-    set_nonblocking(fd);
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    Conn conn;
-    conn.fd = fd;
-    conn.read_deadline_base = conn.write_deadline_base = Clock::now();
-    conns_.emplace(fd, std::move(conn));
-    poller_->add(fd, true, false);
-    ++accepted_;
-    obs_accepted_.inc();
-    obs_active_conns_.set(static_cast<double>(conns_.size()));
+    if (!srv_.reuseport_ && srv_.reactors_.size() > 1) {
+      // Fallback acceptor: round-robin the fd across all reactors
+      // (self included). A full pipe skips to the next target; if every
+      // pipe is full this reactor serves the connection itself.
+      const std::size_t n = srv_.reactors_.size();
+      bool handed = false;
+      for (std::size_t attempt = 0; attempt < n && !handed; ++attempt) {
+        const std::size_t target = srv_.next_handoff_++ % n;
+        if (target == index_) {
+          adopt_fd(fd);
+          handed = true;
+          break;
+        }
+        const int wr = srv_.handoff_wr_[target];
+        if (wr >= 0 &&
+            ::write(wr, &fd, sizeof fd) == static_cast<ssize_t>(sizeof fd)) {
+          handed = true;
+        }
+      }
+      if (!handed) adopt_fd(fd);
+      continue;
+    }
+    adopt_fd(fd);
   }
 }
 
-void Server::handle_readable(Conn& conn) {
+void Server::Reactor::adopt_fd(int fd) {
+  if (fd < 0) return;
+  if (srv_.total_conns_.load(std::memory_order_relaxed) >=
+      srv_.config_.max_connections) {
+    ::close(fd);
+    return;
+  }
+  set_nonblocking(fd);  // no-op on the accept4 path
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  Conn conn;
+  conn.fd = fd;
+  conn.read_deadline_base = conn.write_deadline_base = Clock::now();
+  conns_.emplace(fd, std::move(conn));
+  poller_->add(fd, true, false);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  srv_.obs_accepted_.inc();
+  srv_.total_conns_.fetch_add(1, std::memory_order_relaxed);
+  srv_.set_conns_gauge();
+}
+
+void Server::Reactor::drain_handoff() {
+  char buf[256];
+  while (true) {
+    const ssize_t n = ::read(handoff_rd_, buf, sizeof buf);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    // Writes of sizeof(int) <= PIPE_BUF are atomic, but reassemble
+    // defensively: a read() may land mid-int at the buffer boundary.
+    std::size_t i = 0;
+    while (i < static_cast<std::size_t>(n)) {
+      const std::size_t take = std::min(sizeof(int) - handoff_partial_len_,
+                                        static_cast<std::size_t>(n) - i);
+      std::memcpy(handoff_partial_ + handoff_partial_len_, buf + i, take);
+      handoff_partial_len_ += take;
+      i += take;
+      if (handoff_partial_len_ == sizeof(int)) {
+        int fd = -1;
+        std::memcpy(&fd, handoff_partial_, sizeof fd);
+        handoff_partial_len_ = 0;
+        adopt_fd(fd);
+      }
+    }
+  }
+}
+
+void Server::Reactor::pause_listener() {
+  if (listen_fd_ < 0 || listener_paused_) return;
+  poller_->remove(listen_fd_);
+  listener_paused_ = true;
+  accept_rearm_at_ =
+      Clock::now() + ms(std::max(srv_.config_.accept_rearm_ms, 1));
+}
+
+void Server::Reactor::maybe_rearm_listener(Clock::time_point now) {
+  if (!listener_paused_ || listen_fd_ < 0) return;
+  if (now < accept_rearm_at_) return;
+  // Level-triggered: if the backlog still has connections the next
+  // wait() fires immediately; if fds are still exhausted the accept
+  // fails again and the listener re-pauses for another interval.
+  poller_->add(listen_fd_, true, false);
+  listener_paused_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Reactor: read path
+// ---------------------------------------------------------------------------
+
+void Server::Reactor::handle_readable(Conn& conn) {
   char buf[4096];
   bool progress = false;
   while (true) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
     if (n > 0) {
       conn.in.append(buf, static_cast<std::size_t>(n));
-      obs_bytes_rx_.inc(static_cast<std::uint64_t>(n));
+      srv_.obs_bytes_rx_.inc(static_cast<std::uint64_t>(n));
       progress = true;
       continue;
     }
@@ -423,7 +825,7 @@ void Server::handle_readable(Conn& conn) {
   }
 }
 
-void Server::parse_frames(Conn& conn) {
+void Server::Reactor::parse_frames(Conn& conn) {
   std::size_t off = 0;
   while (true) {
     if (conn.discard > 0) {
@@ -444,8 +846,8 @@ void Server::parse_frames(Conn& conn) {
     if (status != HeaderStatus::kOk) {
       // Without a trusted magic/version there is no frame boundary to
       // resync to; answer and close.
-      ++protocol_errors_;
-      obs_protocol_errors_.inc();
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      srv_.obs_protocol_errors_.inc();
       respond_error(conn, "bad_frame",
                     status == HeaderStatus::kBadMagic
                         ? "bad frame magic; stream is not framed"
@@ -454,11 +856,11 @@ void Server::parse_frames(Conn& conn) {
       off = conn.in.size();
       break;
     }
-    if (header.payload_bytes > config_.max_request_bytes) {
-      ++protocol_errors_;
-      obs_protocol_errors_.inc();
+    if (header.payload_bytes > srv_.config_.max_request_bytes) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      srv_.obs_protocol_errors_.inc();
       const bool recoverable =
-          header.payload_bytes <= config_.max_discard_bytes;
+          header.payload_bytes <= srv_.config_.max_discard_bytes;
       respond_error(conn, "oversized", "request payload exceeds limit",
                     /*close_after=*/!recoverable);
       if (!recoverable) {
@@ -479,15 +881,15 @@ void Server::parse_frames(Conn& conn) {
       // The length field was covered by the (failed) CRC but the frame
       // boundary is still coherent: skip exactly this frame and keep the
       // connection.
-      ++protocol_errors_;
-      obs_protocol_errors_.inc();
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      srv_.obs_protocol_errors_.inc();
       respond_error(conn, "bad_crc", "frame checksum mismatch",
                     /*close_after=*/false);
       continue;
     }
     if (!is_request(header.type)) {
-      ++protocol_errors_;
-      obs_protocol_errors_.inc();
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      srv_.obs_protocol_errors_.inc();
       respond_error(conn, "bad_request", "unknown or non-request frame type",
                     /*close_after=*/false);
       continue;
@@ -498,8 +900,8 @@ void Server::parse_frames(Conn& conn) {
         !strip_trace_context(payload, trace, request_payload)) {
       // The flag promised a prefix the payload is too short to hold. The
       // frame boundary is still trusted, so only this request dies.
-      ++protocol_errors_;
-      obs_protocol_errors_.inc();
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      srv_.obs_protocol_errors_.inc();
       respond_error(conn, "bad_request",
                     "trace-context flag without trace-context prefix",
                     /*close_after=*/false);
@@ -510,45 +912,54 @@ void Server::parse_frames(Conn& conn) {
   conn.in.erase(0, off);
 }
 
-void Server::admit_request(Conn& conn, MsgType type, std::uint8_t flags,
-                           std::string_view payload,
-                           const TraceContext& trace) {
+// ---------------------------------------------------------------------------
+// Reactor: admission and execution
+// ---------------------------------------------------------------------------
+
+void Server::Reactor::admit_request(Conn& conn, MsgType type,
+                                    std::uint8_t flags,
+                                    std::string_view payload,
+                                    const TraceContext& trace) {
   const std::uint32_t cost = request_cost(type);
   std::size_t client_pending = 0;
   for (const PendingItem& item : conn.queue) {
     if (!item.shed) ++client_pending;
   }
+  const std::size_t pending_count =
+      pending_count_.load(std::memory_order_relaxed);
+  const std::size_t pending_cost =
+      pending_cost_.load(std::memory_order_relaxed);
 
   const char* reason = nullptr;
-  if (config_.max_client_pending > 0 &&
-      client_pending >= config_.max_client_pending) {
+  if (srv_.config_.max_client_pending > 0 &&
+      client_pending >= srv_.config_.max_client_pending) {
     reason = "per-connection queue full";
-    ++shed_client_;
-    obs_shed_client_.inc();
-  } else if (pending_count_ >= config_.max_inflight) {
+    shed_client_.fetch_add(1, std::memory_order_relaxed);
+    srv_.obs_shed_client_.inc();
+  } else if (pending_count >= srv_.config_.max_inflight) {
     reason = "too many requests in flight";
-    ++shed_inflight_;
-    obs_shed_inflight_.inc();
-  } else if (config_.max_pending_cost > 0 && pending_count_ > 0 &&
-             pending_cost_ + cost > config_.max_pending_cost) {
+    shed_inflight_.fetch_add(1, std::memory_order_relaxed);
+    srv_.obs_shed_inflight_.inc();
+  } else if (srv_.config_.max_pending_cost > 0 && pending_count > 0 &&
+             pending_cost + cost > srv_.config_.max_pending_cost) {
     // An empty queue always admits (progress guarantee for requests
     // costlier than the whole budget).
     reason = "pending cost budget exceeded";
-    ++shed_cost_;
-    obs_shed_cost_.inc();
+    shed_cost_.fetch_add(1, std::memory_order_relaxed);
+    srv_.obs_shed_cost_.inc();
   }
 
   if (reason != nullptr) {
-    ++busy_rejected_;
-    obs_busy_.inc();
+    busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+    srv_.obs_busy_.inc();
     // Advertise a retry horizon that grows with budget pressure: base
     // when idle, 2x base when the pending-cost budget is saturated.
-    int hint = config_.busy_retry_after_ms;
-    if (config_.max_pending_cost > 0) {
+    int hint = srv_.config_.busy_retry_after_ms;
+    if (srv_.config_.max_pending_cost > 0) {
       hint += static_cast<int>(
-          (static_cast<std::uint64_t>(config_.busy_retry_after_ms) *
-           std::min(pending_cost_, config_.max_pending_cost)) /
-          config_.max_pending_cost);
+          (static_cast<std::uint64_t>(srv_.config_.busy_retry_after_ms) *
+           std::min(pending_cost, srv_.config_.max_pending_cost)) /
+          srv_.config_.max_pending_cost);
     }
     PendingItem marker;
     marker.type = type;
@@ -567,12 +978,12 @@ void Server::admit_request(Conn& conn, MsgType type, std::uint8_t flags,
   item.parent_span_id = trace.span_id;
   item.admit_time = Clock::now();
   conn.queue.push_back(std::move(item));
-  ++pending_count_;
-  pending_cost_ += cost;
-  obs_pending_cost_.set(static_cast<double>(pending_cost_));
+  pending_count_.fetch_add(1, std::memory_order_relaxed);
+  pending_cost_.fetch_add(cost, std::memory_order_relaxed);
+  srv_.set_pending_cost_gauge();
 }
 
-void Server::execute_pending() {
+void Server::Reactor::execute_pending() {
   // Round-robin: one item per connection per pass, connections in fd
   // order, so no client's pipelined burst can starve another's queue.
   std::vector<int> fds;
@@ -589,9 +1000,9 @@ void Server::execute_pending() {
       PendingItem item = std::move(it->second.queue.front());
       it->second.queue.pop_front();
       if (!item.shed) {
-        pending_count_ -= 1;
-        pending_cost_ -= item.cost;
-        obs_pending_cost_.set(static_cast<double>(pending_cost_));
+        pending_count_.fetch_sub(1, std::memory_order_relaxed);
+        pending_cost_.fetch_sub(item.cost, std::memory_order_relaxed);
+        srv_.set_pending_cost_gauge();
       }
       if (item.shed) {
         respond(it->second, MsgType::kError, item.payload);
@@ -604,18 +1015,23 @@ void Server::execute_pending() {
   }
 }
 
-bool Server::queues_empty() const {
+bool Server::Reactor::queues_empty() const {
   for (const auto& [fd, conn] : conns_) {
     if (!conn.queue.empty()) return false;
   }
   return true;
 }
 
-void Server::execute_one(int fd, const PendingItem& item) {
+void Server::Reactor::execute_one(int fd, const PendingItem& item) {
   if (conns_.find(fd) == conns_.end()) return;  // closed meanwhile
   const auto t0 = Clock::now();
-  ++requests_served_;
-  obs_requests_.inc();
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  srv_.obs_requests_.inc();
+
+  // Every request acquires the dataset snapshot exactly once: digest,
+  // execution, and zero-copy slices all see one coherent dataset even
+  // when another reactor publishes a reload mid-request.
+  const std::shared_ptr<const Dataset> ds = srv_.dataset_snapshot();
 
   const auto since_us = [](Clock::time_point from, Clock::time_point to) {
     return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
@@ -632,13 +1048,13 @@ void Server::execute_one(int fd, const PendingItem& item) {
   // the feature; five span commits per untraced request would tax every
   // caller for diagnostics nobody asked for).
   const bool tracing =
-      config_.trace_requests && item.trace_id != 0 && collector.enabled();
+      srv_.config_.trace_requests && item.trace_id != 0 && collector.enabled();
   // The server-side half of the request's trace: a child of the
   // client's attempt span.
   std::optional<obs::TraceSpan> request_span;
   if (tracing) {
     request_span.emplace(std::string("server:") + type_name(item.type),
-                        item.trace_id, item.parent_span_id, collector);
+                         item.trace_id, item.parent_span_id, collector);
     // The admission-to-dequeue wait was never live as a stack span (the
     // item sat in a queue), so emit it retroactively.
     obs::SpanEvent wait;
@@ -653,64 +1069,113 @@ void Server::execute_one(int fd, const PendingItem& item) {
     collector.emit_event(std::move(wait));
   }
 
+  // exec::ThreadPool::run is single-batch: concurrent reactors
+  // serialize their pooled figure executions (everything else runs on
+  // the reactor thread and needs no lock).
+  const auto run_execute = [&](MsgType type, std::string_view payload) {
+    if (type == MsgType::kFigureDigest && srv_.pool_ != nullptr) {
+      std::lock_guard<std::mutex> lock(srv_.pool_mutex_);
+      return ds->execute(type, payload, srv_.pool_);
+    }
+    return ds->execute(type, payload, srv_.pool_);
+  };
+
   std::int64_t cache_us = 0, exec_us = 0;
   const char* cache_status = "none";
   Dataset::Response response;
+  std::shared_ptr<const std::string> shared_payload;
+  Dataset::ArchiveSlice slice;
+  bool use_slice = false;
   if (item.type == MsgType::kServerStats) {
-    response = {MsgType::kOk, stats_payload()};
+    response = {MsgType::kOk, srv_.stats_payload(*ds)};
   } else if (item.type == MsgType::kMetricsDump) {
     MetricsDumpQuery q;
     if (decode_metrics_dump_query(item.payload, q)) {
-      response = {MsgType::kOk, metrics_dump_payload(q.format)};
+      response = {MsgType::kOk, srv_.metrics_dump_payload(q.format)};
     } else {
       response = {MsgType::kError,
                   error_payload("bad_request", "bad metrics_dump payload")};
     }
+  } else if (item.type == MsgType::kArchiveSlice) {
+    SliceQuery q;
+    if (!decode_slice_query(item.payload, q)) {
+      response = {MsgType::kError,
+                  error_payload("bad_request", "bad archive_slice payload")};
+    } else {
+      std::optional<obs::TraceSpan> phase;
+      if (tracing) phase.emplace("exec", collector);
+      const auto t = Clock::now();
+      slice = ds->archive_slice(q.t0_s, q.t1_s);
+      exec_us = since_us(t, Clock::now());
+      if (!slice.ok) {
+        response = {MsgType::kError,
+                    error_payload("unavailable", slice.error)};
+      } else if (slice.bytes > 0xffffffffull) {
+        response = {MsgType::kError,
+                    error_payload("oversized",
+                                  "slice exceeds frame payload limit")};
+      } else {
+        use_slice = true;
+      }
+    }
   } else if (is_cacheable(item.type)) {
     const std::string key = ResultCache::make_key(
-        dataset_.digest(), static_cast<std::uint8_t>(item.type),
-        item.payload);
-    std::string cached;
-    bool hit = false;
+        ds->digest(), static_cast<std::uint8_t>(item.type), item.payload);
     const bool bypass = (item.flags & kFlagNoCache) != 0;
     {
       std::optional<obs::TraceSpan> phase;
       if (tracing) phase.emplace("cache_lookup", collector);
       const auto t = Clock::now();
-      if (!bypass) hit = cache_.lookup(key, cached);
+      if (!bypass) shared_payload = cache_.find(key);
       cache_us = since_us(t, Clock::now());
     }
-    if (hit) {
+    if (shared_payload) {
       cache_status = "hit";
-      response = {MsgType::kOk, std::move(cached)};
     } else {
       cache_status = bypass ? "bypass" : "miss";
       std::optional<obs::TraceSpan> phase;
       if (tracing) phase.emplace("exec", collector);
       const auto t = Clock::now();
-      response = dataset_.execute(item.type, item.payload, pool_);
+      response = run_execute(item.type, item.payload);
       exec_us = since_us(t, Clock::now());
-      if (response.type == MsgType::kOk) cache_.insert(key, response.payload);
+      if (response.type == MsgType::kOk) {
+        // Cache entry and output queue share one immutable string: the
+        // insert costs no copy and the response writes zero-copy.
+        shared_payload = std::make_shared<const std::string>(
+            std::move(response.payload));
+        cache_.insert(key, shared_payload);
+      }
     }
   } else {
     std::optional<obs::TraceSpan> phase;
     if (tracing) phase.emplace("exec", collector);
     const auto t = Clock::now();
-    response = dataset_.execute(item.type, item.payload, pool_);
+    response = run_execute(item.type, item.payload);
     exec_us = since_us(t, Clock::now());
   }
 
   const auto us = since_us(t0, Clock::now());
-  latency_histogram(item.type).record(static_cast<double>(us));
+  srv_.latency_histogram(item.type).record(static_cast<double>(us));
 
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  MsgType response_type = MsgType::kOk;
+  std::string_view response_payload;
   std::int64_t encode_us = 0, write_us = 0;
   {
     std::optional<obs::TraceSpan> phase;
     if (tracing) phase.emplace("encode", collector);
     const auto t = Clock::now();
-    respond(it->second, response.type, response.payload);
+    if (use_slice) {
+      respond_slice(it->second, slice, ds);
+    } else if (shared_payload) {
+      response_payload = *shared_payload;
+      respond_shared(it->second, MsgType::kOk, shared_payload);
+    } else {
+      response_type = response.type;
+      response_payload = response.payload;
+      respond(it->second, response.type, response.payload);
+    }
     encode_us = since_us(t, Clock::now());
   }
   const auto again = conns_.find(fd);
@@ -727,19 +1192,19 @@ void Server::execute_one(int fd, const PendingItem& item) {
           ? since_us(t0, Clock::now())
           : since_us(item.admit_time, Clock::now());
   finish_request(item, total_us, queue_us, cache_us, exec_us, encode_us,
-                 write_us, cache_status, response);
+                 write_us, cache_status, response_type, response_payload);
 }
 
-void Server::finish_request(const PendingItem& item, std::int64_t total_us,
-                            std::int64_t queue_us, std::int64_t cache_us,
-                            std::int64_t exec_us, std::int64_t encode_us,
-                            std::int64_t write_us, const char* cache_status,
-                            const Dataset::Response& response) {
+void Server::Reactor::finish_request(
+    const PendingItem& item, std::int64_t total_us, std::int64_t queue_us,
+    std::int64_t cache_us, std::int64_t exec_us, std::int64_t encode_us,
+    std::int64_t write_us, const char* cache_status, MsgType response_type,
+    std::string_view response_payload) {
   const auto key = static_cast<std::uint8_t>(item.type);
-  if (const auto w = windowed_.find(key); w != windowed_.end()) {
+  if (const auto w = srv_.windowed_.find(key); w != srv_.windowed_.end()) {
     w->second->record(static_cast<double>(total_us));
   }
-  if (const auto s = slo_.find(key); s != slo_.end()) {
+  if (const auto s = srv_.slo_.find(key); s != srv_.slo_.end()) {
     SloCell& cell = *s->second;
     cell.total.fetch_add(1, std::memory_order_relaxed);
     cell.obs_total.inc();
@@ -748,7 +1213,7 @@ void Server::finish_request(const PendingItem& item, std::int64_t total_us,
       cell.obs_good.inc();
     }
   }
-  if (slow_log_.enabled() && total_us > slow_log_.threshold_us()) {
+  if (srv_.slow_log_.enabled() && total_us > srv_.slow_log_.threshold_us()) {
     SlowQueryEntry entry;
     entry.trace_id = item.trace_id;
     entry.type = type_name(item.type);
@@ -760,38 +1225,110 @@ void Server::finish_request(const PendingItem& item, std::int64_t total_us,
     entry.write_us = write_us;
     entry.cache_status = cache_status;
     entry.admission = "admitted";
-    entry.response = response.type == MsgType::kOk
+    entry.response = response_type == MsgType::kOk
                          ? "ok"
-                         : parse_error_payload(response.payload).code;
-    slow_log_.emit(entry);
+                         : parse_error_payload(response_payload).code;
+    srv_.slow_log_.emit(entry);
   }
 }
 
-void Server::respond(Conn& conn, MsgType type, std::string_view payload) {
-  if (conn.out_off >= conn.out.size()) {
-    conn.out.clear();
-    conn.out_off = 0;
-    conn.write_deadline_base = Clock::now();
-  }
-  conn.out += encode_frame(type, 0, payload);
+// ---------------------------------------------------------------------------
+// Reactor: write path
+// ---------------------------------------------------------------------------
+
+void Server::Reactor::queue_chunk(Conn& conn, OutChunk chunk) {
+  if (chunk.size() == 0) return;
+  if (conn.out.empty()) conn.write_deadline_base = Clock::now();
+  conn.out_bytes += chunk.size();
+  conn.out.push_back(std::move(chunk));
+}
+
+void Server::Reactor::respond(Conn& conn, MsgType type,
+                              std::string_view payload) {
+  OutChunk chunk;
+  chunk.owned = encode_frame(type, 0, payload);
+  queue_chunk(conn, std::move(chunk));
   update_interest(conn);
 }
 
-void Server::respond_error(Conn& conn, std::string_view code,
-                           std::string_view message, bool close_after) {
+void Server::Reactor::respond_shared(
+    Conn& conn, MsgType type, std::shared_ptr<const std::string> payload) {
+  OutChunk header;
+  header.owned = encode_frame_header(type, 0, *payload);
+  queue_chunk(conn, std::move(header));
+  OutChunk body;
+  body.view = std::string_view(*payload);
+  body.keep = std::move(payload);
+  queue_chunk(conn, std::move(body));
+  update_interest(conn);
+}
+
+void Server::Reactor::respond_slice(Conn& conn,
+                                    const Dataset::ArchiveSlice& slice,
+                                    std::shared_ptr<const void> keep) {
+  // Frame payload = owned 16-byte file header + raw block spans into
+  // the mmap'd archive, CRC'd incrementally so nothing is concatenated;
+  // the dataset snapshot rides the output queue until the last block
+  // byte is flushed.
+  std::vector<std::string_view> spans;
+  spans.reserve(slice.blocks.size() + 1);
+  spans.emplace_back(slice.file_header);
+  for (const std::string_view block : slice.blocks) spans.push_back(block);
+  OutChunk header;
+  header.owned = encode_frame_header(MsgType::kOk, 0, spans);
+  queue_chunk(conn, std::move(header));
+  OutChunk file_header;
+  file_header.owned = slice.file_header;
+  queue_chunk(conn, std::move(file_header));
+  for (const std::string_view block : slice.blocks) {
+    OutChunk chunk;
+    chunk.view = block;
+    chunk.keep = keep;
+    queue_chunk(conn, std::move(chunk));
+  }
+  update_interest(conn);
+}
+
+void Server::Reactor::respond_error(Conn& conn, std::string_view code,
+                                    std::string_view message,
+                                    bool close_after) {
   if (close_after) conn.close_after_flush = true;
   respond(conn, MsgType::kError, error_payload(code, message));
 }
 
-void Server::flush_out(Conn& conn) {
-  while (conn.out_off < conn.out.size()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.out.data() + conn.out_off,
-               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+void Server::Reactor::flush_out(Conn& conn) {
+  while (conn.out_bytes > 0) {
+    iovec iov[kMaxIovec];
+    int iovcnt = 0;
+    std::size_t skip = conn.out_off;
+    for (const OutChunk& chunk : conn.out) {
+      if (iovcnt == kMaxIovec) break;
+      iov[iovcnt].iov_base = const_cast<char*>(chunk.data() + skip);
+      iov[iovcnt].iov_len = chunk.size() - skip;
+      ++iovcnt;
+      skip = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(iovcnt);
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out_off += static_cast<std::size_t>(n);
-      obs_bytes_tx_.inc(static_cast<std::uint64_t>(n));
+      srv_.obs_bytes_tx_.inc(static_cast<std::uint64_t>(n));
       conn.write_deadline_base = Clock::now();
+      conn.out_bytes -= static_cast<std::size_t>(n);
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        OutChunk& front = conn.out.front();
+        const std::size_t avail = front.size() - conn.out_off;
+        if (left >= avail) {
+          left -= avail;
+          conn.out.pop_front();
+          conn.out_off = 0;
+        } else {
+          conn.out_off += left;
+          left = 0;
+        }
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -799,7 +1336,7 @@ void Server::flush_out(Conn& conn) {
     close_conn(conn.fd);
     return;
   }
-  if (conn.out_off >= conn.out.size()) {
+  if (conn.out_bytes == 0) {
     conn.out.clear();
     conn.out_off = 0;
     if (conn.close_after_flush) {
@@ -810,52 +1347,52 @@ void Server::flush_out(Conn& conn) {
   update_interest(conn);
 }
 
-void Server::update_interest(Conn& conn) {
+void Server::Reactor::update_interest(Conn& conn) {
   const bool want_read = !conn.close_after_flush;
-  const bool want_write = conn.out_off < conn.out.size();
+  const bool want_write = conn.out_bytes > 0;
   poller_->update(conn.fd, want_read, want_write);
 }
 
-void Server::close_conn(int fd) {
+void Server::Reactor::close_conn(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   // The per-connection queue dies with the connection; release what its
-  // admitted requests held against the global gates.
+  // admitted requests held against this reactor's gates.
   for (const PendingItem& item : it->second.queue) {
     if (!item.shed) {
-      pending_count_ -= 1;
-      pending_cost_ -= item.cost;
+      pending_count_.fetch_sub(1, std::memory_order_relaxed);
+      pending_cost_.fetch_sub(item.cost, std::memory_order_relaxed);
     }
   }
-  obs_pending_cost_.set(static_cast<double>(pending_cost_));
+  srv_.set_pending_cost_gauge();
   poller_->remove(fd);
   ::close(fd);
   conns_.erase(it);
-  obs_active_conns_.set(static_cast<double>(conns_.size()));
+  srv_.total_conns_.fetch_sub(1, std::memory_order_relaxed);
+  srv_.set_conns_gauge();
 }
 
-void Server::reap_timeouts(Clock::time_point now) {
+void Server::Reactor::reap_timeouts(Clock::time_point now) {
   std::vector<int> dead;
   for (const auto& [fd, conn] : conns_) {
     const bool mid_frame = !conn.in.empty() || conn.discard > 0;
-    if (mid_frame && config_.read_timeout_ms > 0 &&
-        now - conn.read_deadline_base > ms(config_.read_timeout_ms)) {
+    if (mid_frame && srv_.config_.read_timeout_ms > 0 &&
+        now - conn.read_deadline_base > ms(srv_.config_.read_timeout_ms)) {
       dead.push_back(fd);
-    } else if (conn.out_off < conn.out.size() &&
-               config_.write_timeout_ms > 0 &&
+    } else if (conn.out_bytes > 0 && srv_.config_.write_timeout_ms > 0 &&
                now - conn.write_deadline_base >
-                   ms(config_.write_timeout_ms)) {
+                   ms(srv_.config_.write_timeout_ms)) {
       dead.push_back(fd);
     }
   }
   for (const int fd : dead) {
-    ++reaped_;
-    obs_reaped_.inc();
+    reaped_.fetch_add(1, std::memory_order_relaxed);
+    srv_.obs_reaped_.inc();
     close_conn(fd);
   }
 }
 
-int Server::next_timeout_ms(Clock::time_point now) const {
+int Server::Reactor::next_timeout_ms(Clock::time_point now) const {
   std::int64_t timeout = 1000;  // heartbeat for reap/drain checks
   const auto remaining = [&](Clock::time_point base, int limit_ms) {
     const auto elapsed =
@@ -864,56 +1401,72 @@ int Server::next_timeout_ms(Clock::time_point now) const {
     return static_cast<std::int64_t>(limit_ms) - elapsed;
   };
   for (const auto& [fd, conn] : conns_) {
-    if ((!conn.in.empty() || conn.discard > 0) && config_.read_timeout_ms > 0) {
-      timeout = std::min(
-          timeout, remaining(conn.read_deadline_base, config_.read_timeout_ms));
+    if ((!conn.in.empty() || conn.discard > 0) &&
+        srv_.config_.read_timeout_ms > 0) {
+      timeout = std::min(timeout, remaining(conn.read_deadline_base,
+                                            srv_.config_.read_timeout_ms));
     }
-    if (conn.out_off < conn.out.size() && config_.write_timeout_ms > 0) {
+    if (conn.out_bytes > 0 && srv_.config_.write_timeout_ms > 0) {
       timeout = std::min(timeout, remaining(conn.write_deadline_base,
-                                            config_.write_timeout_ms));
+                                            srv_.config_.write_timeout_ms));
     }
+  }
+  if (listener_paused_ && listen_fd_ >= 0) {
+    const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           accept_rearm_at_ - now)
+                           .count();
+    timeout = std::min(timeout, std::max<std::int64_t>(until, 0));
   }
   return static_cast<int>(std::max<std::int64_t>(timeout, 0));
 }
 
-void Server::do_reload() {
-  std::string error;
-  if (dataset_.load(error)) {
-    ++reloads_;
-    obs_reloads_.inc();
-    obs::logf(obs::LogLevel::kInfo,
-              "s2sd: archive reloaded (%zu records, digest %016llx)",
-              dataset_.ingest().records,
-              static_cast<unsigned long long>(dataset_.digest()));
-  } else {
-    obs::logf(obs::LogLevel::kWarn, "s2sd: reload failed: %s", error.c_str());
-  }
-}
+// ---------------------------------------------------------------------------
+// Server: stats and metrics payloads
+// ---------------------------------------------------------------------------
 
-std::string Server::stats_payload() const {
-  const ResultCache::Stats cache = cache_.stats();
+std::string Server::stats_payload(const Dataset& dataset) const {
+  const ResultCache::Stats cache = cache_stats();
+  std::uint64_t accepted = 0, reaped = 0, busy = 0, shed_cost = 0,
+                shed_inflight = 0, shed_client = 0, protocol_errors = 0,
+                emfile = 0, pending_cost = 0;
+  for (const auto& r : reactors_) {
+    accepted += r->accepted_.load(std::memory_order_relaxed);
+    reaped += r->reaped_.load(std::memory_order_relaxed);
+    busy += r->busy_rejected_.load(std::memory_order_relaxed);
+    shed_cost += r->shed_cost_.load(std::memory_order_relaxed);
+    shed_inflight += r->shed_inflight_.load(std::memory_order_relaxed);
+    shed_client += r->shed_client_.load(std::memory_order_relaxed);
+    protocol_errors += r->protocol_errors_.load(std::memory_order_relaxed);
+    emfile += r->accept_emfile_.load(std::memory_order_relaxed);
+    pending_cost += r->pending_cost_.load(std::memory_order_relaxed);
+  }
   obs::json::Writer w;
   w.begin_object();
   w.key("type").value("server_stats");
   w.key("server").begin_object();
   w.key("uptime_s").value(uptime_seconds());
   w.key("trace_context").value(true);
-  w.key("active_conns").value(static_cast<std::uint64_t>(conns_.size()));
+  w.key("reactors").value(static_cast<std::uint64_t>(reactors_.size()));
+  w.key("reuseport").value(reuseport_);
+  w.key("active_conns")
+      .value(static_cast<std::uint64_t>(
+          total_conns_.load(std::memory_order_relaxed)));
   w.key("draining").value(draining_.load(std::memory_order_relaxed));
-  w.key("requests").value(requests_served_);
-  w.key("conns_accepted").value(accepted_);
-  w.key("conns_reaped").value(reaped_);
-  w.key("busy_rejected").value(busy_rejected_);
+  w.key("requests").value(requests_served());
+  w.key("conns_accepted").value(accepted);
+  w.key("conns_reaped").value(reaped);
+  w.key("accept_emfile").value(emfile);
+  w.key("busy_rejected").value(busy);
   w.key("shed").begin_object();
-  w.key("cost").value(shed_cost_);
-  w.key("inflight").value(shed_inflight_);
-  w.key("client").value(shed_client_);
-  w.key("pending_cost").value(static_cast<std::uint64_t>(pending_cost_));
+  w.key("cost").value(shed_cost);
+  w.key("inflight").value(shed_inflight);
+  w.key("client").value(shed_client);
+  w.key("pending_cost").value(pending_cost);
   w.key("max_pending_cost")
       .value(static_cast<std::uint64_t>(config_.max_pending_cost));
   w.end_object();
-  w.key("protocol_errors").value(protocol_errors_);
-  w.key("reloads").value(reloads_);
+  w.key("protocol_errors").value(protocol_errors);
+  w.key("reloads").value(reloads());
   w.key("slow_queries").begin_object();
   w.key("threshold_us")
       .value(static_cast<std::int64_t>(config_.slow_query_us));
@@ -930,7 +1483,7 @@ std::string Server::stats_payload() const {
   w.end_object();
   w.end_object();
   w.key("dataset").begin_object();
-  dataset_.summary_json(w);
+  dataset.summary_json(w);
   w.end_object();
   w.end_object();
   return w.str();
@@ -939,11 +1492,12 @@ std::string Server::stats_payload() const {
 std::string Server::metrics_dump_payload(std::uint8_t format) const {
   auto snap = obs::MetricsRegistry::global().snapshot();
   // Graft in the serving facts the registry does not carry: cache stats
-  // live in the ResultCache, uptime is a server property. The hit/miss/
-  // eviction names are the same ones result_cache.cc mirrors into the
-  // registry (here overwritten with the authoritative values) — a second
-  // dotted spelling would collide after Prometheus name sanitization.
-  const ResultCache::Stats cache = cache_.stats();
+  // live in the per-reactor ResultCaches, uptime is a server property.
+  // The hit/miss/eviction names are the same ones result_cache.cc
+  // mirrors into the registry (here overwritten with the authoritative
+  // aggregated values) — a second dotted spelling would collide after
+  // Prometheus name sanitization.
+  const ResultCache::Stats cache = cache_stats();
   snap.counters["s2s.svc.cache_hits"] = cache.hits;
   snap.counters["s2s.svc.cache_misses"] = cache.misses;
   snap.counters["s2s.svc.cache_insertions"] = cache.insertions;
@@ -951,6 +1505,7 @@ std::string Server::metrics_dump_payload(std::uint8_t format) const {
   snap.gauges["s2s.svc.cache_entries"] = static_cast<double>(cache.entries);
   snap.gauges["s2s.svc.cache_bytes"] = static_cast<double>(cache.bytes);
   snap.gauges["s2s.svc.uptime_s"] = uptime_seconds();
+  snap.gauges["s2s.svc.reactors"] = static_cast<double>(reactors_.size());
   const auto windowed = windowed_snapshots();
   const auto slo = slo_stats();
 

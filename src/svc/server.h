@@ -1,6 +1,17 @@
-// s2sd's non-blocking TCP server: one event-loop thread multiplexing
-// every connection through epoll (Linux) or poll (fallback; also
-// runtime-selectable so tests cover both backends).
+// s2sd's non-blocking TCP serving tier: N reactor threads, each a
+// self-contained event loop multiplexing its own connections through
+// epoll (Linux) or poll (fallback; also runtime-selectable so tests
+// cover both backends). The shape follows the per-CPU sharding idiom of
+// kernel net drivers: shared-nothing on the hot path, batched syscalls
+// at the edges.
+//
+// Accept sharding (DESIGN.md section 14): with SO_REUSEPORT every
+// reactor owns its own listener bound to the same address, and the
+// kernel hashes incoming connections across them. Platforms without it
+// (or config.use_reuseport = false) fall back to a single acceptor on
+// reactor 0 that hands accepted fds round-robin to the other reactors
+// over per-reactor pipes (a 4-byte fd per handoff; pipes are in-process
+// so the fd number itself is the message).
 //
 // Per-connection state machine (DESIGN.md section 11):
 //
@@ -10,32 +21,45 @@
 // write deadline on stalled response flushes, a bounded request size
 // (oversized payloads are drained and answered with an error frame, the
 // connection survives), and cost-based admission control on parsed-but-
-// unexecuted requests (DESIGN.md section 12): each request type carries
-// a cost weight (figure-digest >> ping), and a request is shed with a
-// `busy` error frame — carrying a retry_after_ms hint — when the global
-// pending-cost budget, the global pending-count cap, or the per-
-// connection queue bound would be exceeded. Shed decisions are made at
-// parse time but answered in arrival order: the busy frame is queued on
-// the connection like any response, so a pipelined burst never sees its
-// rejection overtake answers to its accepted predecessors. Admitted
-// requests drain round-robin across connections (per-client fair
-// queueing), so one connection's pipelined figure burst cannot starve
-// another's ping. A frame whose magic or version is wrong leaves the
-// stream unframeable: the server answers with an error frame and closes
-// after flushing. A frame with a bad CRC or unknown type has a trusted
+// unexecuted requests (DESIGN.md section 12), applied per reactor: each
+// request type carries a cost weight (figure-digest >> ping), and a
+// request is shed with a `busy` error frame — carrying a retry_after_ms
+// hint — when the reactor's pending-cost budget, pending-count cap, or
+// the per-connection queue bound would be exceeded. Shed decisions are
+// made at parse time but answered in arrival order. Admitted requests
+// drain round-robin across the reactor's connections (per-client fair
+// queueing). A frame whose magic or version is wrong leaves the stream
+// unframeable: the server answers with an error frame and closes after
+// flushing. A frame with a bad CRC or unknown type has a trusted
 // length, so it is skipped and the connection survives.
 //
-// Shutdown is a drain, not an abort: request_drain() (what the SIGTERM
-// handler calls; async-signal-safe self-pipe wake) stops accepting and
-// reading, executes every parsed request, flushes every response within
-// the write deadline, then closes the connections and the listener.
-// request_reload() re-ingests the archive between requests (SIGHUP);
-// a changed file changes the digest and thereby invalidates the cache.
+// Responses are queued as scatter-gather chunks and flushed with one
+// sendmsg per readiness: the 16-byte frame header and the payload go
+// out in a single syscall without concatenation, and payloads that
+// already live in shared storage — result-cache hits, archive-slice
+// spans into the mmap'd archive — are written zero-copy, pinned by a
+// shared_ptr on the output queue until the bytes leave the socket.
 //
-// Requests execute on the event-loop thread; the analyses behind the
-// figure queries fan out over the exec::ThreadPool (the loop thread
-// participates as a worker lane), so the expensive work is parallel
-// while connection state stays single-threaded and lock-free.
+// Each reactor owns a ResultCache instance (connection affinity makes
+// per-reactor caches coherent: a client's repeat query lands on the
+// reactor that cached it; at worst a key is computed once per reactor).
+// The dataset is shared read-only through an RCU-style shared_ptr
+// snapshot: every request acquires the snapshot once, so digest and
+// execution always see one coherent dataset, and a SIGHUP reload builds
+// a fresh Dataset off-loop and publishes it with a pointer swap —
+// in-flight requests (and zero-copy slices) keep the old one alive.
+//
+// Shutdown is a drain, not an abort: request_drain() (what the SIGTERM
+// handler calls; async-signal-safe wake pipes) stops accepting and
+// reading, executes every parsed request, flushes every response within
+// the write deadline. Every reactor quiesces before serve() closes the
+// listeners — the socket stays accept()-able until the last in-flight
+// response has been flushed.
+//
+// Accept failures are not all transient: EMFILE/ENFILE means the
+// process is out of fds, and a level-triggered poller would busy-spin
+// on the still-readable listener. The reactor unwatches its listener,
+// counts s2s.svc.accept_emfile, and re-arms after accept_rearm_ms.
 #pragma once
 
 #include <atomic>
@@ -44,7 +68,9 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -59,19 +85,22 @@
 namespace s2s::svc {
 
 struct ServerConfig {
+  /// Bind address; an address containing ':' listens on AF_INET6 ("::"
+  /// with V6ONLY off accepts v4-mapped peers too — dual stack).
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral; see Server::port()
   int backlog = 64;
-  std::size_t max_connections = 256;
+  std::size_t max_connections = 256;  ///< across all reactors
   std::size_t max_request_bytes = kDefaultMaxRequestBytes;
   /// Oversized payloads up to this are drained so the connection
   /// survives; beyond it the connection closes after the error frame.
   std::size_t max_discard_bytes = 1u << 20;
-  /// Global parsed-but-unexecuted request cap (count gate).
+  /// Per-reactor parsed-but-unexecuted request cap (count gate).
   std::size_t max_inflight = 64;
-  /// Global pending-cost budget in request_cost() units (0 = count-only
-  /// admission). An empty queue always admits one request regardless of
-  /// its cost, so expensive queries make progress under any budget.
+  /// Per-reactor pending-cost budget in request_cost() units (0 =
+  /// count-only admission). An empty queue always admits one request
+  /// regardless of its cost, so expensive queries make progress under
+  /// any budget.
   std::size_t max_pending_cost = 4096;
   /// Per-connection bound on admitted-but-unexecuted requests
   /// (0 = unbounded); the fair-queue depth one client may hold.
@@ -83,8 +112,19 @@ struct ServerConfig {
   int write_timeout_ms = 5000;
   /// False forces the poll() backend even on Linux.
   bool use_epoll = true;
-  std::size_t cache_bytes = 64u << 20;
-  std::size_t cache_shards = 8;
+  /// Event-loop threads. Each runs its own poller, connections, and
+  /// result cache; 1 reproduces the single-loop server exactly (the
+  /// loop runs inline on the serve() caller, no threads spawned).
+  std::size_t reactors = 1;
+  /// Prefer per-reactor SO_REUSEPORT listeners for accept sharding;
+  /// false (or a platform without the option) falls back to the
+  /// acceptor + fd-handoff scheme.
+  bool use_reuseport = true;
+  /// How long a reactor keeps its listener unwatched after an
+  /// EMFILE/ENFILE accept failure before re-arming.
+  int accept_rearm_ms = 100;
+  std::size_t cache_bytes = 64u << 20;  ///< split across reactors
+  std::size_t cache_shards = 8;         ///< per reactor-cache
 
   // -- Serving-path observability (DESIGN.md section 13) --
 
@@ -102,10 +142,7 @@ struct ServerConfig {
   /// Honor client trace contexts: a request that arrived with the
   /// kFlagTraceContext prefix gets a server-side span with phase
   /// sub-spans (queue_wait / cache_lookup / exec / encode / write).
-  /// Untraced requests skip the span machinery entirely — the client
-  /// decides what is traced, so the warm path pays nothing for
-  /// diagnostics nobody asked for. Spans go to the global
-  /// TraceCollector; disabling the collector makes this a no-op.
+  /// Untraced requests skip the span machinery entirely.
   bool trace_requests = true;
 };
 
@@ -116,11 +153,14 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds and listens. After success port() is the actual port.
+  /// Binds and listens (every reactor's listener in SO_REUSEPORT mode).
+  /// After success port() is the actual port.
   bool start(std::string& error);
   std::uint16_t port() const noexcept { return port_; }
 
-  /// Runs the event loop until a drain completes. Call from one thread.
+  /// Runs the reactors until a drain completes: reactors 1..N-1 on
+  /// spawned threads, reactor 0 inline on the caller. Returns after
+  /// every reactor has quiesced and the listeners are closed.
   void serve();
 
   /// Async-signal-safe: request a graceful drain / an archive reload.
@@ -130,10 +170,23 @@ class Server {
   bool draining() const noexcept {
     return draining_.load(std::memory_order_relaxed);
   }
-  ResultCache& cache() noexcept { return cache_; }
-  std::uint64_t requests_served() const noexcept { return requests_served_; }
-  std::uint64_t connections_reaped() const noexcept { return reaped_; }
-  std::uint64_t reloads() const noexcept { return reloads_; }
+
+  std::size_t reactor_count() const noexcept { return reactors_.size(); }
+  /// True when accept sharding runs on per-reactor SO_REUSEPORT
+  /// listeners (false: single acceptor + fd handoff).
+  bool reuseport_active() const noexcept { return reuseport_; }
+  /// Per-reactor accepted-connection counts (handoff distribution and
+  /// reuseport spread are test-observable through this).
+  std::vector<std::uint64_t> reactor_accepted() const;
+
+  /// Aggregates across all reactors. Safe concurrently with serving.
+  ResultCache::Stats cache_stats() const;
+  std::uint64_t requests_served() const;
+  std::uint64_t connections_reaped() const;
+  std::uint64_t accept_emfile() const;
+  std::uint64_t reloads() const noexcept {
+    return reloads_.load(std::memory_order_relaxed);
+  }
 
   /// Seconds since start() succeeded (steady clock).
   double uptime_seconds() const;
@@ -164,12 +217,28 @@ class Server {
     Clock::time_point admit_time;  ///< when admission queued the item
   };
 
+  /// One scatter-gather segment of a connection's output queue: either
+  /// owned bytes, or a zero-copy view pinned by `keep` (a cache entry
+  /// or a dataset snapshot) until the bytes are flushed.
+  struct OutChunk {
+    std::string owned;
+    std::string_view view{};
+    std::shared_ptr<const void> keep;
+    const char* data() const noexcept {
+      return keep ? view.data() : owned.data();
+    }
+    std::size_t size() const noexcept {
+      return keep ? view.size() : owned.size();
+    }
+  };
+
   struct Conn {
     int fd = -1;
     std::string in;            ///< received, not yet parsed
     std::size_t discard = 0;   ///< oversized payload bytes left to drain
-    std::string out;           ///< encoded responses not yet sent
-    std::size_t out_off = 0;
+    std::deque<OutChunk> out;  ///< queued response segments
+    std::size_t out_off = 0;   ///< sent bytes of out.front()
+    std::size_t out_bytes = 0; ///< total unsent bytes across out
     std::deque<PendingItem> queue;  ///< admitted + shed, arrival order
     Clock::time_point read_deadline_base;   ///< last read progress
     Clock::time_point write_deadline_base;  ///< last write progress
@@ -202,66 +271,126 @@ class Server {
     std::unordered_map<int, short> interest_;
   };
 
-  void accept_ready();
-  void handle_readable(Conn& conn);
-  void parse_frames(Conn& conn);
-  /// Admission decision for one parsed request: queues either the
-  /// request (charging the cost gates) or an ordered busy marker.
-  /// `payload` is the request payload with any trace prefix stripped;
-  /// `trace` carries the stripped ids (0/0 when untraced).
-  void admit_request(Conn& conn, MsgType type, std::uint8_t flags,
-                     std::string_view payload, const TraceContext& trace);
-  /// Drains every connection queue round-robin, one item per connection
-  /// per pass (fair queueing).
-  void execute_pending();
-  void execute_one(int fd, const PendingItem& item);
-  bool queues_empty() const;
-  void respond(Conn& conn, MsgType type, std::string_view payload);
-  void respond_error(Conn& conn, std::string_view code,
-                     std::string_view message, bool close_after);
-  void flush_out(Conn& conn);
-  void update_interest(Conn& conn);
-  void close_conn(int fd);
-  void reap_timeouts(Clock::time_point now);
-  int next_timeout_ms(Clock::time_point now) const;
+  /// One event-loop shard: poller, connections, admission gates, and a
+  /// result cache of its own. All members are single-threaded except
+  /// the stat atomics, which other reactors read for kServerStats.
+  class Reactor {
+   public:
+    Reactor(Server& server, std::size_t index);
+    ~Reactor();
+    Reactor(const Reactor&) = delete;
+    Reactor& operator=(const Reactor&) = delete;
+
+    /// The event loop; returns once a drain completes. Leaves the
+    /// listener fd open (Server::serve closes listeners after ALL
+    /// reactors have quiesced).
+    void run();
+    void wake();  ///< async-signal-safe
+
+    Server& srv_;
+    const std::size_t index_;
+    int listen_fd_ = -1;    ///< own listener, or -1 (handoff receivers)
+    int handoff_rd_ = -1;   ///< read end of the acceptor's fd pipe
+    int wake_pipe_[2] = {-1, -1};
+    std::unique_ptr<Poller> poller_;
+    std::unordered_map<int, Conn> conns_;
+    ResultCache cache_;
+
+    /// Single writer (the reactor), relaxed readers (stats from any
+    /// reactor, tests, tools).
+    std::atomic<std::size_t> pending_count_{0};
+    std::atomic<std::size_t> pending_cost_{0};
+    std::atomic<std::uint64_t> requests_served_{0};
+    std::atomic<std::uint64_t> reaped_{0};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> busy_rejected_{0};
+    std::atomic<std::uint64_t> shed_cost_{0};
+    std::atomic<std::uint64_t> shed_inflight_{0};
+    std::atomic<std::uint64_t> shed_client_{0};
+    std::atomic<std::uint64_t> protocol_errors_{0};
+    std::atomic<std::uint64_t> accept_emfile_{0};
+
+    /// Listener paused after EMFILE/ENFILE; re-armed on a timer.
+    bool listener_paused_ = false;
+    Clock::time_point accept_rearm_at_;
+
+   private:
+    void accept_ready();
+    void adopt_fd(int fd);
+    void drain_handoff();
+    void handle_readable(Conn& conn);
+    void parse_frames(Conn& conn);
+    void admit_request(Conn& conn, MsgType type, std::uint8_t flags,
+                       std::string_view payload, const TraceContext& trace);
+    void execute_pending();
+    void execute_one(int fd, const PendingItem& item);
+    bool queues_empty() const;
+    /// Appends one output segment, arming the write deadline when the
+    /// queue was empty.
+    void queue_chunk(Conn& conn, OutChunk chunk);
+    void respond(Conn& conn, MsgType type, std::string_view payload);
+    /// Zero-copy response: header chunk + a view of the shared payload.
+    void respond_shared(Conn& conn, MsgType type,
+                        std::shared_ptr<const std::string> payload);
+    void respond_slice(Conn& conn, const Dataset::ArchiveSlice& slice,
+                       std::shared_ptr<const void> keep);
+    void respond_error(Conn& conn, std::string_view code,
+                       std::string_view message, bool close_after);
+    void flush_out(Conn& conn);
+    void update_interest(Conn& conn);
+    void close_conn(int fd);
+    void pause_listener();
+    void maybe_rearm_listener(Clock::time_point now);
+    void reap_timeouts(Clock::time_point now);
+    int next_timeout_ms(Clock::time_point now) const;
+    void finish_request(const PendingItem& item, std::int64_t total_us,
+                        std::int64_t queue_us, std::int64_t cache_us,
+                        std::int64_t exec_us, std::int64_t encode_us,
+                        std::int64_t write_us, const char* cache_status,
+                        MsgType response_type, std::string_view response_payload);
+
+    /// Handoff pipe reassembly: a read() that lands mid-int is buffered.
+    char handoff_partial_[sizeof(int)] = {0};
+    std::size_t handoff_partial_len_ = 0;
+  };
+
+  /// Opens one listener on bind_address:port. `reuseport` requests
+  /// SO_REUSEPORT before bind; `actual_port` is filled from getsockname
+  /// (resolves port 0). Returns -1 with `error` set on failure.
+  int open_listener(std::uint16_t port, bool reuseport,
+                    std::uint16_t& actual_port, std::string& error);
+
+  /// RCU-style dataset snapshot: acquired once per request, published
+  /// by do_reload(). The initial snapshot aliases the caller-owned
+  /// Dataset (non-owning); reloaded snapshots own their Dataset.
+  std::shared_ptr<const Dataset> dataset_snapshot() const;
   void do_reload();
-  std::string stats_payload() const;
+  void set_conns_gauge();
+  void set_pending_cost_gauge();
+  std::string stats_payload(const Dataset& dataset) const;
   /// kMetricsDump response body for the given format selector.
   std::string metrics_dump_payload(std::uint8_t format) const;
-  /// End-of-request accounting: windowed + SLO recording, slow-query
-  /// emission. `total_us` is admission-to-response-queued.
-  void finish_request(const PendingItem& item, std::int64_t total_us,
-                      std::int64_t queue_us, std::int64_t cache_us,
-                      std::int64_t exec_us, std::int64_t encode_us,
-                      std::int64_t write_us, const char* cache_status,
-                      const Dataset::Response& response);
   obs::Histogram& latency_histogram(MsgType type);
 
   Dataset& dataset_;
   exec::ThreadPool* pool_;
   ServerConfig config_;
-  ResultCache cache_;
 
-  int listen_fd_ = -1;
+  mutable std::mutex dataset_mutex_;  ///< guards dataset_current_ swap
+  std::shared_ptr<const Dataset> dataset_current_;
+  /// exec::ThreadPool::run is single-batch; reactors serialize pooled
+  /// figure executions through this (cheap relative to the study).
+  std::mutex pool_mutex_;
+
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::vector<int> handoff_wr_;  ///< per-reactor write ends (fallback mode)
+  std::size_t next_handoff_ = 0;
+  bool reuseport_ = false;
   std::uint16_t port_ = 0;
-  int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> draining_{false};
   std::atomic<bool> reload_pending_{false};
-
-  std::unique_ptr<Poller> poller_;
-  std::unordered_map<int, Conn> conns_;
-  std::size_t pending_count_ = 0;  ///< admitted items across all conns
-  std::size_t pending_cost_ = 0;   ///< their request_cost() sum
-
-  std::uint64_t requests_served_ = 0;
-  std::uint64_t reaped_ = 0;
-  std::uint64_t reloads_ = 0;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t busy_rejected_ = 0;
-  std::uint64_t shed_cost_ = 0;      ///< sheds from the cost budget
-  std::uint64_t shed_inflight_ = 0;  ///< sheds from the count cap
-  std::uint64_t shed_client_ = 0;    ///< sheds from the per-conn bound
-  std::uint64_t protocol_errors_ = 0;
+  std::atomic<std::size_t> total_conns_{0};
+  std::atomic<std::uint64_t> reloads_{0};
 
   obs::Counter obs_requests_;
   obs::Counter obs_accepted_;
@@ -274,18 +403,20 @@ class Server {
   obs::Counter obs_bytes_rx_;
   obs::Counter obs_bytes_tx_;
   obs::Counter obs_reloads_;
+  obs::Counter obs_accept_emfile_;
   obs::Gauge obs_active_conns_;
   obs::Gauge obs_pending_cost_;
   std::unordered_map<std::uint8_t, obs::Histogram> latency_;
 
   Clock::time_point start_time_ = Clock::now();
 
-  /// Per-type end-to-end latency over the last window_seconds.
+  /// Per-type end-to-end latency over the last window_seconds; the
+  /// WindowedHistogram write path is relaxed-atomic, reactor-safe.
   std::unordered_map<std::uint8_t, std::unique_ptr<obs::WindowedHistogram>>
       windowed_;
-  /// Per-type SLO accounting. Atomics so windowed_snapshots()/slo_stats()
-  /// may run from another thread while the loop serves; mirrored to
-  /// registry counters s2s.svc.slo.<type>.{good,total}.
+  /// Per-type SLO accounting. Atomics so any thread may read while the
+  /// reactors serve; mirrored to registry counters
+  /// s2s.svc.slo.<type>.{good,total}.
   struct SloCell {
     double threshold_us = 0.0;
     std::atomic<std::uint64_t> good{0};
@@ -295,7 +426,7 @@ class Server {
   };
   std::unordered_map<std::uint8_t, std::unique_ptr<SloCell>> slo_;
 
-  SlowQueryLog slow_log_;
+  SlowQueryLog slow_log_;  ///< internally synchronized
 };
 
 }  // namespace s2s::svc

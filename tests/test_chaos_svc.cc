@@ -318,6 +318,28 @@ TEST(ChaosSvc, MixedFaultSoupConvergesByteIdentical) {
             got.chaos.failure_faults() + got.chaos.corrupted);
 }
 
+TEST(ChaosSvc, MultiReactorFaultSoupConvergesByteIdentical) {
+  // The fault soup against a 4-reactor tier over the handoff fallback
+  // (deterministic sharding): every reconnect may land on a different
+  // reactor with a cold cache, and identity must hold anyway.
+  svc::ServerConfig cfg;
+  cfg.reactors = 4;
+  cfg.use_reuseport = false;
+  TestServer ts(*world().dataset, 2, cfg);
+  const auto workload = chaos_workload(/*small_frames_only=*/true);
+  const auto want = baseline_responses(ts, workload);
+  faultsim::ChaosConfig ccfg;
+  ccfg.seed = 1001;
+  ccfg.reset_prob = 0.03;
+  ccfg.truncate_prob = 0.03;
+  const auto got = run_through_chaos(ts, ccfg, chaos_policy(), workload);
+  EXPECT_EQ(got.responses, want);
+  EXPECT_EQ(got.retry.failed_attempts,
+            got.chaos.resets + got.chaos.truncated);
+  ts.drain();
+  EXPECT_GT(ts.server().requests_served(), 0u);
+}
+
 TEST(ChaosSvc, PollBackendSurvivesTruncationAndResets) {
   svc::ServerConfig cfg;
   cfg.use_epoll = false;

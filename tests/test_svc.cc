@@ -324,7 +324,7 @@ TEST(SvcServer, ColdCacheHitAndNoCacheAreByteIdentical) {
     EXPECT_EQ(cold, hit) << svc::type_name(type);
     EXPECT_EQ(cold, forced) << svc::type_name(type);
   }
-  const auto stats = ts.server().cache().stats();
+  const auto stats = ts.server().cache_stats();
   EXPECT_GT(stats.hits, 0u);
   EXPECT_GT(global_counter("s2s.svc.cache_hits"), hits_before);
 }
@@ -590,7 +590,7 @@ TEST(SvcServer, TraceContextDoesNotForkTheCacheKey) {
   ASSERT_TRUE(client.read_frame(&rtype, &rpayload, error)) << error;
   EXPECT_EQ(rtype, svc::MsgType::kOk);
   EXPECT_EQ(rpayload, plain);
-  const auto stats = ts.server().cache().stats();
+  const auto stats = ts.server().cache_stats();
   EXPECT_EQ(stats.insertions, 1u);
   EXPECT_GE(stats.hits, 1u);
 }

@@ -10,6 +10,11 @@
 //   verdict SRC DST FAM           congestion verdict for the ping series
 //   dualstack SRC DST             matched v4-v6 RTT deltas
 //   figure N                      figure digest (1, 2, 5 or 10)
+//   slice T0 T1                   zero-copy archive slice: blocks whose
+//                                 time span intersects [T0, T1] seconds,
+//                                 returned as a raw `.s2sb` image; prints
+//                                 a JSON summary (record/block counts),
+//                                 or add --out PATH to save the image
 //   scrape [prom|json]            live metrics dump (default prom); the
 //                                 Prometheus text is what a scraper
 //                                 ingests, the JSON is what s2s_top reads
@@ -38,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "io/binrec.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "svc/client.h"
@@ -52,10 +59,12 @@ int usage() {
                "[--series]\n"
                "  [--timeout-ms N] [--retries N] [--hedge] "
                "[--hedge-delay-ms N]\n"
-               "  [--burst N] [--trace] [--report PATH] <command>\n"
+               "  [--burst N] [--trace] [--report PATH] [--out PATH] "
+               "<command>\n"
                "  ping | stats | scrape [prom|json] | figure N |\n"
                "  dualstack SRC DST | pair-rtt SRC DST FAM |\n"
-               "  prevalence SRC DST FAM [CAP] | verdict SRC DST FAM\n");
+               "  prevalence SRC DST FAM [CAP] | verdict SRC DST FAM |\n"
+               "  slice T0 T1\n");
   return 2;
 }
 
@@ -98,6 +107,7 @@ int main(int argc, char** argv) {
   bool series = false;
   int burst = 0;
   std::string report_path;
+  std::string out_path;
   svc::RetryPolicy policy;
   policy.timeout_ms = 10000;
   policy.max_retries = 0;
@@ -123,6 +133,8 @@ int main(int argc, char** argv) {
       policy.trace = true;
     } else if (!std::strcmp(argv[i], "--report")) {
       report_path = next();
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out_path = next();
     } else {
       words.emplace_back(argv[i]);
     }
@@ -181,6 +193,13 @@ int main(int argc, char** argv) {
     q.figure = static_cast<std::uint8_t>(std::atoi(words[1].c_str()));
     type = svc::MsgType::kFigureDigest;
     payload = svc::encode_figure_query(q);
+  } else if (command == "slice") {
+    if (words.size() < 3) return usage();
+    svc::SliceQuery q;
+    q.t0_s = std::strtoll(words[1].c_str(), nullptr, 10);
+    q.t1_s = std::strtoll(words[2].c_str(), nullptr, 10);
+    type = svc::MsgType::kArchiveSlice;
+    payload = svc::encode_slice_query(q);
   } else if (command == "scrape") {
     svc::MetricsDumpQuery q;
     q.format = svc::MetricsDumpQuery::kPrometheus;
@@ -230,6 +249,39 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(rs.failed_attempts),
                  static_cast<unsigned long long>(rs.busy_rescheduled),
                  static_cast<unsigned long long>(rs.hedges));
+  }
+  if (command == "slice" && response_type != svc::MsgType::kError) {
+    // The payload is a raw `.s2sb` image sliced zero-copy out of the
+    // server's mmap'd archive; prove it parses and summarize it instead
+    // of dumping binary to the terminal.
+    io::BinRecordMmapReader reader(response.data(), response.size());
+    if (!reader.ok()) {
+      std::fprintf(stderr, "s2s_query: slice image unreadable: %s\n",
+                   reader.error().c_str());
+      return 2;
+    }
+    std::size_t traces = 0, pings = 0;
+    reader.read_all([&](const auto&) { ++traces; },
+                    [&](const auto&) { ++pings; });
+    if (!out_path.empty() &&
+        !obs::write_text_file(out_path, response)) {
+      std::fprintf(stderr, "s2s_query: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    obs::json::Writer w;
+    w.begin_object();
+    w.key("type").value("archive_slice");
+    w.key("bytes").value(static_cast<std::uint64_t>(response.size()));
+    w.key("blocks").value(
+        static_cast<std::uint64_t>(reader.blocks_read()));
+    w.key("corrupt_blocks")
+        .value(static_cast<std::uint64_t>(reader.corrupt_blocks()));
+    w.key("trace_records").value(static_cast<std::uint64_t>(traces));
+    w.key("ping_records").value(static_cast<std::uint64_t>(pings));
+    if (!out_path.empty()) w.key("saved").value(out_path);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
   }
   std::printf("%s\n", response.c_str());
   return response_type == svc::MsgType::kError ? 1 : 0;

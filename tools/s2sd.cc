@@ -5,7 +5,13 @@
 //
 // Serving options:
 //   --host A            bind address            (default 127.0.0.1)
+//   --listen-addr A     alias of --host; an address with a ':' listens
+//                       on IPv6 ("::" = dual-stack wildcard)
 //   --port N            listen port             (default 0 = ephemeral)
+//   --reactors N        event-loop threads, each with its own poller,
+//                       SO_REUSEPORT listener, and result-cache shard
+//                       (default 1)
+//   --no-reuseport      force the acceptor + fd-handoff fallback
 //   --threads N         analysis pool width     (default 0 = auto)
 //   --poll              force the poll() backend instead of epoll
 //   --max-inflight N    parsed-but-unexecuted request cap (count gate)
@@ -55,7 +61,8 @@ void on_reload_signal(int) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: s2sd --archive <in.s2sb> [--host A] [--port N]\n"
+               "usage: s2sd --archive <in.s2sb> [--host A] [--listen-addr A]\n"
+               "            [--port N] [--reactors N] [--no-reuseport]\n"
                "            [--threads N] [--poll] [--max-inflight N]\n"
                "            [--max-pending-cost N] [--max-client-pending N]\n"
                "            [--busy-retry-ms N] [--allow-damaged]\n"
@@ -90,8 +97,13 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--archive")) archive = next();
     else if (!std::strcmp(argv[i], "--make-fixture")) fixture = next();
     else if (!std::strcmp(argv[i], "--host")) host = next();
+    else if (!std::strcmp(argv[i], "--listen-addr")) host = next();
     else if (!std::strcmp(argv[i], "--port")) {
       server_cfg.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--reactors")) {
+      server_cfg.reactors = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--no-reuseport")) {
+      server_cfg.use_reuseport = false;
     } else if (!std::strcmp(argv[i], "--threads")) {
       threads = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--poll")) {
@@ -208,10 +220,11 @@ int main(int argc, char** argv) {
 #endif
 
   std::printf("s2sd: listening on %s:%u (%zu records, %zu timelines, "
-              "%zu ping pairs)\n",
+              "%zu ping pairs, %zu reactors%s)\n",
               host.c_str(), static_cast<unsigned>(server.port()),
               dataset.ingest().records, dataset.timelines().timeline_count(),
-              dataset.pings().pair_count());
+              dataset.pings().pair_count(), server.reactor_count(),
+              server.reuseport_active() ? ", reuseport" : "");
   const auto pairs = dataset.trace_pairs();
   if (!pairs.empty()) {
     std::printf("s2sd: example pair: src=%u dst=%u family=%u\n",
