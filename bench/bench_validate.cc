@@ -1,0 +1,67 @@
+// Times the detector validation harness (core/validate.h): the seeded
+// scenario matrix of event-driven congestion overlays — flash crowds,
+// failure cascades, bufferbloat, maintenance traps — each a full
+// deployment + ping campaign + survey + follow-up localization, scored
+// against the ground-truth ledger. Prints per-scenario wall time and the
+// precision/recall table; --fast runs the mini matrix the CI gate uses,
+// the default runs the full one.
+#include <chrono>
+
+#include "bench/common.h"
+#include "core/validate.h"
+
+using namespace s2s;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const bench::ObsSession obs_session("bench_validate", opt);
+  bench::print_header("Detector validation: precision/recall matrix", opt);
+
+  auto pool = bench::make_pool(opt);
+  core::HarnessOptions harness;
+  harness.seed = opt.seed;
+  harness.pool = &pool;
+  const auto specs = core::make_scenario_matrix(/*full=*/!opt.fast);
+  std::printf("matrix: %s, %zu scenarios\n\n", opt.fast ? "fast" : "full",
+              specs.size());
+
+  core::ValidationStudy study;
+  study.seed = harness.seed;
+  study.full_matrix = !opt.fast;
+  using Clock = std::chrono::steady_clock;
+  const auto t_begin = Clock::now();
+  for (const auto& spec : specs) {
+    const auto t0 = Clock::now();
+    study.scenarios.push_back(core::run_scenario(spec, harness));
+    const auto& s = study.scenarios.back();
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    std::printf("%-20s %7.1f ms  truth %3zu flagged %3zu  p %.3f r %.3f\n",
+                s.name.c_str(), ms, s.truth_pairs, s.flagged_pairs,
+                s.precision, s.recall);
+  }
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t_begin)
+          .count();
+
+  // Re-run through run_matrix for the aggregate roll-up (cheap relative
+  // to printing; keeps the aggregation logic on one code path).
+  study = core::run_matrix(specs, harness);
+  study.full_matrix = !opt.fast;
+  std::printf("\nper-kind pair recall:\n");
+  for (const auto& [name, ks] : study.kinds) {
+    std::printf("  %-22s %zu/%zu (%.3f)\n", name.c_str(), ks.flagged_pairs,
+                ks.truth_pairs, ks.pair_recall());
+  }
+  std::printf("aggregates: diurnal recall %.3f, maintenance fp rate %.3f\n",
+              study.diurnal_recall, study.maintenance_fp_rate);
+  std::printf("total: %.1f ms (%.1f ms/scenario)\n", total_ms,
+              total_ms / static_cast<double>(specs.size()));
+
+  const auto gates = core::check_gates(study);
+  std::printf("gates: %s\n", gates.pass ? "pass" : "FAIL");
+  for (const auto& v : gates.violations) {
+    std::printf("  violation: %s\n", v.c_str());
+  }
+  return gates.pass ? 0 : 1;
+}

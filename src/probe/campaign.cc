@@ -53,6 +53,24 @@ std::vector<std::pair<ServerId, ServerId>> with_reversed(
   return all;
 }
 
+/// Installs a campaign's event overlay on the network for the duration of
+/// run(), restoring whatever was installed before.
+class ScopedEvents {
+ public:
+  ScopedEvents(simnet::Network& net, const simnet::EventSchedule* events)
+      : net_(net), prev_(net.events()) {
+    if (events != nullptr) net_.set_events(events);
+  }
+  ~ScopedEvents() { net_.set_events(prev_); }
+
+  ScopedEvents(const ScopedEvents&) = delete;
+  ScopedEvents& operator=(const ScopedEvents&) = delete;
+
+ private:
+  simnet::Network& net_;
+  const simnet::EventSchedule* prev_;
+};
+
 /// Sort windows, drop empty ones, merge overlaps/adjacency, so down()
 /// can binary-search on the start instant alone (an earlier long window
 /// swallowing a later short one would otherwise be missed).
@@ -169,6 +187,7 @@ CampaignRunResult TracerouteCampaign::run(const TraceSink& sink,
     engine_.set_rng_state(resume->rng_state);
   }
   const CampaignObs cobs = CampaignObs::make();
+  const ScopedEvents scoped_events(net_, config_.events);
   const obs::TraceSpan run_span("campaign.traceroute");
   const auto run_start = std::chrono::steady_clock::now();
   const auto start_s =
@@ -264,6 +283,7 @@ CampaignRunResult PingCampaign::run(const PingSink& sink,
     engine_.set_rng_state(resume->rng_state);
   }
   const CampaignObs cobs = CampaignObs::make();
+  const ScopedEvents scoped_events(net_, config_.events);
   const obs::TraceSpan run_span("campaign.ping");
   const auto run_start = std::chrono::steady_clock::now();
   const auto start_s =

@@ -103,6 +103,9 @@ struct TracerouteCampaignConfig {
   TracerouteConfig traceroute;
   DowntimeConfig downtime;
   std::uint64_t seed = 7;
+  /// Optional event-driven congestion overlay (simnet/events.h), installed
+  /// on the network for the duration of run(). Not owned; must outlive it.
+  const simnet::EventSchedule* events = nullptr;
 };
 
 class TracerouteCampaign {
@@ -139,6 +142,9 @@ struct PingCampaignConfig {
   PingConfig ping;
   DowntimeConfig downtime;
   std::uint64_t seed = 11;
+  /// Optional event-driven congestion overlay (simnet/events.h), installed
+  /// on the network for the duration of run(). Not owned; must outlive it.
+  const simnet::EventSchedule* events = nullptr;
 };
 
 class PingCampaign {

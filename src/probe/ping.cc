@@ -23,9 +23,15 @@ std::optional<PingRecord> PingEngine::run(topology::ServerId src,
 
   auto fwd = net_.resolve(src, dst, family, t);
   if (!fwd) return record;
+  // Event overlay (maintenance windows, failed links): a blocked hop drops
+  // the probe in transit. The check draws no randomness, so installing an
+  // event schedule never perturbs the engine's RNG stream. The forward
+  // path must be consumed before the reverse resolve (fallback scratch).
+  if (net_.path_event_blocked(*fwd->path, family, t)) return record;
   const double fwd_one_way = net_.one_way_ms(*fwd->path, family, t);
   auto rev = net_.resolve(dst, src, family, t);
   if (!rev) return record;
+  if (net_.path_event_blocked(*rev->path, family, t)) return record;
   const double rev_one_way = net_.one_way_ms(*rev->path, family, t);
 
   record.rtt_ms =

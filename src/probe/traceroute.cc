@@ -75,9 +75,13 @@ std::optional<TracerouteRecord> TracerouteEngine::run(ServerId src,
     fpath = &fallback_copy;
   }
   const double fwd_one_way = net_.one_way_ms(*fpath, family, t);
+  // Event overlay: a hop whose link an active event blocks (maintenance
+  // window, failed link of a cascade) kills forward probes there — hops
+  // before it answer, the run truncates at the gap limit below.
+  const auto blocked_hop = net_.first_event_blocked_hop(*fpath, family, t);
 
   auto rev = net_.resolve(dst, src, family, t);
-  if (!rev) {
+  if (!rev || net_.path_event_blocked(*rev->path, family, t)) {
     // Replies cannot return: the whole run reads as unresponsive.
     const int stars = 4 + static_cast<int>(rng_.below(6));
     for (int i = 0; i < stars; ++i) record.hops.push_back({std::nullopt, 0.0});
@@ -86,7 +90,9 @@ std::optional<TracerouteRecord> TracerouteEngine::run(ServerId src,
   const double rev_one_way = net_.one_way_ms(*rev->path, family, t);
 
   // Intermediate hops: the routers of the forward expansion.
-  for (std::size_t i = 0; i < fpath->hops.size(); ++i) {
+  const std::size_t hop_limit =
+      blocked_hop ? *blocked_hop : fpath->hops.size();
+  for (std::size_t i = 0; i < hop_limit; ++i) {
     const auto& hop = fpath->hops[i];
     Hop out;
     const auto& router = topo.routers[hop.router];
@@ -104,6 +110,12 @@ std::optional<TracerouteRecord> TracerouteEngine::run(ServerId src,
                    hop_noise_ms(config_.noise, rng_);
     }
     record.hops.push_back(std::move(out));
+  }
+
+  if (blocked_hop) {
+    const int stars = 5;  // gap limit before the prober gives up
+    for (int i = 0; i < stars; ++i) record.hops.push_back({std::nullopt, 0.0});
+    return record;
   }
 
   if (method == TracerouteMethod::kClassic) {

@@ -1,0 +1,529 @@
+#include "simnet/events.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+#include "simnet/congestion.h"
+#include "simnet/network.h"
+#include "simnet/router_path.h"
+
+namespace s2s::simnet {
+
+using topology::LinkId;
+using topology::ServerId;
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFlashCrowd: return "flash_crowd";
+    case EventKind::kLinkFailureCascade: return "link_failure_cascade";
+    case EventKind::kBufferbloat: return "bufferbloat";
+    case EventKind::kMaintenance: return "maintenance";
+    case EventKind::kDiurnalModel: return "diurnal";
+  }
+  return "unknown";
+}
+
+std::optional<EventKind> event_kind_from_name(std::string_view name) {
+  for (EventKind k : {EventKind::kFlashCrowd, EventKind::kLinkFailureCascade,
+                      EventKind::kBufferbloat, EventKind::kMaintenance,
+                      EventKind::kDiurnalModel}) {
+    if (name == event_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// SplitMix64 finalizer: the deterministic hash behind partial-loss
+/// decisions (no RNG stream, so probe engines draw identically whether
+/// or not events are installed).
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool hash_chance(std::uint64_t a, std::uint64_t b, double p) {
+  if (p >= 1.0) return true;
+  if (p <= 0.0) return false;
+  const double u =
+      static_cast<double>(mix64(a * 0x9e3779b97f4a7c15ULL ^ b) >> 11) *
+      0x1.0p-53;
+  return u < p;
+}
+
+bool family_on(const EventEffect& e, net::Family family) {
+  return family == net::Family::kIPv4 ? e.affects_v4 : e.affects_v6;
+}
+
+}  // namespace
+
+double EventEffect::delay_ms(net::Family family, net::SimTime t) const {
+  if (blocks || !family_on(*this, family)) return 0.0;
+  const std::int64_t s = t.seconds();
+  if (s < t0 || s >= t1) return 0.0;
+  switch (kind) {
+    case EventKind::kFlashCrowd:
+      // Sharp onset at t0, exponential drain as the crowd disperses.
+      return magnitude *
+             std::exp(-static_cast<double>(s - t0) / std::max(1.0, tau_s));
+    case EventKind::kLinkFailureCascade:
+      // Failover load lands at once and stays until the link is repaired.
+      return magnitude;
+    case EventKind::kBufferbloat: {
+      if (queue_ms.empty()) return 0.0;
+      // Linear interpolation over the precomputed queue-state samples.
+      const double pos =
+          static_cast<double>(s - t0) / static_cast<double>(kQueueStepS);
+      const auto lo = static_cast<std::size_t>(pos);
+      if (lo + 1 >= queue_ms.size()) return queue_ms.back();
+      const double frac = pos - static_cast<double>(lo);
+      return queue_ms[lo] + frac * (queue_ms[lo + 1] - queue_ms[lo]);
+    }
+    case EventKind::kMaintenance:
+    case EventKind::kDiurnalModel:
+      return 0.0;  // maintenance never inflates; diurnal is model-owned
+  }
+  return 0.0;
+}
+
+bool EventEffect::blocked(net::Family family, net::SimTime t) const {
+  if (!blocks || !family_on(*this, family)) return false;
+  const std::int64_t s = t.seconds();
+  if (s < t0 || s >= t1) return false;
+  // Partial loss: one deterministic coin per (link, 10-minute chunk).
+  return hash_chance(static_cast<std::uint64_t>(link) << 32 ^
+                         static_cast<std::uint64_t>(kind),
+                     static_cast<std::uint64_t>(s / 600), magnitude);
+}
+
+namespace {
+
+/// Sibling links that absorb a failed link's load: other links of the
+/// same adjacency first (parallel interconnects), then links sharing a
+/// router with the failed link. Sorted, unique, capped at `max_count`.
+std::vector<LinkId> cascade_siblings(const topology::Topology& topo,
+                                     LinkId failed, int max_count) {
+  std::vector<LinkId> out;
+  const auto& link = topo.links[failed];
+  if (link.adjacency != topology::kInvalidId) {
+    for (LinkId id : topo.adjacencies[link.adjacency].links) {
+      if (id != failed) out.push_back(id);
+    }
+  }
+  if (out.size() < static_cast<std::size_t>(max_count)) {
+    for (LinkId id = 0; id < topo.links.size(); ++id) {
+      if (id == failed) continue;
+      const auto& other = topo.links[id];
+      const bool shares_router =
+          other.end_a.router == link.end_a.router ||
+          other.end_a.router == link.end_b.router ||
+          other.end_b.router == link.end_a.router ||
+          other.end_b.router == link.end_b.router;
+      if (shares_router) out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() > static_cast<std::size_t>(max_count)) {
+    out.resize(static_cast<std::size_t>(max_count));
+  }
+  return out;
+}
+
+/// Offered load (capacity == 1.0) over a bufferbloat window: a surge that
+/// peaks mid-episode and ends at 0.7 of the window, then an under-loaded
+/// tail that drains the queue. The delay curve below integrates this, so
+/// its shape follows the load *state*, not wall clock.
+double bloat_load(double x, double overload) {
+  constexpr double kSurgeEnd = 0.7;
+  if (x < kSurgeEnd) {
+    return 1.0 + overload * std::sin(3.14159265358979323846 * x / kSurgeEnd);
+  }
+  return 0.5;
+}
+
+/// Integrates q' = load - capacity (clamped at 0) over the window and
+/// rescales so the peak equals `peak_ms`.
+std::vector<double> bloat_queue_samples(std::int64_t t0, std::int64_t t1,
+                                        double overload, double peak_ms) {
+  const auto len = static_cast<double>(t1 - t0);
+  const auto n = static_cast<std::size_t>(
+                     (t1 - t0) / EventEffect::kQueueStepS) +
+                 2;
+  std::vector<double> q(n, 0.0);
+  double acc = 0.0, peak = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double x =
+        static_cast<double>(i) * EventEffect::kQueueStepS / len;
+    acc = std::max(0.0, acc + (bloat_load(std::min(x, 1.0), overload) - 1.0) *
+                             EventEffect::kQueueStepS);
+    q[i] = acc;
+    peak = std::max(peak, acc);
+  }
+  if (peak > 0.0) {
+    for (double& v : q) v *= peak_ms / peak;
+  }
+  return q;
+}
+
+}  // namespace
+
+EventSchedule::EventSchedule(const topology::Topology& topo,
+                             const EventScheduleConfig& config,
+                             std::span<const LinkId> candidate_links,
+                             stats::Rng rng) {
+  // Target pool: the caller's candidates (links probes actually cross)
+  // or, failing that, every link. Draws pop without replacement so the
+  // matrix's events land on distinct links.
+  std::vector<LinkId> pool(candidate_links.begin(), candidate_links.end());
+  if (pool.empty()) {
+    pool.resize(topo.links.size());
+    for (LinkId id = 0; id < topo.links.size(); ++id) pool[id] = id;
+  }
+  auto draw_link = [&]() -> std::optional<LinkId> {
+    if (pool.empty()) return std::nullopt;
+    const auto idx = static_cast<std::size_t>(rng.below(pool.size()));
+    const LinkId id = pool[idx];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+    return id;
+  };
+  const std::int64_t w0 =
+      static_cast<std::int64_t>(config.start_day * 86400.0);
+  const std::int64_t w1 =
+      w0 + static_cast<std::int64_t>(config.days * 86400.0);
+  auto draw_window = [&](double hours_min,
+                         double hours_max) -> std::pair<std::int64_t,
+                                                        std::int64_t> {
+    const auto len = static_cast<std::int64_t>(
+        rng.uniform(hours_min, hours_max) * 3600.0);
+    const std::int64_t latest = std::max<std::int64_t>(w0 + 1, w1 - len);
+    const auto t0 = w0 + static_cast<std::int64_t>(
+                             rng.uniform() *
+                             static_cast<double>(latest - w0));
+    return {t0, t0 + len};
+  };
+
+  for (int i = 0; i < config.flash_crowds; ++i) {
+    const auto link = draw_link();
+    if (!link) break;
+    EventEffect e;
+    e.link = *link;
+    e.kind = EventKind::kFlashCrowd;
+    std::tie(e.t0, e.t1) =
+        draw_window(config.flash_hours_min, config.flash_hours_max);
+    e.magnitude = config.magnitude_scale *
+                  rng.uniform(config.flash_peak_ms_min,
+                              config.flash_peak_ms_max);
+    e.tau_s = static_cast<double>(e.t1 - e.t0) / 3.0;
+    effects_.push_back(std::move(e));
+  }
+
+  for (int i = 0; i < config.cascades; ++i) {
+    const auto link = draw_link();
+    if (!link) break;
+    const auto [t0, t1] =
+        draw_window(config.cascade_hours_min, config.cascade_hours_max);
+    const double spill = config.magnitude_scale *
+                         rng.uniform(config.cascade_spill_ms_min,
+                                     config.cascade_spill_ms_max);
+    EventEffect dark;
+    dark.link = *link;
+    dark.kind = EventKind::kLinkFailureCascade;
+    dark.t0 = t0;
+    dark.t1 = t1;
+    dark.magnitude = 1.0;  // hard down until repaired
+    dark.blocks = true;
+    effects_.push_back(std::move(dark));
+    for (LinkId sib :
+         cascade_siblings(topo, *link, config.cascade_max_siblings)) {
+      EventEffect spill_effect;
+      spill_effect.link = sib;
+      spill_effect.kind = EventKind::kLinkFailureCascade;
+      spill_effect.t0 = t0;
+      spill_effect.t1 = t1;
+      spill_effect.magnitude = spill;
+      effects_.push_back(std::move(spill_effect));
+    }
+  }
+
+  for (int i = 0; i < config.bufferbloats; ++i) {
+    const auto link = draw_link();
+    if (!link) break;
+    EventEffect e;
+    e.link = *link;
+    e.kind = EventKind::kBufferbloat;
+    std::tie(e.t0, e.t1) =
+        draw_window(config.bloat_hours_min, config.bloat_hours_max);
+    e.magnitude = config.magnitude_scale *
+                  rng.uniform(config.bloat_peak_ms_min,
+                              config.bloat_peak_ms_max);
+    e.queue_ms =
+        bloat_queue_samples(e.t0, e.t1, config.bloat_overload, e.magnitude);
+    effects_.push_back(std::move(e));
+  }
+
+  for (int i = 0; i < config.maintenances; ++i) {
+    const auto link = draw_link();
+    if (!link) break;
+    EventEffect e;
+    e.link = *link;
+    e.kind = EventKind::kMaintenance;
+    std::tie(e.t0, e.t1) = draw_window(config.maintenance_hours_min,
+                                       config.maintenance_hours_max);
+    e.magnitude = config.maintenance_loss;
+    e.blocks = true;
+    effects_.push_back(std::move(e));
+  }
+
+  by_link_.resize(topo.links.size());
+  for (std::uint32_t i = 0; i < effects_.size(); ++i) {
+    by_link_[effects_[i].link].push_back(i);
+  }
+}
+
+double EventSchedule::delay_ms(LinkId link, net::Family family,
+                               net::SimTime t) const {
+  if (link >= by_link_.size()) return 0.0;
+  double total = 0.0;
+  for (std::uint32_t i : by_link_[link]) {
+    total += effects_[i].delay_ms(family, t);
+  }
+  return total;
+}
+
+bool EventSchedule::blocked(LinkId link, net::Family family,
+                            net::SimTime t) const {
+  if (link >= by_link_.size()) return false;
+  for (std::uint32_t i : by_link_[link]) {
+    if (effects_[i].blocked(family, t)) return true;
+  }
+  return false;
+}
+
+bool EventSchedule::path_blocked(const RouterPath& path, net::Family family,
+                                 net::SimTime t) const {
+  return first_blocked_hop(path, family, t).has_value();
+}
+
+std::optional<std::size_t> EventSchedule::first_blocked_hop(
+    const RouterPath& path, net::Family family, net::SimTime t) const {
+  for (std::size_t i = 0; i < path.hops.size(); ++i) {
+    const LinkId link = path.hops[i].link;
+    if (link != topology::kInvalidId && blocked(link, family, t)) return i;
+  }
+  return std::nullopt;
+}
+
+GroundTruthLedger EventSchedule::ledger() const {
+  GroundTruthLedger out;
+  out.entries.reserve(effects_.size());
+  for (const EventEffect& e : effects_) {
+    GroundTruthEntry entry;
+    entry.link = e.link;
+    entry.kind = e.kind;
+    entry.t0 = e.t0;
+    entry.t1 = e.t1;
+    entry.magnitude = e.magnitude;
+    entry.inflates_rtt = !e.blocks;
+    entry.affects_v4 = e.affects_v4;
+    entry.affects_v6 = e.affects_v6;
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string GroundTruthLedger::to_json() const {
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("schema_version").value(schema_version);
+  w.key("entries").begin_array();
+  for (const GroundTruthEntry& e : entries) {
+    w.begin_object();
+    w.key("link").value(static_cast<std::uint64_t>(e.link));
+    w.key("kind").value(event_kind_name(e.kind));
+    w.key("t0").value(e.t0);
+    w.key("t1").value(e.t1);
+    w.key("magnitude").value(e.magnitude);
+    w.key("inflates_rtt").value(e.inflates_rtt);
+    w.key("affects_v4").value(e.affects_v4);
+    w.key("affects_v6").value(e.affects_v6);
+    w.key("affected").begin_array();
+    for (const PairKey& p : e.affected) {
+      w.begin_array();
+      w.value(static_cast<std::uint64_t>(p.src));
+      w.value(static_cast<std::uint64_t>(p.dst));
+      w.value(p.family == net::Family::kIPv6 ? 6 : 4);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::optional<GroundTruthLedger> GroundTruthLedger::parse(
+    std::string_view json_text) {
+  const auto doc = obs::json::parse(json_text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const auto* version = doc->find("schema_version");
+  if (!version || !version->is_number() ||
+      version->as_i64() != kLedgerSchemaVersion) {
+    return std::nullopt;
+  }
+  const auto* entries = doc->find("entries");
+  if (!entries || !entries->is_array()) return std::nullopt;
+  GroundTruthLedger out;
+  for (const auto& item : entries->array) {
+    if (!item.is_object()) return std::nullopt;
+    GroundTruthEntry e;
+    const auto* link = item.find("link");
+    const auto* kind = item.find("kind");
+    const auto* t0 = item.find("t0");
+    const auto* t1 = item.find("t1");
+    const auto* magnitude = item.find("magnitude");
+    const auto* inflates = item.find("inflates_rtt");
+    if (!link || !link->is_number() || !kind || !kind->is_string() || !t0 ||
+        !t0->is_number() || !t1 || !t1->is_number() || !magnitude ||
+        !magnitude->is_number() || !inflates || !inflates->is_bool()) {
+      return std::nullopt;
+    }
+    const auto parsed_kind = event_kind_from_name(kind->string);
+    if (!parsed_kind) return std::nullopt;
+    e.link = static_cast<LinkId>(link->as_u64());
+    e.kind = *parsed_kind;
+    e.t0 = t0->as_i64();
+    e.t1 = t1->as_i64();
+    e.magnitude = magnitude->number;
+    e.inflates_rtt = inflates->boolean;
+    if (const auto* v4 = item.find("affects_v4"); v4 && v4->is_bool()) {
+      e.affects_v4 = v4->boolean;
+    }
+    if (const auto* v6 = item.find("affects_v6"); v6 && v6->is_bool()) {
+      e.affects_v6 = v6->boolean;
+    }
+    if (const auto* affected = item.find("affected");
+        affected && affected->is_array()) {
+      for (const auto& pair : affected->array) {
+        if (!pair.is_array() || pair.array.size() != 3) return std::nullopt;
+        PairKey key;
+        key.src = static_cast<ServerId>(pair.array[0].as_u64());
+        key.dst = static_cast<ServerId>(pair.array[1].as_u64());
+        key.family = pair.array[2].as_i64() == 6 ? net::Family::kIPv6
+                                                 : net::Family::kIPv4;
+        e.affected.push_back(key);
+      }
+    }
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+void append_congestion_ground_truth(GroundTruthLedger& ledger,
+                                    const CongestionModel& model,
+                                    double start_day, double days,
+                                    double min_amplitude_ms,
+                                    double min_active_fraction) {
+  const auto w0 = static_cast<std::int64_t>(start_day * 86400.0);
+  const auto w1 = w0 + static_cast<std::int64_t>(days * 86400.0);
+  for (const CongestionProfile& p : model.profiles()) {
+    if (p.kind != CongestionKind::kDiurnal) continue;
+    if (p.amplitude_ms < min_amplitude_ms) continue;
+    std::int64_t active = 0;
+    if (p.episodes.empty()) {
+      active = w1 - w0;
+    } else {
+      for (const auto& [e0, e1] : p.episodes) {
+        active += std::max<std::int64_t>(
+            0, std::min(e1, w1) - std::max(e0, w0));
+      }
+    }
+    if (static_cast<double>(active) <
+        min_active_fraction * static_cast<double>(w1 - w0)) {
+      continue;
+    }
+    GroundTruthEntry entry;
+    entry.link = p.link;
+    entry.kind = EventKind::kDiurnalModel;
+    entry.t0 = w0;
+    entry.t1 = w1;
+    entry.magnitude = p.amplitude_ms;
+    entry.inflates_rtt = true;
+    entry.affects_v4 = p.affects_v4;
+    entry.affects_v6 = p.affects_v6;
+    ledger.entries.push_back(std::move(entry));
+  }
+}
+
+void resolve_affected_pairs(
+    GroundTruthLedger& ledger, Network& net,
+    std::span<const std::pair<ServerId, ServerId>> pairs) {
+  for (GroundTruthEntry& entry : ledger.entries) {
+    entry.affected.clear();
+    const net::SimTime mid(entry.t0 + (entry.t1 - entry.t0) / 2);
+    auto crosses = [&](ServerId s, ServerId d, net::Family family) {
+      const auto r = net.resolve(s, d, family, mid);
+      if (!r) return false;
+      for (const RouterHop& hop : r->path->hops) {
+        if (hop.link == entry.link) return true;
+      }
+      return false;
+    };
+    for (const auto& [src, dst] : pairs) {
+      for (const net::Family family :
+           {net::Family::kIPv4, net::Family::kIPv6}) {
+        if (family == net::Family::kIPv4 ? !entry.affects_v4
+                                         : !entry.affects_v6) {
+          continue;
+        }
+        if (family == net::Family::kIPv6 &&
+            (!net.topo().servers.at(src).dual_stack() ||
+             !net.topo().servers.at(dst).dual_stack())) {
+          continue;
+        }
+        // A ping RTT folds in both directions; either one crossing the
+        // link exposes the pair to the event.
+        if (crosses(src, dst, family) || crosses(dst, src, family)) {
+          entry.affected.push_back({src, dst, family});
+        }
+      }
+    }
+    std::sort(entry.affected.begin(), entry.affected.end());
+    entry.affected.erase(
+        std::unique(entry.affected.begin(), entry.affected.end()),
+        entry.affected.end());
+  }
+}
+
+std::vector<std::pair<LinkId, std::size_t>> links_crossed(
+    Network& net,
+    std::span<const std::pair<ServerId, ServerId>> pairs,
+    net::Family family, net::SimTime t) {
+  std::vector<std::size_t> count(net.topo().links.size(), 0);
+  for (const auto& [src, dst] : pairs) {
+    if (family == net::Family::kIPv6 &&
+        (!net.topo().servers.at(src).dual_stack() ||
+         !net.topo().servers.at(dst).dual_stack())) {
+      continue;
+    }
+    const auto r = net.resolve(src, dst, family, t);
+    if (!r) continue;
+    for (const RouterHop& hop : r->path->hops) {
+      if (hop.link != topology::kInvalidId) ++count[hop.link];
+    }
+  }
+  std::vector<std::pair<LinkId, std::size_t>> out;
+  for (LinkId id = 0; id < count.size(); ++id) {
+    if (count[id] > 0) out.emplace_back(id, count[id]);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace s2s::simnet

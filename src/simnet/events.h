@@ -1,0 +1,228 @@
+// Event-driven congestion overlay (ROADMAP "Scenario diversity").
+//
+// The diurnal CongestionModel injects exactly what the paper's FFT
+// detector was built to find. This layer overlays *transient* congestion
+// episodes on links — congestion the detector should flag but was not
+// designed for, plus benign dynamics it should ignore — following the
+// typology of Genin & Splett ("Where in the Internet is congestion?",
+// PAPERS.md):
+//   * flash crowds:       sharp onset, exponential decay of queue delay;
+//   * link-failure load cascades: a link goes dark and failover shifts
+//                         its load onto sibling links (same adjacency, or
+//                         links sharing a router), which inflate;
+//   * bufferbloat:        state-dependent queue delay that integrates
+//                         offered load over capacity — the delay curve
+//                         follows the load *state*, not wall clock;
+//   * maintenance windows: loss/downtime with NO RTT inflation — a
+//                         designed false-positive trap for RTT detectors.
+//
+// Every event emits ground truth into a GroundTruthLedger (link, kind,
+// [t0,t1), magnitude, affected pair set) persisted as versioned JSON
+// alongside the campaign, which is what turns detection into a measurable
+// precision/recall problem (Fontugne et al., PAPERS.md). All randomness
+// is routed through the seeded stats::Rng passed in — never
+// std::random_device or wall time — so the schedule and ledger are
+// byte-identical across runs and thread widths (DESIGN.md section 9).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/timebase.h"
+#include "stats/rng.h"
+#include "topology/topology.h"
+
+namespace s2s::simnet {
+
+class Network;
+class CongestionModel;
+struct RouterPath;
+
+/// Ground-truth event kinds. kDiurnalModel tags entries synthesized from
+/// the existing diurnal CongestionModel (ground-truth-only; the model
+/// itself stays in congestion.h).
+enum class EventKind : std::uint8_t {
+  kFlashCrowd,
+  kLinkFailureCascade,
+  kBufferbloat,
+  kMaintenance,
+  kDiurnalModel,
+};
+
+/// Stable wire names ("flash_crowd", ... , "diurnal").
+std::string_view event_kind_name(EventKind kind);
+std::optional<EventKind> event_kind_from_name(std::string_view name);
+
+/// An ordered measurement pair on one plane, as campaigns probe them.
+struct PairKey {
+  topology::ServerId src = topology::kInvalidId;
+  topology::ServerId dst = topology::kInvalidId;
+  net::Family family = net::Family::kIPv4;
+
+  friend auto operator<=>(const PairKey&, const PairKey&) = default;
+};
+
+/// One ledger row: what happened to which link, when, how hard, and which
+/// probed pairs could see it. `magnitude` is peak added one-way queue
+/// delay in ms for inflating kinds, and the loss fraction in [0, 1] for
+/// maintenance windows. `inflates_rtt` is the matcher's positive-class
+/// bit: maintenance (and the dark link of a cascade) are false-positive
+/// traps, not detectable congestion.
+struct GroundTruthEntry {
+  topology::LinkId link = topology::kInvalidId;
+  EventKind kind = EventKind::kFlashCrowd;
+  std::int64_t t0 = 0;  ///< [t0, t1) in campaign seconds
+  std::int64_t t1 = 0;
+  double magnitude = 0.0;
+  bool inflates_rtt = true;
+  bool affects_v4 = true;
+  bool affects_v6 = true;
+  /// Probed pairs whose forward or reverse path crosses `link` on the
+  /// affected plane (filled by resolve_affected_pairs; sorted, unique).
+  std::vector<PairKey> affected;
+};
+
+inline constexpr int kLedgerSchemaVersion = 1;
+
+/// The per-campaign ground-truth artifact. Serialization is versioned
+/// JSON with deterministic ordering, so equal ledgers are byte-equal.
+struct GroundTruthLedger {
+  int schema_version = kLedgerSchemaVersion;
+  std::vector<GroundTruthEntry> entries;
+
+  std::string to_json() const;
+  static std::optional<GroundTruthLedger> parse(std::string_view json_text);
+};
+
+struct EventScheduleConfig {
+  /// Window events are drawn in (campaign days).
+  double start_day = 0.0;
+  double days = 7.0;
+  /// Global multiplier on every delay magnitude (the scenario matrix's
+  /// low/high axis).
+  double magnitude_scale = 1.0;
+
+  int flash_crowds = 0;
+  double flash_peak_ms_min = 20.0, flash_peak_ms_max = 45.0;
+  double flash_hours_min = 3.0, flash_hours_max = 8.0;
+
+  int cascades = 0;
+  double cascade_spill_ms_min = 14.0, cascade_spill_ms_max = 30.0;
+  double cascade_hours_min = 6.0, cascade_hours_max = 18.0;
+  int cascade_max_siblings = 3;
+
+  int bufferbloats = 0;
+  double bloat_peak_ms_min = 25.0, bloat_peak_ms_max = 60.0;
+  double bloat_hours_min = 12.0, bloat_hours_max = 36.0;
+  /// Peak offered load above capacity (capacity == 1.0).
+  double bloat_overload = 0.4;
+
+  int maintenances = 0;
+  double maintenance_hours_min = 2.0, maintenance_hours_max = 6.0;
+  /// Fraction of probes lost while the window is open (1.0 = hard down).
+  double maintenance_loss = 1.0;
+};
+
+/// A per-link effect expanded from one event. A cascade expands into one
+/// blocking effect (the dark link) plus one inflating effect per sibling.
+struct EventEffect {
+  topology::LinkId link = topology::kInvalidId;
+  EventKind kind = EventKind::kFlashCrowd;
+  std::int64_t t0 = 0;
+  std::int64_t t1 = 0;
+  double magnitude = 0.0;  ///< peak delay ms, or loss fraction (blocking)
+  double tau_s = 0.0;      ///< flash-crowd decay constant
+  bool blocks = false;     ///< drops probes instead of inflating RTT
+  bool affects_v4 = true;
+  bool affects_v6 = true;
+  /// Bufferbloat only: queue delay sampled every kQueueStepS from the
+  /// integrated (load - capacity) state, linearly interpolated at query
+  /// time. Precomputed at construction so lookups are deterministic and
+  /// cheap on the probe hot path.
+  std::vector<double> queue_ms;
+
+  static constexpr std::int64_t kQueueStepS = 300;
+
+  /// Added one-way queue delay of this effect at time t (0 outside the
+  /// window, 0 for blocking effects).
+  double delay_ms(net::Family family, net::SimTime t) const;
+  /// True when the effect drops probes crossing the link at t. Partial
+  /// loss fractions are decided by a deterministic per-(link, 10-minute
+  /// chunk) hash, not an RNG stream, so enabling events never perturbs
+  /// the probe engines' draw order.
+  bool blocked(net::Family family, net::SimTime t) const;
+};
+
+/// Deterministic, seed-stable schedule of transient congestion events.
+/// Construction draws every event from `rng` in a fixed order; target
+/// links come from `candidate_links` (typically the links crossed by the
+/// campaign's probed pairs, so events land where probes can see them) or
+/// from the whole topology when the candidate list is empty.
+class EventSchedule {
+ public:
+  EventSchedule(const topology::Topology& topo,
+                const EventScheduleConfig& config,
+                std::span<const topology::LinkId> candidate_links,
+                stats::Rng rng);
+
+  /// Total added one-way queue delay on `link` at t across active events.
+  double delay_ms(topology::LinkId link, net::Family family,
+                  net::SimTime t) const;
+  /// True when any active effect on `link` drops probes at t.
+  bool blocked(topology::LinkId link, net::Family family,
+               net::SimTime t) const;
+  /// True when any hop link of `path` is blocked at t.
+  bool path_blocked(const RouterPath& path, net::Family family,
+                    net::SimTime t) const;
+  /// Index of the first blocked hop of `path` at t, if any.
+  std::optional<std::size_t> first_blocked_hop(const RouterPath& path,
+                                               net::Family family,
+                                               net::SimTime t) const;
+
+  const std::vector<EventEffect>& effects() const noexcept {
+    return effects_;
+  }
+
+  /// Ledger rows for every effect (affected-pair sets empty until
+  /// resolve_affected_pairs fills them).
+  GroundTruthLedger ledger() const;
+
+ private:
+  std::vector<EventEffect> effects_;
+  /// link -> indexes into effects_; empty inner vectors for quiet links.
+  std::vector<std::vector<std::uint32_t>> by_link_;
+};
+
+/// Appends ground-truth rows for the diurnal CongestionModel profiles
+/// whose amplitude is at least `min_amplitude_ms` and whose episodes
+/// cover at least `min_active_fraction` of the [start_day, start_day +
+/// days) window (bursty profiles and sub-threshold amplitudes are not
+/// "expected detectable" and stay out of the positive class).
+void append_congestion_ground_truth(GroundTruthLedger& ledger,
+                                    const CongestionModel& model,
+                                    double start_day, double days,
+                                    double min_amplitude_ms = 15.0,
+                                    double min_active_fraction = 0.7);
+
+/// Fills every entry's affected-pair set: pair (s, d, family) is affected
+/// when the forward or reverse path resolved at the event's midpoint
+/// crosses the entry's link on a plane the entry affects. `pairs` are the
+/// ordered pairs a campaign probes (pass both directions).
+void resolve_affected_pairs(
+    GroundTruthLedger& ledger, Network& net,
+    std::span<const std::pair<topology::ServerId, topology::ServerId>> pairs);
+
+/// The links crossed by `pairs` at time t on `family`, each with its
+/// crossing-pair count, sorted by descending count then ascending id —
+/// the candidate list that makes event targeting hit probed paths.
+std::vector<std::pair<topology::LinkId, std::size_t>> links_crossed(
+    Network& net,
+    std::span<const std::pair<topology::ServerId, topology::ServerId>> pairs,
+    net::Family family, net::SimTime t);
+
+}  // namespace s2s::simnet

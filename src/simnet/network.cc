@@ -173,6 +173,9 @@ double Network::one_way_ms(const RouterPath& path, net::Family family,
   for (const RouterHop& hop : path.hops) {
     if (hop.link != topology::kInvalidId) {
       total += congestion_.queue_delay_ms(hop.link, family, t);
+      if (events_ != nullptr) {
+        total += events_->delay_ms(hop.link, family, t);
+      }
     }
   }
   return total;
@@ -185,6 +188,9 @@ double Network::partial_one_way_ms(const RouterPath& path,
   for (std::size_t i = 0; i <= hop_index; ++i) {
     if (path.hops[i].link != topology::kInvalidId) {
       total += congestion_.queue_delay_ms(path.hops[i].link, family, t);
+      if (events_ != nullptr) {
+        total += events_->delay_ms(path.hops[i].link, family, t);
+      }
     }
   }
   return total;

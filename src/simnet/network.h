@@ -28,6 +28,7 @@
 #include "routing/dynamics.h"
 #include "routing/valley_free.h"
 #include "simnet/congestion.h"
+#include "simnet/events.h"
 #include "simnet/router_path.h"
 #include "topology/generator.h"
 
@@ -50,6 +51,26 @@ class Network {
 
   const topology::Topology& topo() const noexcept { return topo_; }
   const CongestionModel& congestion() const noexcept { return congestion_; }
+
+  /// Installs (or clears, with nullptr) an event-driven congestion overlay;
+  /// not owned. While installed, one_way_ms adds event queue delays and the
+  /// path_event_blocked checks report maintenance/dark-link probe loss.
+  void set_events(const EventSchedule* events) noexcept { events_ = events; }
+  const EventSchedule* events() const noexcept { return events_; }
+
+  /// True when an installed event schedule drops probes crossing `path` at
+  /// t (always false with no schedule installed).
+  bool path_event_blocked(const RouterPath& path, net::Family family,
+                          net::SimTime t) const {
+    return events_ != nullptr && events_->path_blocked(path, family, t);
+  }
+  /// First blocked hop index of `path` at t, if any.
+  std::optional<std::size_t> first_event_blocked_hop(const RouterPath& path,
+                                                     net::Family family,
+                                                     net::SimTime t) const {
+    return events_ == nullptr ? std::nullopt
+                              : events_->first_blocked_hop(path, family, t);
+  }
   const bgp::Rib& rib() const noexcept { return rib_; }
   const routing::ValleyFreeRouter& router() const noexcept { return router_; }
   /// Valid after the first prepare() call.
@@ -110,6 +131,7 @@ class Network {
   std::unique_ptr<routing::CandidateTable> candidates6_;
   std::unique_ptr<routing::OutageSchedule> outages_;
   std::vector<double> severity_;
+  const EventSchedule* events_ = nullptr;
 
   // Per-epoch state.
   net::SimTime mask_time_{-1};

@@ -82,6 +82,80 @@ TEST(CongestionProfile, BurstyIsFlatTopped) {
   EXPECT_DOUBLE_EQ(p.delay_ms(net::Family::kIPv4, net::SimTime(999)), 0.0);
 }
 
+TEST(CongestionProfile, EpisodeBoundariesAreHalfOpen) {
+  CongestionProfile p;
+  p.amplitude_ms = 30.0;
+  // One episode aligned exactly to a 15-minute epoch edge: active at the
+  // start instant, inactive at the end instant ([start, end) semantics —
+  // a probe landing exactly on the closing edge must not see the bump).
+  p.episodes = {{4 * 900, 8 * 900}};
+  EXPECT_FALSE(p.active_at(net::SimTime(4 * 900 - 1)));
+  EXPECT_TRUE(p.active_at(net::SimTime(4 * 900)));
+  EXPECT_TRUE(p.active_at(net::SimTime(8 * 900 - 1)));
+  EXPECT_FALSE(p.active_at(net::SimTime(8 * 900)));
+}
+
+TEST(CongestionProfile, ZeroLengthEpisodeNeverActivates) {
+  CongestionProfile p;
+  p.amplitude_ms = 30.0;
+  p.peak_local_hour = 0.0;
+  p.episodes = {{5000, 5000}};
+  // Degenerate [t, t) window: empty by the half-open rule. The episode
+  // list is non-empty, so the always-on fallback must not kick in either.
+  EXPECT_FALSE(p.active_at(net::SimTime(5000)));
+  EXPECT_DOUBLE_EQ(p.delay_ms(net::Family::kIPv4, net::SimTime(5000)), 0.0);
+  EXPECT_FALSE(p.active_at(net::SimTime(0)));
+}
+
+TEST(CongestionProfile, EpisodePastCampaignEndStillGates) {
+  CongestionProfile p;
+  p.amplitude_ms = 30.0;
+  p.peak_local_hour = 12.0;
+  // Window open past the 520-day campaign horizon: probes near the end of
+  // the campaign are inside, and the over-run tail is simply never
+  // sampled — no wraparound to the campaign start.
+  const std::int64_t end = 520 * 86400;
+  p.episodes = {{end - 86400, end + 10 * 86400}};
+  EXPECT_TRUE(p.active_at(net::SimTime(end - 3600)));
+  EXPECT_TRUE(p.active_at(net::SimTime(end + 86400)));
+  EXPECT_FALSE(p.active_at(net::SimTime(0)));
+  EXPECT_GT(p.delay_ms(net::Family::kIPv4,
+                       net::SimTime(end - 86400 / 2)),  // 12:00 of last day
+            29.0);
+}
+
+TEST(CongestionProfile, EmptyEpisodesMeanWholeCampaign) {
+  CongestionProfile always;
+  always.amplitude_ms = 30.0;
+  // The permanent_prob arm emits an empty episode list = active for the
+  // whole campaign; explicit windows restrict it.
+  EXPECT_TRUE(always.active_at(net::SimTime(0)));
+  EXPECT_TRUE(always.active_at(net::SimTime(519 * 86400)));
+
+  CongestionProfile windowed = always;
+  windowed.episodes = {{0, 86400}, {10 * 86400, 11 * 86400}};
+  EXPECT_TRUE(windowed.active_at(net::SimTime(3600)));
+  EXPECT_FALSE(windowed.active_at(net::SimTime(5 * 86400)));
+  EXPECT_TRUE(windowed.active_at(net::SimTime(10 * 86400 + 3600)));
+  EXPECT_FALSE(windowed.active_at(net::SimTime(12 * 86400)));
+}
+
+TEST(CongestionModel, PermanentOnlyConfigYieldsAlwaysActiveProfiles) {
+  Topology topo = topology::generate(small_network_config(33).topology);
+  CongestionConfig cfg;
+  cfg.internal_fraction = 0.2;
+  cfg.private_interconnect_fraction = 0.2;
+  cfg.permanent_prob = 1.0;
+  cfg.bursty_fraction = 0.0;
+  const CongestionModel model(topo, cfg, stats::Rng(4));
+  ASSERT_FALSE(model.profiles().empty());
+  for (const auto& p : model.profiles()) {
+    EXPECT_TRUE(p.episodes.empty());
+    EXPECT_TRUE(p.active_at(net::SimTime(0)));
+    EXPECT_TRUE(p.active_at(net::SimTime(519 * 86400)));
+  }
+}
+
 TEST(CongestionModel, AmplitudesWithinRegionalBands) {
   Topology topo = topology::generate(small_network_config(31).topology);
   CongestionConfig cfg;

@@ -1,0 +1,73 @@
+// Full scenario-matrix validation run (slow lane): every event kind x
+// {low, high} magnitude x {with, without} the diurnal model underneath.
+// Asserts the study-level floors the harness is meant to guarantee and
+// prints the per-kind precision/recall table (the EXPERIMENTS.md source).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "core/validate.h"
+#include "exec/pool.h"
+
+namespace s2s {
+namespace {
+
+TEST(ValidationFull, FullMatrixMeetsFloors) {
+  exec::ThreadPool pool;
+  core::HarnessOptions opt;
+  opt.pool = &pool;
+  const auto specs = core::make_scenario_matrix(true);
+  ASSERT_GE(specs.size(), 12u);
+
+  const core::ValidationStudy study = core::run_matrix(specs, opt);
+  ASSERT_EQ(study.scenarios.size(), specs.size());
+
+  std::printf("%-20s %5s %5s %5s %5s  %9s %9s %7s\n", "scenario", "truth",
+              "tp", "fp", "fn", "precision", "recall", "fprate");
+  for (const auto& s : study.scenarios) {
+    std::printf("%-20s %5zu %5zu %5zu %5zu  %9.3f %9.3f %7.3f\n",
+                s.name.c_str(), s.truth_pairs, s.true_positives,
+                s.false_positives, s.false_negatives, s.precision, s.recall,
+                s.fp_rate);
+  }
+  for (const auto& [name, ks] : study.kinds) {
+    std::printf("kind %-22s entries %zu/%zu  pairs %zu/%zu  localized %zu\n",
+                name.c_str(), ks.detected, ks.entries, ks.flagged_pairs,
+                ks.truth_pairs, ks.localized);
+  }
+
+  // The detector's designed-for signal: diurnal entries must be found
+  // nearly always at full-matrix scale (pair recall is looser because a
+  // congested link's weakest-exposed pairs can sit below threshold).
+  ASSERT_TRUE(study.kinds.count("diurnal"));
+  EXPECT_GE(study.kinds.at("diurnal").entry_recall(), 0.9);
+  EXPECT_GE(study.kinds.at("diurnal").pair_recall(), 0.8);
+
+  // The false-positive trap: loss-only maintenance windows must not be
+  // read as congestion in any trap scenario.
+  EXPECT_LE(study.maintenance_fp_rate, 0.1);
+
+  // Nothing the survey flags on clean-diurnal scenarios is spurious.
+  for (const auto& s : study.scenarios) {
+    EXPECT_GE(s.precision, 0.9) << s.name;
+    EXPECT_LE(s.fp_rate, 0.1) << s.name;
+  }
+
+  // Localization, when it fires, points at (or next to) the true link.
+  std::size_t loc = 0, loc_ok = 0;
+  for (const auto& s : study.scenarios) {
+    loc += s.localizations;
+    loc_ok += s.localizations_correct;
+  }
+  ASSERT_GT(loc, 0u);
+  EXPECT_GE(static_cast<double>(loc_ok) / static_cast<double>(loc), 0.9);
+
+  // Every scenario ran against a distinct, honestly-labeled spec.
+  std::set<std::string> names;
+  for (const auto& s : study.scenarios) names.insert(s.name);
+  EXPECT_EQ(names.size(), study.scenarios.size());
+}
+
+}  // namespace
+}  // namespace s2s
