@@ -1,0 +1,206 @@
+// bench_live — delta pickup vs full batch reload per appended epoch
+// (DESIGN.md section 16).
+//
+// A live shard appends one epoch at a time, and the serving tier has
+// two ways to bring a Dataset up to the new watermark:
+//
+//   batch:       what a SIGHUP reload does — re-read the whole shard,
+//                CRC every sealed byte, rebuild the timeline / ping
+//                stores and the incremental state from record zero;
+//   incremental: what the daemon's delta pickup does — clone_advanced()
+//                copies the published snapshot and decodes, CRCs and
+//                folds ONLY the newly sealed tail blocks.
+//
+// Both arms are driven against the same open shard at the same
+// watermarks, and every pickup is checked against the fresh load's
+// digest, so the measured clone provably serves the same bytes. With a
+// week of 15-minute history the reload re-folds ~672x the records per
+// appended epoch; the acceptance gate is the pickup at least 5x faster.
+//
+// Prints a JSON document and writes it to BENCH_live.json (override
+// with --report PATH, disable with --no-report); "speedup" is the
+// gated key.
+//
+//   bench_live [--fast] [--days N] [--pairs N] [--reloads N]
+//              [--report PATH] [--no-report]
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "live/open_shard.h"
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "probe/campaign.h"
+#include "simnet/network.h"
+#include "svc/dataset.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace s2s;
+
+  double days = 7.0;
+  std::size_t max_pairs = 24;
+  std::size_t reloads = 8;  // measured appends (each arm runs once per)
+  std::string report_path = "BENCH_live.json";
+  bool want_report = true;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (!std::strcmp(argv[i], "--fast")) {
+      days = 2.0;
+      max_pairs = 12;
+      reloads = 4;
+    } else if (!std::strcmp(argv[i], "--days")) {
+      days = std::atof(next());
+    } else if (!std::strcmp(argv[i], "--pairs")) {
+      max_pairs = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--reloads")) {
+      reloads = static_cast<std::size_t>(std::atoi(next()));
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report_path = next();
+    } else if (!std::strcmp(argv[i], "--no-report")) {
+      want_report = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_live [--fast] [--days N] [--pairs N]\n"
+                   "                  [--reloads N] [--report PATH]"
+                   " [--no-report]\n");
+      return 2;
+    }
+  }
+
+  // One campaign, records grouped by epoch so the shard can be grown
+  // one sealed epoch at a time.
+  svc::DatasetConfig cfg;
+  simnet::Network net(svc::dataset_net_config(cfg));
+  const auto pairs = svc::fixture_pairs(net.topo(), max_pairs);
+  probe::PingCampaignConfig ping;
+  ping.start_day = cfg.ping_start_day;
+  ping.days = days;
+  ping.interval_s = cfg.ping_interval_s;
+  ping.seed = 31;
+  std::vector<std::vector<probe::PingRecord>> epochs;
+  std::vector<probe::PingRecord> current;
+  ping.on_epoch = [&](std::size_t) {
+    epochs.push_back(std::move(current));
+    current.clear();
+  };
+  probe::PingCampaign campaign(net, ping, pairs);
+  campaign.run([&](const probe::PingRecord& r) { current.push_back(r); });
+  std::size_t records = 0;
+  for (const auto& e : epochs) records += e.size();
+  if (epochs.size() <= reloads || records == 0) {
+    std::fprintf(stderr, "bench_live: campaign produced too few epochs\n");
+    return 1;
+  }
+
+  const std::string shard =
+      "/tmp/bench_live_" + std::to_string(::getpid()) + ".s2sb";
+  cfg.archive_path = shard;
+  live::OpenShardWriter writer(shard, {});
+  if (!writer.ok()) {
+    std::fprintf(stderr, "bench_live: %s\n", writer.error().c_str());
+    return 1;
+  }
+  std::string error;
+  const std::size_t head = epochs.size() - reloads;
+  for (std::size_t e = 0; e < head; ++e) {
+    for (const auto& r : epochs[e]) writer.write(r);
+    if (!writer.seal(static_cast<std::int64_t>(e), error)) {
+      std::fprintf(stderr, "bench_live: seal: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  auto snapshot = std::make_shared<svc::Dataset>(cfg, &net);
+  if (!snapshot->load(error) || !snapshot->live()) {
+    std::fprintf(stderr, "bench_live: prefill load: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<double> pickup_us, reload_us;
+  for (std::size_t e = head; e < epochs.size(); ++e) {
+    for (const auto& r : epochs[e]) writer.write(r);
+    if (!writer.seal(static_cast<std::int64_t>(e), error)) {
+      std::fprintf(stderr, "bench_live: seal: %s\n", error.c_str());
+      return 1;
+    }
+
+    auto t0 = Clock::now();
+    auto advanced = snapshot->clone_advanced(error);
+    pickup_us.push_back(us_since(t0));
+    if (!advanced) {
+      std::fprintf(stderr, "bench_live: pickup at epoch %zu: %s\n", e,
+                   error.c_str());
+      return 1;
+    }
+
+    t0 = Clock::now();
+    auto fresh = std::make_shared<svc::Dataset>(cfg, &net);
+    const bool loaded = fresh->load(error);
+    reload_us.push_back(us_since(t0));
+    if (!loaded) {
+      std::fprintf(stderr, "bench_live: reload at epoch %zu: %s\n", e,
+                   error.c_str());
+      return 1;
+    }
+    // The pickup must provably serve the same state as the reload.
+    if (advanced->digest() != fresh->digest()) {
+      std::fprintf(stderr, "bench_live: digest mismatch at epoch %zu\n", e);
+      return 1;
+    }
+    snapshot = std::move(advanced);
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (const double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  const double pickup_mean = mean(pickup_us);
+  const double reload_mean = mean(reload_us);
+  const double speedup = pickup_mean > 0.0 ? reload_mean / pickup_mean : 0.0;
+
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("bench").value("live");
+  w.key("epochs").value(static_cast<std::uint64_t>(epochs.size()));
+  w.key("pairs").value(static_cast<std::uint64_t>(pairs.size()));
+  w.key("records").value(static_cast<std::uint64_t>(records));
+  w.key("sealed_bytes").value(writer.watermark().sealed_bytes);
+  w.key("measured_epochs").value(static_cast<std::uint64_t>(reloads));
+  w.key("pickup_per_epoch_us").value(pickup_mean);
+  w.key("reload_per_epoch_us").value(reload_mean);
+  w.key("speedup").value(speedup);
+  w.key("live_pairs")
+      .value(static_cast<std::uint64_t>(
+          snapshot->live_state() ? snapshot->live_state()->pairs_tracked()
+                                 : 0));
+  w.end_object();
+
+  const std::string json = w.str();
+  std::printf("%s\n", json.c_str());
+  std::remove(shard.c_str());
+  live::remove_watermark_file(shard);
+  if (want_report && !obs::write_text_file(report_path, json)) {
+    std::fprintf(stderr, "bench_live: cannot write %s\n",
+                 report_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,21 @@
 
 namespace s2s::core {
 
+PingSeriesStore::PingSeriesStore(const PingSeriesStore& other,
+                                 std::size_t new_epochs)
+    : start_day_(other.start_day_),
+      interval_s_(other.interval_s_),
+      epochs_(std::max(other.epochs_, new_epochs)),
+      obs_(other.obs_),
+      quality_(other.quality_),
+      dedup_(other.dedup_),
+      last_epoch_seen_(other.last_epoch_seen_),
+      series_(other.series_) {
+  for (auto& [k, series] : series_) {
+    if (!series.rtt_tenths.empty()) series.rtt_tenths.resize(epochs_, kMissing);
+  }
+}
+
 void PingSeriesStore::add(const probe::PingRecord& record) {
   if (dedup_.seen_or_insert(fingerprint(record))) {
     ++quality_.duplicates_dropped;

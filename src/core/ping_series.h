@@ -23,6 +23,12 @@ class PingSeriesStore {
                   std::size_t epochs)
       : start_day_(start_day), interval_s_(interval_s), epochs_(epochs) {}
 
+  /// Grow-copy: a deep copy re-gridded to `new_epochs` slots (clamped to
+  /// at least other's grid); the added slots start missing. Live delta
+  /// pickup builds the next snapshot's store from the current one
+  /// without replaying the sealed prefix (DESIGN.md section 16).
+  PingSeriesStore(const PingSeriesStore& other, std::size_t new_epochs);
+
   /// Streaming sink for PingCampaign. Slots are first-write-wins:
   /// duplicates and invalid samples are dropped and tallied in quality();
   /// late arrivals land in their correct slot regardless of order.

@@ -541,6 +541,80 @@ std::optional<std::vector<BlockRef>> scan_blocks(const void* data,
   return out;
 }
 
+std::optional<std::vector<BlockIndexEntry>> index_blocks(const void* data,
+                                                         std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint16_t version = 0;
+  std::string error;
+  if (!parse_file_header(bytes, size, version, error)) return std::nullopt;
+  std::vector<BlockIndexEntry> out;
+  std::size_t pos = kBinFileHeaderBytes;
+  while (pos < size) {
+    if (pos + 4 <= size && get_u32le(bytes + pos) == kBinFooterMagic) {
+      return out;  // sealed archive: blocks end where the footer starts
+    }
+    if (pos + kBinBlockHeaderBytes > size ||
+        get_u32le(bytes + pos) != kBinBlockMagic) {
+      return std::nullopt;  // torn header or trailing garbage
+    }
+    const auto header = parse_block_header(bytes + pos);
+    const std::size_t payload_at = pos + kBinBlockHeaderBytes;
+    if (!header.valid || payload_at + header.payload_bytes > size) {
+      return std::nullopt;  // implausible header or torn payload
+    }
+    const unsigned char* payload = bytes + payload_at;
+    if (block_crc(bytes + pos, payload, header.payload_bytes) != header.crc) {
+      return std::nullopt;
+    }
+    BlockIndexEntry entry;
+    entry.offset = pos;
+    entry.record_count = header.record_count;
+    entry.kind = header.kind;
+    if (!block_time_span(header.record_count, payload, header.payload_bytes,
+                         entry.first_time_s, entry.last_time_s)) {
+      return std::nullopt;
+    }
+    out.push_back(entry);
+    pos = payload_at + header.payload_bytes;
+  }
+  return out;
+}
+
+void decode_block_range(const void* data, std::size_t size,
+                        std::size_t begin_offset, std::size_t end_offset,
+                        const TraceRecordFn& on_trace,
+                        const PingRecordFn& on_ping,
+                        BinReadCounters& counters) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const std::size_t end = std::min(end_offset, size);
+  std::size_t pos = begin_offset;
+  while (pos < end) {
+    if (pos + 4 <= end && get_u32le(bytes + pos) == kBinFooterMagic) {
+      return;  // block region ends at the footer: a clean stop, not a tear
+    }
+    if (pos + kBinBlockHeaderBytes > end ||
+        get_u32le(bytes + pos) != kBinBlockMagic) {
+      counters.truncated = true;
+      return;
+    }
+    const auto header = parse_block_header(bytes + pos);
+    const std::size_t payload_at = pos + kBinBlockHeaderBytes;
+    if (!header.valid || payload_at + header.payload_bytes > end) {
+      counters.truncated = true;
+      return;
+    }
+    const unsigned char* payload = bytes + payload_at;
+    if (block_crc(bytes + pos, payload, header.payload_bytes) != header.crc ||
+        !decode_block(header.kind, header.record_count, payload,
+                      header.payload_bytes, on_trace, on_ping, counters)) {
+      ++counters.corrupt_blocks;
+    } else {
+      ++counters.blocks_read;
+    }
+    pos = payload_at + header.payload_bytes;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // BinRecordWriter
 // ---------------------------------------------------------------------------
@@ -550,6 +624,10 @@ BinRecordWriter::BinRecordWriter(std::ostream& out,
     : out_(out), config_(config) {
   config_.block_records = std::min(config_.block_records, kMaxBlockRecords);
   if (config_.block_records == 0) config_.block_records = 1;
+  if (!config_.resume_index.empty() || config_.resume_offset > 0) {
+    index_ = config_.resume_index;
+    bytes_written_ = config_.resume_offset;
+  }
   if (config_.write_header) {
     std::string header;
     put_u32le(header, kBinFileMagic);

@@ -119,6 +119,14 @@ struct BinWriterConfig {
   /// campaign archives use this so an appended file is byte-identical to
   /// an uninterrupted run's block stream.
   bool write_footer = true;
+  /// Open-shard resume (DESIGN.md section 16): seed the writer with the
+  /// index of blocks already on disk, so a writer re-opened on a sealed
+  /// prefix continues the block stream and its eventual footer covers
+  /// the whole file. `resume_offset` is the byte size of that prefix
+  /// (the position the stream is about to append at); bytes_written()
+  /// continues from it. Used with `write_header = false`.
+  std::vector<BlockIndexEntry> resume_index;
+  std::size_t resume_offset = 0;
 };
 
 /// Streaming `.s2sb` writer with bounded memory: at most one open block
@@ -252,6 +260,27 @@ struct BinReadCounters {
   /// (s2s_recconv info) treat this as a hard failure.
   bool truncated = false;
 };
+
+/// CRC-verifying block indexer for a footerless image (an open shard's
+/// sealed prefix): walks the blocks, checks every CRC, and returns the
+/// exact index a footer would carry — the entries BinWriterConfig's
+/// `resume_index` wants. nullopt when the file header is bad or any
+/// block in the range fails its CRC / is torn (an open-shard resume must
+/// not build on a damaged prefix; run recover_archive instead).
+std::optional<std::vector<BlockIndexEntry>> index_blocks(const void* data,
+                                                         std::size_t size);
+
+/// Decodes only the blocks whose header starts in [begin_offset,
+/// end_offset) — the delta-pickup arm: a live dataset that already
+/// ingested the first W bytes re-decodes just the newly sealed tail.
+/// Offsets must be block boundaries (begin_offset may be
+/// kBinFileHeaderBytes for "from the first block"). Damaged blocks are
+/// counted and skipped exactly like read_all.
+void decode_block_range(const void* data, std::size_t size,
+                        std::size_t begin_offset, std::size_t end_offset,
+                        const TraceRecordFn& on_trace,
+                        const PingRecordFn& on_ping,
+                        BinReadCounters& counters);
 
 /// Outcome of validating the optional footer index.
 enum class FooterStatus : std::uint8_t {

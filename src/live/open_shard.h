@@ -1,0 +1,101 @@
+// Durable open-shard `.s2sb` writer (DESIGN.md section 16).
+//
+// A batch campaign writes a whole archive and commits it atomically; a
+// live campaign instead appends to an OPEN shard the daemon is already
+// serving. OpenShardWriter wraps io::BinRecordWriter with the durability
+// protocol that makes that safe:
+//
+//   write()* -> seal(epoch): flush the open blocks, fsync the data file,
+//   then atomically advance the watermark sidecar. Readers bound every
+//   read at the sidecar's sealed_bytes, so a crash between any two steps
+//   leaves at worst an invisible unsealed tail — never a torn read.
+//
+// finish() appends the footer index and seals it in (the shard becomes a
+// normal indexed archive whose sidecar covers the whole file); resume()
+// re-opens a crashed shard by truncating the unsealed tail and seeding
+// the writer with the sealed prefix's block index, so the resumed file's
+// block stream is byte-identical to an uninterrupted writer's.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "io/binrec.h"
+#include "live/watermark.h"
+
+namespace s2s::live {
+
+struct OpenShardConfig {
+  /// Records per block before an automatic flush (see BinWriterConfig).
+  std::size_t block_records = 1024;
+};
+
+class OpenShardWriter {
+ public:
+  /// Creates `path` fresh (truncating) and publishes an empty watermark
+  /// (sealed_bytes = file header, epoch -1) so pollers immediately see a
+  /// valid — if empty — shard.
+  explicit OpenShardWriter(const std::string& path,
+                           const OpenShardConfig& config = {});
+  ~OpenShardWriter();
+
+  OpenShardWriter(const OpenShardWriter&) = delete;
+  OpenShardWriter& operator=(const OpenShardWriter&) = delete;
+
+  /// Re-opens a crashed (or merely paused) open shard: validates the
+  /// sealed prefix named by the sidecar block by block, truncates
+  /// whatever tail lies beyond it (a half-written block, a destructor
+  /// footer), and returns a writer positioned at the watermark. Returns
+  /// null when the sidecar is corrupt or the sealed prefix itself is
+  /// damaged — that tail recovery cannot reach (run recover_archive and
+  /// start a fresh shard instead).
+  static std::unique_ptr<OpenShardWriter> resume(
+      const std::string& path, const OpenShardConfig& config,
+      std::string& error);
+
+  bool ok() const noexcept { return ok_; }
+  const std::string& error() const noexcept { return error_; }
+  const std::string& path() const noexcept { return path_; }
+
+  void write(const probe::TracerouteRecord& record);
+  void write(const probe::PingRecord& record);
+
+  /// Durability point: closes the open blocks, fsyncs the data file, and
+  /// atomically advances the sidecar to record `epoch` as the last
+  /// sealed epoch. Everything written before this call is now visible to
+  /// watermark-bounded readers; false (with `error`) leaves the previous
+  /// watermark in force.
+  bool seal(std::int64_t epoch, std::string& error);
+
+  /// seal() + footer: the shard becomes a normal indexed archive. The
+  /// sidecar is kept (sealed_bytes then covers the footer too) so a
+  /// serving daemon's watermark poll sees the final state; call
+  /// remove_watermark_file() to finalize it into a plain batch archive.
+  bool finish(std::string& error);
+
+  const Watermark& watermark() const noexcept { return watermark_; }
+  /// Records accepted so far, including those a resumed prefix already
+  /// held (what the next seal() will publish).
+  std::uint64_t records() const noexcept {
+    return base_records_ + (writer_ ? writer_->written() : 0);
+  }
+
+ private:
+  OpenShardWriter() = default;  // for resume()
+  bool open_fsync_fd();
+  bool sync_and_publish(std::int64_t epoch, std::string& error);
+
+  std::string path_;
+  std::ofstream out_;
+  int fd_ = -1;  ///< second handle on the data file, for fsync
+  std::unique_ptr<io::BinRecordWriter> writer_;
+  Watermark watermark_;
+  std::uint64_t base_records_ = 0;  ///< records in a resumed prefix
+  bool ok_ = false;
+  bool finished_ = false;
+  std::string error_;
+};
+
+}  // namespace s2s::live

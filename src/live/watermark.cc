@@ -1,0 +1,156 @@
+#include "live/watermark.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+#include "io/crc32c.h"
+
+namespace s2s::live {
+
+namespace {
+
+void put_u16le(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint16_t get_u16le(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64le(const unsigned char* p) {
+  return static_cast<std::uint64_t>(get_u32le(p)) |
+         (static_cast<std::uint64_t>(get_u32le(p + 4)) << 32);
+}
+
+/// fsync the directory containing `path` so a rename inside it is
+/// durable (same discipline as AtomicArchiveWriter::commit).
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+std::string watermark_path(const std::string& archive_path) {
+  return archive_path + ".wm";
+}
+
+std::string encode_watermark(const Watermark& wm) {
+  std::string out;
+  out.reserve(kWatermarkBytes);
+  put_u32le(out, kWatermarkMagic);
+  put_u16le(out, kWatermarkVersion);
+  put_u16le(out, 0);  // reserved
+  put_u64le(out, wm.sealed_bytes);
+  put_u64le(out, wm.blocks);
+  put_u64le(out, wm.records);
+  put_u64le(out, static_cast<std::uint64_t>(wm.epoch));
+  put_u32le(out, 0);  // reserved
+  // CRC over everything after the magic (version through the reserved
+  // word), so any torn or bit-flipped sidecar reads as kInvalid.
+  put_u32le(out, io::crc32c(out.data() + 4, out.size() - 4));
+  return out;
+}
+
+WatermarkStatus decode_watermark(const void* data, std::size_t size,
+                                 Watermark& out) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  if (size != kWatermarkBytes || get_u32le(bytes) != kWatermarkMagic) {
+    return WatermarkStatus::kInvalid;
+  }
+  if (get_u16le(bytes + 4) != kWatermarkVersion) {
+    return WatermarkStatus::kInvalid;
+  }
+  const std::uint32_t want = get_u32le(bytes + kWatermarkBytes - 4);
+  if (io::crc32c(bytes + 4, kWatermarkBytes - 8) != want) {
+    return WatermarkStatus::kInvalid;
+  }
+  out.sealed_bytes = get_u64le(bytes + 8);
+  out.blocks = get_u64le(bytes + 16);
+  out.records = get_u64le(bytes + 24);
+  out.epoch = static_cast<std::int64_t>(get_u64le(bytes + 32));
+  return WatermarkStatus::kValid;
+}
+
+bool write_watermark_file(const std::string& archive_path,
+                          const Watermark& wm, std::string& error) {
+  const std::string path = watermark_path(archive_path);
+  const std::string tmp = path + ".tmp";
+  const std::string image = encode_watermark(wm);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      error = tmp + ": open failed";
+      return false;
+    }
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) {
+      error = tmp + ": write failed";
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    error = path + ": rename failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+WatermarkStatus read_watermark_file(const std::string& archive_path,
+                                    Watermark& out) {
+  std::ifstream in(watermark_path(archive_path), std::ios::binary);
+  if (!in) return WatermarkStatus::kAbsent;
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  return decode_watermark(bytes.data(), bytes.size(), out);
+}
+
+bool remove_watermark_file(const std::string& archive_path) {
+  const std::string path = watermark_path(archive_path);
+  return std::remove(path.c_str()) == 0 || errno == ENOENT;
+}
+
+}  // namespace s2s::live

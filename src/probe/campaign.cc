@@ -242,6 +242,7 @@ CampaignRunResult TracerouteCampaign::run(const TraceSink& sink,
     cobs.records.inc(epoch_records);
     cobs.epochs.inc();
     ++result.epochs_completed;
+    if (config_.on_epoch) config_.on_epoch(epoch);
     if (progress) {
       progress(static_cast<double>(epoch + 1) / static_cast<double>(total));
     }
@@ -330,6 +331,7 @@ CampaignRunResult PingCampaign::run(const PingSink& sink,
     cobs.records.inc(epoch_records);
     cobs.epochs.inc();
     ++result.epochs_completed;
+    if (config_.on_epoch) config_.on_epoch(epoch);
     if (progress) {
       progress(static_cast<double>(epoch + 1) / static_cast<double>(total));
     }

@@ -106,6 +106,10 @@ struct TracerouteCampaignConfig {
   /// Optional event-driven congestion overlay (simnet/events.h), installed
   /// on the network for the duration of run(). Not owned; must outlive it.
   const simnet::EventSchedule* events = nullptr;
+  /// Called after each epoch's records have all reached the sink, with
+  /// the epoch index just completed. Live ingest seals an open-shard
+  /// block here — the epoch boundary is the durability unit.
+  std::function<void(std::size_t)> on_epoch;
 };
 
 class TracerouteCampaign {
@@ -145,6 +149,10 @@ struct PingCampaignConfig {
   /// Optional event-driven congestion overlay (simnet/events.h), installed
   /// on the network for the duration of run(). Not owned; must outlive it.
   const simnet::EventSchedule* events = nullptr;
+  /// Called after each epoch's records have all reached the sink, with
+  /// the epoch index just completed. Live ingest seals an open-shard
+  /// block here — the epoch boundary is the durability unit.
+  std::function<void(std::size_t)> on_epoch;
 };
 
 class PingCampaign {

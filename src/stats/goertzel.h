@@ -1,0 +1,78 @@
+// Sliding-window diurnal power for the live ingest path.
+//
+// The batch detector (fft.h) evaluates diurnal_power_ratio over a whole
+// interpolated series; recomputing that from scratch on every appended
+// epoch would cost O(history) per update. GoertzelWindow keeps the most
+// recent `capacity` epochs in a ring, so a verdict refresh is O(window)
+// regardless of how much history the archive has accumulated, and the
+// single-bin DFT inside diurnal_power_ratio is the Goertzel recurrence
+// rather than a full FFT.
+//
+// The window is value-deterministic: its contents depend only on the
+// sequence of push() calls, never on timing or thread count, which is
+// what lets the incremental verdict stay byte-identical to a batch
+// refold of the same record stream (DESIGN.md section 16).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/fft.h"
+
+namespace s2s::stats {
+
+class GoertzelWindow {
+ public:
+  explicit GoertzelWindow(std::size_t capacity)
+      : ring_(capacity > 0 ? capacity : 1, 0.0) {}
+
+  void push(double v) noexcept {
+    ring_[head_] = v;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Window contents in push order (oldest first), followed by
+  /// `trailing_copies` virtual repeats of the last pushed value — how the
+  /// live path models a trailing observation gap without mutating state.
+  /// The total length is capped at capacity (oldest samples fall off
+  /// first, exactly as if the copies had been pushed).
+  std::vector<double> materialize(std::size_t trailing_copies = 0) const {
+    std::vector<double> out;
+    out.reserve(size_ + trailing_copies);
+    const std::size_t start = (head_ + ring_.size() - size_) % ring_.size();
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    if (!out.empty()) {
+      const double last = out.back();
+      for (std::size_t i = 0; i < trailing_copies; ++i) out.push_back(last);
+      if (out.size() > ring_.size()) {
+        out.erase(out.begin(),
+                  out.begin() + static_cast<std::ptrdiff_t>(out.size() -
+                                                            ring_.size()));
+      }
+    }
+    return out;
+  }
+
+  /// Diurnal power over the (gap-extended) window; same conventions as
+  /// the batch detector — mean removal, day bin +/- 1, ratio 0 under two
+  /// days of samples.
+  DiurnalPower diurnal(double samples_per_day,
+                       std::size_t trailing_copies = 0) const {
+    const std::vector<double> series = materialize(trailing_copies);
+    return diurnal_power_ratio(series, samples_per_day);
+  }
+
+ private:
+  std::vector<double> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace s2s::stats

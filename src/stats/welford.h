@@ -1,0 +1,54 @@
+// Streaming mean/variance accumulator (Welford's online algorithm) with
+// a parallel merge (Chan et al.), used by the live ingest path to keep
+// per-pair RTT moments updatable in O(1) per record and mergeable across
+// shards without storing samples.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace s2s::stats {
+
+class Welford {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  /// Folds another accumulator in (Chan's pairwise update). Merging an
+  /// empty accumulator is a no-op; merging into an empty one copies.
+  Welford& merge(const Welford& other) noexcept {
+    if (other.n_ == 0) return *this;
+    if (n_ == 0) {
+      *this = other;
+      return *this;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    return *this;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (n in the denominator); 0 for fewer than two
+  /// samples so callers never divide by zero.
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace s2s::stats

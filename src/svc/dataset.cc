@@ -10,6 +10,7 @@
 
 #include "core/dualstack.h"
 #include "io/crc32c.h"
+#include "io/mmap_file.h"
 #include "io/varint.h"
 #include "net/asn.h"
 #include "probe/campaign.h"
@@ -17,9 +18,7 @@
 
 namespace s2s::svc {
 
-namespace {
-
-simnet::NetworkConfig net_config(const DatasetConfig& cfg) {
+simnet::NetworkConfig dataset_net_config(const DatasetConfig& cfg) {
   simnet::NetworkConfig c;
   c.topology.seed = cfg.topo_seed;
   c.topology.tier1_count = cfg.tier1_count;
@@ -37,8 +36,10 @@ simnet::NetworkConfig net_config(const DatasetConfig& cfg) {
   return c;
 }
 
-bool file_digest(const std::string& path, std::uint64_t& out,
-                 std::string& error) {
+namespace {
+
+bool file_digest(const std::string& path, std::uint64_t& size_out,
+                 std::uint32_t& crc_out, std::string& error) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     error = "cannot open archive: " + path;
@@ -53,8 +54,30 @@ bool file_digest(const std::string& path, std::uint64_t& out,
     size += n;
     if (n < sizeof buf) break;
   }
-  out = (size << 32) ^ crc;
+  size_out = size;
+  crc_out = crc;
   return true;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// The cache-key digest. The raw `(size << 32) ^ crc` form collided
+/// across growth states of one live shard (appending can change size and
+/// crc in compensating low bits while the high word barely moves), so
+/// the halves are avalanched and the epoch watermark is mixed in — two
+/// snapshots of the same file at different watermarks always key
+/// differently. Batch archives pass epoch -1.
+std::uint64_t mix_digest(std::uint64_t size, std::uint32_t crc,
+                         std::int64_t watermark_epoch) {
+  std::uint64_t h = splitmix64((size << 32) ^ crc);
+  return splitmix64(
+      h ^ (0x9E3779B97F4A7C15ull *
+           static_cast<std::uint64_t>(watermark_epoch + 2)));
 }
 
 /// FNV-1a 64 over hexfloat-formatted series — the same digest scheme the
@@ -126,7 +149,7 @@ void quantiles_json(obs::json::Writer& w, const stats::Summary& s) {
 }  // namespace
 
 Dataset::Dataset(const DatasetConfig& config) : config_(config) {
-  owned_net_ = std::make_unique<simnet::Network>(net_config(config_));
+  owned_net_ = std::make_unique<simnet::Network>(dataset_net_config(config_));
   net_ = owned_net_.get();
 }
 
@@ -134,8 +157,26 @@ Dataset::Dataset(const DatasetConfig& config, const simnet::Network* shared_net)
     : config_(config), net_(shared_net) {}
 
 bool Dataset::load(std::string& error) {
-  std::uint64_t digest = 0;
-  if (!file_digest(config_.archive_path, digest, error)) return false;
+  // An archive with a watermark sidecar is an open shard: reads are
+  // bounded at the sealed watermark and verdicts come from the
+  // incremental state (DESIGN.md section 16). A damaged sidecar is a
+  // hard error — serving an unknown prefix of a live shard could expose
+  // a torn tail.
+  live::Watermark wm;
+  switch (live::read_watermark_file(config_.archive_path, wm)) {
+    case live::WatermarkStatus::kInvalid:
+      error = "watermark sidecar is damaged: " +
+              live::watermark_path(config_.archive_path);
+      return false;
+    case live::WatermarkStatus::kValid:
+      return load_live(wm, error);
+    case live::WatermarkStatus::kAbsent:
+      break;
+  }
+
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+  if (!file_digest(config_.archive_path, size, crc, error)) return false;
 
   // Pass 1: the ping grid size. PingSeriesStore allocates its slots up
   // front, so the archive is scanned once for the last ping epoch.
@@ -174,9 +215,14 @@ bool Dataset::load(std::string& error) {
   }
   timelines_ = std::move(timelines);
   pings_ = std::move(pings);
-  digest_ = digest;
+  digest_size_ = size;
+  digest_crc_ = crc;
+  digest_ = mix_digest(size, crc, -1);
   ingest_ = ingest;
   ping_epochs_ = epochs;
+  live_ = false;
+  watermark_ = {};
+  live_state_.reset();
   // Retain the mapped image when the archive came through the mmap arm
   // with a validated footer: archive_slice() serves raw block bytes
   // straight out of this mapping.
@@ -188,6 +234,209 @@ bool Dataset::load(std::string& error) {
     if (reader->ok() && reader->has_index()) mmap_ = std::move(reader);
   }
   return true;
+}
+
+live::IncrementalConfig Dataset::incremental_config() const {
+  live::IncrementalConfig c;
+  c.start_day = config_.ping_start_day;
+  c.interval_s = config_.ping_interval_s;
+  c.detect = config_.detect;
+  c.min_fraction = config_.detect_min_fraction;
+  c.window_epochs = static_cast<std::size_t>(
+      7 * 86400 / std::max<std::int64_t>(1, config_.ping_interval_s));
+  return c;
+}
+
+bool Dataset::load_live(const live::Watermark& wm, std::string& error) {
+  io::MmapFile file;
+  if (!file.open(config_.archive_path)) {
+    error = "cannot map open shard: " + file.error();
+    return false;
+  }
+  if (file.size() < wm.sealed_bytes) {
+    error = "open shard is shorter than its watermark (torn durable prefix)";
+    return false;
+  }
+  const auto sealed = static_cast<std::size_t>(wm.sealed_bytes);
+
+  // Pass 1 over the sealed prefix only: the ping grid size. The grid is
+  // clamped up to the watermark epoch so record-free sealed epochs still
+  // count as missing samples.
+  std::int64_t max_ping_epoch = wm.epoch;
+  {
+    io::BinRecordMmapReader scan(file.data(), sealed);
+    if (!scan.ok()) {
+      error = "open shard unreadable: " + scan.error();
+      return false;
+    }
+    scan.read_all([](const probe::TracerouteRecord&) {},
+                  [&](const probe::PingRecord& r) {
+                    const std::int64_t e = net::grid_epoch(
+                        r.time, config_.ping_start_day, config_.ping_interval_s);
+                    if (e > max_ping_epoch) max_ping_epoch = e;
+                  });
+  }
+  const auto epochs =
+      static_cast<std::size_t>(max_ping_epoch < 0 ? 0 : max_ping_epoch + 1);
+
+  // Pass 2: fresh stores plus the incremental state, folded in archive
+  // order. Damage inside the sealed prefix is a hard error: the watermark
+  // protocol guarantees every sealed block was fsynced and CRC-valid, so
+  // a torn or corrupt block here means real data loss, not a live tail.
+  auto timelines = std::make_unique<core::TimelineStore>(
+      net_->topo(), net_->rib(),
+      core::TimelineStoreConfig{config_.trace_start_day,
+                                config_.trace_interval_s});
+  auto pings = std::make_unique<core::PingSeriesStore>(
+      config_.ping_start_day, config_.ping_interval_s, epochs);
+  auto state = std::make_shared<live::IncrementalState>(incremental_config());
+  io::BinRecordMmapReader reader(file.data(), sealed);
+  if (!reader.ok()) {
+    error = "open shard unreadable: " + reader.error();
+    return false;
+  }
+  reader.read_all([&](const probe::TracerouteRecord& r) { timelines->add(r); },
+                  [&](const probe::PingRecord& r) {
+                    pings->add(r);
+                    state->add(r);
+                  });
+  if (reader.counters().truncated) {
+    error = "open shard is torn inside its sealed watermark";
+    return false;
+  }
+  if (reader.corrupt_blocks() > 0) {
+    error = std::to_string(reader.corrupt_blocks()) +
+            " corrupt block(s) inside the sealed watermark";
+    return false;
+  }
+  state->advance_watermark(wm.epoch);
+
+  io::IngestResult ingest;
+  ingest.binary = true;
+  ingest.used_mmap = file.mapped();
+  ingest.ok = true;
+  ingest.records = reader.records_read();
+  ingest.blocks_read = reader.blocks_read();
+  ingest.corrupt_blocks = reader.corrupt_blocks();
+  ingest.records_rejected = reader.counters().records_rejected;
+  ingest.truncated = false;
+  ingest.footer = reader.footer_status();
+
+  timelines_ = std::move(timelines);
+  pings_ = std::move(pings);
+  live_state_ = std::move(state);
+  live_ = true;
+  watermark_ = wm;
+  ping_epochs_ = epochs;
+  ingest_ = ingest;
+  digest_size_ = wm.sealed_bytes;
+  digest_crc_ = io::crc32c(0, file.data(), sealed);
+  digest_ = mix_digest(digest_size_, digest_crc_, wm.epoch);
+  // No retained mmap while live: the file is still growing underneath,
+  // so archive_slice() is a batch-only feature (remove the sidecar after
+  // finish() to finalize the shard into a normal archive).
+  mmap_.reset();
+  return true;
+}
+
+std::shared_ptr<Dataset> Dataset::clone_advanced(std::string& error) const {
+  error.clear();
+  if (!live_ || !loaded()) return nullptr;
+  live::Watermark wm;
+  switch (live::read_watermark_file(config_.archive_path, wm)) {
+    case live::WatermarkStatus::kAbsent:
+      return nullptr;  // shard was finalized; keep serving this snapshot
+    case live::WatermarkStatus::kInvalid:
+      error = "watermark sidecar is damaged: " +
+              live::watermark_path(config_.archive_path);
+      return nullptr;
+    case live::WatermarkStatus::kValid:
+      break;
+  }
+  if (wm.sealed_bytes == watermark_.sealed_bytes &&
+      wm.epoch == watermark_.epoch) {
+    return nullptr;  // unchanged
+  }
+  if (wm.sealed_bytes < watermark_.sealed_bytes ||
+      wm.epoch < watermark_.epoch) {
+    error = "watermark regressed (shard rewritten under the server?)";
+    return nullptr;
+  }
+
+  io::MmapFile file;
+  if (!file.open(config_.archive_path)) {
+    error = "cannot map open shard: " + file.error();
+    return nullptr;
+  }
+  if (file.size() < wm.sealed_bytes) {
+    error = "open shard is shorter than its watermark";
+    return nullptr;
+  }
+  const auto begin = static_cast<std::size_t>(watermark_.sealed_bytes);
+  const auto end = static_cast<std::size_t>(wm.sealed_bytes);
+
+  // Pass 1 over just the delta: does the ping grid need to grow?
+  std::int64_t max_ping_epoch =
+      std::max<std::int64_t>(static_cast<std::int64_t>(ping_epochs_) - 1,
+                             wm.epoch);
+  io::BinReadCounters scan_counters;
+  io::decode_block_range(
+      file.data(), file.size(), begin, end,
+      [](const probe::TracerouteRecord&) {},
+      [&](const probe::PingRecord& r) {
+        const std::int64_t e = net::grid_epoch(r.time, config_.ping_start_day,
+                                               config_.ping_interval_s);
+        if (e > max_ping_epoch) max_ping_epoch = e;
+      },
+      scan_counters);
+  if (scan_counters.truncated) {
+    error = "sealed tail is torn inside the new watermark";
+    return nullptr;
+  }
+  if (scan_counters.corrupt_blocks > 0) {
+    error = std::to_string(scan_counters.corrupt_blocks) +
+            " corrupt block(s) in the sealed tail";
+    return nullptr;
+  }
+  const auto epochs =
+      static_cast<std::size_t>(max_ping_epoch < 0 ? 0 : max_ping_epoch + 1);
+
+  // Pass 2: copy this snapshot's stores and fold ONLY the new tail —
+  // O(new records), never a replay of the sealed prefix. The copies keep
+  // their dedup windows, so a block re-delivered across pickups cannot
+  // double-count.
+  auto next = std::make_shared<Dataset>(config_, net_);
+  next->timelines_ = std::make_unique<core::TimelineStore>(*timelines_);
+  next->pings_ = std::make_unique<core::PingSeriesStore>(*pings_, epochs);
+  auto state = std::make_shared<live::IncrementalState>(*live_state_);
+  io::BinReadCounters counters;
+  io::decode_block_range(
+      file.data(), file.size(), begin, end,
+      [&](const probe::TracerouteRecord& r) { next->timelines_->add(r); },
+      [&](const probe::PingRecord& r) {
+        next->pings_->add(r);
+        state->add(r);
+      },
+      counters);
+  state->advance_watermark(wm.epoch);
+  next->live_state_ = std::move(state);
+  next->live_ = true;
+  next->watermark_ = wm;
+  next->ping_epochs_ = epochs;
+
+  // Ingest counters accumulate across pickups so summary_json keeps
+  // reporting whole-shard totals.
+  next->ingest_ = ingest_;
+  next->ingest_.records += counters.records_read;
+  next->ingest_.blocks_read += counters.blocks_read;
+  next->ingest_.records_rejected += counters.records_rejected;
+
+  // Digest: continue the CRC over just the appended sealed bytes — same
+  // value a from-scratch load_live() of this growth state computes.
+  next->digest_size_ = wm.sealed_bytes;
+  next->digest_crc_ = io::crc32c(digest_crc_, file.data() + begin, end - begin);
+  next->digest_ = mix_digest(next->digest_size_, next->digest_crc_, wm.epoch);
+  return next;
 }
 
 Dataset::ArchiveSlice Dataset::archive_slice(std::int64_t t0_s,
@@ -357,6 +606,32 @@ Dataset::Response Dataset::path_prevalence(const PairQuery& q) const {
 }
 
 Dataset::Response Dataset::congestion_verdict(const PairQuery& q) const {
+  if (live_ && live_state_) {
+    // Live shards answer from the streaming sketches — O(window), and a
+    // pure function of (sealed record stream, watermark epoch), so every
+    // growth state is a distinct deterministic response under its own
+    // digest. Same JSON shape as the batch arm.
+    live::IncrementalState::Verdict v;
+    if (!live_state_->verdict(q.src, q.dst, q.family, v)) {
+      return error_response("not_found", "no ping series for this pair");
+    }
+    obs::json::Writer w;
+    w.begin_object();
+    w.key("type").value("congestion_verdict");
+    w.key("src").value(static_cast<std::uint64_t>(q.src));
+    w.key("dst").value(static_cast<std::uint64_t>(q.dst));
+    w.key("family").value(static_cast<std::uint64_t>(q.family));
+    w.key("samples").value(v.samples);
+    w.key("missing_samples").value(v.missing_samples);
+    w.key("insufficient").value(v.insufficient);
+    w.key("variation_ms").value(v.variation_ms);
+    w.key("diurnal_ratio").value(v.diurnal_ratio);
+    w.key("high_variation").value(v.high_variation);
+    w.key("strong_diurnal").value(v.strong_diurnal);
+    w.key("consistent_congestion").value(v.consistent_congestion());
+    w.end_object();
+    return {MsgType::kOk, w.str()};
+  }
   const auto* series = pings_->find(q.src, q.dst, to_family(q.family));
   if (series == nullptr) {
     return error_response("not_found", "no ping series for this pair");
@@ -572,6 +847,16 @@ void Dataset::summary_json(obs::json::Writer& w) const {
   w.key("ping_pairs")
       .value(static_cast<std::uint64_t>(loaded() ? pings_->pair_count() : 0));
   w.key("ping_epochs").value(static_cast<std::uint64_t>(ping_epochs_));
+  if (live_) {
+    w.key("live").value(true);
+    w.key("watermark_epoch").value(watermark_.epoch);
+    w.key("sealed_bytes").value(watermark_.sealed_bytes);
+    w.key("live_pairs")
+        .value(static_cast<std::uint64_t>(
+            live_state_ ? live_state_->pairs_tracked() : 0));
+    w.key("records_folded")
+        .value(live_state_ ? live_state_->records_folded() : 0);
+  }
   // A pair every per-pair request type can answer (traced pairs are a
   // subset of pinged pairs in the fixtures); lets scripts issue valid
   // queries without knowing the archive.
@@ -601,7 +886,7 @@ fixture_pairs(const topology::Topology& topo, std::size_t cap) {
 
 bool write_fixture_archive(const std::string& path, const DatasetConfig& cfg,
                            const FixtureParams& params, std::string& error) {
-  simnet::Network net(net_config(cfg));
+  simnet::Network net(dataset_net_config(cfg));
   const auto ping_pairs = fixture_pairs(net.topo(), params.max_ping_pairs);
   if (ping_pairs.empty()) {
     error = "topology has no dual-stack server pairs";
@@ -643,11 +928,12 @@ bool write_fixture_archive(const std::string& path, const DatasetConfig& cfg,
   return out.commit(error);
 }
 
-std::string archive_damage(const io::IngestResult& ingest) {
+std::string archive_damage(const io::IngestResult& ingest, bool live) {
   if (!ingest.ok) {
     return ingest.error.empty() ? "archive unreadable" : ingest.error;
   }
-  if (ingest.records == 0) return "archive contains no records";
+  // An empty open shard is healthy — records arrive later.
+  if (ingest.records == 0 && !live) return "archive contains no records";
   if (!ingest.binary) return "";  // text archives tolerate malformed lines
   if (ingest.truncated) return "archive is torn (EOF mid-block)";
   if (ingest.corrupt_blocks > 0) {

@@ -31,6 +31,8 @@
 #include "core/timeline.h"
 #include "exec/pool.h"
 #include "io/binrec.h"
+#include "live/incremental.h"
+#include "live/watermark.h"
 #include "obs/json.h"
 #include "simnet/network.h"
 #include "svc/protocol.h"
@@ -90,8 +92,30 @@ class Dataset {
   bool load(std::string& error);
 
   bool loaded() const noexcept { return timelines_ != nullptr; }
-  /// (file size << 32) ^ CRC32C of the archive bytes; cache-key half.
+  /// Cache-key half: splitmix64 over ((sealed size << 32) ^ CRC32C of
+  /// the sealed bytes) mixed with the epoch watermark, so two growth
+  /// states of the same live shard can never collide in the ResultCache
+  /// (a batch archive mixes watermark -1).
   std::uint64_t digest() const noexcept { return digest_; }
+
+  /// True when load() found a valid watermark sidecar: the archive is an
+  /// open shard, reads are bounded at the sealed watermark, and verdicts
+  /// come from the incremental state.
+  bool live() const noexcept { return live_; }
+  const live::Watermark& watermark() const noexcept { return watermark_; }
+  /// Streaming congestion state; null unless live().
+  const live::IncrementalState* live_state() const noexcept {
+    return live_state_.get();
+  }
+
+  /// Delta pickup: polls the watermark sidecar and, when it advanced,
+  /// returns a new Dataset that copies this one's stores and incremental
+  /// state and folds in ONLY the newly sealed tail blocks — O(new
+  /// records), no SIGHUP, no full reload. Returns null with `error`
+  /// empty when the watermark is unchanged (or the dataset is not live),
+  /// null with a reason on failure. `this` must stay alive while the
+  /// clone serves (they share the deployment network).
+  std::shared_ptr<Dataset> clone_advanced(std::string& error) const;
   const DatasetConfig& config() const noexcept { return config_; }
   const io::IngestResult& ingest() const noexcept { return ingest_; }
   std::size_t ping_epochs() const noexcept { return ping_epochs_; }
@@ -156,6 +180,9 @@ class Dataset {
   Response dualstack_delta(const DualStackQuery& q) const;
   Response figure_digest(const FigureQuery& q, exec::ThreadPool* pool) const;
 
+  bool load_live(const live::Watermark& wm, std::string& error);
+  live::IncrementalConfig incremental_config() const;
+
   DatasetConfig config_;
   std::unique_ptr<simnet::Network> owned_net_;
   const simnet::Network* net_ = nullptr;
@@ -165,9 +192,22 @@ class Dataset {
   /// archive is text, footerless, or was read through the stream arm.
   std::shared_ptr<const io::BinRecordMmapReader> mmap_;
   std::uint64_t digest_ = 0;
+  /// Raw halves of the digest, kept so clone_advanced() can continue the
+  /// CRC over just the appended bytes instead of rereading the file.
+  std::uint64_t digest_size_ = 0;
+  std::uint32_t digest_crc_ = 0;
   io::IngestResult ingest_;
   std::size_t ping_epochs_ = 0;
+  bool live_ = false;
+  live::Watermark watermark_;
+  std::shared_ptr<const live::IncrementalState> live_state_;
 };
+
+/// The simulated deployment a DatasetConfig describes (topology seed and
+/// sizes, congestion crank). Dataset, the fixture writer, and the live
+/// feeder all build their network through this, so every consumer of one
+/// config sees the same world.
+simnet::NetworkConfig dataset_net_config(const DatasetConfig& cfg);
 
 /// Deterministic measurement pairs for fixtures: the dual-stack mesh of
 /// the topology in server-id order, capped at `cap` pairs.
@@ -197,7 +237,13 @@ bool write_fixture_archive(const std::string& path, const DatasetConfig& cfg,
 /// ingest saw a fully intact archive, otherwise the reason serving it
 /// would silently drop data (torn tail, corrupt blocks, damaged footer,
 /// zero records). s2sd refuses to start on a non-empty diagnostic;
-/// `s2s_recconv repair` fixes what this reports.
-std::string archive_damage(const io::IngestResult& ingest);
+/// `s2s_recconv repair` fixes what this reports. With `live` true (the
+/// archive is an open shard and the ingest was bounded at its sealed
+/// watermark) an empty shard is healthy — records arrive later — and
+/// the footer is legitimately absent.
+std::string archive_damage(const io::IngestResult& ingest, bool live);
+inline std::string archive_damage(const io::IngestResult& ingest) {
+  return archive_damage(ingest, false);
+}
 
 }  // namespace s2s::svc

@@ -17,6 +17,7 @@ const char* type_name(MsgType t) {
     case MsgType::kServerStats: return "server_stats";
     case MsgType::kMetricsDump: return "metrics_dump";
     case MsgType::kArchiveSlice: return "archive_slice";
+    case MsgType::kLiveStatus: return "live_status";
     case MsgType::kOk: return "ok";
     case MsgType::kError: return "error";
   }
@@ -34,6 +35,7 @@ bool is_request(MsgType t) {
     case MsgType::kServerStats:
     case MsgType::kMetricsDump:
     case MsgType::kArchiveSlice:
+    case MsgType::kLiveStatus:
       return true;
     case MsgType::kOk:
     case MsgType::kError:
@@ -260,6 +262,7 @@ std::uint32_t request_cost(MsgType t) {
     case MsgType::kPingEcho:
     case MsgType::kServerStats:
     case MsgType::kMetricsDump:
+    case MsgType::kLiveStatus:
       return 1;
     case MsgType::kPairRtt:
     case MsgType::kPathPrevalence:

@@ -50,6 +50,7 @@ enum class MsgType : std::uint8_t {
   kServerStats = 0x07,        ///< empty payload; never cached
   kMetricsDump = 0x08,        ///< 1-byte format selector; never cached
   kArchiveSlice = 0x09,       ///< SliceQuery; raw `.s2sb` block slice
+  kLiveStatus = 0x0A,         ///< empty payload; live-ingest watermark/lag
   // Responses.
   kOk = 0x80,
   kError = 0x81,

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
@@ -182,7 +183,7 @@ Server::Server(Dataset& dataset, exec::ThreadPool* pool,
        {MsgType::kPingEcho, MsgType::kPairRtt, MsgType::kPathPrevalence,
         MsgType::kCongestionVerdict, MsgType::kDualStackDelta,
         MsgType::kFigureDigest, MsgType::kServerStats, MsgType::kMetricsDump,
-        MsgType::kArchiveSlice}) {
+        MsgType::kArchiveSlice, MsgType::kLiveStatus}) {
     const auto key = static_cast<std::uint8_t>(t);
     latency_.emplace(
         key, reg.histogram(std::string("s2s.svc.latency_us.") + type_name(t),
@@ -377,6 +378,14 @@ bool Server::start(std::string& error) {
   for (const auto& r : reactors_) {
     if (r->listen_fd_ >= 0) r->poller_->add(r->listen_fd_, true, false);
   }
+  if (dataset_.live()) {
+    ensure_live_metrics();
+    obs_live_watermark_.set(static_cast<double>(dataset_.watermark().epoch));
+    obs_live_sealed_bytes_.set(
+        static_cast<double>(dataset_.watermark().sealed_bytes));
+    obs_live_pairs_.set(static_cast<double>(
+        dataset_.live_state() ? dataset_.live_state()->pairs_tracked() : 0));
+  }
   start_time_ = Clock::now();
   return true;
 }
@@ -438,6 +447,54 @@ void Server::do_reload() {
   } else {
     obs::logf(obs::LogLevel::kWarn, "s2sd: reload failed: %s", error.c_str());
   }
+}
+
+void Server::ensure_live_metrics() {
+  if (live_metrics_ready_) return;
+  auto& reg = obs::MetricsRegistry::global();
+  obs_live_pickups_ = reg.counter("s2s.live.delta_pickups");
+  obs_live_watermark_ = reg.gauge("s2s.live.watermark_epoch");
+  obs_live_sealed_bytes_ = reg.gauge("s2s.live.sealed_bytes");
+  obs_live_pairs_ = reg.gauge("s2s.live.pairs");
+  live_metrics_ready_ = true;
+}
+
+void Server::maybe_live_advance() {
+  if (config_.live_poll_ms <= 0) return;
+  const auto now = Clock::now();
+  if (now < next_live_poll_) return;
+  next_live_poll_ = now + ms(config_.live_poll_ms);
+  const std::shared_ptr<const Dataset> snap = dataset_snapshot();
+  if (!snap || !snap->live()) return;
+  std::string error;
+  auto next = snap->clone_advanced(error);
+  if (!next) {
+    // Empty error: the watermark simply hasn't moved (or the shard was
+    // finalized) — the common idle case, not worth a log line.
+    if (!error.empty()) {
+      obs::logf(obs::LogLevel::kWarn, "s2sd: delta pickup failed: %s",
+                error.c_str());
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(dataset_mutex_);
+    dataset_current_ = next;
+  }
+  live_pickups_.fetch_add(1, std::memory_order_relaxed);
+  ensure_live_metrics();
+  obs_live_pickups_.inc();
+  obs_live_watermark_.set(static_cast<double>(next->watermark().epoch));
+  obs_live_sealed_bytes_.set(
+      static_cast<double>(next->watermark().sealed_bytes));
+  obs_live_pairs_.set(static_cast<double>(
+      next->live_state() ? next->live_state()->pairs_tracked() : 0));
+  obs::logf(obs::LogLevel::kInfo,
+            "s2sd: live pickup to epoch %lld (%llu sealed bytes, digest "
+            "%016llx)",
+            static_cast<long long>(next->watermark().epoch),
+            static_cast<unsigned long long>(next->watermark().sealed_bytes),
+            static_cast<unsigned long long>(next->digest()));
 }
 
 // ---------------------------------------------------------------------------
@@ -571,6 +628,9 @@ void Server::Reactor::run() {
     if (srv_.reload_pending_.exchange(false, std::memory_order_relaxed)) {
       srv_.do_reload();
     }
+    // Reactor 0 owns the live-ingest tick; other reactors pick up the
+    // published snapshot on their next request like any reload.
+    if (index_ == 0) srv_.maybe_live_advance();
     const bool draining = srv_.draining_.load(std::memory_order_relaxed);
     if (draining && !drain_observed) {
       drain_observed = true;
@@ -1096,6 +1156,9 @@ void Server::Reactor::execute_one(int fd, const PendingItem& item) {
       response = {MsgType::kError,
                   error_payload("bad_request", "bad metrics_dump payload")};
     }
+  } else if (item.type == MsgType::kLiveStatus) {
+    // Never cached: the whole point is observing ingest progress.
+    response = {MsgType::kOk, srv_.live_status_payload(*ds)};
   } else if (item.type == MsgType::kArchiveSlice) {
     SliceQuery q;
     if (!decode_slice_query(item.payload, q)) {
@@ -1417,6 +1480,12 @@ int Server::Reactor::next_timeout_ms(Clock::time_point now) const {
                            .count();
     timeout = std::min(timeout, std::max<std::int64_t>(until, 0));
   }
+  // The live-ingest tick must fire even on an idle server: bound reactor
+  // 0's sleep by the poll interval.
+  if (index_ == 0 && srv_.config_.live_poll_ms > 0) {
+    timeout = std::min(
+        timeout, static_cast<std::int64_t>(srv_.config_.live_poll_ms));
+  }
   return static_cast<int>(std::max<std::int64_t>(timeout, 0));
 }
 
@@ -1485,6 +1554,45 @@ std::string Server::stats_payload(const Dataset& dataset) const {
   w.key("dataset").begin_object();
   dataset.summary_json(w);
   w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string Server::live_status_payload(const Dataset& dataset) const {
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("type").value("live_status");
+  w.key("live").value(dataset.live());
+  if (dataset.live()) {
+    const live::Watermark& wm = dataset.watermark();
+    w.key("watermark_epoch").value(wm.epoch);
+    w.key("sealed_bytes").value(wm.sealed_bytes);
+    w.key("blocks").value(wm.blocks);
+    w.key("records").value(wm.records);
+    w.key("ping_epochs")
+        .value(static_cast<std::uint64_t>(dataset.ping_epochs()));
+    const auto* state = dataset.live_state();
+    w.key("pairs_tracked")
+        .value(static_cast<std::uint64_t>(state ? state->pairs_tracked() : 0));
+    w.key("records_folded").value(state ? state->records_folded() : 0);
+    if (state != nullptr) {
+      const auto summary = state->summarize(nullptr);
+      w.key("assessed_pairs")
+          .value(static_cast<std::uint64_t>(summary.assessed));
+      w.key("congested_pairs")
+          .value(static_cast<std::uint64_t>(summary.consistent));
+    }
+    // Unsealed bytes sitting past the watermark: the writer's in-flight
+    // tail the serving path deliberately cannot see yet.
+    struct stat st{};
+    if (::stat(dataset.config().archive_path.c_str(), &st) == 0 &&
+        static_cast<std::uint64_t>(st.st_size) >= wm.sealed_bytes) {
+      w.key("lag_bytes")
+          .value(static_cast<std::uint64_t>(st.st_size) - wm.sealed_bytes);
+    }
+  }
+  w.key("delta_pickups").value(live_pickups());
+  w.key("poll_ms").value(static_cast<std::int64_t>(config_.live_poll_ms));
   w.end_object();
   return w.str();
 }

@@ -144,6 +144,15 @@ struct ServerConfig {
   /// sub-spans (queue_wait / cache_lookup / exec / encode / write).
   /// Untraced requests skip the span machinery entirely.
   bool trace_requests = true;
+
+  // -- Live ingest (DESIGN.md section 16) --
+
+  /// Delta-pickup poll interval for open-shard archives: every N ms
+  /// reactor 0 re-reads the watermark sidecar and, when it advanced,
+  /// folds just the newly sealed tail into a cloned dataset and
+  /// publishes it RCU-style — no SIGHUP, no full reload. 0 disables
+  /// polling (a live archive then only advances on explicit reload).
+  int live_poll_ms = 0;
 };
 
 class Server {
@@ -186,6 +195,10 @@ class Server {
   std::uint64_t accept_emfile() const;
   std::uint64_t reloads() const noexcept {
     return reloads_.load(std::memory_order_relaxed);
+  }
+  /// Delta pickups published so far (live archives only).
+  std::uint64_t live_pickups() const noexcept {
+    return live_pickups_.load(std::memory_order_relaxed);
   }
 
   /// Seconds since start() succeeded (steady clock).
@@ -365,9 +378,17 @@ class Server {
   /// Dataset (non-owning); reloaded snapshots own their Dataset.
   std::shared_ptr<const Dataset> dataset_snapshot() const;
   void do_reload();
+  /// Reactor 0's live-ingest tick: time-gated watermark poll; on
+  /// advance, clone_advanced() off the current snapshot and publish.
+  void maybe_live_advance();
+  /// Registers the s2s.live.* metrics on first use — their presence in
+  /// a metrics dump is the "this server is live-ingesting" signal tools
+  /// key off, so batch servers never emit them.
+  void ensure_live_metrics();
   void set_conns_gauge();
   void set_pending_cost_gauge();
   std::string stats_payload(const Dataset& dataset) const;
+  std::string live_status_payload(const Dataset& dataset) const;
   /// kMetricsDump response body for the given format selector.
   std::string metrics_dump_payload(std::uint8_t format) const;
   obs::Histogram& latency_histogram(MsgType type);
@@ -391,6 +412,10 @@ class Server {
   std::atomic<bool> reload_pending_{false};
   std::atomic<std::size_t> total_conns_{0};
   std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> live_pickups_{0};
+  /// Only touched by reactor 0 (the live-ingest tick owner).
+  Clock::time_point next_live_poll_{};
+  bool live_metrics_ready_ = false;
 
   obs::Counter obs_requests_;
   obs::Counter obs_accepted_;
@@ -406,6 +431,10 @@ class Server {
   obs::Counter obs_accept_emfile_;
   obs::Gauge obs_active_conns_;
   obs::Gauge obs_pending_cost_;
+  obs::Counter obs_live_pickups_;
+  obs::Gauge obs_live_watermark_;
+  obs::Gauge obs_live_sealed_bytes_;
+  obs::Gauge obs_live_pairs_;
   std::unordered_map<std::uint8_t, obs::Histogram> latency_;
 
   Clock::time_point start_time_ = Clock::now();

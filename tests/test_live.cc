@@ -1,0 +1,517 @@
+// Live ingest tests (DESIGN.md section 16): the watermark sidecar, the
+// open-shard writer's durability protocol (bounded reads, crash + resume
+// byte-identity), the incremental-vs-batch equivalence contract at every
+// watermark, and the serving path's delta pickup — a daemon that never
+// reloads yet converges on the same bytes a fresh batch load produces.
+//
+// One simulated deployment and one per-epoch record corpus are built
+// once and shared across every test (the topology build is the
+// expensive part).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/pool.h"
+#include "io/binrec.h"
+#include "io/mmap_file.h"
+#include "live/incremental.h"
+#include "live/open_shard.h"
+#include "live/watermark.h"
+#include "obs/json.h"
+#include "probe/campaign.h"
+#include "simnet/network.h"
+#include "svc/client.h"
+#include "svc/dataset.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+
+namespace s2s {
+namespace {
+
+/// Shared deployment + the ping campaign's records grouped by epoch, so
+/// tests can replay any prefix/delta split without re-running campaigns.
+struct LiveWorld {
+  svc::DatasetConfig cfg;
+  std::unique_ptr<simnet::Network> net;
+  std::vector<std::pair<topology::ServerId, topology::ServerId>> pairs;
+  std::vector<std::vector<probe::PingRecord>> epochs;
+};
+
+LiveWorld& world() {
+  static LiveWorld* w = [] {
+    auto* world = new LiveWorld;
+    world->net =
+        std::make_unique<simnet::Network>(svc::dataset_net_config(world->cfg));
+    world->pairs = svc::fixture_pairs(world->net->topo(), 12);
+    probe::PingCampaignConfig ping;
+    ping.start_day = world->cfg.ping_start_day;
+    ping.days = 2.0;  // 192 epochs at 15 minutes
+    ping.interval_s = world->cfg.ping_interval_s;
+    ping.seed = 31;
+    std::vector<probe::PingRecord> current;
+    ping.on_epoch = [world, &current](std::size_t) {
+      world->epochs.push_back(std::move(current));
+      current.clear();
+    };
+    probe::PingCampaign campaign(*world->net, ping, world->pairs);
+    campaign.run([&](const probe::PingRecord& r) { current.push_back(r); });
+    EXPECT_EQ(world->epochs.size(), 192u);
+    return world;
+  }();
+  return *w;
+}
+
+std::string temp_path(const char* stem) {
+  return ::testing::TempDir() + stem + "_" + std::to_string(::getpid()) +
+         ".s2sb";
+}
+
+/// Writes epochs [0, upto) of the corpus, sealing each epoch.
+std::unique_ptr<live::OpenShardWriter> write_epochs(
+    const std::string& path, std::size_t upto, std::size_t block_records) {
+  auto writer = std::make_unique<live::OpenShardWriter>(
+      path, live::OpenShardConfig{block_records});
+  EXPECT_TRUE(writer->ok()) << writer->error();
+  std::string error;
+  for (std::size_t e = 0; e < upto; ++e) {
+    for (const auto& r : world().epochs[e]) writer->write(r);
+    EXPECT_TRUE(writer->seal(static_cast<std::int64_t>(e), error)) << error;
+  }
+  return writer;
+}
+
+/// Appends epochs [from, upto) to an already-open writer, sealing each.
+void append_epochs(live::OpenShardWriter& writer, std::size_t from,
+                   std::size_t upto) {
+  std::string error;
+  for (std::size_t e = from; e < upto; ++e) {
+    for (const auto& r : world().epochs[e]) writer.write(r);
+    ASSERT_TRUE(writer.seal(static_cast<std::int64_t>(e), error)) << error;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+live::IncrementalConfig world_incremental_config() {
+  live::IncrementalConfig inc;
+  inc.start_day = world().cfg.ping_start_day;
+  inc.interval_s = world().cfg.ping_interval_s;
+  inc.detect = world().cfg.detect;
+  inc.min_fraction = world().cfg.detect_min_fraction;
+  return inc;
+}
+
+using Verdicts = std::vector<
+    std::tuple<std::uint64_t, live::IncrementalState::Verdict>>;
+
+Verdicts all_verdicts(const live::IncrementalState& state) {
+  Verdicts out;
+  state.for_each([&](std::uint32_t src, std::uint32_t dst, std::uint8_t fam,
+                     const live::IncrementalState::Verdict& v) {
+    out.emplace_back((std::uint64_t{src} << 40) | (std::uint64_t{dst} << 8) |
+                         fam,
+                     v);
+  });
+  return out;
+}
+
+/// Bit-exact verdict equality: the equivalence contract is byte
+/// identity, so doubles compare with ==, not a tolerance.
+void expect_verdicts_equal(const Verdicts& a, const Verdicts& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::get<0>(a[i]), std::get<0>(b[i]));
+    const auto& va = std::get<1>(a[i]);
+    const auto& vb = std::get<1>(b[i]);
+    EXPECT_EQ(va.samples, vb.samples);
+    EXPECT_EQ(va.missing_samples, vb.missing_samples);
+    EXPECT_EQ(va.insufficient, vb.insufficient);
+    EXPECT_EQ(va.variation_ms, vb.variation_ms);
+    EXPECT_EQ(va.diurnal_ratio, vb.diurnal_ratio);
+    EXPECT_EQ(va.high_variation, vb.high_variation);
+    EXPECT_EQ(va.strong_diurnal, vb.strong_diurnal);
+  }
+}
+
+TEST(LiveWatermark, SidecarRoundTrip) {
+  const std::string path = temp_path("live_wm_roundtrip");
+  live::Watermark wm;
+  wm.sealed_bytes = 123456;
+  wm.blocks = 77;
+  wm.records = 4242;
+  wm.epoch = 665;
+  std::string error;
+  ASSERT_TRUE(live::write_watermark_file(path, wm, error)) << error;
+  live::Watermark back;
+  EXPECT_EQ(live::read_watermark_file(path, back),
+            live::WatermarkStatus::kValid);
+  EXPECT_EQ(back, wm);
+  EXPECT_TRUE(live::remove_watermark_file(path));
+  EXPECT_EQ(live::read_watermark_file(path, back),
+            live::WatermarkStatus::kAbsent);
+  EXPECT_TRUE(live::remove_watermark_file(path));  // idempotent
+}
+
+TEST(LiveWatermark, CorruptSidecarFailsSafe) {
+  const std::string path = temp_path("live_wm_corrupt");
+  live::Watermark wm;
+  wm.sealed_bytes = 1000;
+  wm.epoch = 3;
+  std::string error;
+  ASSERT_TRUE(live::write_watermark_file(path, wm, error)) << error;
+
+  // Flip one payload byte: the CRC must catch it.
+  const std::string wm_path = live::watermark_path(path);
+  std::string bytes = slurp(wm_path);
+  ASSERT_EQ(bytes.size(), live::kWatermarkBytes);
+  bytes[9] = static_cast<char>(bytes[9] ^ 0x40);
+  { std::ofstream(wm_path, std::ios::binary) << bytes; }
+  live::Watermark back;
+  EXPECT_EQ(live::read_watermark_file(path, back),
+            live::WatermarkStatus::kInvalid);
+
+  // A truncated sidecar is equally invalid.
+  { std::ofstream(wm_path, std::ios::binary) << bytes.substr(0, 20); }
+  EXPECT_EQ(live::read_watermark_file(path, back),
+            live::WatermarkStatus::kInvalid);
+  live::remove_watermark_file(path);
+}
+
+TEST(LiveOpenShard, SealBoundsWhatReadersSee) {
+  const std::string path = temp_path("live_shard_bound");
+  auto writer = write_epochs(path, 4, 32);
+
+  // Write epoch 4 WITHOUT sealing: the sidecar must still describe the
+  // 4-epoch prefix, and a watermark-bounded read must decode exactly the
+  // sealed records with no truncation or corruption.
+  for (const auto& r : world().epochs[4]) writer->write(r);
+  live::Watermark wm;
+  ASSERT_EQ(live::read_watermark_file(path, wm),
+            live::WatermarkStatus::kValid);
+  EXPECT_EQ(wm.epoch, 3);
+  std::size_t sealed_records = 0;
+  for (std::size_t e = 0; e < 4; ++e) {
+    sealed_records += world().epochs[e].size();
+  }
+  EXPECT_EQ(wm.records, sealed_records);
+
+  io::MmapFile file;
+  ASSERT_TRUE(file.open(path)) << file.error();
+  ASSERT_GE(file.size(), wm.sealed_bytes);
+  io::BinRecordMmapReader reader(file.data(),
+                                 static_cast<std::size_t>(wm.sealed_bytes));
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  std::size_t pings = 0;
+  reader.read_all([](const probe::TracerouteRecord&) {},
+                  [&](const probe::PingRecord&) { ++pings; });
+  EXPECT_EQ(pings, sealed_records);
+  EXPECT_EQ(reader.counters().corrupt_blocks, 0u);
+  EXPECT_FALSE(reader.counters().truncated);
+
+  std::string error;
+  ASSERT_TRUE(writer->finish(error)) << error;
+  std::remove(path.c_str());
+  live::remove_watermark_file(path);
+}
+
+TEST(LiveOpenShard, CrashResumeIsByteIdenticalToUninterrupted) {
+  const std::string crashed = temp_path("live_shard_crash");
+  const std::string reference = temp_path("live_shard_ref");
+
+  // Crash scenario: seal 5 epochs, then die mid-append — an unsealed
+  // epoch of records plus a torn half-written block of garbage.
+  {
+    auto writer = write_epochs(crashed, 5, 32);
+    for (const auto& r : world().epochs[5]) writer->write(r);
+    // Abandon without seal/finish; the destructor may flush bytes past
+    // the watermark, which is exactly the tail resume must discard.
+  }
+  {
+    std::ofstream out(crashed, std::ios::binary | std::ios::app);
+    out << "S2BKtorn-half-block-garbage";
+  }
+
+  // A reader bounded at the watermark never sees the torn tail.
+  live::Watermark wm;
+  ASSERT_EQ(live::read_watermark_file(crashed, wm),
+            live::WatermarkStatus::kValid);
+  EXPECT_EQ(wm.epoch, 4);
+  {
+    io::MmapFile file;
+    ASSERT_TRUE(file.open(crashed)) << file.error();
+    io::BinRecordMmapReader reader(file.data(),
+                                   static_cast<std::size_t>(wm.sealed_bytes));
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    std::size_t pings = 0;
+    reader.read_all([](const probe::TracerouteRecord&) {},
+                  [&](const probe::PingRecord&) { ++pings; });
+    EXPECT_EQ(pings, wm.records);
+    EXPECT_EQ(reader.counters().corrupt_blocks, 0u);
+    EXPECT_FALSE(reader.counters().truncated);
+  }
+
+  // Resume truncates the tail and continues the stream; the finished
+  // shard must be byte-identical to one written without the crash.
+  std::string error;
+  auto resumed =
+      live::OpenShardWriter::resume(crashed, live::OpenShardConfig{32}, error);
+  ASSERT_NE(resumed, nullptr) << error;
+  EXPECT_EQ(resumed->watermark().epoch, 4);
+  append_epochs(*resumed, 5, 8);
+  ASSERT_TRUE(resumed->finish(error)) << error;
+
+  auto ref = write_epochs(reference, 8, 32);
+  ASSERT_TRUE(ref->finish(error)) << error;
+
+  EXPECT_EQ(slurp(crashed), slurp(reference));
+  EXPECT_EQ(resumed->watermark(), ref->watermark());
+
+  std::remove(crashed.c_str());
+  std::remove(reference.c_str());
+  live::remove_watermark_file(crashed);
+  live::remove_watermark_file(reference);
+}
+
+TEST(LiveOpenShard, ResumeRefusesDamagedPrefix) {
+  const std::string path = temp_path("live_shard_damaged");
+  { write_epochs(path, 3, 32); }
+  // Corrupt a byte INSIDE the sealed prefix: that tail recovery cannot
+  // reach, so resume must refuse rather than re-serve damaged blocks.
+  std::string bytes = slurp(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  { std::ofstream(path, std::ios::binary) << bytes; }
+  std::string error;
+  auto resumed =
+      live::OpenShardWriter::resume(path, live::OpenShardConfig{32}, error);
+  EXPECT_EQ(resumed, nullptr);
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+  live::remove_watermark_file(path);
+}
+
+TEST(LiveIncremental, MatchesBatchRefoldAtEveryWatermark) {
+  const auto inc = world_incremental_config();
+  live::IncrementalState streaming(inc);
+  exec::ThreadPool pool8(8);
+
+  for (std::size_t e = 0; e < world().epochs.size(); ++e) {
+    for (const auto& r : world().epochs[e]) streaming.add(r);
+    streaming.advance_watermark(static_cast<std::int64_t>(e));
+    // Bit-exact refold check at a sample of watermarks (every 16th and
+    // the last) to keep the quadratic refold affordable.
+    if (e % 16 != 15 && e + 1 != world().epochs.size()) continue;
+    live::IncrementalState batch(inc);
+    for (std::size_t b = 0; b <= e; ++b) {
+      for (const auto& r : world().epochs[b]) batch.add(r);
+    }
+    batch.advance_watermark(static_cast<std::int64_t>(e));
+    EXPECT_EQ(streaming.records_folded(), batch.records_folded());
+    expect_verdicts_equal(all_verdicts(streaming), all_verdicts(batch));
+
+    // Aggregates are thread-width independent (1 vs 8 threads).
+    const auto seq = streaming.summarize(nullptr);
+    const auto par = streaming.summarize(&pool8);
+    EXPECT_EQ(seq.pairs, par.pairs);
+    EXPECT_EQ(seq.assessed, par.assessed);
+    EXPECT_EQ(seq.high_variation, par.high_variation);
+    EXPECT_EQ(seq.consistent, par.consistent);
+  }
+  EXPECT_GT(streaming.pairs_tracked(), 0u);
+}
+
+TEST(LiveIncremental, CopyThenFoldEqualsSequentialFold) {
+  // The delta-pickup primitive: clone the published state, fold the
+  // delta into the clone — must equal folding everything sequentially.
+  const auto inc = world_incremental_config();
+  const std::size_t split = world().epochs.size() / 2;
+  live::IncrementalState prefix(inc);
+  for (std::size_t e = 0; e < split; ++e) {
+    for (const auto& r : world().epochs[e]) prefix.add(r);
+    prefix.advance_watermark(static_cast<std::int64_t>(e));
+  }
+  live::IncrementalState clone(prefix);
+  for (std::size_t e = split; e < world().epochs.size(); ++e) {
+    for (const auto& r : world().epochs[e]) clone.add(r);
+    clone.advance_watermark(static_cast<std::int64_t>(e));
+  }
+  live::IncrementalState full(inc);
+  for (std::size_t e = 0; e < world().epochs.size(); ++e) {
+    for (const auto& r : world().epochs[e]) full.add(r);
+    full.advance_watermark(static_cast<std::int64_t>(e));
+  }
+  EXPECT_EQ(clone.records_folded(), full.records_folded());
+  expect_verdicts_equal(all_verdicts(clone), all_verdicts(full));
+}
+
+/// Verdict responses for every ping pair, via the public execute path.
+std::vector<std::string> verdict_payloads(const svc::Dataset& ds) {
+  std::vector<std::string> out;
+  for (const auto& pk : ds.ping_pairs()) {
+    svc::PairQuery q;
+    q.src = pk.src;
+    q.dst = pk.dst;
+    q.family = pk.family;
+    const auto resp = ds.execute(svc::MsgType::kCongestionVerdict,
+                                 svc::encode_pair_query(q), nullptr);
+    EXPECT_EQ(resp.type, svc::MsgType::kOk) << resp.payload;
+    out.push_back(resp.payload);
+  }
+  return out;
+}
+
+TEST(LiveDataset, DeltaPickupMatchesFreshLoadByteForByte) {
+  const std::string path = temp_path("live_ds_pickup");
+  auto writer = write_epochs(path, 96, 256);
+
+  svc::DatasetConfig cfg = world().cfg;
+  cfg.archive_path = path;
+  auto base = std::make_shared<svc::Dataset>(cfg, world().net.get());
+  std::string error;
+  ASSERT_TRUE(base->load(error)) << error;
+  ASSERT_TRUE(base->live());
+  EXPECT_EQ(base->watermark().epoch, 95);
+
+  // Unchanged watermark: clone_advanced is a clean no-op, not an error.
+  auto unchanged = base->clone_advanced(error);
+  EXPECT_EQ(unchanged, nullptr);
+  EXPECT_TRUE(error.empty());
+
+  append_epochs(*writer, 96, 160);
+  auto advanced = base->clone_advanced(error);
+  ASSERT_NE(advanced, nullptr) << error;
+  EXPECT_EQ(advanced->watermark().epoch, 159);
+  EXPECT_EQ(advanced->ping_epochs(), 160u);
+
+  // The clone (prefix load + delta fold) must serve the same bytes as a
+  // from-scratch load of the same watermark, including the cache digest.
+  auto fresh = std::make_shared<svc::Dataset>(cfg, world().net.get());
+  ASSERT_TRUE(fresh->load(error)) << error;
+  EXPECT_EQ(advanced->digest(), fresh->digest());
+  EXPECT_EQ(verdict_payloads(*advanced), verdict_payloads(*fresh));
+
+  // Growth states never share a digest (the ResultCache satellite).
+  EXPECT_NE(base->digest(), advanced->digest());
+
+  // A rewritten (regressed) shard is an error, not a silent pickup.
+  auto rewound = write_epochs(path, 8, 256);
+  auto bad = advanced->clone_advanced(error);
+  EXPECT_EQ(bad, nullptr);
+  EXPECT_FALSE(error.empty());
+
+  std::remove(path.c_str());
+  live::remove_watermark_file(path);
+}
+
+TEST(LiveDataset, DamagedSidecarRefusesLoad) {
+  const std::string path = temp_path("live_ds_badwm");
+  write_epochs(path, 4, 256);
+  const std::string wm_path = live::watermark_path(path);
+  std::string bytes = slurp(wm_path);
+  bytes[12] = static_cast<char>(bytes[12] ^ 0x08);
+  { std::ofstream(wm_path, std::ios::binary) << bytes; }
+
+  svc::DatasetConfig cfg = world().cfg;
+  cfg.archive_path = path;
+  svc::Dataset ds(cfg, world().net.get());
+  std::string error;
+  EXPECT_FALSE(ds.load(error));
+  EXPECT_NE(error.find("watermark"), std::string::npos) << error;
+
+  std::remove(path.c_str());
+  live::remove_watermark_file(path);
+}
+
+TEST(LiveServer, ServesAcrossDeltaPickupsWithoutReload) {
+  const std::string path = temp_path("live_srv_pickup");
+  auto writer = write_epochs(path, 64, 256);
+
+  svc::DatasetConfig cfg = world().cfg;
+  cfg.archive_path = path;
+  svc::Dataset dataset(cfg, world().net.get());
+  std::string error;
+  ASSERT_TRUE(dataset.load(error)) << error;
+
+  exec::ThreadPool pool(2);
+  svc::ServerConfig server_cfg;
+  server_cfg.live_poll_ms = 5;
+  svc::Server server(dataset, &pool, server_cfg);
+  ASSERT_TRUE(server.start(error)) << error;
+  std::thread serve_thread([&] { server.serve(); });
+
+  auto live_status = [&](std::int64_t* epoch_out) {
+    svc::Client client;
+    std::string err;
+    EXPECT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+    svc::MsgType rtype;
+    std::string payload;
+    EXPECT_TRUE(client.call(svc::MsgType::kLiveStatus, 0, "", &rtype,
+                            &payload, err))
+        << err;
+    EXPECT_EQ(rtype, svc::MsgType::kOk) << payload;
+    const auto root = obs::json::parse(payload);
+    ASSERT_TRUE(root && root->is_object());
+    const auto* wm = root->find("watermark_epoch");
+    ASSERT_TRUE(wm && wm->is_number());
+    *epoch_out = static_cast<std::int64_t>(wm->number);
+  };
+
+  std::int64_t epoch = -1;
+  live_status(&epoch);
+  EXPECT_EQ(epoch, 63);
+
+  // Append while the server runs; the poller must pick the delta up with
+  // no SIGHUP and no restart.
+  append_epochs(*writer, 64, 192);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (epoch != 191 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    live_status(&epoch);
+  }
+  EXPECT_EQ(epoch, 191);
+  EXPECT_GE(server.live_pickups(), 1u);
+
+  // Served verdicts at the final watermark match a fresh batch-load of
+  // the same shard byte for byte.
+  svc::Dataset fresh(cfg, world().net.get());
+  ASSERT_TRUE(fresh.load(error)) << error;
+  const auto expected = verdict_payloads(fresh);
+  std::size_t i = 0;
+  for (const auto& pk : fresh.ping_pairs()) {
+    svc::PairQuery q;
+    q.src = pk.src;
+    q.dst = pk.dst;
+    q.family = pk.family;
+    svc::Client client;
+    std::string err;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+    svc::MsgType rtype;
+    std::string payload;
+    ASSERT_TRUE(client.call(svc::MsgType::kCongestionVerdict, 0,
+                            svc::encode_pair_query(q), &rtype, &payload, err))
+        << err;
+    EXPECT_EQ(rtype, svc::MsgType::kOk) << payload;
+    EXPECT_EQ(payload, expected[i]) << "pair index " << i;
+    ++i;
+  }
+
+  server.request_drain();
+  serve_thread.join();
+  std::remove(path.c_str());
+  live::remove_watermark_file(path);
+}
+
+}  // namespace
+}  // namespace s2s

@@ -2,12 +2,14 @@
 
 #include <cmath>
 
+#include "stats/binned_ecdf.h"
 #include "stats/density.h"
 #include "stats/ecdf.h"
 #include "stats/heatmap.h"
 #include "stats/pearson.h"
 #include "stats/rng.h"
 #include "stats/summary.h"
+#include "stats/welford.h"
 
 namespace s2s::stats {
 namespace {
@@ -208,6 +210,103 @@ TEST(Rng, UniformInRange) {
     EXPECT_GE(u, 2.0);
     EXPECT_LT(u, 5.0);
   }
+}
+
+TEST(BinnedEcdfMerge, EmptyIntoEmptyStaysEmpty) {
+  BinnedEcdf a(0.0, 10.0, 100), b(0.0, 10.0, 100);
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(BinnedEcdfMerge, EmptySideIsIdentity) {
+  BinnedEcdf a(0.0, 10.0, 100), empty(0.0, 10.0, 100);
+  a.add(1.0);
+  a.add(9.0);
+  const double q50_before = a.quantile(0.5);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), q50_before);
+
+  BinnedEcdf into_empty(0.0, 10.0, 100);
+  into_empty.merge(a);
+  EXPECT_EQ(into_empty.total(), 2u);
+  EXPECT_DOUBLE_EQ(into_empty.quantile(0.5), a.quantile(0.5));
+}
+
+TEST(BinnedEcdfMerge, DisjointRangesMatchBulk) {
+  // Two partials covering disjoint value ranges merge to the same curve
+  // a single accumulator over all samples produces.
+  BinnedEcdf lowhalf(0.0, 100.0, 1000), highhalf(0.0, 100.0, 1000);
+  BinnedEcdf bulk(0.0, 100.0, 1000);
+  for (int i = 0; i < 50; ++i) {
+    const double lo = 0.1 * i, hi = 60.0 + 0.5 * i;
+    lowhalf.add(lo);
+    highhalf.add(hi);
+    bulk.add(lo);
+    bulk.add(hi);
+  }
+  lowhalf.merge(highhalf);
+  EXPECT_EQ(lowhalf.total(), bulk.total());
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_DOUBLE_EQ(lowhalf.quantile(q), bulk.quantile(q));
+  }
+  for (double x : {0.0, 2.5, 59.9, 60.0, 84.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(lowhalf.at(x), bulk.at(x));
+  }
+}
+
+TEST(BinnedEcdfMerge, ClampedOutliersSurviveMerge) {
+  BinnedEcdf a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(-100.0);  // clamps into the first bin
+  b.add(1e9);     // clamps into the last bin
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_DOUBLE_EQ(a.at(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(a.at(10.0), 1.0);
+}
+
+TEST(BinnedEcdfMerge, GridMismatchThrows) {
+  BinnedEcdf a(0.0, 10.0, 100);
+  BinnedEcdf wrong_bins(0.0, 10.0, 50);
+  BinnedEcdf wrong_range(0.0, 20.0, 100);
+  EXPECT_THROW(a.merge(wrong_bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(wrong_range), std::invalid_argument);
+}
+
+TEST(WelfordMerge, MatchesBulkMoments) {
+  Rng rng(5);
+  Welford left, right, bulk;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(12.0, 3.0);
+    (i < 400 ? left : right).add(x);
+    bulk.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), bulk.count());
+  EXPECT_NEAR(left.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), bulk.variance(), 1e-9);
+}
+
+TEST(WelfordMerge, EmptyCases) {
+  Welford a, b;
+  a.merge(b);  // empty ⊕ empty
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+
+  Welford filled;
+  filled.add(2.0);
+  filled.add(4.0);
+  filled.merge(b);  // merging empty is a no-op
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 3.0);
+
+  Welford empty;
+  empty.merge(filled);  // merging into empty copies
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), filled.variance());
 }
 
 TEST(Rng, NormalMomentsApproximate) {

@@ -5,6 +5,8 @@
 // Commands:
 //   ping                          liveness echo
 //   stats                         server + dataset counters
+//   live                          live-ingest status: watermark epoch,
+//                                 sealed bytes, lag, pairs tracked
 //   pair-rtt SRC DST FAM          RTT quantiles (add --series for samples)
 //   prevalence SRC DST FAM [CAP]  ranked AS-path prevalence
 //   verdict SRC DST FAM           congestion verdict for the ping series
@@ -61,7 +63,7 @@ int usage() {
                "[--hedge-delay-ms N]\n"
                "  [--burst N] [--trace] [--report PATH] [--out PATH] "
                "<command>\n"
-               "  ping | stats | scrape [prom|json] | figure N |\n"
+               "  ping | stats | live | scrape [prom|json] | figure N |\n"
                "  dualstack SRC DST | pair-rtt SRC DST FAM |\n"
                "  prevalence SRC DST FAM [CAP] | verdict SRC DST FAM |\n"
                "  slice T0 T1\n");
@@ -160,6 +162,8 @@ int main(int argc, char** argv) {
     type = svc::MsgType::kPingEcho;
   } else if (command == "stats") {
     type = svc::MsgType::kServerStats;
+  } else if (command == "live") {
+    type = svc::MsgType::kLiveStatus;
   } else if (command == "pair-rtt") {
     svc::PairQuery q;
     if (!pair_args(3, q)) return usage();

@@ -6,6 +6,13 @@
 //   s2s_recconv info        <in>           # either format: counts + stats
 //   s2s_recconv repair      <in.s2sb>      # torn-tail repair, in place
 //
+// `info` is append-aware: an archive with a watermark sidecar (an open
+// shard being written live, DESIGN.md section 16) is judged against its
+// sealed watermark, not EOF — the unsealed tail past the watermark is
+// reported, never counted as damage. Damage *inside* the watermark (a
+// torn or corrupt sealed block, or a sidecar that fails its CRC) exits
+// 1: crash recovery cannot reach the watermark from such a shard.
+//
 // Conversion is lossless in both directions: the binary RTT column is
 // fixed-point at exactly the text format's %.3f precision, so
 // text -> binary -> text is byte-identical for well-formed archives (the
@@ -28,7 +35,9 @@
 #include <string>
 
 #include "io/binrec.h"
+#include "io/mmap_file.h"
 #include "io/records_io.h"
+#include "live/watermark.h"
 
 namespace {
 
@@ -63,6 +72,67 @@ int main(int argc, char** argv) {
   const std::string in_path = argv[2];
 
   if (mode == "info") {
+    live::Watermark wm;
+    const auto wm_status = live::read_watermark_file(in_path, wm);
+    if (wm_status == live::WatermarkStatus::kInvalid) {
+      std::fprintf(stderr,
+                   "s2s_recconv: %s: watermark sidecar failed validation "
+                   "(%s); the shard's durable prefix is unknowable\n",
+                   in_path.c_str(),
+                   live::watermark_path(in_path).c_str());
+      return 1;
+    }
+    if (wm_status == live::WatermarkStatus::kValid) {
+      // Open shard: judge the sealed prefix only. Bytes past the
+      // watermark are the writer's in-flight tail, not damage.
+      io::MmapFile file;
+      if (!file.open(in_path)) {
+        std::fprintf(stderr, "s2s_recconv: %s: %s\n", in_path.c_str(),
+                     file.error().c_str());
+        return 1;
+      }
+      if (file.size() < wm.sealed_bytes) {
+        std::fprintf(stderr,
+                     "s2s_recconv: %s: file is shorter than its sealed "
+                     "watermark (%zu < %llu bytes); recovery cannot reach "
+                     "the watermark\n",
+                     in_path.c_str(), file.size(),
+                     static_cast<unsigned long long>(wm.sealed_bytes));
+        return 1;
+      }
+      const auto sealed = static_cast<std::size_t>(wm.sealed_bytes);
+      std::size_t traces = 0, pings = 0;
+      io::BinRecordMmapReader reader(file.data(), sealed);
+      if (!reader.ok()) {
+        std::fprintf(stderr, "s2s_recconv: %s: %s\n", in_path.c_str(),
+                     reader.error().c_str());
+        return 1;
+      }
+      reader.read_all([&](const probe::TracerouteRecord&) { ++traces; },
+                      [&](const probe::PingRecord&) { ++pings; });
+      std::printf("%s: format=s2sb-open records=%zu blocks_read=%zu "
+                  "corrupt_blocks=%zu records_rejected=%zu\n",
+                  in_path.c_str(), reader.records_read(),
+                  reader.blocks_read(), reader.corrupt_blocks(),
+                  reader.counters().records_rejected);
+      std::printf("%s: traceroutes=%zu pings=%zu\n", in_path.c_str(), traces,
+                  pings);
+      std::printf("%s: watermark epoch=%lld sealed_bytes=%llu blocks=%llu "
+                  "records=%llu unsealed_tail_bytes=%zu\n",
+                  in_path.c_str(), static_cast<long long>(wm.epoch),
+                  static_cast<unsigned long long>(wm.sealed_bytes),
+                  static_cast<unsigned long long>(wm.blocks),
+                  static_cast<unsigned long long>(wm.records),
+                  file.size() - sealed);
+      if (reader.counters().truncated || reader.corrupt_blocks() > 0) {
+        std::fprintf(stderr,
+                     "s2s_recconv: %s: damage inside the sealed watermark; "
+                     "recovery cannot reach the watermark\n",
+                     in_path.c_str());
+        return 1;
+      }
+      return 0;
+    }
     std::size_t traces = 0, pings = 0;
     const auto result = io::ingest_record_file(
         in_path, [&](const probe::TracerouteRecord&) { ++traces; },

@@ -176,6 +176,23 @@ void render(const Sample& now, const Sample& prev, bool have_prev,
               counter(now, "s2s.svc.busy_rejected"),
               counter(now, "s2s.svc.protocol_errors"));
 
+  // Live-ingest progress: the s2s.live.* gauges exist only on a server
+  // that loaded an open shard, so their presence is the feature gate.
+  if (const auto wm = now.gauges.find("s2s.live.watermark_epoch");
+      wm != now.gauges.end()) {
+    const auto gauge = [&](const char* name) {
+      const auto it = now.gauges.find(name);
+      return it == now.gauges.end() ? 0.0 : it->second;
+    };
+    const std::uint64_t pickups = counter(now, "s2s.live.delta_pickups");
+    const std::uint64_t dpick =
+        have_prev ? delta(now, prev, "s2s.live.delta_pickups") : 0;
+    std::printf("live ingest: watermark epoch %.0f  sealed %.0fB  "
+                "pairs %.0f  pickups %" PRIu64 " (+%" PRIu64 ")\n",
+                wm->second, gauge("s2s.live.sealed_bytes"),
+                gauge("s2s.live.pairs"), pickups, dpick);
+  }
+
   std::printf("%-20s %10s %10s %10s %8s\n", "type", "win_p50_us", "win_p99_us",
               "win_count", "slo");
   for (const auto& [type, w] : now.windowed) {

@@ -22,6 +22,10 @@
 //   --cache-mb N        result cache budget in MiB
 //   --read-timeout-ms N / --write-timeout-ms N
 //   --slow-ms N         slow-query log threshold (end-to-end ms; 0 = off)
+//   --live-poll-ms N    open-shard delta-pickup poll interval (0 = off);
+//                       with a watermark sidecar present the daemon
+//                       serves the sealed prefix and folds newly sealed
+//                       blocks in as the writer appends
 //   --slo-ms N          per-type latency SLO threshold (ms)
 //   --window-s N        windowed p50/p99 merge width in seconds
 //   --report PATH       RunReport JSON on shutdown (default s2sd_report.json)
@@ -68,6 +72,7 @@ int usage() {
                "            [--busy-retry-ms N] [--allow-damaged]\n"
                "            [--cache-mb N] [--read-timeout-ms N]\n"
                "            [--write-timeout-ms N] [--slow-ms N]\n"
+               "            [--live-poll-ms N]\n"
                "            [--slo-ms N] [--window-s N] [--report PATH]\n"
                "            [--no-report] [--seed N] [--servers N]\n"
                "            [--tier1 N] [--transit N] [--stub N]\n"
@@ -126,6 +131,8 @@ int main(int argc, char** argv) {
       server_cfg.read_timeout_ms = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--write-timeout-ms")) {
       server_cfg.write_timeout_ms = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--live-poll-ms")) {
+      server_cfg.live_poll_ms = std::atoi(next());
     } else if (!std::strcmp(argv[i], "--slow-ms")) {
       // Fractional thresholds are legal (--slow-ms 0.5 = 500us): smoke
       // tests against tiny fixtures need sub-millisecond cutoffs.
@@ -190,7 +197,8 @@ int main(int argc, char** argv) {
   // Refuse to serve an archive that ingested with damage: a daemon that
   // silently drops blocks answers queries with confidently wrong data.
   // SIGHUP reloads stay lenient (old data keeps serving on failure).
-  if (const std::string damage = svc::archive_damage(dataset.ingest());
+  if (const std::string damage =
+          svc::archive_damage(dataset.ingest(), dataset.live());
       !damage.empty()) {
     if (allow_damaged) {
       std::fprintf(stderr, "s2sd: WARNING: serving damaged archive %s: %s\n",
@@ -219,6 +227,14 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 #endif
 
+  if (dataset.live()) {
+    std::printf("s2sd: live archive at watermark epoch %lld "
+                "(%llu sealed bytes, poll %d ms)\n",
+                static_cast<long long>(dataset.watermark().epoch),
+                static_cast<unsigned long long>(
+                    dataset.watermark().sealed_bytes),
+                server_cfg.live_poll_ms);
+  }
   std::printf("s2sd: listening on %s:%u (%zu records, %zu timelines, "
               "%zu ping pairs, %zu reactors%s)\n",
               host.c_str(), static_cast<unsigned>(server.port()),
